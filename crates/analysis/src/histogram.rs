@@ -1,0 +1,183 @@
+/// A fixed-width histogram over `f64` samples with explicit bounds.
+///
+/// Used by the island/component experiments to report size
+/// distributions. Samples below the range go to an underflow counter,
+/// above to an overflow counter, so no data is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_analysis::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for x in [0.5, 1.5, 2.5, 2.6, 11.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(0), 2); // [0, 2)
+/// assert_eq!(h.count(1), 2); // [2, 4)
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `bins == 0`, bounds are non-finite, or
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, String> {
+        if bins == 0 {
+            return Err("histogram needs at least one bin".to_string());
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(format!("invalid histogram range [{lo}, {hi})"));
+        }
+        Ok(Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            // NaNs are counted as overflow so total() stays faithful.
+            self.overflow += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx =
+                ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// The number of bins.
+    #[inline]
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// The inclusive-exclusive bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Samples below the range.
+    #[inline]
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound (plus NaNs).
+    #[inline]
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded (in-range + out-of-range).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Renders a compact ASCII bar chart (one line per bin).
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>10.2}, {hi:>10.2})  {c:>8}  {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for i in 0..100 {
+            h.record(f64::from(i) / 100.0);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!((0..4).map(|i| h.count(i)).sum::<u64>(), 100);
+        assert_eq!(h.count(0), 25);
+        assert_eq!(h.bin_bounds(1), (0.25, 0.5));
+    }
+
+    #[test]
+    fn out_of_range_samples_are_counted() {
+        let mut h = Histogram::new(0.0, 10.0, 2).unwrap();
+        h.record(-1.0);
+        h.record(10.0); // hi is exclusive
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record(1.0);
+        let text = h.render(20);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn boundary_value_lands_in_upper_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(0.5);
+        assert_eq!(h.count(1), 1);
+        // Values extremely close to hi stay in the last bin.
+        h.record(0.999_999);
+        assert_eq!(h.count(1), 2);
+    }
+}

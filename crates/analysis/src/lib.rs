@@ -1,0 +1,43 @@
+//! Statistics and experiment harness for the `sparsegossip` simulator.
+//!
+//! The paper's claims are asymptotic shapes (`T_B = Θ̃(n/√k)`,
+//! thresholds at `r_c ≈ √(n/k)`, …); this crate turns Monte-Carlo runs
+//! into those shapes:
+//!
+//! * [`Summary`] — replication summaries (mean, CI, quantiles);
+//! * [`power_law_fit`] — log–log regression recovering scaling
+//!   exponents with standard errors;
+//! * [`Sweep`] — parameter sweeps with per-point replication, run
+//!   across threads with deterministic per-replicate seeds
+//!   ([`derive_seed`]);
+//! * [`Table`] — aligned text/CSV rendering of experiment outputs.
+//!
+//! # Examples
+//!
+//! Recover a known exponent from synthetic data:
+//!
+//! ```
+//! use sparsegossip_analysis::power_law_fit;
+//!
+//! let xs = [4.0f64, 16.0, 64.0, 256.0];
+//! let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(-0.5)).collect();
+//! let fit = power_law_fit(&xs, &ys).unwrap();
+//! assert!((fit.exponent - (-0.5)).abs() < 1e-9);
+//! assert!((fit.r_squared - 1.0).abs() < 1e-9);
+//! ```
+
+mod histogram;
+mod parallel;
+mod regression;
+mod seeds;
+mod stats;
+mod sweep;
+mod table;
+
+pub use histogram::Histogram;
+pub use parallel::parallel_map;
+pub use regression::{linear_fit, power_law_fit, Fit};
+pub use seeds::{derive_seed, SeedSequence};
+pub use stats::Summary;
+pub use sweep::{Sweep, SweepPoint};
+pub use table::Table;

@@ -1,0 +1,152 @@
+/// Result of a least-squares line fit `y ≈ intercept + slope · x`.
+///
+/// For [`power_law_fit`] the fit is in log–log space, so `slope` is the
+/// scaling *exponent* and `exp(intercept)` the prefactor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fit {
+    /// Fitted slope (the exponent, for power-law fits).
+    pub slope: f64,
+    /// Fitted intercept (log-prefactor, for power-law fits).
+    pub intercept: f64,
+    /// Standard error of the slope.
+    pub slope_std_err: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Alias of `slope` kept for readability at power-law call sites.
+    pub exponent: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// Returns `None` if fewer than two distinct finite `x` values exist.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_analysis::linear_fit;
+///
+/// let fit = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(x, y)| (*x, *y))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / nf;
+    let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / nf;
+    let sxx: f64 = pairs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = pairs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let syy: f64 = pairs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_res: f64 =
+        pairs.iter().map(|(x, y)| (y - intercept - slope * x).powi(2)).sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let slope_std_err = if n > 2 {
+        (ss_res / ((nf - 2.0) * sxx)).sqrt()
+    } else {
+        0.0
+    };
+    Some(Fit { slope, intercept, slope_std_err, r_squared, exponent: slope })
+}
+
+/// Fits `y ≈ C · x^e` by least squares on `(ln x, ln y)`; `e` is
+/// returned in [`Fit::exponent`].
+///
+/// Non-positive or non-finite pairs are dropped. Returns `None` with
+/// fewer than two usable pairs.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_analysis::power_law_fit;
+///
+/// let xs = [1.0, 2.0, 4.0, 8.0];
+/// let ys = [5.0, 10.0, 20.0, 40.0]; // y = 5x
+/// let fit = power_law_fit(&xs, &ys).unwrap();
+/// assert!((fit.exponent - 1.0).abs() < 1e-12);
+/// assert!((fit.intercept.exp() - 5.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    let (lx, ly): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0 && x.is_finite() && y.is_finite())
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .unzip();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_unit_r_squared() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0, 4.0], &[2.0, 4.0, 6.0, 8.0]).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_std_err < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope_with_uncertainty() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        // Deterministic "noise" via a fixed pattern.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.slope_std_err > 0.0);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn power_law_recovers_negative_exponent() {
+        let xs = [2.0f64, 4.0, 8.0, 16.0, 32.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 * x.powf(-0.5)).collect();
+        let fit = power_law_fit(&xs, &ys).unwrap();
+        assert!((fit.exponent + 0.5).abs() < 1e-10);
+        assert!((fit.intercept.exp() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_none() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 5.0]).is_none(), "vertical line");
+        assert!(power_law_fit(&[-1.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(linear_fit(&[f64::NAN, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_ignores_nonpositive_points() {
+        let xs = [1.0, 2.0, 4.0, -3.0, 0.0];
+        let ys = [2.0, 4.0, 8.0, 100.0, 100.0];
+        let fit = power_law_fit(&xs, &ys).unwrap();
+        assert!((fit.exponent - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_and_unit_r2() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+use core::fmt;
+
+/// Summary statistics of a replicated measurement.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_analysis::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.median(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert!(s.std_dev() > 1.0 && s.std_dev() < 1.4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+    median: f64,
+    q25: f64,
+    q75: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    #[must_use]
+    pub fn from_slice(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "cannot summarize an empty sample");
+        assert!(sample.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self {
+            n,
+            mean,
+            variance,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            q25: quantile_sorted(&sorted, 0.25),
+            q75: quantile_sorted(&sorted, 0.75),
+        }
+    }
+
+    /// Sample size.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    #[inline]
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for singleton samples).
+    #[inline]
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    #[inline]
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the
+    /// mean (normal approximation, `1.96 · SE`).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Sample minimum.
+    #[inline]
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Sample maximum.
+    #[inline]
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sample median (linear interpolation).
+    #[inline]
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// First quartile.
+    #[inline]
+    #[must_use]
+    pub fn q25(&self) -> f64 {
+        self.q25
+    }
+
+    /// Third quartile.
+    #[inline]
+    #[must_use]
+    pub fn q75(&self) -> f64 {
+        self.q75
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={}, median {:.3}, range [{:.3}, {:.3}])",
+            self.mean,
+            self.ci95_half_width(),
+            self.n,
+            self.median,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Quantile of a pre-sorted sample with linear interpolation.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::from_slice(&[7.0]);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.q25(), 7.0);
+        assert_eq!(s.q75(), 7.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.median() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.q25() - 1.75).abs() < 1e-12);
+        assert!((s.q75() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let large = Summary::from_slice(&[1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_slice(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_sample_panics() {
+        let _ = Summary::from_slice(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_slice(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains('±'));
+    }
+}

@@ -1,0 +1,149 @@
+use core::fmt;
+
+/// An aligned text table with CSV export, used by every experiment
+/// binary to print paper-style result rows.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_analysis::Table;
+///
+/// let mut t = Table::new(vec!["k".into(), "T_B".into()]);
+/// t.push_row(vec!["16".into(), "812.3".into()]);
+/// t.push_row(vec!["64".into(), "402.7".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("T_B"));
+/// assert_eq!(t.to_csv(), "k,T_B\n16,812.3\n64,402.7\n");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The number of data rows.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (headers first; naive quoting — cells containing
+    /// commas are wrapped in double quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |cell: &str| {
+            if cell.contains(',') {
+                format!("\"{cell}\"")
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "12345".into()]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines are equally long after right-alignment.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["x,y".into()]);
+        assert_eq!(t.to_csv(), "a\n\"x,y\"\n");
+    }
+
+    #[test]
+    fn counts_rows() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(Table::new(vec!["h".into()]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Benchmarks of the broadcast simulation: per-step cost and small
+//! end-to-end runs for both exchange rules and both mobility modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_core::{BroadcastSim, ExchangeRule, Mobility, NullObserver, SimConfig};
+use std::hint::black_box;
+
+fn bench_broadcast_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_step");
+    for &(side, k) in &[(256u32, 256usize), (512, 1024)] {
+        let id = format!("side{side}_k{k}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(side, k), |b, &(side, k)| {
+            let config = SimConfig::builder(side, k).radius(2).build().unwrap();
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+            b.iter(|| black_box(sim.step(&mut rng, &mut NullObserver)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_end_to_end");
+    group.bench_function("grid32_k16_r0", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = SimConfig::builder(32, 16).radius(0).build().unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+            black_box(sim.run(&mut rng))
+        });
+    });
+    group.bench_function("grid32_k16_frog", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = SimConfig::builder(32, 16)
+                .radius(0)
+                .mobility(Mobility::InformedOnly)
+                .build()
+                .unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = sparsegossip_core::FrogSim::new(&config, &mut rng).unwrap();
+            black_box(sim.run(&mut rng))
+        });
+    });
+    group.bench_function("grid32_k16_onehop", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = SimConfig::builder(32, 16)
+                .radius(1)
+                .exchange_rule(ExchangeRule::OneHop)
+                .build()
+                .unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+            black_box(sim.run(&mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_broadcast_step, bench_end_to_end
+}
+criterion_main!(benches);

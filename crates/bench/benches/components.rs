@@ -1,0 +1,55 @@
+//! Micro-benchmarks of visibility-graph component construction: the
+//! spatial-hash path against the O(k²) brute force, across densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sparsegossip_conngraph::{components, components_brute};
+use sparsegossip_grid::Point;
+use std::hint::black_box;
+
+fn positions(k: usize, side: u32, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| Point::new(rng.random_range(0..side), rng.random_range(0..side)))
+        .collect()
+}
+
+fn bench_components(c: &mut Criterion) {
+    let side = 512;
+    let mut group = c.benchmark_group("visibility_components");
+    for &k in &[256usize, 2048, 16384] {
+        let pts = positions(k, side, 7);
+        // Sub-critical radius: r = sqrt(n/k)/2.
+        let r = (((side as f64).powi(2) / k as f64).sqrt() / 2.0) as u32;
+        group.bench_with_input(BenchmarkId::new("spatial_hash", k), &k, |b, _| {
+            b.iter(|| black_box(components(&pts, r, side)));
+        });
+        if k <= 2048 {
+            group.bench_with_input(BenchmarkId::new("brute_force", k), &k, |b, _| {
+                b.iter(|| black_box(components_brute(&pts, r, side)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_radius_sweep(c: &mut Criterion) {
+    let side = 512;
+    let k = 4096usize;
+    let pts = positions(k, side, 11);
+    let mut group = c.benchmark_group("components_by_radius");
+    for &r in &[0u32, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(components(&pts, r, side)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_components, bench_radius_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks of multi-rumor machinery: the bitset rumor-set exchange
+//! (gossip) against the single-bit fast path (broadcast), and the
+//! predator-prey catch resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_core::{GossipSim, PredatorPreySim, SimConfig};
+use sparsegossip_grid::Grid;
+use std::hint::black_box;
+
+fn bench_gossip_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_step");
+    for &k in &[64usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let config = SimConfig::builder(256, k).radius(2).build().unwrap();
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut sim = GossipSim::new(&config, &mut rng).unwrap();
+            b.iter(|| {
+                sim.step(&mut rng);
+                black_box(sim.rumors().min_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_predator_step(c: &mut Criterion) {
+    c.bench_function("predator_prey_step_k256_m256", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut sim =
+            PredatorPreySim::<Grid>::on_grid(512, 256, 256, 4, true, u64::MAX / 2, &mut rng)
+                .unwrap();
+        b.iter(|| black_box(sim.step(&mut rng)));
+    });
+}
+
+fn bench_gossip_end_to_end(c: &mut Criterion) {
+    c.bench_function("gossip_end_to_end_grid24_k8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = SimConfig::builder(24, 8).radius(0).build().unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = GossipSim::new(&config, &mut rng).unwrap();
+            black_box(sim.run(&mut rng))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gossip_step, bench_predator_step, bench_gossip_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the walk engine: per-step cost of advancing k
+//! lazy walks (the inner loop of every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_grid::{Grid, Torus};
+use sparsegossip_walks::WalkEngine;
+use std::hint::black_box;
+
+fn bench_step_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_step_all");
+    for &k in &[64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::new("grid", k), &k, |b, &k| {
+            let grid = Grid::new(1024).unwrap();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut engine = WalkEngine::uniform(grid, k, &mut rng).unwrap();
+            b.iter(|| {
+                engine.step_all(&mut rng);
+                black_box(engine.positions().len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("torus", k), &k, |b, &k| {
+            let torus = Torus::new(1024).unwrap();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut engine = WalkEngine::uniform(torus, k, &mut rng).unwrap();
+            b.iter(|| {
+                engine.step_all(&mut rng);
+                black_box(engine.positions().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cover_small(c: &mut Criterion) {
+    c.bench_function("multi_cover_32grid_16walks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let grid = Grid::new(32).unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let run = sparsegossip_walks::multi_cover(grid, 16, 10_000_000, &mut rng)
+                .unwrap();
+            black_box(run.cover_time)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_step_all, bench_cover_small
+}
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Minimal `--key value` argument parsing for the CLI.
+//!
+//! Kept dependency-free on purpose: the workspace's only external
+//! dependencies are the ones justified in `DESIGN.md`.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// A parsed command line: a subcommand name plus `--key value` options
+/// and bare `--flag`s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A value could not be parsed.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+    /// A positional argument appeared where options were expected.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingCommand => write!(f, "missing subcommand; try `sparsegossip help`"),
+            Self::BadValue { key, value } => {
+                write!(f, "option --{key} has invalid value {value:?}")
+            }
+            Self::UnexpectedPositional(a) => write!(f, "unexpected argument {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name).
+    ///
+    /// A token starting with `--` is an option; if the next token exists
+    /// and does not start with `--`, it is the value, otherwise the
+    /// token is a bare flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingCommand`] if no subcommand was given
+    /// and [`ArgError::UnexpectedPositional`] on stray positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut parsed =
+            Self { command, options: BTreeMap::new(), flags: Vec::new() };
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    parsed.options.insert(key.to_string(), value);
+                }
+                _ => parsed.flags.push(key.to_string()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Whether the bare flag `--name` was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Whether `--name` was given a value.
+    #[must_use]
+    pub fn has_option(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// Parses `--name` as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: name.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = ParsedArgs::parse(to_args("broadcast --side 64 --k 32 --frog")).unwrap();
+        assert_eq!(p.command, "broadcast");
+        assert_eq!(p.get::<u32>("side", 0).unwrap(), 64);
+        assert_eq!(p.get::<usize>("k", 0).unwrap(), 32);
+        assert!(p.flag("frog"));
+        assert!(!p.flag("one-hop"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = ParsedArgs::parse(to_args("gossip")).unwrap();
+        assert_eq!(p.get::<u32>("side", 48).unwrap(), 48);
+        assert!(!p.has_option("side"));
+    }
+
+    #[test]
+    fn rejects_missing_command_and_bad_values() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        assert_eq!(
+            ParsedArgs::parse(to_args("--side 4")).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        let p = ParsedArgs::parse(to_args("broadcast --side four")).unwrap();
+        assert!(matches!(p.get::<u32>("side", 0), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn rejects_stray_positionals() {
+        assert_eq!(
+            ParsedArgs::parse(to_args("broadcast stray")).unwrap_err(),
+            ArgError::UnexpectedPositional("stray".to_string())
+        );
+    }
+
+    #[test]
+    fn option_followed_by_option_is_a_flag() {
+        let p = ParsedArgs::parse(to_args("x --a --b 3")).unwrap();
+        assert!(p.flag("a"));
+        assert_eq!(p.get::<u32>("b", 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase() {
+        for e in [
+            ArgError::MissingCommand,
+            ArgError::BadValue { key: "k".into(), value: "x".into() },
+            ArgError::UnexpectedPositional("y".into()),
+        ] {
+            assert!(e.to_string().chars().next().unwrap().is_lowercase());
+        }
+    }
+}

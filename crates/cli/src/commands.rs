@@ -1,0 +1,313 @@
+//! Subcommand implementations.
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_analysis::Table;
+use sparsegossip_conngraph::{critical_radius, percolation_profile};
+use sparsegossip_core::{
+    broadcast_with_coverage, BroadcastSim, ExchangeRule, FrogSim, GossipSim, Mobility,
+    PredatorPreySim, SimConfig,
+};
+use sparsegossip_grid::{Grid, Topology};
+use sparsegossip_walks::multi_cover;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Usage text for `help`.
+pub const USAGE: &str = "\
+sparsegossip — information dissemination in sparse mobile networks
+(reproduction of Pettarin et al., PODC 2011)
+
+USAGE:
+  sparsegossip <command> [--option value]... [--flag]...
+
+COMMANDS:
+  broadcast    one rumor to all agents
+               --side N --k K --radius R --seed S --max-steps M
+               --frog (only informed agents move)
+               --one-hop (one hop per step instead of component flooding)
+  gossip       all rumors to all agents
+               --side N --k K --radius R --seed S --rumors M
+  coverage     broadcast + informed-agent coverage times
+               --side N --k K --radius R --seed S
+  percolation  giant-component fraction around r_c = sqrt(n/k)
+               --side N --k K --samples S --seed S
+  cover        cover time of k independent walks
+               --side N --k K --cap C --seed S
+  predator     predator-prey extinction time
+               --side N --predators K --preys M --radius R
+               --static-preys --seed S
+  help         this text
+
+Defaults: --side 64, --k 32, --radius 0, --seed 2011.
+";
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing or validation failed.
+    Args(ArgError),
+    /// The simulation could not be configured.
+    Sim(sparsegossip_core::SimError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Args(e) => write!(f, "{e}"),
+            Self::Sim(e) => write!(f, "{e}"),
+            Self::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; try `sparsegossip help`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        Self::Args(e)
+    }
+}
+
+impl From<sparsegossip_core::SimError> for CliError {
+    fn from(e: sparsegossip_core::SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<sparsegossip_grid::GridError> for CliError {
+    fn from(e: sparsegossip_grid::GridError) -> Self {
+        Self::Sim(sparsegossip_core::SimError::Grid(e))
+    }
+}
+
+impl From<sparsegossip_walks::WalkError> for CliError {
+    fn from(e: sparsegossip_walks::WalkError) -> Self {
+        Self::Sim(sparsegossip_core::SimError::Walk(e))
+    }
+}
+
+/// Routes a parsed command line to its implementation.
+pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "broadcast" => broadcast(args),
+        "gossip" => gossip(args),
+        "coverage" => coverage(args),
+        "percolation" => percolation(args),
+        "cover" => cover(args),
+        "predator" => predator(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+struct Common {
+    side: u32,
+    k: usize,
+    radius: u32,
+    seed: u64,
+}
+
+fn common(args: &ParsedArgs) -> Result<Common, CliError> {
+    Ok(Common {
+        side: args.get("side", 64u32)?,
+        k: args.get("k", 32usize)?,
+        radius: args.get("radius", 0u32)?,
+        seed: args.get("seed", 2011u64)?,
+    })
+}
+
+fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let max_steps =
+        args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
+    let mut builder = SimConfig::builder(c.side, c.k).radius(c.radius).max_steps(max_steps);
+    if args.flag("one-hop") {
+        builder = builder.exchange_rule(ExchangeRule::OneHop);
+    }
+    if args.flag("frog") {
+        builder = builder.mobility(Mobility::InformedOnly);
+    }
+    let config = builder.build()?;
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let mut sim = if args.flag("frog") {
+        FrogSim::new(&config, &mut rng)?
+    } else {
+        BroadcastSim::new(&config, &mut rng)?
+    };
+    let out = sim.run(&mut rng);
+    println!(
+        "n = {}, k = {}, r = {} (r_c = {:.1}), seed = {}",
+        config.n(),
+        config.k(),
+        config.radius(),
+        config.critical_radius(),
+        c.seed
+    );
+    match out.broadcast_time {
+        Some(t) => println!("T_B = {t}"),
+        None => println!(
+            "not finished after {} steps ({}/{} informed)",
+            config.max_steps(),
+            out.informed,
+            out.k
+        ),
+    }
+    Ok(())
+}
+
+fn gossip(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let rumors: usize = args.get("rumors", c.k)?;
+    let grid = Grid::new(c.side)?;
+    let cap = SimConfig::default_step_cap(c.side, c.k);
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let mut sim = GossipSim::with_rumors(grid, c.k, rumors, c.radius, cap, &mut rng)?;
+    let out = sim.run(&mut rng);
+    match out.gossip_time {
+        Some(t) => println!("T_G = {t} ({} rumors to {} agents)", out.num_rumors, c.k),
+        None => println!(
+            "not finished after {cap} steps (min {}/{} rumors per agent)",
+            out.min_rumors, out.num_rumors
+        ),
+    }
+    Ok(())
+}
+
+fn coverage(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let config = SimConfig::builder(c.side, c.k)
+        .radius(c.radius)
+        .max_steps(SimConfig::default_step_cap(c.side, c.k) * 4)
+        .build()?;
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let out = broadcast_with_coverage(&config, &mut rng)?;
+    println!("T_B = {:?}", out.broadcast_time);
+    println!("T_C = {:?} ({}/{} nodes)", out.coverage_time, out.covered, out.num_nodes);
+    if let Some(r) = out.ratio() {
+        println!("T_C/T_B = {r:.2}");
+    }
+    Ok(())
+}
+
+fn percolation(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    if args.has_option("radius") {
+        eprintln!("note: --radius is ignored; percolation sweeps radii around r_c");
+    }
+    let samples: u32 = args.get("samples", 30u32)?;
+    let grid = Grid::new(c.side)?;
+    let rc = critical_radius(grid.num_nodes() as f64, c.k as f64);
+    let radii: Vec<u32> = [0.25f64, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]
+        .iter()
+        .map(|f| (f * rc).round().max(1.0) as u32)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let profile = percolation_profile(&grid, c.k, &radii, samples, &mut rng);
+    let mut table =
+        Table::new(vec!["r".into(), "r/r_c".into(), "giant fraction".into()]);
+    for p in &profile {
+        table.push_row(vec![
+            p.r.to_string(),
+            format!("{:.2}", f64::from(p.r) / rc),
+            format!("{:.3}", p.mean_giant_fraction),
+        ]);
+    }
+    println!("r_c = sqrt(n/k) = {rc:.1}");
+    println!("{table}");
+    Ok(())
+}
+
+fn cover(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let cap: u64 = args.get("cap", 200 * u64::from(c.side) * u64::from(c.side))?;
+    let grid = Grid::new(c.side)?;
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let run = multi_cover(grid, c.k, cap, &mut rng)?;
+    match run.cover_time {
+        Some(t) => println!("cover time = {t} ({} walks, {} nodes)", c.k, run.num_nodes),
+        None => println!(
+            "not covered after {cap} steps ({:.1}% done)",
+            100.0 * run.coverage_fraction()
+        ),
+    }
+    Ok(())
+}
+
+fn predator(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let predators: usize = args.get("predators", 16usize)?;
+    let preys: usize = args.get("preys", 8usize)?;
+    let cap = 500 * u64::from(c.side) * u64::from(c.side);
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let mut sim = PredatorPreySim::<Grid>::on_grid(
+        c.side,
+        predators,
+        preys,
+        c.radius,
+        !args.flag("static-preys"),
+        cap,
+        &mut rng,
+    )?;
+    let out = sim.run(&mut rng);
+    match out.extinction_time {
+        Some(t) => println!("extinction time = {t} ({predators} predators, {preys} preys)"),
+        None => println!("{} preys survived after {cap} steps", out.survivors),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn dispatch_runs_each_command_on_tiny_inputs() {
+        for cmd in [
+            "broadcast --side 12 --k 6 --seed 1",
+            "broadcast --side 12 --k 6 --frog --seed 1",
+            "broadcast --side 12 --k 6 --one-hop --radius 1 --seed 1",
+            "gossip --side 12 --k 4 --seed 1",
+            "gossip --side 12 --k 4 --rumors 2 --seed 1",
+            "coverage --side 10 --k 6 --seed 1",
+            "percolation --side 16 --k 8 --samples 3 --seed 1",
+            "cover --side 8 --k 4 --seed 1",
+            "predator --side 10 --predators 4 --preys 3 --seed 1",
+            "predator --side 10 --predators 4 --preys 3 --static-preys --seed 1",
+        ] {
+            dispatch(&parsed(cmd)).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(
+            dispatch(&parsed("frobnicate")),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_reported_not_panicked() {
+        let e = dispatch(&parsed("broadcast --side 0 --k 4")).unwrap_err();
+        assert!(e.to_string().contains("grid"));
+        let e = dispatch(&parsed("broadcast --side 8 --k 1")).unwrap_err();
+        assert!(e.to_string().contains("agents"));
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in ["broadcast", "gossip", "coverage", "percolation", "cover", "predator"] {
+            assert!(USAGE.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}

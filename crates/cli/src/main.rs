@@ -1,0 +1,37 @@
+//! `sparsegossip` — command-line interface to the mobile-network
+//! dissemination simulator of Pettarin et al. (PODC 2011).
+//!
+//! ```text
+//! sparsegossip broadcast --side 128 --k 64 --radius 4 --seed 1
+//! sparsegossip gossip --side 64 --k 16 --rumors 4
+//! sparsegossip coverage --side 64 --k 32
+//! sparsegossip percolation --side 128 --k 64 --samples 40
+//! sparsegossip cover --side 64 --k 16
+//! sparsegossip predator --side 64 --predators 16 --preys 8
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{}", commands::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match args::ParsedArgs::parse(argv) {
+        Ok(parsed) => match commands::dispatch(&parsed) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,140 @@
+use sparsegossip_grid::Point;
+
+use crate::{components, Components};
+
+/// Aggregate statistics of the islands (connected components of
+/// `G_t(γ)`) at one time instant — the objects bounded by Lemma 6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IslandStats {
+    /// Number of islands.
+    pub count: usize,
+    /// Size of the largest island.
+    pub max_size: usize,
+    /// Mean island size.
+    pub mean_size: f64,
+    /// Number of singleton islands.
+    pub singletons: usize,
+}
+
+impl IslandStats {
+    /// Computes the statistics from a component partition.
+    #[must_use]
+    pub fn from_components(c: &Components) -> Self {
+        let count = c.count();
+        let max_size = c.max_size();
+        let singletons = (0..count).filter(|&i| c.size(i) == 1).count();
+        let mean_size =
+            if count == 0 { 0.0 } else { c.num_agents() as f64 / count as f64 };
+        Self { count, max_size, mean_size, singletons }
+    }
+}
+
+/// Samples island statistics across time, retaining the running maxima —
+/// the quantity Lemma 6 bounds over the whole interval `[0, 8n log²n]`.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_conngraph::IslandSampler;
+/// use sparsegossip_grid::Point;
+///
+/// let mut s = IslandSampler::new(2, 32); // γ = 2 on a 32-grid
+/// s.observe(&[Point::new(0, 0), Point::new(0, 1), Point::new(20, 20)]);
+/// s.observe(&[Point::new(0, 0), Point::new(9, 9), Point::new(20, 20)]);
+/// assert_eq!(s.max_island_ever(), 2);
+/// assert_eq!(s.samples(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IslandSampler {
+    gamma: u32,
+    side: u32,
+    samples: u64,
+    max_island_ever: usize,
+    total_max: u64,
+}
+
+impl IslandSampler {
+    /// Creates a sampler for islands of parameter `gamma` on a grid of
+    /// the given side.
+    #[must_use]
+    pub fn new(gamma: u32, side: u32) -> Self {
+        Self { gamma, side, samples: 0, max_island_ever: 0, total_max: 0 }
+    }
+
+    /// Observes one time instant, returning that instant's statistics.
+    pub fn observe(&mut self, positions: &[Point]) -> IslandStats {
+        let c = components(positions, self.gamma, self.side);
+        let stats = IslandStats::from_components(&c);
+        self.samples += 1;
+        self.max_island_ever = self.max_island_ever.max(stats.max_size);
+        self.total_max += stats.max_size as u64;
+        stats
+    }
+
+    /// The island parameter γ.
+    #[inline]
+    #[must_use]
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// The largest island seen over all observed instants.
+    #[inline]
+    #[must_use]
+    pub fn max_island_ever(&self) -> usize {
+        self.max_island_ever
+    }
+
+    /// The mean (over instants) of the per-instant maximum island size.
+    #[must_use]
+    pub fn mean_max_island(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_max as f64 / self.samples as f64
+        }
+    }
+
+    /// The number of instants observed.
+    #[inline]
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_layout() {
+        let pts = [Point::new(0, 0), Point::new(0, 1), Point::new(5, 5)];
+        let c = components(&pts, 1, 8);
+        let s = IslandStats::from_components(&c);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_size, 2);
+        assert_eq!(s.singletons, 1);
+        assert!((s.mean_size - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_tracks_maxima() {
+        let mut s = IslandSampler::new(1, 8);
+        assert_eq!(s.gamma(), 1);
+        s.observe(&[Point::new(0, 0), Point::new(0, 1), Point::new(0, 2)]);
+        s.observe(&[Point::new(0, 0), Point::new(4, 4), Point::new(7, 7)]);
+        assert_eq!(s.max_island_ever(), 3);
+        assert!((s.mean_max_island() - 2.0).abs() < 1e-12);
+        assert_eq!(s.samples(), 2);
+    }
+
+    #[test]
+    fn empty_observation_is_harmless() {
+        let mut s = IslandSampler::new(1, 8);
+        let stats = s.observe(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.max_size, 0);
+        assert_eq!(s.mean_max_island(), 0.0);
+    }
+}

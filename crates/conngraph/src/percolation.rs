@@ -1,0 +1,189 @@
+use rand::RngExt;
+use sparsegossip_grid::{Grid, Point, Topology};
+
+use crate::{components, Components};
+
+/// The critical transmission radius `r_c ≈ √(n/k)` below which
+/// `G_t(r)` has no giant component (Penrose; Peres et al.).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_conngraph::critical_radius;
+/// assert_eq!(critical_radius(10_000.0, 100.0), 10.0);
+/// ```
+#[must_use]
+pub fn critical_radius(n: f64, k: f64) -> f64 {
+    (n / k).sqrt()
+}
+
+/// The fraction of agents in the largest component, in `[0, 1]`.
+///
+/// The order parameter of the percolation transition: ~`O(log k / k)`
+/// below `r_c`, bounded away from 0 above.
+#[must_use]
+pub fn giant_fraction(c: &Components) -> f64 {
+    if c.num_agents() == 0 {
+        0.0
+    } else {
+        c.max_size() as f64 / c.num_agents() as f64
+    }
+}
+
+/// One point of a percolation profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PercolationPoint {
+    /// Transmission radius probed.
+    pub r: u32,
+    /// Mean (over samples) fraction of agents in the largest component.
+    pub mean_giant_fraction: f64,
+    /// Mean (over samples) size of the largest component.
+    pub mean_max_size: f64,
+}
+
+/// Measures the giant-component fraction at each radius in `radii`,
+/// averaging over `samples` independent uniform placements of `k`
+/// agents.
+///
+/// Fresh uniform placements are statistically identical to snapshots of
+/// the walking system (uniformity is stationary), so this profiles the
+/// percolation behaviour of `G_t(r)` without simulating motion.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::Grid;
+/// use sparsegossip_conngraph::percolation_profile;
+///
+/// let grid = Grid::new(64)?;
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let profile = percolation_profile(&grid, 64, &[1, 8, 64], 5, &mut rng);
+/// // Giant fraction grows with r.
+/// assert!(profile[0].mean_giant_fraction <= profile[2].mean_giant_fraction);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn percolation_profile<R: RngExt>(
+    grid: &Grid,
+    k: usize,
+    radii: &[u32],
+    samples: u32,
+    rng: &mut R,
+) -> Vec<PercolationPoint> {
+    assert!(samples > 0, "at least one sample required");
+    let mut out = Vec::with_capacity(radii.len());
+    for &r in radii {
+        let mut frac_total = 0.0;
+        let mut size_total = 0.0;
+        for _ in 0..samples {
+            let positions: Vec<Point> =
+                (0..k).map(|_| grid.random_point(rng)).collect();
+            let c = components(&positions, r, grid.side());
+            frac_total += giant_fraction(&c);
+            size_total += c.max_size() as f64;
+        }
+        out.push(PercolationPoint {
+            r,
+            mean_giant_fraction: frac_total / f64::from(samples),
+            mean_max_size: size_total / f64::from(samples),
+        });
+    }
+    out
+}
+
+/// Estimates the percolation threshold: the smallest radius whose mean
+/// giant-component fraction reaches `target`, found by bisection over
+/// `[0, side]`.
+///
+/// Returns the radius in grid steps. With `target = 0.5` this lands
+/// near `r_c ≈ √(n/k)` up to the constant the asymptotic hides.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `target` is not in `(0, 1)`.
+pub fn estimate_threshold<R: RngExt>(
+    grid: &Grid,
+    k: usize,
+    target: f64,
+    samples: u32,
+    rng: &mut R,
+) -> u32 {
+    assert!(samples > 0, "at least one sample required");
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    let mut lo = 0u32; // fraction(lo) < target assumed
+    let mut hi = grid.side(); // whole grid is one component: fraction 1
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let p = percolation_profile(grid, k, &[mid], samples, rng);
+        if p[0].mean_giant_fraction >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn critical_radius_closed_form() {
+        assert!((critical_radius(256.0 * 256.0, 64.0) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn giant_fraction_bounds() {
+        let pts = [Point::new(0, 0), Point::new(0, 1), Point::new(9, 9)];
+        let c = components(&pts, 1, 16);
+        let f = giant_fraction(&c);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(giant_fraction(&components(&[], 1, 16)), 0.0);
+    }
+
+    #[test]
+    fn profile_is_monotone_in_radius_on_average() {
+        let grid = Grid::new(32).unwrap();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let p = percolation_profile(&grid, 32, &[0, 2, 8, 32], 20, &mut rng);
+        for w in p.windows(2) {
+            assert!(
+                w[0].mean_giant_fraction <= w[1].mean_giant_fraction + 0.05,
+                "giant fraction not monotone: {w:?}"
+            );
+        }
+        // Radius = side connects everything.
+        assert!((p[3].mean_giant_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_near_sqrt_n_over_k() {
+        let grid = Grid::new(64).unwrap();
+        let k = 64usize;
+        let mut rng = SmallRng::seed_from_u64(22);
+        let rc = critical_radius(grid.num_nodes() as f64, k as f64); // = 8
+        let est = estimate_threshold(&grid, k, 0.5, 20, &mut rng);
+        // The constant in r_c ≈ √(n/k) is model-dependent; accept a
+        // factor-4 window around the asymptotic prediction.
+        assert!(
+            (f64::from(est)) > rc / 4.0 && f64::from(est) < rc * 4.0,
+            "estimated threshold {est} too far from r_c={rc}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn profile_rejects_zero_samples() {
+        let grid = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = percolation_profile(&grid, 4, &[1], 0, &mut rng);
+    }
+}

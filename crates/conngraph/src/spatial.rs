@@ -1,0 +1,172 @@
+use sparsegossip_grid::Point;
+
+/// A bucket grid for radius-limited proximity queries among agents.
+///
+/// Buckets have side `max(r, 1)`, so any two points at Manhattan
+/// distance ≤ `r` fall in the same or in 8-adjacent buckets, and the
+/// component builder only needs to examine a constant number of buckets
+/// per agent. Construction is O(k); the memory is O(#buckets + k).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::Point;
+/// use sparsegossip_conngraph::SpatialHash;
+///
+/// let pts = [Point::new(0, 0), Point::new(3, 3), Point::new(0, 1)];
+/// let hash = SpatialHash::build(&pts, 2, 8);
+/// // Buckets have side 2, so bucket (0,0) covers x,y ∈ {0,1} and holds
+/// // agents 0 and 2; (3,3) falls in bucket (1,1).
+/// assert_eq!(hash.bucket_agents(0, 0), &[0, 2]);
+/// assert_eq!(hash.bucket_agents(1, 1), &[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpatialHash {
+    /// Bucket side length (`max(r, 1)`).
+    bucket_side: u32,
+    /// Number of buckets along each axis.
+    buckets_per_side: u32,
+    /// Agent indices, grouped by bucket (counting-sorted).
+    agents: Vec<u32>,
+    /// Start offset of each bucket in `agents`; length `buckets² + 1`.
+    offsets: Vec<u32>,
+}
+
+impl SpatialHash {
+    /// Builds the hash for `positions` on a grid of the given side, with
+    /// proximity radius `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`, if any position lies outside the grid, or
+    /// if there are more than `u32::MAX` agents.
+    #[must_use]
+    pub fn build(positions: &[Point], r: u32, side: u32) -> Self {
+        assert!(side > 0, "grid side must be positive");
+        assert!(positions.len() <= u32::MAX as usize, "too many agents");
+        let bucket_side = r.max(1).min(side);
+        let buckets_per_side = side.div_ceil(bucket_side);
+        let num_buckets = (buckets_per_side as usize).pow(2);
+
+        let mut counts = vec![0u32; num_buckets + 1];
+        for p in positions {
+            assert!(p.x < side && p.y < side, "position {p} outside side-{side} grid");
+            counts[self_bucket(*p, bucket_side, buckets_per_side) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut agents = vec![0u32; positions.len()];
+        for (i, p) in positions.iter().enumerate() {
+            let b = self_bucket(*p, bucket_side, buckets_per_side);
+            agents[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+        Self { bucket_side, buckets_per_side, agents, offsets }
+    }
+
+    /// The bucket side length used.
+    #[inline]
+    #[must_use]
+    pub fn bucket_side(&self) -> u32 {
+        self.bucket_side
+    }
+
+    /// The number of buckets along each axis.
+    #[inline]
+    #[must_use]
+    pub fn buckets_per_side(&self) -> u32 {
+        self.buckets_per_side
+    }
+
+    /// The bucket coordinates of a point.
+    #[inline]
+    #[must_use]
+    pub fn bucket_of(&self, p: Point) -> (u32, u32) {
+        (p.x / self.bucket_side, p.y / self.bucket_side)
+    }
+
+    /// The agent indices stored in bucket `(bx, by)`, in increasing
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket coordinates are out of range.
+    #[must_use]
+    pub fn bucket_agents(&self, bx: u32, by: u32) -> &[u32] {
+        assert!(bx < self.buckets_per_side && by < self.buckets_per_side);
+        let b = (by * self.buckets_per_side + bx) as usize;
+        let start = self.offsets[b] as usize;
+        let end = self.offsets[b + 1] as usize;
+        &self.agents[start..end]
+    }
+}
+
+#[inline]
+fn self_bucket(p: Point, bucket_side: u32, buckets_per_side: u32) -> usize {
+    let bx = p.x / bucket_side;
+    let by = p.y / bucket_side;
+    (by * buckets_per_side + bx) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_agents_by_bucket() {
+        let pts =
+            [Point::new(0, 0), Point::new(1, 1), Point::new(5, 5), Point::new(0, 1)];
+        let h = SpatialHash::build(&pts, 2, 8);
+        assert_eq!(h.bucket_side(), 2);
+        assert_eq!(h.buckets_per_side(), 4);
+        assert_eq!(h.bucket_agents(0, 0), &[0, 1, 3]);
+        assert_eq!(h.bucket_agents(2, 2), &[2]);
+        assert_eq!(h.bucket_agents(1, 0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn radius_zero_buckets_are_single_nodes() {
+        let pts = [Point::new(3, 3), Point::new(3, 3), Point::new(3, 4)];
+        let h = SpatialHash::build(&pts, 0, 8);
+        assert_eq!(h.bucket_side(), 1);
+        assert_eq!(h.bucket_agents(3, 3), &[0, 1]);
+        assert_eq!(h.bucket_agents(3, 4), &[2]);
+    }
+
+    #[test]
+    fn bucket_side_is_clamped_to_grid() {
+        let pts = [Point::new(0, 0)];
+        let h = SpatialHash::build(&pts, 100, 8);
+        assert_eq!(h.bucket_side(), 8);
+        assert_eq!(h.buckets_per_side(), 1);
+        assert_eq!(h.bucket_agents(0, 0), &[0]);
+    }
+
+    #[test]
+    fn every_agent_is_stored_exactly_once() {
+        let pts: Vec<Point> =
+            (0..100).map(|i| Point::new(i % 10, (i * 7) % 10)).collect();
+        let h = SpatialHash::build(&pts, 3, 10);
+        let mut seen = vec![false; 100];
+        for by in 0..h.buckets_per_side() {
+            for bx in 0..h.buckets_per_side() {
+                for &a in h.bucket_agents(bx, by) {
+                    assert!(!seen[a as usize], "agent {a} stored twice");
+                    seen[a as usize] = true;
+                    let (px, py) = h.bucket_of(pts[a as usize]);
+                    assert_eq!((px, py), (bx, by));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_grid_positions() {
+        let _ = SpatialHash::build(&[Point::new(8, 0)], 1, 8);
+    }
+}

@@ -1,0 +1,296 @@
+use sparsegossip_grid::Point;
+
+use crate::{SpatialHash, UnionFind};
+
+/// The connected components of a visibility graph `G_t(r)`.
+///
+/// Agents are labelled with dense component ids `0..count`, and the
+/// member lists are stored grouped so per-component iteration (the rumor
+/// exchange step) is a contiguous slice walk.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_conngraph::components;
+/// use sparsegossip_grid::Point;
+///
+/// let pts = [Point::new(0, 0), Point::new(2, 0), Point::new(4, 0)];
+/// // r = 2: a chain 0—1—2 is a single component.
+/// let comps = components(&pts, 2, 16);
+/// assert_eq!(comps.count(), 1);
+/// assert_eq!(comps.members(0), &[0, 1, 2]);
+/// // r = 1: all isolated.
+/// assert_eq!(components(&pts, 1, 16).count(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Dense component id per agent.
+    labels: Vec<u32>,
+    /// Component sizes, indexed by component id.
+    sizes: Vec<u32>,
+    /// Agent indices grouped by component id.
+    members: Vec<u32>,
+    /// Start offset of each component in `members`; length `count + 1`.
+    offsets: Vec<u32>,
+}
+
+impl Components {
+    /// Builds the grouped representation from a union–find over agents.
+    fn from_union_find(mut uf: UnionFind) -> Self {
+        let k = uf.len();
+        let mut labels = vec![u32::MAX; k];
+        let mut root_label = vec![u32::MAX; k];
+        let mut sizes = Vec::new();
+        for i in 0..k {
+            let r = uf.find(i);
+            if root_label[r] == u32::MAX {
+                root_label[r] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            let lab = root_label[r];
+            labels[i] = lab;
+            sizes[lab as usize] += 1;
+        }
+        // Counting sort agents by label.
+        let mut offsets = vec![0u32; sizes.len() + 1];
+        for (c, &s) in sizes.iter().enumerate() {
+            offsets[c + 1] = offsets[c] + s;
+        }
+        let mut cursor = offsets.clone();
+        let mut members = vec![0u32; k];
+        for (i, &lab) in labels.iter().enumerate() {
+            members[cursor[lab as usize] as usize] = i as u32;
+            cursor[lab as usize] += 1;
+        }
+        Self { labels, sizes, members, offsets }
+    }
+
+    /// The number of components.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The number of agents.
+    #[inline]
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The component id of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn label_of(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// The size of agent `i`'s component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn size_of_agent(&self, i: usize) -> usize {
+        self.sizes[self.labels[i] as usize] as usize
+    }
+
+    /// The size of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn size(&self, c: usize) -> usize {
+        self.sizes[c] as usize
+    }
+
+    /// The agents of component `c`, in increasing agent order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn members(&self, c: usize) -> &[u32] {
+        let start = self.offsets[c] as usize;
+        let end = self.offsets[c + 1] as usize;
+        &self.members[start..end]
+    }
+
+    /// The size of the largest component (0 for an empty agent set).
+    #[must_use]
+    pub fn max_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Iterates over component member-slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.count()).map(move |c| self.members(c))
+    }
+
+    /// Histogram of component sizes: entry `s` counts components of
+    /// size `s` (index 0 is always 0).
+    #[must_use]
+    pub fn size_histogram(&self) -> Vec<u32> {
+        let mut h = vec![0u32; self.max_size() + 1];
+        for &s in &self.sizes {
+            h[s as usize] += 1;
+        }
+        h
+    }
+}
+
+/// Computes the connected components of `G_t(r)` over `positions` on a
+/// grid of the given side, via spatial hashing (O(k) expected in sparse
+/// regimes).
+///
+/// Two agents are adjacent iff their Manhattan distance is ≤ `r`. With
+/// `r = 0` agents are adjacent only when co-located, matching the
+/// paper's most restricted case.
+///
+/// # Panics
+///
+/// Panics if `side == 0` or any position lies outside the grid.
+pub fn components(positions: &[Point], r: u32, side: u32) -> Components {
+    let hash = SpatialHash::build(positions, r, side);
+    let mut uf = UnionFind::new(positions.len());
+    let bps = hash.buckets_per_side();
+    // Half-neighbourhood scan so each bucket pair is examined once:
+    // within-bucket pairs, then (E, N, NE, NW) neighbour buckets.
+    const NEIGHBOR_OFFSETS: [(i32, i32); 4] = [(1, 0), (0, 1), (1, 1), (-1, 1)];
+    for by in 0..bps {
+        for bx in 0..bps {
+            let here = hash.bucket_agents(bx, by);
+            for (idx, &a) in here.iter().enumerate() {
+                for &b in &here[idx + 1..] {
+                    if positions[a as usize].manhattan(positions[b as usize]) <= r {
+                        uf.union(a as usize, b as usize);
+                    }
+                }
+            }
+            for (dx, dy) in NEIGHBOR_OFFSETS {
+                let nx = bx as i32 + dx;
+                let ny = by as i32 + dy;
+                if nx < 0 || ny < 0 || nx >= bps as i32 || ny >= bps as i32 {
+                    continue;
+                }
+                let there = hash.bucket_agents(nx as u32, ny as u32);
+                for &a in here {
+                    for &b in there {
+                        if positions[a as usize].manhattan(positions[b as usize]) <= r {
+                            uf.union(a as usize, b as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Components::from_union_find(uf)
+}
+
+/// Reference implementation of [`components`] by O(k²) pairwise checks.
+///
+/// Used by tests and available for debugging; produces an identical
+/// partition (component ids may be assigned in a different order, but
+/// this function normalizes identically by first-agent order).
+///
+/// # Panics
+///
+/// Panics if any position lies outside the grid.
+pub fn components_brute(positions: &[Point], r: u32, side: u32) -> Components {
+    for p in positions {
+        assert!(p.x < side && p.y < side, "position {p} outside side-{side} grid");
+    }
+    let mut uf = UnionFind::new(positions.len());
+    for i in 0..positions.len() {
+        for j in i + 1..positions.len() {
+            if positions[i].manhattan(positions[j]) <= r {
+                uf.union(i, j);
+            }
+        }
+    }
+    Components::from_union_find(uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_agent_set_has_no_components() {
+        let c = components(&[], 1, 8);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.num_agents(), 0);
+        assert_eq!(c.max_size(), 0);
+    }
+
+    #[test]
+    fn chain_connectivity_depends_on_radius() {
+        let pts = [Point::new(0, 0), Point::new(3, 0), Point::new(6, 0)];
+        assert_eq!(components(&pts, 3, 16).count(), 1);
+        assert_eq!(components(&pts, 2, 16).count(), 3);
+    }
+
+    #[test]
+    fn colocated_agents_connect_at_radius_zero() {
+        let pts = [Point::new(5, 5), Point::new(5, 5), Point::new(5, 6)];
+        let c = components(&pts, 0, 8);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.size_of_agent(0), 2);
+        assert_eq!(c.label_of(0), c.label_of(1));
+        assert_ne!(c.label_of(0), c.label_of(2));
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent_with_members() {
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i % 7, i / 7)).collect();
+        let c = components(&pts, 1, 8);
+        let mut total = 0;
+        for comp in 0..c.count() {
+            for &m in c.members(comp) {
+                assert_eq!(c.label_of(m as usize) as usize, comp);
+            }
+            assert_eq!(c.members(comp).len(), c.size(comp));
+            total += c.size(comp);
+        }
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn histogram_counts_components() {
+        let pts = [Point::new(0, 0), Point::new(0, 1), Point::new(9, 9)];
+        let c = components(&pts, 1, 16);
+        let h = c.size_histogram();
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_layouts() {
+        let pts: Vec<Point> =
+            (0..50).map(|i| Point::new((i * 13) % 20, (i * 7) % 20)).collect();
+        for r in [0u32, 1, 2, 3, 5, 10, 40] {
+            let fast = components(&pts, r, 20);
+            let brute = components_brute(&pts, r, 20);
+            assert_eq!(fast, brute, "partition mismatch at r={r}");
+        }
+    }
+
+    #[test]
+    fn diagonal_pairs_respect_manhattan_not_chebyshev() {
+        // (0,0) and (1,1): Manhattan 2, Chebyshev 1. They must NOT be
+        // adjacent at r=1 even though they share a 3×3 bucket patch.
+        let pts = [Point::new(0, 0), Point::new(1, 1)];
+        assert_eq!(components(&pts, 1, 8).count(), 2);
+        assert_eq!(components(&pts, 2, 8).count(), 1);
+    }
+}

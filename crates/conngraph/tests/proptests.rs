@@ -1,0 +1,82 @@
+//! Property-based tests: the spatially-hashed component builder must
+//! agree exactly with the O(k²) brute-force reference on arbitrary
+//! agent layouts and radii.
+
+use proptest::prelude::*;
+use sparsegossip_conngraph::{components, components_brute, giant_fraction, IslandStats};
+use sparsegossip_grid::Point;
+
+fn arb_layout() -> impl Strategy<Value = (Vec<Point>, u32, u32)> {
+    (1u32..40).prop_flat_map(|side| {
+        (
+            proptest::collection::vec((0..side, 0..side), 0..60)
+                .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect()),
+            0u32..50,
+            Just(side),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn hashed_equals_brute_force((positions, r, side) in arb_layout()) {
+        let fast = components(&positions, r, side);
+        let brute = components_brute(&positions, r, side);
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn partition_is_valid((positions, r, side) in arb_layout()) {
+        let c = components(&positions, r, side);
+        // Sizes sum to k; every member slice is consistent with labels.
+        let total: usize = (0..c.count()).map(|i| c.size(i)).sum();
+        prop_assert_eq!(total, positions.len());
+        for comp in 0..c.count() {
+            prop_assert!(c.size(comp) >= 1);
+            for &m in c.members(comp) {
+                prop_assert_eq!(c.label_of(m as usize) as usize, comp);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_implies_same_component((positions, r, side) in arb_layout()) {
+        let c = components(&positions, r, side);
+        for i in 0..positions.len() {
+            for j in i + 1..positions.len() {
+                if positions[i].manhattan(positions[j]) <= r {
+                    prop_assert_eq!(c.label_of(i), c.label_of(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radius_growth_only_merges((positions, r, side) in arb_layout()) {
+        // Components at radius r refine components at radius r+1.
+        let fine = components(&positions, r, side);
+        let coarse = components(&positions, r.saturating_add(1), side);
+        prop_assert!(coarse.count() <= fine.count());
+        for comp in 0..fine.count() {
+            let ms = fine.members(comp);
+            let first = coarse.label_of(ms[0] as usize);
+            for &m in ms {
+                prop_assert_eq!(coarse.label_of(m as usize), first);
+            }
+        }
+        prop_assert!(giant_fraction(&coarse) >= giant_fraction(&fine) - 1e-12);
+    }
+
+    #[test]
+    fn island_stats_are_consistent((positions, r, side) in arb_layout()) {
+        let c = components(&positions, r, side);
+        let s = IslandStats::from_components(&c);
+        prop_assert_eq!(s.count, c.count());
+        prop_assert!(s.max_size <= positions.len());
+        prop_assert!(s.singletons <= s.count);
+        if s.count > 0 {
+            prop_assert!(s.mean_size >= 1.0 - 1e-12);
+            prop_assert!(s.mean_size <= s.max_size as f64 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Comparison models from the paper's related-work discussion (§1.1):
+//! the dense-MANET model of Clementi, Monti, Pasquale and Silvestri
+//! ([`clementi`]) and the refuted analytic infection-time bound of
+//! Wang, Kapadia and Krishnamachari ([`wang`]).
+
+pub mod clementi;
+pub mod wang;
+
+pub use clementi::{ClementiConfig, ClementiOutcome, ClementiSim};
+pub use wang::{claimed_infection_time, fit_error_against};

@@ -1,0 +1,104 @@
+//! The analytic infection-time bound claimed by Wang, Kapadia and
+//! Krishnamachari (SIGMOBILE MobilityModels 2008):
+//! `T ≈ Θ((n log n log k) / k)`.
+//!
+//! Pettarin et al. prove this claim **incorrect**: the true broadcast
+//! time below percolation is `Θ̃(n/√k)`, which decays like `k^{-1/2}`
+//! rather than `k^{-1}` (up to logs). Experiment E12 fits both curves
+//! against measured data and reports which one wins.
+
+/// The claimed Wang et al. infection time `(n · ln n · ln k) / k`
+/// (natural logarithms; the asymptotic constant is unknowable, so use
+/// this only for *shape* fits).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_core::baseline::claimed_infection_time;
+/// let t = claimed_infection_time(10_000.0, 100.0);
+/// assert!(t > 0.0);
+/// // Quadrupling k roughly quarters the claimed bound (up to log k).
+/// let t4 = claimed_infection_time(10_000.0, 400.0);
+/// assert!(t4 < t / 2.0);
+/// ```
+#[must_use]
+pub fn claimed_infection_time(n: f64, k: f64) -> f64 {
+    n * n.ln().max(1.0) * k.ln().max(1.0) / k
+}
+
+/// Least-squares fit error (in log space) of measured times against a
+/// reference curve, with the multiplicative constant profiled out.
+///
+/// For measurements `(kᵢ, tᵢ)` and curve `f`, computes the residual
+/// variance of `ln tᵢ − ln f(kᵢ)` around its mean. A *shape-correct*
+/// curve gives a small value regardless of constants; a wrong exponent
+/// leaves a trend and a large value.
+///
+/// Returns `None` if fewer than two finite positive pairs exist.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_core::baseline::fit_error_against;
+/// // Data exactly on 7·k^{-1/2}: zero error against k^{-1/2}.
+/// let ks = [4.0, 16.0, 64.0];
+/// let ts = [3.5, 1.75, 0.875];
+/// let err = fit_error_against(&ks, &ts, |k| k.powf(-0.5)).unwrap();
+/// assert!(err < 1e-20);
+/// ```
+#[must_use]
+pub fn fit_error_against<F: Fn(f64) -> f64>(ks: &[f64], ts: &[f64], curve: F) -> Option<f64> {
+    let pairs: Vec<(f64, f64)> = ks
+        .iter()
+        .zip(ts)
+        .filter(|(k, t)| k.is_finite() && t.is_finite() && **k > 0.0 && **t > 0.0)
+        .map(|(k, t)| (*k, *t))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let residuals: Vec<f64> = pairs
+        .iter()
+        .map(|(k, t)| {
+            let c = curve(*k);
+            t.ln() - c.ln()
+        })
+        .collect();
+    let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
+    let var =
+        residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / residuals.len() as f64;
+    Some(var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claimed_bound_decays_roughly_linearly_in_k() {
+        let n = 65_536.0;
+        let t1 = claimed_infection_time(n, 16.0);
+        let t2 = claimed_infection_time(n, 64.0);
+        // log k grows, so decay is slightly slower than 4×; between 2×
+        // and 4× here.
+        let ratio = t1 / t2;
+        assert!(ratio > 2.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fit_error_prefers_the_true_exponent() {
+        // Synthesize data with exponent −1/2 and compare fits.
+        let ks: Vec<f64> = (2..10).map(|i| f64::from(1 << i)).collect();
+        let ts: Vec<f64> = ks.iter().map(|k| 11.0 * k.powf(-0.5)).collect();
+        let good = fit_error_against(&ks, &ts, |k| k.powf(-0.5)).unwrap();
+        let bad = fit_error_against(&ks, &ts, |k| k.powf(-1.0)).unwrap();
+        assert!(good < bad / 100.0, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(fit_error_against(&[1.0], &[2.0], |k| k).is_none());
+        assert!(fit_error_against(&[1.0, -1.0], &[2.0, 3.0], |k| k).is_none());
+        assert!(fit_error_against(&[], &[], |k| k).is_none());
+    }
+}

@@ -1,0 +1,494 @@
+use rand::RngExt;
+use sparsegossip_conngraph::{components, Components};
+use sparsegossip_grid::{Grid, Point, Topology};
+use sparsegossip_walks::{BitSet, WalkEngine};
+
+use crate::{ExchangeRule, Mobility, NullObserver, Observer, SimConfig, SimError, StepContext};
+
+/// Outcome of a broadcast run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// The broadcast time `T_B`: first step at which every agent knew
+    /// the rumor, or `None` if the step cap was reached first.
+    pub broadcast_time: Option<u64>,
+    /// Number of informed agents when the run ended.
+    pub informed: usize,
+    /// Total number of agents.
+    pub k: usize,
+}
+
+impl BroadcastOutcome {
+    /// Whether every agent was informed within the cap.
+    #[inline]
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.broadcast_time.is_some()
+    }
+
+    /// Fraction of agents informed when the run ended.
+    #[must_use]
+    pub fn informed_fraction(&self) -> f64 {
+        self.informed as f64 / self.k as f64
+    }
+}
+
+/// Single-rumor broadcast among mobile agents — the process of
+/// Theorems 1 and 2.
+///
+/// Dynamics per step: (1) agents move according to the mobility rule;
+/// (2) the visibility graph `G_t(r)` is rebuilt; (3) the rumor floods
+/// every component containing an informed agent (the paper's
+/// instantaneous in-component spreading). An initial exchange happens at
+/// placement time (step 0), since `G_0(r)` already exists.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{BroadcastSim, SimConfig};
+///
+/// let config = SimConfig::builder(48, 24).radius(1).build()?;
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut sim = BroadcastSim::new(&config, &mut rng)?;
+/// let outcome = sim.run(&mut rng);
+/// assert!(outcome.completed());
+/// assert_eq!(outcome.informed, 24);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BroadcastSim<T> {
+    engine: WalkEngine<T>,
+    radius: u32,
+    mobility: Mobility,
+    exchange_rule: ExchangeRule,
+    max_steps: u64,
+    informed: BitSet,
+    informed_count: usize,
+}
+
+impl BroadcastSim<Grid> {
+    /// Creates a broadcast simulation on the bounded grid described by
+    /// `config`, with agents placed uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors ([`SimError::Grid`],
+    /// [`SimError::Walk`]).
+    pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        let grid = Grid::new(config.side())?;
+        Self::on_topology(
+            grid,
+            config.k(),
+            config.radius(),
+            config.source(),
+            config.mobility(),
+            config.max_steps(),
+            rng,
+        )
+        .map(|mut sim| {
+            sim.exchange_rule = config.exchange_rule();
+            // Re-run the step-0 exchange under the configured rule; the
+            // component rule applied at construction is a superset, so
+            // only OneHop needs a fresh start.
+            if config.exchange_rule() == ExchangeRule::OneHop {
+                sim.informed.clear();
+                sim.informed.insert(config.source());
+                sim.informed_count = 1;
+                sim.exchange_one_hop();
+            }
+            sim
+        })
+    }
+}
+
+impl<T: Topology> BroadcastSim<T> {
+    /// Creates a broadcast simulation on an arbitrary topology with
+    /// uniform random placement.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooFewAgents`] if `k < 2`;
+    /// * [`SimError::SourceOutOfRange`] if `source ≥ k`;
+    /// * [`SimError::ZeroStepCap`] if `max_steps == 0`;
+    /// * [`SimError::Walk`] if the engine rejects the placement.
+    pub fn on_topology<R: RngExt>(
+        topo: T,
+        k: usize,
+        radius: u32,
+        source: usize,
+        mobility: Mobility,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        if k < 2 {
+            return Err(SimError::TooFewAgents { k });
+        }
+        if source >= k {
+            return Err(SimError::SourceOutOfRange { source, k });
+        }
+        if max_steps == 0 {
+            return Err(SimError::ZeroStepCap);
+        }
+        let engine = WalkEngine::uniform(topo, k, rng)?;
+        let mut informed = BitSet::new(k);
+        informed.insert(source);
+        let mut sim = Self {
+            engine,
+            radius,
+            mobility,
+            exchange_rule: ExchangeRule::Component,
+            max_steps,
+            informed,
+            informed_count: 1,
+        };
+        // Step-0 exchange: the source's component at placement time.
+        let comps = sim.current_components();
+        sim.exchange(&comps);
+        Ok(sim)
+    }
+
+    /// Creates a simulation from explicit starting positions (useful
+    /// for worst-case placements in lower-bound experiments).
+    ///
+    /// # Errors
+    ///
+    /// As [`BroadcastSim::on_topology`], plus [`SimError::Walk`] if any
+    /// position is outside the topology.
+    pub fn from_positions(
+        topo: T,
+        positions: Vec<Point>,
+        radius: u32,
+        source: usize,
+        mobility: Mobility,
+        max_steps: u64,
+    ) -> Result<Self, SimError> {
+        let k = positions.len();
+        if k < 2 {
+            return Err(SimError::TooFewAgents { k });
+        }
+        if source >= k {
+            return Err(SimError::SourceOutOfRange { source, k });
+        }
+        if max_steps == 0 {
+            return Err(SimError::ZeroStepCap);
+        }
+        let engine = WalkEngine::from_positions(topo, positions)?;
+        let mut informed = BitSet::new(k);
+        informed.insert(source);
+        let mut sim = Self {
+            engine,
+            radius,
+            mobility,
+            exchange_rule: ExchangeRule::Component,
+            max_steps,
+            informed,
+            informed_count: 1,
+        };
+        let comps = sim.current_components();
+        sim.exchange(&comps);
+        Ok(sim)
+    }
+
+    /// The number of agents.
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// The transmission radius.
+    #[inline]
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.engine.time()
+    }
+
+    /// Current agent positions.
+    #[inline]
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        self.engine.positions()
+    }
+
+    /// The informed-agent set.
+    #[inline]
+    #[must_use]
+    pub fn informed(&self) -> &BitSet {
+        &self.informed
+    }
+
+    /// The number of informed agents.
+    #[inline]
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Whether every agent is informed.
+    #[inline]
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.informed_count == self.k()
+    }
+
+    /// The visibility-graph components at the current positions.
+    #[must_use]
+    pub fn current_components(&self) -> Components {
+        components(self.engine.positions(), self.radius, self.engine.topology().side())
+    }
+
+    /// The exchange rule in force.
+    #[inline]
+    #[must_use]
+    pub fn exchange_rule(&self) -> ExchangeRule {
+        self.exchange_rule
+    }
+
+    /// Switches the exchange rule (used by the hop-count ablation).
+    pub fn set_exchange_rule(&mut self, rule: ExchangeRule) {
+        self.exchange_rule = rule;
+    }
+
+    /// Advances one step (move, rebuild `G_t(r)`, exchange), invoking
+    /// the observer with the post-exchange snapshot. Returns the number
+    /// of newly informed agents.
+    pub fn step<R: RngExt, O: Observer>(&mut self, rng: &mut R, observer: &mut O) -> usize {
+        match self.mobility {
+            Mobility::All => self.engine.step_all(rng),
+            Mobility::InformedOnly => {
+                // Clone the informed mask so the borrow checker allows
+                // stepping the engine; k bits is negligible.
+                let mask = self.informed.clone();
+                self.engine.step_masked(&mask, rng);
+            }
+        }
+        let comps = self.current_components();
+        let fresh = match self.exchange_rule {
+            ExchangeRule::Component => self.exchange(&comps),
+            ExchangeRule::OneHop => self.exchange_one_hop(),
+        };
+        observer.on_step(StepContext {
+            time: self.engine.time(),
+            side: self.engine.topology().side(),
+            positions: self.engine.positions(),
+            components: &comps,
+            informed: &self.informed,
+        });
+        fresh
+    }
+
+    /// Runs to completion or the step cap; equivalent to
+    /// [`run_with`](Self::run_with) with a [`NullObserver`].
+    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> BroadcastOutcome {
+        self.run_with(rng, &mut NullObserver)
+    }
+
+    /// Runs to completion or the step cap with an observer.
+    pub fn run_with<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> BroadcastOutcome {
+        if self.is_complete() {
+            return self.outcome();
+        }
+        while self.engine.time() < self.max_steps {
+            self.step(rng, observer);
+            if self.is_complete() {
+                break;
+            }
+        }
+        self.outcome()
+    }
+
+    /// The outcome at the current state.
+    #[must_use]
+    pub fn outcome(&self) -> BroadcastOutcome {
+        BroadcastOutcome {
+            broadcast_time: self.is_complete().then(|| self.engine.time()),
+            informed: self.informed_count,
+            k: self.k(),
+        }
+    }
+
+    /// One-hop exchange: every agent within `r` of a currently informed
+    /// agent becomes informed; returns the number of newly informed.
+    fn exchange_one_hop(&mut self) -> usize {
+        use sparsegossip_conngraph::SpatialHash;
+        let side = self.engine.topology().side();
+        let hash = SpatialHash::build(self.engine.positions(), self.radius, side);
+        let bps = hash.buckets_per_side();
+        let snapshot = self.informed.clone();
+        let mut fresh = 0;
+        for i in snapshot.iter_ones() {
+            let p = self.engine.position(i);
+            let (bx, by) = hash.bucket_of(p);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = bx as i64 + dx;
+                    let ny = by as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= i64::from(bps) || ny >= i64::from(bps) {
+                        continue;
+                    }
+                    for &j in hash.bucket_agents(nx as u32, ny as u32) {
+                        let j = j as usize;
+                        if !self.informed.contains(j)
+                            && self.engine.position(j).manhattan(p) <= self.radius
+                            && self.informed.insert(j)
+                        {
+                            fresh += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.informed_count += fresh;
+        fresh
+    }
+
+    /// Floods every component containing an informed agent; returns the
+    /// number of newly informed agents.
+    fn exchange(&mut self, comps: &Components) -> usize {
+        let mut fresh = 0;
+        for c in 0..comps.count() {
+            let members = comps.members(c);
+            if members.len() == 1 {
+                continue;
+            }
+            if members.iter().any(|&m| self.informed.contains(m as usize)) {
+                for &m in members {
+                    if self.informed.insert(m as usize) {
+                        fresh += 1;
+                    }
+                }
+            }
+        }
+        self.informed_count += fresh;
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn config(side: u32, k: usize, r: u32) -> SimConfig {
+        SimConfig::builder(side, k).radius(r).build().unwrap()
+    }
+
+    #[test]
+    fn completes_on_small_grid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sim = BroadcastSim::new(&config(16, 8, 0), &mut rng).unwrap();
+        let out = sim.run(&mut rng);
+        assert!(out.completed(), "informed only {}", out.informed);
+        assert_eq!(out.informed, 8);
+        assert!((out.informed_fraction() - 1.0).abs() < 1e-12);
+        assert!(sim.is_complete());
+    }
+
+    #[test]
+    fn informed_set_is_monotone() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sim = BroadcastSim::new(&config(32, 16, 1), &mut rng).unwrap();
+        let mut prev = sim.informed().clone();
+        for _ in 0..500 {
+            sim.step(&mut rng, &mut NullObserver);
+            assert!(prev.is_subset(sim.informed()), "an agent forgot the rumor");
+            prev = sim.informed().clone();
+            if sim.is_complete() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn step_cap_yields_incomplete_outcome() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = SimConfig::builder(64, 4).max_steps(1).build().unwrap();
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
+        // With k=4 on a 64-grid, one step almost surely does not finish.
+        assert!(!out.completed());
+        assert!(out.informed >= 1);
+        assert!(out.informed_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn radius_as_large_as_grid_finishes_at_step_zero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = SimConfig::builder(16, 8).radius(32).build().unwrap();
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        assert!(sim.is_complete(), "radius ≥ diameter must flood at placement");
+        let out = sim.run(&mut rng);
+        assert_eq!(out.broadcast_time, Some(0));
+    }
+
+    #[test]
+    fn source_choice_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = SimConfig::builder(32, 8).source(5).max_steps(1).build().unwrap();
+        let sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        assert!(sim.informed().contains(5));
+    }
+
+    #[test]
+    fn from_positions_lower_bound_layout() {
+        // Source far left, receiver far right, contact-only: cannot
+        // finish in a handful of steps (distance ≫ steps).
+        let g = Grid::new(64).unwrap();
+        let positions = vec![Point::new(0, 32), Point::new(63, 32)];
+        let mut sim =
+            BroadcastSim::from_positions(g, positions, 0, 0, Mobility::All, 20).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = sim.run(&mut rng);
+        assert!(!out.completed(), "agents 63 apart cannot meet in 20 steps");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(matches!(
+            BroadcastSim::on_topology(g, 1, 0, 0, Mobility::All, 10, &mut rng),
+            Err(SimError::TooFewAgents { k: 1 })
+        ));
+        assert!(matches!(
+            BroadcastSim::on_topology(g, 4, 0, 9, Mobility::All, 10, &mut rng),
+            Err(SimError::SourceOutOfRange { source: 9, k: 4 })
+        ));
+        assert!(matches!(
+            BroadcastSim::on_topology(g, 4, 0, 0, Mobility::All, 0, &mut rng),
+            Err(SimError::ZeroStepCap)
+        ));
+    }
+
+    #[test]
+    fn larger_radius_is_never_slower_in_distribution() {
+        // Corollary 1 direction: mean T_B at r=4 ≤ mean T_B at r=0 on
+        // matched sizes (generous replication to damp noise).
+        let reps = 12u64;
+        let mean_tb = |r: u32, seed: u64| {
+            let mut total = 0u64;
+            for i in 0..reps {
+                let mut rng = SmallRng::seed_from_u64(seed + i);
+                let mut sim = BroadcastSim::new(&config(24, 12, r), &mut rng).unwrap();
+                total += sim.run(&mut rng).broadcast_time.expect("must finish");
+            }
+            total as f64 / reps as f64
+        };
+        let slow = mean_tb(0, 100);
+        let fast = mean_tb(4, 200);
+        assert!(fast <= slow * 1.2, "r=4 mean {fast} ≫ r=0 mean {slow}");
+    }
+}

@@ -1,0 +1,283 @@
+use sparsegossip_grid::Grid;
+
+use crate::SimError;
+
+/// Which agents move at each step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Mobility {
+    /// Every agent walks — the paper's main model.
+    #[default]
+    All,
+    /// Only informed agents walk — the Frog model of §4.
+    InformedOnly,
+}
+
+/// How far a rumor travels within one time step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExchangeRule {
+    /// The rumor floods the whole connected component of `G_t(r)` —
+    /// the paper's model (radio ≫ motion speed).
+    #[default]
+    Component,
+    /// The rumor travels a single hop of `G_t(r)` per step — the
+    /// ablation showing that below percolation (islands of `O(log)`
+    /// size) the distinction barely matters.
+    OneHop,
+}
+
+/// Parameters of a dissemination simulation on the bounded grid.
+///
+/// Built with [`SimConfig::builder`]; validation happens at
+/// [`SimConfigBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_core::SimConfig;
+///
+/// let config = SimConfig::builder(128, 64)
+///     .radius(3)
+///     .source(10)
+///     .max_steps(500_000)
+///     .build()?;
+/// assert_eq!(config.n(), 128 * 128);
+/// assert!(config.radius() < config.critical_radius() as u32);
+/// # Ok::<(), sparsegossip_core::SimError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    side: u32,
+    k: usize,
+    radius: u32,
+    source: usize,
+    max_steps: u64,
+    mobility: Mobility,
+    exchange_rule: ExchangeRule,
+}
+
+impl SimConfig {
+    /// Starts building a configuration for `k` agents on a `side × side`
+    /// grid.
+    #[must_use]
+    pub fn builder(side: u32, k: usize) -> SimConfigBuilder {
+        SimConfigBuilder {
+            side,
+            k,
+            radius: 0,
+            source: 0,
+            max_steps: None,
+            mobility: Mobility::All,
+            exchange_rule: ExchangeRule::Component,
+        }
+    }
+
+    /// The grid side.
+    #[inline]
+    #[must_use]
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The number of grid nodes `n = side²`.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        u64::from(self.side) * u64::from(self.side)
+    }
+
+    /// The number of agents `k`.
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The transmission radius `r`.
+    #[inline]
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// The index of the initially informed agent.
+    #[inline]
+    #[must_use]
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The step cap after which a run reports non-completion.
+    #[inline]
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// The mobility rule.
+    #[inline]
+    #[must_use]
+    pub fn mobility(&self) -> Mobility {
+        self.mobility
+    }
+
+    /// The exchange rule.
+    #[inline]
+    #[must_use]
+    pub fn exchange_rule(&self) -> ExchangeRule {
+        self.exchange_rule
+    }
+
+    /// The percolation radius `r_c = √(n/k)` for this configuration.
+    #[must_use]
+    pub fn critical_radius(&self) -> f64 {
+        (self.n() as f64 / self.k as f64).sqrt()
+    }
+
+    /// The default step cap: `64 · (n/√k) · log₂²(n)`, a generous
+    /// multiple of the paper's `Θ̃(n/√k)` upper bound, floored at
+    /// `10⁴` so tiny systems still get room to finish.
+    #[must_use]
+    pub fn default_step_cap(side: u32, k: usize) -> u64 {
+        let n = f64::from(side) * f64::from(side);
+        let log2n = n.log2().max(1.0);
+        let cap = 64.0 * (n / (k.max(1) as f64).sqrt()) * log2n * log2n;
+        (cap as u64).max(10_000)
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfigBuilder {
+    side: u32,
+    k: usize,
+    radius: u32,
+    source: usize,
+    max_steps: Option<u64>,
+    mobility: Mobility,
+    exchange_rule: ExchangeRule,
+}
+
+impl SimConfigBuilder {
+    /// Sets the transmission radius `r` (default 0: contact-only, the
+    /// paper's most restricted case).
+    #[must_use]
+    pub fn radius(mut self, r: u32) -> Self {
+        self.radius = r;
+        self
+    }
+
+    /// Sets the initially informed agent (default 0; by symmetry of the
+    /// uniform placement the choice is irrelevant in law).
+    #[must_use]
+    pub fn source(mut self, source: usize) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Sets the step cap (default [`SimConfig::default_step_cap`]).
+    #[must_use]
+    pub fn max_steps(mut self, cap: u64) -> Self {
+        self.max_steps = Some(cap);
+        self
+    }
+
+    /// Sets the mobility rule (default [`Mobility::All`]).
+    #[must_use]
+    pub fn mobility(mut self, mobility: Mobility) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Sets the exchange rule (default [`ExchangeRule::Component`]).
+    #[must_use]
+    pub fn exchange_rule(mut self, rule: ExchangeRule) -> Self {
+        self.exchange_rule = rule;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Grid`] if the side is zero or too large;
+    /// * [`SimError::TooFewAgents`] if `k < 2`;
+    /// * [`SimError::SourceOutOfRange`] if the source index exceeds `k`;
+    /// * [`SimError::ZeroStepCap`] if an explicit zero cap was set.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        // Validate the side through the Grid constructor.
+        let _ = Grid::new(self.side)?;
+        if self.k < 2 {
+            return Err(SimError::TooFewAgents { k: self.k });
+        }
+        if self.source >= self.k {
+            return Err(SimError::SourceOutOfRange { source: self.source, k: self.k });
+        }
+        let max_steps =
+            self.max_steps.unwrap_or_else(|| SimConfig::default_step_cap(self.side, self.k));
+        if max_steps == 0 {
+            return Err(SimError::ZeroStepCap);
+        }
+        Ok(SimConfig {
+            side: self.side,
+            k: self.k,
+            radius: self.radius,
+            source: self.source,
+            max_steps,
+            mobility: self.mobility,
+            exchange_rule: self.exchange_rule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsegossip_grid::GridError;
+
+    #[test]
+    fn builder_applies_defaults() {
+        let c = SimConfig::builder(32, 8).build().unwrap();
+        assert_eq!(c.radius(), 0);
+        assert_eq!(c.source(), 0);
+        assert_eq!(c.mobility(), Mobility::All);
+        assert_eq!(c.max_steps(), SimConfig::default_step_cap(32, 8));
+        assert_eq!(c.n(), 1024);
+        assert_eq!(c.k(), 8);
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        assert_eq!(
+            SimConfig::builder(0, 8).build().unwrap_err(),
+            SimError::Grid(GridError::ZeroSide)
+        );
+        assert_eq!(
+            SimConfig::builder(8, 1).build().unwrap_err(),
+            SimError::TooFewAgents { k: 1 }
+        );
+        assert_eq!(
+            SimConfig::builder(8, 4).source(4).build().unwrap_err(),
+            SimError::SourceOutOfRange { source: 4, k: 4 }
+        );
+        assert_eq!(
+            SimConfig::builder(8, 4).max_steps(0).build().unwrap_err(),
+            SimError::ZeroStepCap
+        );
+    }
+
+    #[test]
+    fn critical_radius_matches_formula() {
+        let c = SimConfig::builder(100, 25).build().unwrap();
+        assert!((c.critical_radius() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_cap_scales_with_n_over_sqrt_k() {
+        let small = SimConfig::default_step_cap(64, 16);
+        let bigger_grid = SimConfig::default_step_cap(128, 16);
+        let more_agents = SimConfig::default_step_cap(64, 256);
+        assert!(bigger_grid > small);
+        assert!(more_agents < small);
+        assert!(SimConfig::default_step_cap(2, 4) >= 10_000);
+    }
+}

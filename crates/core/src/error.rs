@@ -1,0 +1,90 @@
+use core::fmt;
+
+use sparsegossip_grid::GridError;
+use sparsegossip_walks::WalkError;
+
+/// Errors arising when configuring or constructing simulations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The underlying grid could not be built.
+    Grid(GridError),
+    /// The walk engine could not be built.
+    Walk(WalkError),
+    /// Fewer than two agents were requested — dissemination needs a
+    /// source and at least one receiver.
+    TooFewAgents {
+        /// The requested agent count.
+        k: usize,
+    },
+    /// The rumor source index is not a valid agent index.
+    SourceOutOfRange {
+        /// The requested source.
+        source: usize,
+        /// The number of agents.
+        k: usize,
+    },
+    /// A step cap of zero was requested.
+    ZeroStepCap,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Grid(e) => write!(f, "grid construction failed: {e}"),
+            Self::Walk(e) => write!(f, "walk engine construction failed: {e}"),
+            Self::TooFewAgents { k } => {
+                write!(f, "dissemination requires at least 2 agents, got {k}")
+            }
+            Self::SourceOutOfRange { source, k } => {
+                write!(f, "source agent {source} out of range for {k} agents")
+            }
+            Self::ZeroStepCap => write!(f, "step cap must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Grid(e) => Some(e),
+            Self::Walk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GridError> for SimError {
+    fn from(e: GridError) -> Self {
+        Self::Grid(e)
+    }
+}
+
+impl From<WalkError> for SimError {
+    fn from(e: WalkError) -> Self {
+        Self::Walk(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error;
+        let e = SimError::from(GridError::ZeroSide);
+        assert!(e.to_string().contains("grid"));
+        assert!(e.source().is_some());
+        let e = SimError::TooFewAgents { k: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        assert!(e.source().is_none());
+        assert!(SimError::ZeroStepCap.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

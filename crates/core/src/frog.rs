@@ -1,0 +1,118 @@
+use rand::RngExt;
+use sparsegossip_grid::Grid;
+
+use crate::{BroadcastSim, Mobility, SimConfig, SimError};
+
+/// The Frog model of §4: only informed agents walk; uninformed agents
+/// sit at their initial positions until an informed agent comes within
+/// the transmission radius, at which point they activate.
+///
+/// The paper shows the same `Θ̃(n/√k)` bounds hold here (with Lemma 3
+/// replaced by Lemma 1 in the upper-bound argument).
+///
+/// `FrogSim` is a thin constructor around [`BroadcastSim`] with
+/// [`Mobility::InformedOnly`]; the returned simulator exposes the full
+/// broadcast API.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{FrogSim, SimConfig};
+///
+/// let config = SimConfig::builder(24, 12).radius(0).build()?;
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let mut sim = FrogSim::new(&config, &mut rng)?;
+/// let outcome = sim.run(&mut rng);
+/// assert!(outcome.completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrogSim;
+
+impl FrogSim {
+    /// Creates a Frog-model broadcast simulation: the `config`'s
+    /// mobility rule is overridden to [`Mobility::InformedOnly`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BroadcastSim::new`].
+    pub fn new<R: RngExt>(
+        config: &SimConfig,
+        rng: &mut R,
+    ) -> Result<BroadcastSim<Grid>, SimError> {
+        let grid = Grid::new(config.side())?;
+        BroadcastSim::on_topology(
+            grid,
+            config.k(),
+            config.radius(),
+            config.source(),
+            Mobility::InformedOnly,
+            config.max_steps(),
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Point;
+
+    #[test]
+    fn frog_completes_on_small_grid() {
+        let cfg = SimConfig::builder(12, 8).radius(0).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut sim = FrogSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
+        assert!(out.completed(), "informed only {}", out.informed);
+    }
+
+    #[test]
+    fn uninformed_agents_do_not_move() {
+        let cfg = SimConfig::builder(32, 10).radius(0).max_steps(50).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(32);
+        let mut sim = FrogSim::new(&cfg, &mut rng).unwrap();
+        let initial: Vec<Point> = sim.positions().to_vec();
+        let informed_at_start = sim.informed().clone();
+        for _ in 0..20 {
+            sim.step(&mut rng, &mut NullObserver);
+        }
+        for i in 0..sim.k() {
+            if !sim.informed().contains(i) {
+                assert_eq!(sim.positions()[i], initial[i], "dormant frog {i} moved");
+            }
+            // Agents informed at start may have moved; don't constrain.
+            let _ = &informed_at_start;
+        }
+    }
+
+    #[test]
+    fn frog_is_slower_than_free_mobility_on_average() {
+        // With fewer walkers active, meetings are rarer; the Frog model
+        // should not beat the fully mobile model by a large margin. We
+        // check only the direction on averages (noise-tolerant).
+        let reps = 10;
+        let mean = |frog: bool| {
+            let mut total = 0u64;
+            for i in 0..reps {
+                let cfg = SimConfig::builder(16, 8).radius(0).build().unwrap();
+                let mut rng = SmallRng::seed_from_u64(5000 + i);
+                let mut sim = if frog {
+                    FrogSim::new(&cfg, &mut rng).unwrap()
+                } else {
+                    crate::BroadcastSim::new(&cfg, &mut rng).unwrap()
+                };
+                total += sim.run(&mut rng).broadcast_time.unwrap();
+            }
+            total as f64 / reps as f64
+        };
+        let frog = mean(true);
+        let free = mean(false);
+        assert!(frog >= free * 0.8, "frog mean {frog} suspiciously below free {free}");
+    }
+}

@@ -1,0 +1,140 @@
+use rand::RngExt;
+use sparsegossip_grid::Grid;
+
+use crate::{BroadcastSim, InfectionTimes, SimConfig, SimError};
+
+/// Outcome of an infection run: broadcast at `r = 0` with per-agent
+/// infection times, the quantity studied by Dimitriou, Nikoletseas and
+/// Spirakis (general bound `O(t* log k)`) and mis-estimated by Wang et
+/// al. as `Θ((n log n log k)/k)` — the bound the paper refutes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InfectionOutcome {
+    /// First step at which every agent was infected, if reached.
+    pub infection_time: Option<u64>,
+    /// Per-agent first-infection steps (`None` if never infected;
+    /// entry `source` is `Some(0)`).
+    pub per_agent: Vec<Option<u64>>,
+    /// Mean infection time over infected agents.
+    pub mean_time: Option<f64>,
+}
+
+impl InfectionOutcome {
+    /// Whether every agent was infected within the cap.
+    #[inline]
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.infection_time.is_some()
+    }
+}
+
+/// The infection-time framing of the dynamic model: `k` walking agents,
+/// one initially infected, transmission on contact (`r = 0` — agents
+/// meeting at a node).
+///
+/// This is exactly [`BroadcastSim`] with radius zero plus the
+/// [`InfectionTimes`] observer; the wrapper exists because the
+/// infection literature reports *per-agent* and *mean* infection times
+/// rather than just the completion time.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{InfectionSim, SimConfig};
+///
+/// let config = SimConfig::builder(24, 8).build()?;
+/// let mut rng = SmallRng::seed_from_u64(4);
+/// let out = InfectionSim::run(&config, &mut rng)?;
+/// assert!(out.completed());
+/// assert_eq!(out.per_agent.len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InfectionSim;
+
+impl InfectionSim {
+    /// Runs an infection process per `config` (radius forced to 0) and
+    /// reports per-agent infection times.
+    ///
+    /// # Errors
+    ///
+    /// As [`BroadcastSim::new`].
+    pub fn run<R: RngExt>(
+        config: &SimConfig,
+        rng: &mut R,
+    ) -> Result<InfectionOutcome, SimError> {
+        let grid = Grid::new(config.side())?;
+        let mut sim = BroadcastSim::on_topology(
+            grid,
+            config.k(),
+            0,
+            config.source(),
+            config.mobility(),
+            config.max_steps(),
+            rng,
+        )?;
+        let mut times = InfectionTimes::new(config.k());
+        // Record step-0 infections (source plus its co-located cluster).
+        {
+            let comps = sim.current_components();
+            let ctx = crate::StepContext {
+                time: 0,
+                side: config.side(),
+                positions: sim.positions(),
+                components: &comps,
+                informed: sim.informed(),
+            };
+            use crate::Observer;
+            times.on_step(ctx);
+        }
+        let outcome = sim.run_with(rng, &mut times);
+        Ok(InfectionOutcome {
+            infection_time: outcome.broadcast_time,
+            mean_time: times.mean(),
+            per_agent: times.times().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn per_agent_times_are_recorded_and_bounded() {
+        let cfg = SimConfig::builder(16, 6).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(51);
+        let out = InfectionSim::run(&cfg, &mut rng).unwrap();
+        assert!(out.completed());
+        let t_total = out.infection_time.unwrap();
+        for (i, t) in out.per_agent.iter().enumerate() {
+            let t = t.unwrap_or_else(|| panic!("agent {i} never infected"));
+            assert!(t <= t_total);
+        }
+        assert_eq!(out.per_agent[cfg.source()], Some(0));
+        assert!(out.mean_time.unwrap() <= t_total as f64);
+    }
+
+    #[test]
+    fn radius_in_config_is_ignored() {
+        // Infection is contact-only by definition; a huge configured
+        // radius must not make it instantaneous.
+        let cfg =
+            SimConfig::builder(32, 4).radius(64).max_steps(3).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(52);
+        let out = InfectionSim::run(&cfg, &mut rng).unwrap();
+        assert!(!out.completed(), "r must be forced to 0");
+    }
+
+    #[test]
+    fn mean_is_none_only_if_nobody_infected() {
+        // The source is always infected at step 0, so mean is Some.
+        let cfg = SimConfig::builder(32, 4).max_steps(1).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(53);
+        let out = InfectionSim::run(&cfg, &mut rng).unwrap();
+        assert!(out.mean_time.is_some());
+    }
+}

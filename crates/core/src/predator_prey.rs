@@ -1,0 +1,316 @@
+use rand::RngExt;
+use sparsegossip_grid::{Grid, Point, Topology};
+use sparsegossip_walks::{lazy_step, BitSet, WalkEngine};
+
+use crate::SimError;
+
+/// Outcome of a predator–prey run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExtinctionOutcome {
+    /// First step at which no prey survived, or `None` at the cap.
+    pub extinction_time: Option<u64>,
+    /// Surviving preys when the run ended.
+    pub survivors: usize,
+    /// Initial prey count.
+    pub num_preys: usize,
+}
+
+impl ExtinctionOutcome {
+    /// Whether all preys were caught within the cap.
+    #[inline]
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.extinction_time.is_some()
+    }
+}
+
+/// The random predator–prey system of §4: `k` predators perform
+/// independent lazy walks; a prey is caught when a predator comes
+/// within the catch radius. The paper's techniques give an
+/// `O(n log²n / k)` high-probability bound on the extinction time for
+/// `k = Ω(log n)` predators.
+///
+/// Preys may be mobile (walking like the predators) or static.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::PredatorPreySim;
+/// use sparsegossip_grid::Grid;
+///
+/// let grid = Grid::new(16)?;
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let mut sim = PredatorPreySim::new(grid, 8, 4, 0, true, 1_000_000, &mut rng)?;
+/// let out = sim.run(&mut rng);
+/// assert!(out.completed());
+/// assert_eq!(out.survivors, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PredatorPreySim<T> {
+    predators: WalkEngine<T>,
+    prey_positions: Vec<Point>,
+    prey_alive: BitSet,
+    alive_count: usize,
+    catch_radius: u32,
+    preys_mobile: bool,
+    max_steps: u64,
+    num_preys: usize,
+}
+
+impl<T: Topology> PredatorPreySim<T> {
+    /// Creates a system of `k` predators and `m` preys, both uniformly
+    /// placed. Preys within `catch_radius` of a predator at placement
+    /// are caught at step 0.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooFewAgents`] if `k == 0` or `m == 0`;
+    /// * [`SimError::ZeroStepCap`] if `max_steps == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: RngExt>(
+        topo: T,
+        k: usize,
+        m: usize,
+        catch_radius: u32,
+        preys_mobile: bool,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        if k == 0 {
+            return Err(SimError::TooFewAgents { k });
+        }
+        if m == 0 {
+            return Err(SimError::TooFewAgents { k: m });
+        }
+        if max_steps == 0 {
+            return Err(SimError::ZeroStepCap);
+        }
+        let prey_positions = (0..m).map(|_| topo.random_point(rng)).collect();
+        let predators = WalkEngine::uniform(topo, k, rng)?;
+        let mut prey_alive = BitSet::new(m);
+        prey_alive.set_all();
+        let mut sim = Self {
+            predators,
+            prey_positions,
+            prey_alive,
+            alive_count: m,
+            catch_radius,
+            preys_mobile,
+            max_steps,
+            num_preys: m,
+        };
+        sim.catch_preys();
+        Ok(sim)
+    }
+
+    /// The number of predators.
+    #[inline]
+    #[must_use]
+    pub fn num_predators(&self) -> usize {
+        self.predators.len()
+    }
+
+    /// The number of surviving preys.
+    #[inline]
+    #[must_use]
+    pub fn survivors(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.predators.time()
+    }
+
+    /// Whether every prey has been caught.
+    #[inline]
+    #[must_use]
+    pub fn is_extinct(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// Advances one step: predators (and mobile preys) walk, then
+    /// catches are resolved. Returns the number of preys caught.
+    pub fn step<R: RngExt>(&mut self, rng: &mut R) -> usize {
+        self.predators.step_all(rng);
+        if self.preys_mobile {
+            // Walk only the living preys; carcasses stay put.
+            let topo = self.predators.topology();
+            for i in self.prey_alive.clone().iter_ones() {
+                self.prey_positions[i] = lazy_step(topo, self.prey_positions[i], rng);
+            }
+        }
+        self.catch_preys()
+    }
+
+    /// Runs until extinction or the step cap.
+    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> ExtinctionOutcome {
+        while !self.is_extinct() && self.predators.time() < self.max_steps {
+            self.step(rng);
+        }
+        self.outcome()
+    }
+
+    /// The outcome at the current state.
+    #[must_use]
+    pub fn outcome(&self) -> ExtinctionOutcome {
+        ExtinctionOutcome {
+            extinction_time: self.is_extinct().then(|| self.predators.time()),
+            survivors: self.alive_count,
+            num_preys: self.num_preys,
+        }
+    }
+
+    /// Kills every living prey within the catch radius of a predator;
+    /// returns the kill count.
+    fn catch_preys(&mut self) -> usize {
+        use sparsegossip_conngraph::SpatialHash;
+        let side = self.predators.topology().side();
+        let hash = SpatialHash::build(self.predators.positions(), self.catch_radius, side);
+        let bps = hash.buckets_per_side();
+        let mut caught = 0;
+        for i in self.prey_alive.clone().iter_ones() {
+            let p = self.prey_positions[i];
+            let (bx, by) = hash.bucket_of(p);
+            let mut dead = false;
+            'scan: for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = bx as i64 + dx;
+                    let ny = by as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= i64::from(bps) || ny >= i64::from(bps) {
+                        continue;
+                    }
+                    for &pred in hash.bucket_agents(nx as u32, ny as u32) {
+                        if self.predators.position(pred as usize).manhattan(p)
+                            <= self.catch_radius
+                        {
+                            dead = true;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            if dead {
+                self.prey_alive.remove(i);
+                self.alive_count -= 1;
+                caught += 1;
+            }
+        }
+        caught
+    }
+}
+
+impl<T: Topology> PredatorPreySim<T> {
+    /// Convenience constructor on a bounded grid.
+    ///
+    /// # Errors
+    ///
+    /// As [`PredatorPreySim::new`], plus [`SimError::Grid`] on a bad
+    /// side.
+    pub fn on_grid<R: RngExt>(
+        side: u32,
+        k: usize,
+        m: usize,
+        catch_radius: u32,
+        preys_mobile: bool,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Result<PredatorPreySim<Grid>, SimError> {
+        let grid = Grid::new(side)?;
+        PredatorPreySim::new(grid, k, m, catch_radius, preys_mobile, max_steps, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extinction_on_small_grid() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut sim =
+            PredatorPreySim::<Grid>::on_grid(12, 6, 4, 0, true, 2_000_000, &mut rng)
+                .unwrap();
+        assert_eq!(sim.num_predators(), 6);
+        let out = sim.run(&mut rng);
+        assert!(out.completed());
+        assert_eq!(out.survivors, 0);
+        assert_eq!(out.num_preys, 4);
+    }
+
+    #[test]
+    fn survivor_count_is_monotone_nonincreasing() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut sim =
+            PredatorPreySim::<Grid>::on_grid(24, 4, 8, 1, false, 10_000, &mut rng).unwrap();
+        let mut prev = sim.survivors();
+        for _ in 0..200 {
+            sim.step(&mut rng);
+            assert!(sim.survivors() <= prev, "a prey resurrected");
+            prev = sim.survivors();
+            if sim.is_extinct() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn large_catch_radius_is_instant_extinction() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let sim =
+            PredatorPreySim::<Grid>::on_grid(8, 2, 4, 16, true, 100, &mut rng).unwrap();
+        assert!(sim.is_extinct(), "radius covering the grid must catch at placement");
+        assert_eq!(sim.outcome().extinction_time, Some(0));
+    }
+
+    #[test]
+    fn static_preys_match_frog_style_dynamics() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let mut sim =
+            PredatorPreySim::<Grid>::on_grid(10, 4, 3, 0, false, 1_000_000, &mut rng)
+                .unwrap();
+        let out = sim.run(&mut rng);
+        assert!(out.completed(), "static preys on a tiny grid must be caught");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let mut rng = SmallRng::seed_from_u64(45);
+        assert!(
+            PredatorPreySim::<Grid>::on_grid(8, 0, 4, 0, true, 10, &mut rng).is_err()
+        );
+        assert!(
+            PredatorPreySim::<Grid>::on_grid(8, 4, 0, 0, true, 10, &mut rng).is_err()
+        );
+        assert!(
+            PredatorPreySim::<Grid>::on_grid(8, 4, 4, 0, true, 0, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn more_predators_kill_faster_on_average() {
+        let mean = |k: usize, seed: u64| {
+            let reps = 8;
+            let mut total = 0u64;
+            for i in 0..reps {
+                let mut rng = SmallRng::seed_from_u64(seed + i);
+                let mut sim = PredatorPreySim::<Grid>::on_grid(
+                    16, k, 4, 0, true, 5_000_000, &mut rng,
+                )
+                .unwrap();
+                total += sim.run(&mut rng).extinction_time.unwrap();
+            }
+            total as f64 / 8.0
+        };
+        let few = mean(2, 777);
+        let many = mean(16, 888);
+        assert!(many < few, "k=16 mean {many} not below k=2 mean {few}");
+    }
+}

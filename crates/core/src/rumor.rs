@@ -1,0 +1,194 @@
+use sparsegossip_conngraph::Components;
+use sparsegossip_walks::BitSet;
+
+/// Per-agent rumor sets for multi-rumor (gossip) runs.
+///
+/// Agent `a`'s set `M_a(t)` holds the rumor ids `0..num_rumors` that
+/// `a` knows. The exchange rule of the paper (§2) is
+/// `M_a(t) = ⋃_{a' ∈ C} M_{a'}(t − 1)` over `a`'s component `C`;
+/// [`RumorSets::exchange`] applies it for all components at once.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_conngraph::components;
+/// use sparsegossip_grid::Point;
+/// use sparsegossip_core::RumorSets;
+///
+/// // Three agents, each with its own rumor; agents 0 and 1 meet.
+/// let mut sets = RumorSets::distinct(3);
+/// let positions = [Point::new(4, 4), Point::new(4, 4), Point::new(0, 0)];
+/// let comps = components(&positions, 0, 8);
+/// sets.exchange(&comps);
+/// assert_eq!(sets.count(0), 2);
+/// assert_eq!(sets.count(2), 1);
+/// assert!(!sets.all_complete());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RumorSets {
+    sets: Vec<BitSet>,
+    num_rumors: usize,
+}
+
+impl RumorSets {
+    /// One distinct rumor per agent: agent `i` starts knowing rumor `i`
+    /// (the gossip initial condition of Corollary 2).
+    #[must_use]
+    pub fn distinct(k: usize) -> Self {
+        let sets = (0..k)
+            .map(|i| {
+                let mut s = BitSet::new(k);
+                s.insert(i);
+                s
+            })
+            .collect();
+        Self { sets, num_rumors: k }
+    }
+
+    /// `num_rumors` rumors held by the first `num_rumors` agents
+    /// (agent `i < num_rumors` starts with rumor `i`; the paper allows
+    /// any number of rumors up to `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_rumors > k` or `num_rumors == 0`.
+    #[must_use]
+    pub fn with_rumors(k: usize, num_rumors: usize) -> Self {
+        assert!(num_rumors > 0 && num_rumors <= k, "need 1..=k rumors");
+        let sets = (0..k)
+            .map(|i| {
+                let mut s = BitSet::new(num_rumors);
+                if i < num_rumors {
+                    s.insert(i);
+                }
+                s
+            })
+            .collect();
+        Self { sets, num_rumors }
+    }
+
+    /// The number of agents.
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The number of rumors in the system.
+    #[inline]
+    #[must_use]
+    pub fn num_rumors(&self) -> usize {
+        self.num_rumors
+    }
+
+    /// The number of rumors agent `a` knows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn count(&self, a: usize) -> usize {
+        self.sets[a].count_ones()
+    }
+
+    /// Whether agent `a` knows rumor `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn knows(&self, a: usize, m: usize) -> bool {
+        self.sets[a].contains(m)
+    }
+
+    /// Whether every agent knows every rumor (the gossip completion
+    /// condition).
+    #[must_use]
+    pub fn all_complete(&self) -> bool {
+        self.sets.iter().all(|s| s.count_ones() == self.num_rumors)
+    }
+
+    /// The minimum rumor count over agents (progress metric).
+    #[must_use]
+    pub fn min_count(&self) -> usize {
+        self.sets.iter().map(BitSet::count_ones).min().unwrap_or(0)
+    }
+
+    /// Applies one synchronous exchange: within each component, every
+    /// agent's set becomes the union of the members' sets.
+    pub fn exchange(&mut self, comps: &Components) {
+        let mut union = BitSet::new(self.num_rumors);
+        for c in 0..comps.count() {
+            let members = comps.members(c);
+            if members.len() == 1 {
+                continue;
+            }
+            union.clear();
+            for &m in members {
+                union.union_with(&self.sets[m as usize]);
+            }
+            for &m in members {
+                self.sets[m as usize] = union.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsegossip_conngraph::components;
+    use sparsegossip_grid::Point;
+
+    #[test]
+    fn distinct_initial_condition() {
+        let s = RumorSets::distinct(4);
+        assert_eq!(s.k(), 4);
+        assert_eq!(s.num_rumors(), 4);
+        for i in 0..4 {
+            assert_eq!(s.count(i), 1);
+            assert!(s.knows(i, i));
+        }
+        assert!(!s.all_complete());
+        assert_eq!(s.min_count(), 1);
+    }
+
+    #[test]
+    fn exchange_unions_components() {
+        let mut s = RumorSets::distinct(3);
+        // All three at one node.
+        let positions = [Point::new(1, 1); 3];
+        let comps = components(&positions, 0, 4);
+        s.exchange(&comps);
+        assert!(s.all_complete());
+        assert_eq!(s.min_count(), 3);
+    }
+
+    #[test]
+    fn exchange_is_idempotent_on_fixed_components() {
+        let mut s = RumorSets::distinct(3);
+        let positions = [Point::new(0, 0), Point::new(0, 0), Point::new(3, 3)];
+        let comps = components(&positions, 0, 4);
+        s.exchange(&comps);
+        let counts: Vec<usize> = (0..3).map(|i| s.count(i)).collect();
+        s.exchange(&comps);
+        assert_eq!(counts, (0..3).map(|i| s.count(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_rumor_population() {
+        let s = RumorSets::with_rumors(5, 2);
+        assert_eq!(s.num_rumors(), 2);
+        assert_eq!(s.count(0), 1);
+        assert_eq!(s.count(4), 0);
+        assert_eq!(s.min_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1..=k rumors")]
+    fn rejects_too_many_rumors() {
+        let _ = RumorSets::with_rumors(2, 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Closed-form reference curves for every bound in the paper.
+//!
+//! These are *shapes*: the asymptotic notation hides constants that
+//! depend on the model details, so experiments compare measured data to
+//! these functions with the multiplicative constant profiled out (see
+//! [`crate::baseline::fit_error_against`]).
+
+/// The paper's headline upper/lower-bound shape `n/√k` (Theorem 1 and
+/// Corollary 1 up, Theorem 2 down to polylogs).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_core::theory::broadcast_time_shape;
+/// assert_eq!(broadcast_time_shape(10_000.0, 100.0), 1_000.0);
+/// ```
+#[must_use]
+pub fn broadcast_time_shape(n: f64, k: f64) -> f64 {
+    n / k.sqrt()
+}
+
+/// The explicit lower bound of Theorem 2: `n / (√k · log² n)` (natural
+/// logs; the proof's constant `1/(1152·e³)` is dropped).
+#[must_use]
+pub fn broadcast_lower_bound_shape(n: f64, k: f64) -> f64 {
+    let l = n.ln().max(1.0);
+    n / (k.sqrt() * l * l)
+}
+
+/// The percolation radius `r_c = √(n/k)` (§1, §2).
+#[must_use]
+pub fn critical_radius(n: f64, k: f64) -> f64 {
+    (n / k).sqrt()
+}
+
+/// The island parameter `γ = √(n/(4e⁶k))` of Lemma 6, below which no
+/// island exceeds `log n` agents w.h.p. over `8n log²n` steps.
+#[must_use]
+pub fn island_gamma(n: f64, k: f64) -> f64 {
+    (n / (4.0 * (6.0f64).exp() * k)).sqrt()
+}
+
+/// The maximum transmission radius for which Theorem 2's lower bound is
+/// proven: `r ≤ √(n/(64e⁶k))`.
+#[must_use]
+pub fn lower_bound_radius(n: f64, k: f64) -> f64 {
+    (n / (64.0 * (6.0f64).exp() * k)).sqrt()
+}
+
+/// The multi-walk cover-time upper bound of §4:
+/// `n·log²n / k + n·log n` (natural logs).
+#[must_use]
+pub fn cover_time_shape(n: f64, k: f64) -> f64 {
+    let l = n.ln().max(1.0);
+    n * l * l / k + n * l
+}
+
+/// The predator–prey extinction-time bound of §4: `n·log²n / k`.
+#[must_use]
+pub fn extinction_time_shape(n: f64, k: f64) -> f64 {
+    let l = n.ln().max(1.0);
+    n * l * l / k
+}
+
+/// The dense-MANET baseline shape `√n / R` of Clementi et al. [7]
+/// (valid for `k = Θ(n)`, `ρ = O(R)`).
+#[must_use]
+pub fn clementi_time_shape(n: f64, big_r: f64) -> f64 {
+    n.sqrt() / big_r.max(1.0)
+}
+
+/// The Dimitriou et al. general infection bound `O(t* log k)`
+/// specialized to the grid: `n·log n·log k`.
+#[must_use]
+pub fn dimitriou_bound_shape(n: f64, k: f64) -> f64 {
+    n * n.ln().max(1.0) * k.ln().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_expected_monotonicity() {
+        let n = 65_536.0;
+        // More agents ⇒ faster broadcast, smaller r_c, faster cover.
+        assert!(broadcast_time_shape(n, 64.0) > broadcast_time_shape(n, 256.0));
+        assert!(critical_radius(n, 64.0) > critical_radius(n, 256.0));
+        assert!(cover_time_shape(n, 64.0) > cover_time_shape(n, 256.0));
+        assert!(extinction_time_shape(n, 64.0) > extinction_time_shape(n, 256.0));
+        // Bigger grid ⇒ slower everything.
+        assert!(broadcast_time_shape(4.0 * n, 64.0) > broadcast_time_shape(n, 64.0));
+    }
+
+    #[test]
+    fn lower_bound_is_below_upper_shape() {
+        let n = 1_000_000.0;
+        let k = 100.0;
+        assert!(broadcast_lower_bound_shape(n, k) < broadcast_time_shape(n, k));
+    }
+
+    #[test]
+    fn lower_bound_radius_is_below_critical() {
+        let n = 65_536.0;
+        let k = 64.0;
+        assert!(lower_bound_radius(n, k) < critical_radius(n, k));
+    }
+
+    #[test]
+    fn clementi_shape_decays_in_radius() {
+        assert!(clementi_time_shape(10_000.0, 2.0) > clementi_time_shape(10_000.0, 8.0));
+    }
+
+    #[test]
+    fn cover_time_has_additive_floor() {
+        // For huge k the n·log n term dominates: cover time stops
+        // improving.
+        let n = 65_536.0;
+        let big_k = cover_time_shape(n, 1e9);
+        assert!(big_k >= n * n.ln());
+    }
+}

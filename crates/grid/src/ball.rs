@@ -1,0 +1,195 @@
+use crate::Point;
+
+/// The number of lattice points at Manhattan distance **at most** `r`
+/// from a center on the *infinite* grid: `2r² + 2r + 1`.
+///
+/// Useful as the uncensored reference when reasoning about boundary
+/// clipping (the paper's Lemma 6 uses `|D| ≥ d²/4`-style bounds).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::l1_ball_size;
+/// assert_eq!(l1_ball_size(0), 1);
+/// assert_eq!(l1_ball_size(1), 5);
+/// assert_eq!(l1_ball_size(2), 13);
+/// ```
+#[inline]
+#[must_use]
+pub const fn l1_ball_size(r: u32) -> u64 {
+    let r = r as u64;
+    2 * r * r + 2 * r + 1
+}
+
+/// Iterator over the grid points within Manhattan distance `r` of a
+/// center, clipped to a `side × side` bounded grid.
+///
+/// Points are yielded row by row (increasing `y`, then increasing `x`),
+/// so the order is deterministic. This is the set of nodes an agent with
+/// transmission radius `r` can reach in one transmission (the paper's
+/// visibility-disk), and the set `D` of Lemma 3.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::{L1Ball, Point};
+///
+/// // Center of a 5×5 grid, radius 1: the plus-shape of 5 nodes.
+/// let pts: Vec<_> = L1Ball::new(Point::new(2, 2), 1, 5).collect();
+/// assert_eq!(pts.len(), 5);
+///
+/// // A corner ball is clipped.
+/// assert_eq!(L1Ball::new(Point::new(0, 0), 1, 5).count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct L1Ball {
+    center: Point,
+    r: u32,
+    side: u32,
+    /// Current row being emitted (absolute y), `None` once exhausted.
+    y: Option<u32>,
+    /// End row (inclusive, absolute y).
+    y_max: u32,
+    /// Current x within the row (absolute), and inclusive end.
+    x: u32,
+    x_max: u32,
+}
+
+impl L1Ball {
+    /// Creates the clipped L1 ball of radius `r` around `center` on a
+    /// bounded grid of side `side`.
+    ///
+    /// An empty iterator results if `center` lies outside the grid.
+    #[must_use]
+    pub fn new(center: Point, r: u32, side: u32) -> Self {
+        if side == 0 || center.x >= side || center.y >= side {
+            return Self { center, r, side, y: None, y_max: 0, x: 0, x_max: 0 };
+        }
+        let y_min = center.y.saturating_sub(r);
+        let y_max = (center.y + r).min(side - 1);
+        let mut ball = Self { center, r, side, y: Some(y_min), y_max, x: 0, x_max: 0 };
+        ball.reset_row(y_min);
+        ball
+    }
+
+    /// Initializes the x-range for row `y` from the remaining L1 budget.
+    fn reset_row(&mut self, y: u32) {
+        let budget = self.r - self.center.y.abs_diff(y);
+        self.x = self.center.x.saturating_sub(budget);
+        self.x_max = (self.center.x + budget).min(self.side - 1);
+    }
+
+    /// The number of points in the ball without iterating.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sparsegossip_grid::{L1Ball, Point};
+    /// let b = L1Ball::new(Point::new(2, 2), 2, 100);
+    /// assert_eq!(b.size(), 13);
+    /// ```
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        if self.side == 0 || self.center.x >= self.side || self.center.y >= self.side {
+            return 0;
+        }
+        let mut total = 0u64;
+        let y_min = self.center.y.saturating_sub(self.r);
+        let y_max = (self.center.y + self.r).min(self.side - 1);
+        for y in y_min..=y_max {
+            let budget = self.r - self.center.y.abs_diff(y);
+            let x_min = self.center.x.saturating_sub(budget);
+            let x_max = (self.center.x + budget).min(self.side - 1);
+            total += u64::from(x_max - x_min) + 1;
+        }
+        total
+    }
+}
+
+impl Iterator for L1Ball {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let y = self.y?;
+        let p = Point::new(self.x, y);
+        if self.x < self.x_max {
+            self.x += 1;
+        } else if y < self.y_max {
+            let ny = y + 1;
+            self.y = Some(ny);
+            self.reset_row(ny);
+        } else {
+            self.y = None;
+        }
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(center: Point, r: u32, side: u32) -> Vec<Point> {
+        let mut out = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                let p = Point::new(x, y);
+                if p.manhattan(center) <= r {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        for side in [1u32, 2, 5, 8] {
+            for r in [0u32, 1, 2, 3, 10] {
+                for cy in 0..side {
+                    for cx in 0..side {
+                        let c = Point::new(cx, cy);
+                        let got: Vec<_> = L1Ball::new(c, r, side).collect();
+                        let want = brute(c, r, side);
+                        assert_eq!(got, want, "center {c} r {r} side {side}");
+                        assert_eq!(L1Ball::new(c, r, side).size(), want.len() as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_ball_matches_closed_form() {
+        // Far from any boundary, the clipped ball equals the infinite-grid
+        // ball.
+        for r in 0..8 {
+            let b = L1Ball::new(Point::new(50, 50), r, 101);
+            assert_eq!(b.size(), l1_ball_size(r));
+        }
+    }
+
+    #[test]
+    fn radius_zero_is_singleton() {
+        let pts: Vec<_> = L1Ball::new(Point::new(3, 3), 0, 10).collect();
+        assert_eq!(pts, vec![Point::new(3, 3)]);
+    }
+
+    #[test]
+    fn out_of_grid_center_is_empty() {
+        assert_eq!(L1Ball::new(Point::new(9, 0), 3, 5).count(), 0);
+        assert_eq!(L1Ball::new(Point::new(9, 0), 3, 5).size(), 0);
+    }
+
+    #[test]
+    fn huge_radius_covers_whole_grid() {
+        let side = 7;
+        assert_eq!(L1Ball::new(Point::new(3, 3), 1000, side).count() as u64, 49);
+    }
+
+    #[test]
+    fn closed_form_first_values() {
+        assert_eq!(l1_ball_size(3), 25);
+        assert_eq!(l1_ball_size(4), 41);
+    }
+}

@@ -1,0 +1,320 @@
+use rand::RngExt;
+
+use crate::{Direction, GridError, Point, Topology};
+
+/// A bounded grid with **mobility barriers**: rectangular regions of
+/// blocked nodes that agents can neither occupy nor traverse.
+///
+/// This implements the extension sketched in §4 of the paper ("more
+/// complex planar domains that include both communication and mobility
+/// barriers"). Barriers block *movement*; the visibility graph still
+/// uses plain Manhattan distance (radio propagates over walls) — the
+/// communication-barrier variant is a straightforward composition with
+/// a custom component builder and is left to the experiments.
+///
+/// Walks on a `BarrierGrid` remain lazy walks: a step into a blocked
+/// node simply does not exist, so the holding probability grows exactly
+/// as at the outer boundary, and the uniform distribution over *open*
+/// nodes stays stationary.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::{BarrierGrid, Point, Topology};
+///
+/// // A 10×10 grid with a 1×4 wall.
+/// let g = BarrierGrid::with_barriers(
+///     10,
+///     &[(Point::new(4, 3), Point::new(4, 6))],
+/// )?;
+/// assert_eq!(g.num_nodes(), 96);
+/// assert!(!g.is_open(Point::new(4, 4)));
+/// // The wall blocks eastward movement at (3, 4).
+/// use sparsegossip_grid::Direction;
+/// assert_eq!(g.neighbor(Point::new(3, 4), Direction::East), None);
+/// # Ok::<(), sparsegossip_grid::GridError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierGrid {
+    side: u32,
+    /// Bitset over node ids; a set bit means the node is open.
+    open: Vec<u64>,
+    open_count: u64,
+}
+
+impl BarrierGrid {
+    /// Creates a barrier grid with all nodes open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::ZeroSide`] / [`GridError::SideTooLarge`] as
+    /// [`Grid::new`](crate::Grid::new).
+    pub fn new(side: u32) -> Result<Self, GridError> {
+        if side == 0 {
+            return Err(GridError::ZeroSide);
+        }
+        if side > crate::Grid::MAX_SIDE {
+            return Err(GridError::SideTooLarge { side });
+        }
+        let n = u64::from(side) * u64::from(side);
+        let mut open = vec![!0u64; (n as usize).div_ceil(64)];
+        let tail = (n % 64) as u32;
+        if tail != 0 {
+            if let Some(last) = open.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Ok(Self { side, open, open_count: n })
+    }
+
+    /// Creates a barrier grid with the given inclusive rectangles
+    /// blocked. Each rectangle is `(min, max)` in grid coordinates.
+    ///
+    /// # Errors
+    ///
+    /// As [`BarrierGrid::new`], plus [`GridError::BarrierOutOfBounds`]
+    /// if a rectangle leaves the grid or is inverted, and
+    /// [`GridError::NoOpenNodes`] if the barriers block everything.
+    pub fn with_barriers(side: u32, rects: &[(Point, Point)]) -> Result<Self, GridError> {
+        let mut g = Self::new(side)?;
+        for &(min, max) in rects {
+            if min.x > max.x || min.y > max.y || max.x >= side || max.y >= side {
+                return Err(GridError::BarrierOutOfBounds { min, max, side });
+            }
+            for y in min.y..=max.y {
+                for x in min.x..=max.x {
+                    g.block(Point::new(x, y));
+                }
+            }
+        }
+        if g.open_count == 0 {
+            return Err(GridError::NoOpenNodes);
+        }
+        Ok(g)
+    }
+
+    /// Blocks a single node (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the bounding square.
+    pub fn block(&mut self, p: Point) {
+        assert!(p.x < self.side && p.y < self.side, "point {p} outside the grid");
+        let id = (u64::from(p.y) * u64::from(self.side) + u64::from(p.x)) as usize;
+        let mask = 1u64 << (id % 64);
+        if self.open[id / 64] & mask != 0 {
+            self.open[id / 64] &= !mask;
+            self.open_count -= 1;
+        }
+    }
+
+    /// Whether `p` is inside the bounding square and not blocked.
+    #[inline]
+    #[must_use]
+    pub fn is_open(&self, p: Point) -> bool {
+        if p.x >= self.side || p.y >= self.side {
+            return false;
+        }
+        let id = (u64::from(p.y) * u64::from(self.side) + u64::from(p.x)) as usize;
+        self.open[id / 64] >> (id % 64) & 1 == 1
+    }
+
+    /// The number of open (walkable) nodes.
+    #[inline]
+    #[must_use]
+    pub fn open_count(&self) -> u64 {
+        self.open_count
+    }
+
+    /// Whether the open region is connected (BFS from an arbitrary open
+    /// node). Dissemination experiments should require this, since a
+    /// rumor cannot jump across a disconnected mobility domain at
+    /// `r = 0`.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self.first_open() else { return true };
+        let n = (u64::from(self.side) * u64::from(self.side)) as usize;
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let id = |p: Point| (p.y * self.side + p.x) as usize;
+        seen[id(start)] = true;
+        queue.push_back(start);
+        let mut reached = 1u64;
+        while let Some(p) = queue.pop_front() {
+            for dir in Direction::ALL {
+                if let Some(q) = self.neighbor(p, dir) {
+                    if !seen[id(q)] {
+                        seen[id(q)] = true;
+                        reached += 1;
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+        reached == self.open_count
+    }
+
+    /// The first open node in row-major order, if any.
+    fn first_open(&self) -> Option<Point> {
+        for (w, &word) in self.open.iter().enumerate() {
+            if word != 0 {
+                let id = w as u64 * 64 + u64::from(word.trailing_zeros());
+                return Some(Point::new(
+                    (id % u64::from(self.side)) as u32,
+                    (id / u64::from(self.side)) as u32,
+                ));
+            }
+        }
+        None
+    }
+}
+
+impl Topology for BarrierGrid {
+    #[inline]
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The number of *open* nodes (the walkable domain).
+    #[inline]
+    fn num_nodes(&self) -> u64 {
+        self.open_count
+    }
+
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.is_open(p)
+    }
+
+    #[inline]
+    fn neighbor(&self, p: Point, dir: Direction) -> Option<Point> {
+        let q = match dir {
+            Direction::North => (p.y + 1 < self.side).then(|| Point::new(p.x, p.y + 1)),
+            Direction::East => (p.x + 1 < self.side).then(|| Point::new(p.x + 1, p.y)),
+            Direction::South => (p.y > 0).then(|| Point::new(p.x, p.y - 1)),
+            Direction::West => (p.x > 0).then(|| Point::new(p.x - 1, p.y)),
+        }?;
+        self.is_open(q).then_some(q)
+    }
+
+    /// Samples an *open* node uniformly at random (rejection sampling;
+    /// cheap as long as a constant fraction of the grid is open).
+    fn random_point<R: RngExt>(&self, rng: &mut R) -> Point
+    where
+        Self: Sized,
+    {
+        assert!(self.open_count > 0, "no open nodes to sample");
+        loop {
+            let p =
+                Point::new(rng.random_range(0..self.side), rng.random_range(0..self.side));
+            if self.is_open(p) {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_barrier_grid_matches_plain_grid() {
+        let g = BarrierGrid::new(6).unwrap();
+        assert_eq!(g.num_nodes(), 36);
+        assert!(g.is_connected());
+        for y in 0..6 {
+            for x in 0..6 {
+                assert!(g.is_open(Point::new(x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn wall_blocks_movement_and_reduces_node_count() {
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 6))])
+            .unwrap();
+        assert_eq!(g.num_nodes(), 64 - 7);
+        assert_eq!(g.neighbor(Point::new(2, 3), Direction::East), None);
+        assert_eq!(g.neighbor(Point::new(4, 3), Direction::West), None);
+        // The gap at (3, 7) keeps the domain connected.
+        assert!(g.is_connected());
+        assert_eq!(g.degree(Point::new(2, 3)), 3);
+    }
+
+    #[test]
+    fn full_wall_disconnects() {
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 7))])
+            .unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn rejects_bad_rectangles() {
+        assert_eq!(
+            BarrierGrid::with_barriers(8, &[(Point::new(5, 0), Point::new(4, 0))]),
+            Err(GridError::BarrierOutOfBounds {
+                min: Point::new(5, 0),
+                max: Point::new(4, 0),
+                side: 8
+            })
+        );
+        assert!(BarrierGrid::with_barriers(8, &[(Point::new(0, 0), Point::new(8, 0))])
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_fully_blocked_grid() {
+        assert_eq!(
+            BarrierGrid::with_barriers(4, &[(Point::new(0, 0), Point::new(3, 3))]),
+            Err(GridError::NoOpenNodes)
+        );
+    }
+
+    #[test]
+    fn random_point_avoids_barriers() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(0, 0), Point::new(6, 6))])
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            assert!(g.is_open(g.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn walk_never_enters_barrier() {
+        use crate::Topology;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = BarrierGrid::with_barriers(12, &[(Point::new(4, 4), Point::new(7, 7))])
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Simulate the lazy step law inline (walks crate depends on us,
+        // not vice versa).
+        let mut p = Point::new(0, 0);
+        for _ in 0..5000 {
+            let u = rng.random_range(0..5u32) as usize;
+            p = g.neighbors(p).get(u).unwrap_or(p);
+            assert!(g.is_open(p), "walk entered barrier at {p}");
+        }
+    }
+
+    #[test]
+    fn block_is_idempotent() {
+        let mut g = BarrierGrid::new(4).unwrap();
+        g.block(Point::new(1, 1));
+        g.block(Point::new(1, 1));
+        assert_eq!(g.num_nodes(), 15);
+    }
+
+    #[test]
+    fn contains_means_open() {
+        let g = BarrierGrid::with_barriers(6, &[(Point::new(2, 2), Point::new(2, 2))])
+            .unwrap();
+        assert!(!g.contains(Point::new(2, 2)));
+        assert!(g.contains(Point::new(2, 3)));
+        assert!(!g.contains(Point::new(6, 0)));
+    }
+}

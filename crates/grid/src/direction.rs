@@ -1,0 +1,98 @@
+use core::fmt;
+
+/// One of the four axis-aligned grid directions.
+///
+/// The fixed order `North, East, South, West` defines the canonical
+/// neighbor enumeration used by the lazy-walk step law, so walk traces are
+/// reproducible across runs given the same RNG seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// `y + 1`
+    North,
+    /// `x + 1`
+    East,
+    /// `y - 1`
+    South,
+    /// `x - 1`
+    West,
+}
+
+impl Direction {
+    /// All four directions in canonical order.
+    pub const ALL: [Self; 4] = [Self::North, Self::East, Self::South, Self::West];
+
+    /// The opposite direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sparsegossip_grid::Direction;
+    /// assert_eq!(Direction::North.opposite(), Direction::South);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn opposite(self) -> Self {
+        match self {
+            Self::North => Self::South,
+            Self::East => Self::West,
+            Self::South => Self::North,
+            Self::West => Self::East,
+        }
+    }
+
+    /// The coordinate offset `(dx, dy)` of a unit step in this direction.
+    #[inline]
+    #[must_use]
+    pub const fn offset(self) -> (i32, i32) {
+        match self {
+            Self::North => (0, 1),
+            Self::East => (1, 0),
+            Self::South => (0, -1),
+            Self::West => (-1, 0),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::North => "north",
+            Self::East => "east",
+            Self::South => "south",
+            Self::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_an_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn offsets_sum_to_zero_over_all_directions() {
+        let (sx, sy) = Direction::ALL
+            .iter()
+            .fold((0, 0), |(ax, ay), d| {
+                let (dx, dy) = d.offset();
+                (ax + dx, ay + dy)
+            });
+        assert_eq!((sx, sy), (0, 0));
+    }
+
+    #[test]
+    fn opposite_offsets_negate() {
+        for d in Direction::ALL {
+            let (dx, dy) = d.offset();
+            let (ox, oy) = d.opposite().offset();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+use core::fmt;
+
+/// Errors arising when constructing grid-domain objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The requested grid side was zero.
+    ZeroSide,
+    /// The requested grid side exceeds the supported maximum (`65535`,
+    /// so that node indices fit in `u32`).
+    SideTooLarge {
+        /// The side that was requested.
+        side: u32,
+    },
+    /// The requested tessellation cell side was zero.
+    ZeroCellSide,
+    /// The requested tessellation cell side exceeds the grid side.
+    CellLargerThanGrid {
+        /// The cell side that was requested.
+        cell_side: u32,
+        /// The grid side.
+        side: u32,
+    },
+    /// A barrier rectangle leaves the grid or has inverted corners.
+    BarrierOutOfBounds {
+        /// Rectangle minimum corner.
+        min: crate::Point,
+        /// Rectangle maximum corner.
+        max: crate::Point,
+        /// The grid side.
+        side: u32,
+    },
+    /// The requested barriers block every node of the grid.
+    NoOpenNodes,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroSide => write!(f, "grid side must be positive"),
+            Self::SideTooLarge { side } => {
+                write!(f, "grid side {side} exceeds the supported maximum of 65535")
+            }
+            Self::ZeroCellSide => write!(f, "tessellation cell side must be positive"),
+            Self::CellLargerThanGrid { cell_side, side } => write!(
+                f,
+                "tessellation cell side {cell_side} exceeds grid side {side}"
+            ),
+            Self::BarrierOutOfBounds { min, max, side } => write!(
+                f,
+                "barrier rectangle {min}..{max} invalid on a side-{side} grid"
+            ),
+            Self::NoOpenNodes => write!(f, "barriers block every node of the grid"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_unpunctuated() {
+        let variants = [
+            GridError::ZeroSide,
+            GridError::SideTooLarge { side: 70000 },
+            GridError::ZeroCellSide,
+            GridError::CellLargerThanGrid { cell_side: 9, side: 8 },
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "message {msg:?} ends with punctuation");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message {msg:?} starts uppercase"
+            );
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GridError>();
+    }
+}

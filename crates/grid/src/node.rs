@@ -1,0 +1,88 @@
+use core::fmt;
+
+/// Row-major index of a grid node.
+///
+/// For a grid of side `s`, the point `(x, y)` has index `y * s + x`. The
+/// newtype prevents accidentally mixing node indices with agent indices or
+/// raw coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::{Grid, NodeId, Point, Topology};
+///
+/// let grid = Grid::new(8)?;
+/// let id = grid.node_id(Point::new(3, 2));
+/// assert_eq!(id, NodeId::new(19));
+/// assert_eq!(grid.point_of(id), Point::new(3, 2));
+/// # Ok::<(), sparsegossip_grid::GridError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Wraps a raw row-major index.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw row-major index.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index widened to `usize` for slice addressing.
+    #[inline]
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.as_usize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_raw_index() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_usize(), 42usize);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(usize::from(id), 42usize);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+}

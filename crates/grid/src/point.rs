@@ -1,0 +1,121 @@
+use core::fmt;
+
+/// A grid coordinate pair `(x, y)` with `0 ≤ x, y < side`.
+///
+/// `x` grows eastward (columns) and `y` grows northward (rows). All
+/// distance helpers are total functions on arbitrary points; whether a
+/// point lies inside a particular grid is decided by
+/// [`Topology::contains`](crate::Topology::contains).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::Point;
+///
+/// let a = Point::new(0, 0);
+/// let b = Point::new(3, 4);
+/// assert_eq!(a.manhattan(b), 7);
+/// assert_eq!(a.chebyshev(b), 4);
+/// assert_eq!(a.euclidean_sq(b), 25);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// Column index (eastward).
+    pub x: u32,
+    /// Row index (northward).
+    pub y: u32,
+}
+
+impl Point {
+    /// Creates a point from its column and row indices.
+    #[inline]
+    #[must_use]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// This is the distance notion `||u - v||` used throughout the paper.
+    #[inline]
+    #[must_use]
+    pub const fn manhattan(self, other: Self) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    #[inline]
+    #[must_use]
+    pub const fn chebyshev(self, other: Self) -> u32 {
+        let dx = self.x.abs_diff(other.x);
+        let dy = self.y.abs_diff(other.y);
+        if dx > dy {
+            dx
+        } else {
+            dy
+        }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Returned squared to stay in integer arithmetic; useful for disk
+    /// (L2-ball) experiments.
+    #[inline]
+    #[must_use]
+    pub const fn euclidean_sq(self, other: Self) -> u64 {
+        let dx = self.x.abs_diff(other.x) as u64;
+        let dy = self.y.abs_diff(other.y) as u64;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u32, u32)> for Point {
+    #[inline]
+    fn from((x, y): (u32, u32)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_diagonal() {
+        let a = Point::new(2, 9);
+        let b = Point::new(7, 1);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), 5 + 8);
+    }
+
+    #[test]
+    fn chebyshev_lower_bounds_manhattan() {
+        let a = Point::new(0, 0);
+        let b = Point::new(5, 3);
+        assert!(a.chebyshev(b) <= a.manhattan(b));
+        assert_eq!(a.chebyshev(b), 5);
+    }
+
+    #[test]
+    fn euclidean_sq_matches_hand_computation() {
+        assert_eq!(Point::new(1, 1).euclidean_sq(Point::new(4, 5)), 9 + 16);
+    }
+
+    #[test]
+    fn display_is_coordinate_pair() {
+        assert_eq!(Point::new(3, 4).to_string(), "(3, 4)");
+    }
+
+    #[test]
+    fn conversion_from_tuple() {
+        let p: Point = (8, 2).into();
+        assert_eq!(p, Point::new(8, 2));
+    }
+}

@@ -1,0 +1,305 @@
+use core::fmt;
+
+use crate::{GridError, Point};
+
+/// Identifier of a tessellation cell, row-major over the cell lattice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Wraps a raw row-major cell index.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw row-major cell index.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index widened to `usize` for slice addressing.
+    #[inline]
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A partition of a `side × side` grid into square cells of side
+/// `cell_side` (cells in the last row/column may be smaller).
+///
+/// This mirrors the tessellation into `ℓ × ℓ` cells with
+/// `ℓ = sqrt(14 n log³n / (c₃ k))` used in the proof of Theorem 1: the
+/// rumor spreads cell by cell, each cell being "reached" when the first
+/// informed agent enters it. The experiment binaries use it to measure
+/// cell-reach times and exploration fronts.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::{Point, Tessellation};
+///
+/// let t = Tessellation::new(10, 4)?; // cells: 4,4,2 per axis → 3×3 cells
+/// assert_eq!(t.cells_per_side(), 3);
+/// assert_eq!(t.num_cells(), 9);
+/// let c = t.cell_of(Point::new(9, 9));
+/// assert_eq!(c.index(), 8);
+/// # Ok::<(), sparsegossip_grid::GridError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tessellation {
+    side: u32,
+    cell_side: u32,
+    cells_per_side: u32,
+}
+
+impl Tessellation {
+    /// Creates a tessellation of a grid of side `side` into cells of side
+    /// `cell_side`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::ZeroSide`] / [`GridError::ZeroCellSide`] on
+    /// zero arguments and [`GridError::CellLargerThanGrid`] if
+    /// `cell_side > side`.
+    pub fn new(side: u32, cell_side: u32) -> Result<Self, GridError> {
+        if side == 0 {
+            return Err(GridError::ZeroSide);
+        }
+        if cell_side == 0 {
+            return Err(GridError::ZeroCellSide);
+        }
+        if cell_side > side {
+            return Err(GridError::CellLargerThanGrid { cell_side, side });
+        }
+        Ok(Self { side, cell_side, cells_per_side: side.div_ceil(cell_side) })
+    }
+
+    /// The tessellation with the paper's cell side
+    /// `ℓ = sqrt(14 n log³n / (c₃ k))`, scaled by `c3` (the constant of
+    /// Lemma 3) and clamped to `[1, side]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `side == 0`.
+    pub fn paper_cells(side: u32, k: u64, c3: f64) -> Result<Self, GridError> {
+        if side == 0 {
+            return Err(GridError::ZeroSide);
+        }
+        let n = f64::from(side) * f64::from(side);
+        let log_n = n.ln().max(1.0);
+        let ell = (14.0 * n * log_n.powi(3) / (c3 * k.max(1) as f64)).sqrt();
+        let cell_side = (ell.round() as u32).clamp(1, side);
+        Self::new(side, cell_side)
+    }
+
+    /// The grid side this tessellation partitions.
+    #[inline]
+    #[must_use]
+    pub const fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The nominal cell side `ℓ`.
+    #[inline]
+    #[must_use]
+    pub const fn cell_side(&self) -> u32 {
+        self.cell_side
+    }
+
+    /// The number of cells along each axis, `⌈side / ℓ⌉`.
+    #[inline]
+    #[must_use]
+    pub const fn cells_per_side(&self) -> u32 {
+        self.cells_per_side
+    }
+
+    /// The total number of cells.
+    #[inline]
+    #[must_use]
+    pub const fn num_cells(&self) -> u64 {
+        let c = self.cells_per_side as u64;
+        c * c
+    }
+
+    /// The cell containing grid point `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` lies outside the grid.
+    #[inline]
+    #[must_use]
+    pub fn cell_of(&self, p: Point) -> CellId {
+        debug_assert!(p.x < self.side && p.y < self.side);
+        let cx = p.x / self.cell_side;
+        let cy = p.y / self.cell_side;
+        CellId::new(cy * self.cells_per_side + cx)
+    }
+
+    /// The inclusive bounds `(min, max)` of cell `c` in grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `c` is out of range.
+    #[must_use]
+    pub fn cell_bounds(&self, c: CellId) -> (Point, Point) {
+        debug_assert!((c.index() as u64) < self.num_cells());
+        let cx = c.index() % self.cells_per_side;
+        let cy = c.index() / self.cells_per_side;
+        let min = Point::new(cx * self.cell_side, cy * self.cell_side);
+        let max = Point::new(
+            (min.x + self.cell_side - 1).min(self.side - 1),
+            (min.y + self.cell_side - 1).min(self.side - 1),
+        );
+        (min, max)
+    }
+
+    /// The node nearest the geometric center of cell `c`.
+    #[must_use]
+    pub fn cell_center(&self, c: CellId) -> Point {
+        let (min, max) = self.cell_bounds(c);
+        Point::new(min.x + (max.x - min.x) / 2, min.y + (max.y - min.y) / 2)
+    }
+
+    /// The 4-neighborhood (von Neumann adjacency) of cell `c`: cells
+    /// sharing a side, as used in Lemma 5 ("adjacent cells").
+    #[must_use]
+    pub fn adjacent_cells(&self, c: CellId) -> Vec<CellId> {
+        let cps = self.cells_per_side;
+        let cx = c.index() % cps;
+        let cy = c.index() / cps;
+        let mut out = Vec::with_capacity(4);
+        if cy + 1 < cps {
+            out.push(CellId::new((cy + 1) * cps + cx));
+        }
+        if cx + 1 < cps {
+            out.push(CellId::new(cy * cps + cx + 1));
+        }
+        if cy > 0 {
+            out.push(CellId::new((cy - 1) * cps + cx));
+        }
+        if cx > 0 {
+            out.push(CellId::new(cy * cps + cx - 1));
+        }
+        out
+    }
+
+    /// Iterates over all cell identifiers in row-major order.
+    pub fn cells(&self) -> impl ExactSizeIterator<Item = CellId> {
+        (0..self.num_cells() as u32).map(CellId::new)
+    }
+
+    /// Manhattan distance from `p` to the nearest node of cell `c`
+    /// (zero if `p` lies inside the cell).
+    #[must_use]
+    pub fn distance_to_cell(&self, p: Point, c: CellId) -> u32 {
+        let (min, max) = self.cell_bounds(c);
+        let dx = if p.x < min.x {
+            min.x - p.x
+        } else if p.x > max.x {
+            p.x - max.x
+        } else {
+            0
+        };
+        let dy = if p.y < min.y {
+            min.y - p.y
+        } else if p.y > max.y {
+            p.y - max.y
+        } else {
+            0
+        };
+        dx + dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Tessellation::new(0, 1), Err(GridError::ZeroSide));
+        assert_eq!(Tessellation::new(8, 0), Err(GridError::ZeroCellSide));
+        assert_eq!(
+            Tessellation::new(4, 5),
+            Err(GridError::CellLargerThanGrid { cell_side: 5, side: 4 })
+        );
+    }
+
+    #[test]
+    fn cells_partition_the_grid() {
+        let t = Tessellation::new(10, 3).unwrap();
+        assert_eq!(t.cells_per_side(), 4);
+        // Every point belongs to exactly one cell whose bounds contain it.
+        let mut counts = vec![0u32; t.num_cells() as usize];
+        for y in 0..10 {
+            for x in 0..10 {
+                let p = Point::new(x, y);
+                let c = t.cell_of(p);
+                let (min, max) = t.cell_bounds(c);
+                assert!(p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y);
+                counts[c.as_usize()] += 1;
+            }
+        }
+        assert_eq!(counts.iter().sum::<u32>(), 100);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn boundary_cells_are_clipped() {
+        let t = Tessellation::new(10, 4).unwrap();
+        let last = CellId::new((t.num_cells() - 1) as u32);
+        let (min, max) = t.cell_bounds(last);
+        assert_eq!(min, Point::new(8, 8));
+        assert_eq!(max, Point::new(9, 9));
+    }
+
+    #[test]
+    fn adjacency_is_mutual_and_bounded() {
+        let t = Tessellation::new(12, 4).unwrap();
+        for c in t.cells() {
+            let adj = t.adjacent_cells(c);
+            assert!(adj.len() >= 2 && adj.len() <= 4);
+            for a in &adj {
+                assert!(t.adjacent_cells(*a).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_center_lies_in_cell() {
+        let t = Tessellation::new(11, 4).unwrap();
+        for c in t.cells() {
+            assert_eq!(t.cell_of(t.cell_center(c)), c);
+        }
+    }
+
+    #[test]
+    fn distance_to_cell_zero_inside_positive_outside() {
+        let t = Tessellation::new(12, 4).unwrap();
+        let c = t.cell_of(Point::new(0, 0));
+        assert_eq!(t.distance_to_cell(Point::new(1, 2), c), 0);
+        assert_eq!(t.distance_to_cell(Point::new(5, 0), c), 2);
+        assert_eq!(t.distance_to_cell(Point::new(5, 6), c), 2 + 3);
+    }
+
+    #[test]
+    fn paper_cells_clamps_to_grid() {
+        // Tiny k forces enormous ℓ, clamped to the side.
+        let t = Tessellation::paper_cells(32, 1, 0.5).unwrap();
+        assert_eq!(t.cell_side(), 32);
+        // Huge k forces ℓ → 1.
+        let t = Tessellation::paper_cells(32, u64::MAX, 0.5).unwrap();
+        assert_eq!(t.cell_side(), 1);
+    }
+}

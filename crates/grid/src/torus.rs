@@ -1,0 +1,143 @@
+use crate::{Direction, GridError, Point, Topology};
+
+/// A wrap-around `side × side` torus.
+///
+/// Every node has degree 4, so the paper's lazy walk has a uniform
+/// holding probability of 1/5 everywhere. The torus is not part of the
+/// paper's model; it exists for the boundary-sensitivity ablation
+/// (experiment `exp_ablation_lazy`): below the percolation point the
+/// broadcast-time scaling is the same with or without a boundary.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::{Direction, Point, Topology, Torus};
+///
+/// let t = Torus::new(8)?;
+/// // West of column 0 wraps to column 7.
+/// assert_eq!(
+///     t.neighbor(Point::new(0, 3), Direction::West),
+///     Some(Point::new(7, 3)),
+/// );
+/// assert_eq!(t.degree(Point::new(0, 0)), 4);
+/// # Ok::<(), sparsegossip_grid::GridError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Torus {
+    side: u32,
+}
+
+impl Torus {
+    /// Creates a torus with the given side length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::ZeroSide`] if `side == 0` and
+    /// [`GridError::SideTooLarge`] if `side > 65535`.
+    pub fn new(side: u32) -> Result<Self, GridError> {
+        if side == 0 {
+            return Err(GridError::ZeroSide);
+        }
+        if side > crate::Grid::MAX_SIDE {
+            return Err(GridError::SideTooLarge { side });
+        }
+        Ok(Self { side })
+    }
+
+    /// Manhattan distance on the torus (shortest wrap-aware path).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sparsegossip_grid::{Point, Torus};
+    /// let t = Torus::new(10)?;
+    /// assert_eq!(t.manhattan(Point::new(0, 0), Point::new(9, 9)), 2);
+    /// # Ok::<(), sparsegossip_grid::GridError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn manhattan(&self, a: Point, b: Point) -> u32 {
+        let dx = a.x.abs_diff(b.x);
+        let dy = a.y.abs_diff(b.y);
+        dx.min(self.side - dx) + dy.min(self.side - dy)
+    }
+}
+
+impl Topology for Torus {
+    #[inline]
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    #[inline]
+    fn neighbor(&self, p: Point, dir: Direction) -> Option<Point> {
+        let s = self.side;
+        // A 1-node torus is a single self-looped point; report no
+        // neighbors so the walk degenerates to standing still.
+        if s == 1 {
+            return None;
+        }
+        let q = match dir {
+            Direction::North => Point::new(p.x, if p.y + 1 == s { 0 } else { p.y + 1 }),
+            Direction::East => Point::new(if p.x + 1 == s { 0 } else { p.x + 1 }, p.y),
+            Direction::South => Point::new(p.x, if p.y == 0 { s - 1 } else { p.y - 1 }),
+            Direction::West => Point::new(if p.x == 0 { s - 1 } else { p.x - 1 }, p.y),
+        };
+        Some(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_have_degree_four() {
+        let t = Torus::new(5).unwrap();
+        for p in t.points() {
+            assert_eq!(t.degree(p), 4);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        let t = Torus::new(6).unwrap();
+        for p in t.points() {
+            for dir in Direction::ALL {
+                let q = t.neighbor(p, dir).unwrap();
+                assert_eq!(t.neighbor(q, dir.opposite()), Some(p));
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_distance_is_shortest() {
+        let t = Torus::new(10).unwrap();
+        let a = Point::new(1, 1);
+        let b = Point::new(8, 8);
+        assert_eq!(t.manhattan(a, b), 3 + 3);
+        assert_eq!(t.manhattan(a, a), 0);
+        assert_eq!(t.manhattan(a, b), t.manhattan(b, a));
+    }
+
+    #[test]
+    fn single_node_torus_degenerates() {
+        let t = Torus::new(1).unwrap();
+        assert_eq!(t.degree(Point::new(0, 0)), 0);
+    }
+
+    #[test]
+    fn rejects_zero_side() {
+        assert_eq!(Torus::new(0), Err(GridError::ZeroSide));
+    }
+
+    #[test]
+    fn torus_distance_never_exceeds_flat_distance() {
+        let t = Torus::new(9).unwrap();
+        for p in t.points().step_by(7) {
+            for q in t.points().step_by(5) {
+                assert!(t.manhattan(p, q) <= p.manhattan(q));
+            }
+        }
+    }
+}

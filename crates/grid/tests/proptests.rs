@@ -1,0 +1,143 @@
+//! Property-based tests for the grid substrate.
+
+use proptest::prelude::*;
+use sparsegossip_grid::{Direction, Grid, L1Ball, Point, Tessellation, Topology, Torus};
+
+fn arb_side() -> impl Strategy<Value = u32> {
+    1u32..64
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(
+        ax in 0u32..1000, ay in 0u32..1000,
+        bx in 0u32..1000, by in 0u32..1000,
+        cx in 0u32..1000, cy in 0u32..1000,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn chebyshev_sandwich(
+        ax in 0u32..1000, ay in 0u32..1000,
+        bx in 0u32..1000, by in 0u32..1000,
+    ) {
+        // chebyshev ≤ manhattan ≤ 2·chebyshev on the plane.
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+        prop_assert!(a.manhattan(b) <= 2 * a.chebyshev(b));
+    }
+
+    #[test]
+    fn grid_node_id_bijection(side in arb_side(), x in 0u32..64, y in 0u32..64) {
+        let g = Grid::new(side).unwrap();
+        let p = Point::new(x % side, y % side);
+        prop_assert_eq!(g.point_of(g.node_id(p)), p);
+        prop_assert!(g.node_id(p).as_usize() < g.num_nodes() as usize);
+    }
+
+    #[test]
+    fn grid_neighbor_reciprocity(side in arb_side(), x in 0u32..64, y in 0u32..64) {
+        let g = Grid::new(side).unwrap();
+        let p = Point::new(x % side, y % side);
+        for dir in Direction::ALL {
+            if let Some(q) = g.neighbor(p, dir) {
+                prop_assert_eq!(g.neighbor(q, dir.opposite()), Some(p));
+                prop_assert_eq!(p.manhattan(q), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_neighbor_reciprocity(side in 2u32..64, x in 0u32..64, y in 0u32..64) {
+        let t = Torus::new(side).unwrap();
+        let p = Point::new(x % side, y % side);
+        for dir in Direction::ALL {
+            let q = t.neighbor(p, dir).unwrap();
+            prop_assert_eq!(t.neighbor(q, dir.opposite()), Some(p));
+            prop_assert_eq!(t.manhattan(p, q), 1);
+        }
+    }
+
+    #[test]
+    fn torus_distance_is_a_metric(
+        side in 2u32..32,
+        ax in 0u32..32, ay in 0u32..32,
+        bx in 0u32..32, by in 0u32..32,
+        cx in 0u32..32, cy in 0u32..32,
+    ) {
+        let t = Torus::new(side).unwrap();
+        let a = Point::new(ax % side, ay % side);
+        let b = Point::new(bx % side, by % side);
+        let c = Point::new(cx % side, cy % side);
+        prop_assert_eq!(t.manhattan(a, b), t.manhattan(b, a));
+        prop_assert_eq!(t.manhattan(a, a), 0);
+        prop_assert!(t.manhattan(a, c) <= t.manhattan(a, b) + t.manhattan(b, c));
+    }
+
+    #[test]
+    fn ball_members_are_exactly_close_points(
+        side in arb_side(), cx in 0u32..64, cy in 0u32..64, r in 0u32..20,
+    ) {
+        let c = Point::new(cx % side, cy % side);
+        let ball: Vec<Point> = L1Ball::new(c, r, side).collect();
+        prop_assert_eq!(ball.len() as u64, L1Ball::new(c, r, side).size());
+        for p in &ball {
+            prop_assert!(p.manhattan(c) <= r);
+            prop_assert!(p.x < side && p.y < side);
+        }
+        // Completeness: count by brute force.
+        let brute = (0..side)
+            .flat_map(|y| (0..side).map(move |x| Point::new(x, y)))
+            .filter(|p| p.manhattan(c) <= r)
+            .count();
+        prop_assert_eq!(ball.len(), brute);
+    }
+
+    #[test]
+    fn tessellation_partitions(side in arb_side(), cell in 1u32..64) {
+        let cell = cell.min(side);
+        let t = Tessellation::new(side, cell).unwrap();
+        let mut seen = vec![0u64; t.num_cells() as usize];
+        for y in 0..side {
+            for x in 0..side {
+                let c = t.cell_of(Point::new(x, y));
+                seen[c.as_usize()] += 1;
+            }
+        }
+        prop_assert_eq!(seen.iter().sum::<u64>(), u64::from(side) * u64::from(side));
+        prop_assert!(seen.iter().all(|&s| s > 0));
+        // No cell exceeds the nominal area.
+        prop_assert!(seen.iter().all(|&s| s <= u64::from(cell) * u64::from(cell)));
+    }
+
+    #[test]
+    fn tessellation_distance_consistent(
+        side in 4u32..64, cell in 1u32..16, x in 0u32..64, y in 0u32..64,
+    ) {
+        let cell = cell.min(side);
+        let t = Tessellation::new(side, cell).unwrap();
+        let p = Point::new(x % side, y % side);
+        for c in t.cells() {
+            let d = t.distance_to_cell(p, c);
+            // Distance is zero iff p is in the cell.
+            prop_assert_eq!(d == 0, t.cell_of(p) == c || {
+                let (min, max) = t.cell_bounds(c);
+                p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y
+            });
+            // The bound is achieved by some node of the cell.
+            let (min, max) = t.cell_bounds(c);
+            let mut best = u32::MAX;
+            for yy in min.y..=max.y {
+                for xx in min.x..=max.x {
+                    best = best.min(p.manhattan(Point::new(xx, yy)));
+                }
+            }
+            prop_assert_eq!(d, best);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+use rand::RngExt;
+use sparsegossip_grid::{Point, Topology};
+
+use crate::{BitSet, WalkEngine, WalkError};
+
+/// Outcome of a multi-walk cover run (§4 of the paper: the cover time of
+/// `k` independent walks is `O(n log²n / k + n log n)` w.h.p.).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoverRun {
+    /// First step at which every node had been visited, or `None` if the
+    /// cap was reached first.
+    pub cover_time: Option<u64>,
+    /// Number of distinct nodes covered when the run ended.
+    pub covered: u64,
+    /// Total number of nodes in the topology.
+    pub num_nodes: u64,
+}
+
+impl CoverRun {
+    /// Fraction of nodes covered, in `[0, 1]`.
+    #[must_use]
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.num_nodes == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.num_nodes as f64
+        }
+    }
+}
+
+/// Incremental tracker of the nodes covered by a set of walks.
+///
+/// Feed it every position after every step; it maintains the covered
+/// count so completion checks are O(1).
+#[derive(Clone, Debug)]
+pub struct CoverTracker {
+    visited: BitSet,
+    covered: u64,
+    num_nodes: u64,
+}
+
+impl CoverTracker {
+    /// Creates a tracker for the topology's node set. The bitset spans
+    /// the full `side²` id space so domains with barriers index
+    /// correctly; completeness is judged against
+    /// [`Topology::num_nodes`] (the walkable count).
+    #[must_use]
+    pub fn new<T: Topology>(topo: &T) -> Self {
+        let id_space = (topo.side() as usize).pow(2);
+        Self { visited: BitSet::new(id_space), covered: 0, num_nodes: topo.num_nodes() }
+    }
+
+    /// Records a visit, returning `true` if the node was fresh.
+    #[inline]
+    pub fn record<T: Topology>(&mut self, topo: &T, p: Point) -> bool {
+        let fresh = self.visited.insert(topo.node_id(p).as_usize());
+        if fresh {
+            self.covered += 1;
+        }
+        fresh
+    }
+
+    /// The number of covered nodes.
+    #[inline]
+    #[must_use]
+    pub fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// Whether every node has been covered.
+    #[inline]
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.covered == self.num_nodes
+    }
+
+    /// Read access to the covered-node set.
+    #[inline]
+    #[must_use]
+    pub fn visited_set(&self) -> &BitSet {
+        &self.visited
+    }
+}
+
+/// Runs `k` uniformly-placed lazy walks until every node of `topo` has
+/// been visited, or `cap` steps elapse.
+///
+/// Initial positions count as visits at time 0.
+///
+/// # Errors
+///
+/// Returns [`WalkError::NoAgents`] if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::Grid;
+/// use sparsegossip_walks::multi_cover;
+///
+/// let grid = Grid::new(16)?;
+/// let mut rng = SmallRng::seed_from_u64(6);
+/// let run = multi_cover(grid, 8, 1_000_000, &mut rng)?;
+/// assert_eq!(run.cover_time.is_some(), run.covered == run.num_nodes);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn multi_cover<T: Topology, R: RngExt>(
+    topo: T,
+    k: usize,
+    cap: u64,
+    rng: &mut R,
+) -> Result<CoverRun, WalkError> {
+    let mut engine = WalkEngine::uniform(topo, k, rng)?;
+    let mut tracker = CoverTracker::new(engine.topology());
+    for i in 0..engine.len() {
+        let p = engine.position(i);
+        tracker.record(engine.topology(), p);
+    }
+    if tracker.is_complete() {
+        return Ok(CoverRun {
+            cover_time: Some(0),
+            covered: tracker.covered(),
+            num_nodes: engine.topology().num_nodes(),
+        });
+    }
+    for t in 1..=cap {
+        engine.step_all(rng);
+        for i in 0..engine.len() {
+            let p = engine.position(i);
+            tracker.record(engine.topology(), p);
+        }
+        if tracker.is_complete() {
+            return Ok(CoverRun {
+                cover_time: Some(t),
+                covered: tracker.covered(),
+                num_nodes: engine.topology().num_nodes(),
+            });
+        }
+    }
+    Ok(CoverRun {
+        cover_time: None,
+        covered: tracker.covered(),
+        num_nodes: engine.topology().num_nodes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Grid;
+
+    #[test]
+    fn single_node_grid_covers_at_time_zero() {
+        let g = Grid::new(1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let run = multi_cover(g, 1, 10, &mut rng).unwrap();
+        assert_eq!(run.cover_time, Some(0));
+        assert_eq!(run.coverage_fraction(), 1.0);
+    }
+
+    #[test]
+    fn small_grid_is_covered_quickly() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let run = multi_cover(g, 16, 100_000, &mut rng).unwrap();
+        assert!(run.cover_time.is_some(), "covered only {}", run.covered);
+        assert_eq!(run.covered, 64);
+    }
+
+    #[test]
+    fn cap_zero_reports_partial_coverage() {
+        let g = Grid::new(32).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let run = multi_cover(g, 4, 0, &mut rng).unwrap();
+        assert_eq!(run.cover_time, None);
+        assert!(run.covered >= 1 && run.covered <= 4);
+        assert!(run.coverage_fraction() < 1.0);
+    }
+
+    #[test]
+    fn more_walkers_cover_no_slower_on_average() {
+        // Directional sanity check of the §4 claim: doubling k should not
+        // increase the mean cover time (check with generous averaging).
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mean = |k: usize, rng: &mut SmallRng| {
+            let mut total = 0u64;
+            let reps = 10;
+            for _ in 0..reps {
+                let g = Grid::new(12).unwrap();
+                let run = multi_cover(g, k, 1_000_000, rng).unwrap();
+                total += run.cover_time.expect("run must complete");
+            }
+            total as f64 / f64::from(reps)
+        };
+        let slow = mean(2, &mut rng);
+        let fast = mean(32, &mut rng);
+        assert!(fast < slow, "k=32 mean {fast} not below k=2 mean {slow}");
+    }
+
+    #[test]
+    fn zero_agents_is_an_error() {
+        let g = Grid::new(4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        assert!(multi_cover(g, 0, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn tracker_counts_are_consistent() {
+        let g = Grid::new(4).unwrap();
+        let mut t = CoverTracker::new(&g);
+        assert!(!t.is_complete());
+        for p in g.points() {
+            t.record(&g, p);
+        }
+        assert!(t.is_complete());
+        assert_eq!(t.covered(), 16);
+        assert_eq!(t.visited_set().count_ones(), 16);
+    }
+}

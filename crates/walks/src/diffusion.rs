@@ -1,0 +1,146 @@
+use rand::RngExt;
+use sparsegossip_grid::{Point, Topology};
+
+use crate::lazy_step;
+
+/// The diffusion coefficient of the paper's lazy walk far from the
+/// boundary: per step, the walk moves with probability 4/5 by one node,
+/// so the mean squared (Euclidean) displacement grows as
+/// `MSD(t) = (4/5)·t`.
+pub const LAZY_WALK_MSD_SLOPE: f64 = 4.0 / 5.0;
+
+/// Estimates the mean squared displacement `E[‖X_t − X_0‖²]` of the
+/// lazy walk after `t` steps, averaged over `trials` walks started at
+/// `start`.
+///
+/// Diffusive scaling (`MSD ≈ 0.8·t` until boundary saturation) is what
+/// makes all of the paper's `d²`-step horizons (Lemmas 1–3) the right
+/// time scale: a walk needs `Θ(d²)` steps to travel distance `d`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `start` is outside the topology.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::{Grid, Point};
+/// use sparsegossip_walks::{mean_squared_displacement, LAZY_WALK_MSD_SLOPE};
+///
+/// let grid = Grid::new(256)?;
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let msd = mean_squared_displacement(
+///     &grid, Point::new(128, 128), 100, 400, &mut rng,
+/// );
+/// let per_step = msd / 100.0;
+/// assert!((per_step - LAZY_WALK_MSD_SLOPE).abs() < 0.15);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mean_squared_displacement<T: Topology, R: RngExt>(
+    topo: &T,
+    start: Point,
+    steps: u64,
+    trials: u32,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "at least one trial required");
+    assert!(topo.contains(start), "start must lie in the topology");
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let mut p = start;
+        for _ in 0..steps {
+            p = lazy_step(topo, p, rng);
+        }
+        total += start.euclidean_sq(p) as f64;
+    }
+    total / f64::from(trials)
+}
+
+/// A full MSD curve: `E[‖X_t − X_0‖²]` at each checkpoint time,
+/// estimated from `trials` independent walks.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `start` is outside the topology, or
+/// `checkpoints` is not strictly increasing.
+pub fn msd_curve<T: Topology, R: RngExt>(
+    topo: &T,
+    start: Point,
+    checkpoints: &[u64],
+    trials: u32,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(trials > 0, "at least one trial required");
+    assert!(topo.contains(start), "start must lie in the topology");
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly increasing"
+    );
+    let mut totals = vec![0.0; checkpoints.len()];
+    for _ in 0..trials {
+        let mut p = start;
+        let mut t = 0u64;
+        for (i, &cp) in checkpoints.iter().enumerate() {
+            while t < cp {
+                p = lazy_step(topo, p, rng);
+                t += 1;
+            }
+            totals[i] += start.euclidean_sq(p) as f64;
+        }
+    }
+    totals.iter().map(|s| s / f64::from(trials)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::{Grid, Torus};
+
+    #[test]
+    fn interior_msd_is_linear_with_slope_four_fifths() {
+        let g = Grid::new(512).unwrap();
+        let mut rng = SmallRng::seed_from_u64(41);
+        let curve = msd_curve(&g, Point::new(256, 256), &[50, 100, 200], 600, &mut rng);
+        for (msd, t) in curve.iter().zip([50.0, 100.0, 200.0]) {
+            let slope = msd / t;
+            assert!(
+                (slope - LAZY_WALK_MSD_SLOPE).abs() < 0.12,
+                "slope {slope} at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn msd_saturates_on_a_small_torus() {
+        // On a tiny torus the walk mixes quickly and the MSD stops
+        // growing (bounded by the squared diameter).
+        let t = Torus::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let curve = msd_curve(&t, Point::new(0, 0), &[20, 200, 2000], 200, &mut rng);
+        let growth_late = curve[2] / curve[1];
+        assert!(growth_late < 1.5, "late growth {growth_late} not saturated");
+        assert!(curve[2] <= 2.0 * 64.0, "MSD exceeds squared diameter scale");
+    }
+
+    #[test]
+    fn zero_steps_means_zero_msd() {
+        let g = Grid::new(16).unwrap();
+        let mut rng = SmallRng::seed_from_u64(43);
+        assert_eq!(
+            mean_squared_displacement(&g, Point::new(8, 8), 0, 10, &mut rng),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_checkpoints_panic() {
+        let g = Grid::new(16).unwrap();
+        let mut rng = SmallRng::seed_from_u64(44);
+        let _ = msd_curve(&g, Point::new(8, 8), &[10, 5], 2, &mut rng);
+    }
+}

@@ -1,0 +1,135 @@
+use sparsegossip_grid::Point;
+
+/// The Azuma–Hoeffding deviation bound of Lemma 2.1: the probability
+/// that a walk is at Manhattan distance at least `λ·√ℓ` from its start
+/// at any fixed step `i ≤ ℓ` is at most `2·e^{−λ²/2}` *per coordinate*
+/// (the paper applies it coordinate-wise with bounded difference 1).
+///
+/// Returns the bound `4·e^{−λ²/2}` for the L1 distance over both
+/// coordinates (union bound), clamped to 1.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_walks::azuma_deviation_bound;
+/// assert!(azuma_deviation_bound(4.0) < 0.002);
+/// assert_eq!(azuma_deviation_bound(0.0), 1.0);
+/// ```
+#[must_use]
+pub fn azuma_deviation_bound(lambda: f64) -> f64 {
+    (4.0 * (-lambda * lambda / 2.0).exp()).min(1.0)
+}
+
+/// Tracks the maximum Manhattan deviation of a walk from its origin —
+/// the quantity bounded by Lemma 2.1.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::Point;
+/// use sparsegossip_walks::DisplacementTracker;
+///
+/// let mut d = DisplacementTracker::new(Point::new(5, 5));
+/// d.record(Point::new(7, 5));
+/// d.record(Point::new(5, 4));
+/// assert_eq!(d.max_deviation(), 2);
+/// assert_eq!(d.last_deviation(), 1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DisplacementTracker {
+    origin: Point,
+    max_deviation: u32,
+    last_deviation: u32,
+}
+
+impl DisplacementTracker {
+    /// Creates a tracker anchored at `origin`.
+    #[must_use]
+    pub fn new(origin: Point) -> Self {
+        Self { origin, max_deviation: 0, last_deviation: 0 }
+    }
+
+    /// Records the walk's position, updating the running maximum.
+    #[inline]
+    pub fn record(&mut self, p: Point) {
+        self.last_deviation = self.origin.manhattan(p);
+        self.max_deviation = self.max_deviation.max(self.last_deviation);
+    }
+
+    /// The origin the tracker is anchored at.
+    #[inline]
+    #[must_use]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The maximum Manhattan deviation observed so far.
+    #[inline]
+    #[must_use]
+    pub fn max_deviation(&self) -> u32 {
+        self.max_deviation
+    }
+
+    /// The deviation at the most recently recorded position.
+    #[inline]
+    #[must_use]
+    pub fn last_deviation(&self) -> u32 {
+        self.last_deviation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lazy_step;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Grid;
+
+    #[test]
+    fn max_is_monotone_and_dominates_last() {
+        let mut d = DisplacementTracker::new(Point::new(0, 0));
+        d.record(Point::new(3, 3));
+        d.record(Point::new(1, 0));
+        assert_eq!(d.max_deviation(), 6);
+        assert_eq!(d.last_deviation(), 1);
+        assert!(d.last_deviation() <= d.max_deviation());
+        assert_eq!(d.origin(), Point::new(0, 0));
+    }
+
+    #[test]
+    fn empirical_tail_respects_azuma_shape() {
+        // After ℓ steps, P(deviation ≥ λ√ℓ) should be small for λ = 4.
+        // The lazy walk moves with probability ≤ 4/5, so the paper's
+        // bounded-difference-1 martingale argument applies directly.
+        let g = Grid::new(1024).unwrap();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let ell = 400u32;
+        let lambda = 4.0f64;
+        let threshold = (lambda * f64::from(ell).sqrt()) as u32;
+        let trials = 2000;
+        let mut exceed = 0;
+        for _ in 0..trials {
+            let mut p = Point::new(512, 512);
+            let origin = p;
+            for _ in 0..ell {
+                p = lazy_step(&g, p, &mut rng);
+            }
+            if origin.manhattan(p) >= threshold {
+                exceed += 1;
+            }
+        }
+        let rate = f64::from(exceed) / f64::from(trials);
+        assert!(rate <= azuma_deviation_bound(lambda) + 0.01, "tail rate {rate}");
+    }
+
+    #[test]
+    fn bound_is_monotone_decreasing() {
+        let mut prev = azuma_deviation_bound(0.0);
+        for i in 1..20 {
+            let b = azuma_deviation_bound(f64::from(i) * 0.5);
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+}

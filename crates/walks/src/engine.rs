@@ -1,0 +1,240 @@
+use rand::RngExt;
+use sparsegossip_grid::{Point, Topology};
+
+use crate::{lazy_step, BitSet, WalkError};
+
+/// A set of `k` independent lazy random walks advanced in lockstep.
+///
+/// This is the mobility substrate of every dissemination process: time is
+/// discrete, moves are synchronized, and each agent independently follows
+/// the paper's lazy step law (see [`lazy_step`]).
+///
+/// Positions are stored densely (`Vec<Point>`) and exposed as a slice so
+/// the visibility-graph builder can consume them without copying.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::{Grid, Topology};
+/// use sparsegossip_walks::WalkEngine;
+///
+/// let grid = Grid::new(128)?;
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let mut engine = WalkEngine::uniform(grid, 100, &mut rng)?;
+/// engine.step_all(&mut rng);
+/// assert!(engine.positions().iter().all(|p| grid.contains(*p)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct WalkEngine<T> {
+    topo: T,
+    positions: Vec<Point>,
+    time: u64,
+}
+
+impl<T: Topology> WalkEngine<T> {
+    /// Creates `k` walks placed uniformly and independently at random —
+    /// the paper's initial condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::NoAgents`] if `k == 0`.
+    pub fn uniform<R: RngExt>(topo: T, k: usize, rng: &mut R) -> Result<Self, WalkError> {
+        if k == 0 {
+            return Err(WalkError::NoAgents);
+        }
+        let positions = (0..k).map(|_| topo.random_point(rng)).collect();
+        Ok(Self { topo, positions, time: 0 })
+    }
+
+    /// Creates walks at explicit starting positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError::NoAgents`] if `positions` is empty and
+    /// [`WalkError::PositionOutOfBounds`] if any position lies outside
+    /// the topology.
+    pub fn from_positions(topo: T, positions: Vec<Point>) -> Result<Self, WalkError> {
+        if positions.is_empty() {
+            return Err(WalkError::NoAgents);
+        }
+        for (agent, &position) in positions.iter().enumerate() {
+            if !topo.contains(position) {
+                return Err(WalkError::PositionOutOfBounds { agent, position });
+            }
+        }
+        Ok(Self { topo, positions, time: 0 })
+    }
+
+    /// The number of agents `k`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the engine has no agents (never true after construction).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The current positions, indexed by agent.
+    #[inline]
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The position of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// The underlying topology.
+    #[inline]
+    #[must_use]
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// The number of synchronized steps taken so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advances every agent by one lazy step.
+    pub fn step_all<R: RngExt>(&mut self, rng: &mut R) {
+        for p in &mut self.positions {
+            *p = lazy_step(&self.topo, *p, rng);
+        }
+        self.time += 1;
+    }
+
+    /// Advances only the agents whose bit is set in `mask` (Frog-model
+    /// dynamics: only informed agents move). Time still advances by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.len()`.
+    pub fn step_masked<R: RngExt>(&mut self, mask: &BitSet, rng: &mut R) {
+        assert_eq!(mask.len(), self.positions.len(), "mask capacity mismatch");
+        for i in mask.iter_ones() {
+            self.positions[i] = lazy_step(&self.topo, self.positions[i], rng);
+        }
+        self.time += 1;
+    }
+
+    /// Teleports agent `i` to `p` (used by baseline models with jumps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `p` is outside the topology.
+    pub fn set_position(&mut self, i: usize, p: Point) {
+        assert!(self.topo.contains(p), "position {p} outside the topology");
+        self.positions[i] = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Grid;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_engine_has_k_agents_in_domain() {
+        let g = Grid::new(32).unwrap();
+        let mut r = rng(1);
+        let e = WalkEngine::uniform(g, 50, &mut r).unwrap();
+        assert_eq!(e.len(), 50);
+        assert!(!e.is_empty());
+        assert!(e.positions().iter().all(|p| g.contains(*p)));
+        assert_eq!(e.time(), 0);
+    }
+
+    #[test]
+    fn zero_agents_is_an_error() {
+        let g = Grid::new(8).unwrap();
+        let mut r = rng(2);
+        assert_eq!(WalkEngine::uniform(g, 0, &mut r).unwrap_err(), WalkError::NoAgents);
+        assert_eq!(WalkEngine::from_positions(g, vec![]).unwrap_err(), WalkError::NoAgents);
+    }
+
+    #[test]
+    fn out_of_bounds_start_is_an_error() {
+        let g = Grid::new(8).unwrap();
+        let err = WalkEngine::from_positions(g, vec![Point::new(8, 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            WalkError::PositionOutOfBounds { agent: 0, position: Point::new(8, 0) }
+        );
+    }
+
+    #[test]
+    fn step_all_moves_each_agent_at_most_one() {
+        let g = Grid::new(16).unwrap();
+        let mut r = rng(3);
+        let mut e = WalkEngine::uniform(g, 20, &mut r).unwrap();
+        for _ in 0..200 {
+            let before = e.positions().to_vec();
+            e.step_all(&mut r);
+            for (b, a) in before.iter().zip(e.positions()) {
+                assert!(b.manhattan(*a) <= 1);
+            }
+        }
+        assert_eq!(e.time(), 200);
+    }
+
+    #[test]
+    fn step_masked_freezes_unmasked_agents() {
+        let g = Grid::new(16).unwrap();
+        let mut r = rng(4);
+        let mut e = WalkEngine::uniform(g, 10, &mut r).unwrap();
+        let mut mask = BitSet::new(10);
+        mask.insert(0);
+        mask.insert(7);
+        let before = e.positions().to_vec();
+        for _ in 0..100 {
+            e.step_masked(&mask, &mut r);
+        }
+        for (i, (b, a)) in before.iter().zip(e.positions()).enumerate() {
+            if i != 0 && i != 7 {
+                assert_eq!(b, a, "frozen agent {i} moved");
+            }
+        }
+        assert_eq!(e.time(), 100);
+    }
+
+    #[test]
+    fn set_position_teleports() {
+        let g = Grid::new(8).unwrap();
+        let mut e = WalkEngine::from_positions(g, vec![Point::new(0, 0)]).unwrap();
+        e.set_position(0, Point::new(7, 7));
+        assert_eq!(e.position(0), Point::new(7, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn set_position_rejects_out_of_domain() {
+        let g = Grid::new(8).unwrap();
+        let mut e = WalkEngine::from_positions(g, vec![Point::new(0, 0)]).unwrap();
+        e.set_position(0, Point::new(8, 8));
+    }
+}

@@ -1,0 +1,43 @@
+use core::fmt;
+
+use sparsegossip_grid::Point;
+
+/// Errors arising when constructing walk engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalkError {
+    /// An engine was requested with zero agents.
+    NoAgents,
+    /// An explicit starting position lies outside the topology.
+    PositionOutOfBounds {
+        /// Index of the offending agent.
+        agent: usize,
+        /// The offending position.
+        position: Point,
+    },
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoAgents => write!(f, "walk engine requires at least one agent"),
+            Self::PositionOutOfBounds { agent, position } => {
+                write!(f, "agent {agent} starts at {position}, outside the topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(WalkError::NoAgents.to_string().contains("at least one"));
+        let e = WalkError::PositionOutOfBounds { agent: 3, position: Point::new(9, 9) };
+        assert!(e.to_string().contains("agent 3"));
+    }
+}

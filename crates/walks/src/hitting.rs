@@ -1,0 +1,152 @@
+use rand::RngExt;
+use sparsegossip_grid::{Point, Topology};
+
+use crate::lazy_step;
+
+/// Runs a lazy walk from `from` for at most `horizon` steps and
+/// returns the first time it stands on `target`, if any.
+///
+/// With `horizon = d²` (where `d = ||from − target||`) this is the
+/// event of **Lemma 1**, whose probability the paper lower-bounds by
+/// `c₁ / max{1, log d}` — the key estimate behind both the Frog-model
+/// upper bound and the cell-exploration argument of Theorem 1.
+///
+/// Time 0 counts: if `from == target` the result is `Some(0)`.
+///
+/// # Panics
+///
+/// Panics if either point lies outside the topology.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::{Grid, Point};
+/// use sparsegossip_walks::hit_within;
+///
+/// let grid = Grid::new(64)?;
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let from = Point::new(30, 30);
+/// let target = Point::new(33, 30);
+/// if let Some(t) = hit_within(&grid, from, target, 9, &mut rng) {
+///     assert!(t <= 9);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn hit_within<T: Topology, R: RngExt>(
+    topo: &T,
+    from: Point,
+    target: Point,
+    horizon: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    assert!(
+        topo.contains(from) && topo.contains(target),
+        "points must lie in the topology"
+    );
+    if from == target {
+        return Some(0);
+    }
+    let mut p = from;
+    for t in 1..=horizon {
+        p = lazy_step(topo, p, rng);
+        if p == target {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Monte-Carlo estimate of the Lemma 1 probability: the chance a walk
+/// from `from` visits `target` within `||from − target||²` steps.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or either point is outside the topology.
+pub fn hitting_probability<T: Topology, R: RngExt>(
+    topo: &T,
+    from: Point,
+    target: Point,
+    trials: u32,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "at least one trial required");
+    let d = u64::from(from.manhattan(target));
+    let horizon = d * d;
+    let mut hits = 0u32;
+    for _ in 0..trials {
+        if hit_within(topo, from, target, horizon, rng).is_some() {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Grid;
+
+    #[test]
+    fn coincident_points_hit_at_time_zero() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(hit_within(&g, Point::new(3, 3), Point::new(3, 3), 0, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn zero_horizon_never_hits_distinct_target() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(hit_within(&g, Point::new(0, 0), Point::new(5, 5), 0, &mut rng), None);
+    }
+
+    #[test]
+    fn hit_time_is_within_horizon_and_plausible() {
+        let g = Grid::new(32).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            if let Some(t) =
+                hit_within(&g, Point::new(10, 10), Point::new(12, 10), 100, &mut rng)
+            {
+                assert!((2..=100).contains(&t), "hit at impossible time {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn hitting_probability_decays_slowly() {
+        // Lemma 1 shape: P ≥ c₁/log d. Adjacent targets are hit often;
+        // distance-8 targets within 64 steps still at a decent rate.
+        let g = Grid::new(128).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let near = hitting_probability(
+            &g,
+            Point::new(64, 64),
+            Point::new(65, 64),
+            4000,
+            &mut rng,
+        );
+        let far = hitting_probability(
+            &g,
+            Point::new(64, 64),
+            Point::new(72, 64),
+            4000,
+            &mut rng,
+        );
+        assert!(near > 0.15, "adjacent hit rate {near}");
+        assert!(far > 0.015, "distance-8 hit rate {far}");
+        assert!(near >= far, "hitting probability must not grow with distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = hitting_probability(&g, Point::new(0, 0), Point::new(1, 0), 0, &mut rng);
+    }
+}

@@ -1,0 +1,184 @@
+use rand::RngExt;
+use sparsegossip_grid::{Point, Topology};
+
+use crate::lazy_step;
+
+/// Outcome of a two-walk meeting trial (the experiment behind Lemma 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeetingTrial {
+    /// First time `t ≤ horizon` at which the walks occupied the same
+    /// node, if any.
+    pub meeting_time: Option<u64>,
+    /// Whether the first meeting happened at a node of the set `D` of
+    /// Lemma 3 (nodes within distance `d = ||a₀ − b₀||` of **both**
+    /// starting positions).
+    pub met_in_d: bool,
+}
+
+impl MeetingTrial {
+    /// Whether the walks met at all within the horizon.
+    #[inline]
+    #[must_use]
+    pub fn met(&self) -> bool {
+        self.meeting_time.is_some()
+    }
+}
+
+/// Runs two independent lazy walks from `a0` and `b0` for at most
+/// `horizon` steps and reports their first meeting.
+///
+/// With `horizon = d²` (where `d = ||a0 − b0||`) this is exactly the
+/// event of Lemma 3, whose probability the paper lower-bounds by
+/// `c₃ / max{1, log d}`.
+///
+/// # Panics
+///
+/// Panics if either start lies outside the topology.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::{Grid, Point};
+/// use sparsegossip_walks::meeting_within;
+///
+/// let grid = Grid::new(64)?;
+/// let mut rng = SmallRng::seed_from_u64(4);
+/// let a = Point::new(30, 30);
+/// let b = Point::new(34, 30);
+/// let d = a.manhattan(b) as u64;
+/// let trial = meeting_within(&grid, a, b, d * d, &mut rng);
+/// if let Some(t) = trial.meeting_time {
+///     assert!(t <= d * d);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn meeting_within<T: Topology, R: RngExt>(
+    topo: &T,
+    a0: Point,
+    b0: Point,
+    horizon: u64,
+    rng: &mut R,
+) -> MeetingTrial {
+    assert!(topo.contains(a0) && topo.contains(b0), "starts must lie in the topology");
+    let d = a0.manhattan(b0);
+    let mut a = a0;
+    let mut b = b0;
+    if a == b {
+        return MeetingTrial { meeting_time: Some(0), met_in_d: true };
+    }
+    for t in 1..=horizon {
+        a = lazy_step(topo, a, rng);
+        b = lazy_step(topo, b, rng);
+        if a == b {
+            let in_d = a.manhattan(a0) <= d && a.manhattan(b0) <= d;
+            return MeetingTrial { meeting_time: Some(t), met_in_d: in_d };
+        }
+    }
+    MeetingTrial { meeting_time: None, met_in_d: false }
+}
+
+/// First meeting time of two lazy walks, capped at `cap` steps.
+///
+/// Unlike [`meeting_within`], no locality of the meeting node is
+/// recorded; this is the raw ingredient of infection-time analyses
+/// (Dimitriou et al.'s `t*`).
+///
+/// # Panics
+///
+/// Panics if either start lies outside the topology.
+pub fn first_meeting_time<T: Topology, R: RngExt>(
+    topo: &T,
+    a0: Point,
+    b0: Point,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    meeting_within(topo, a0, b0, cap, rng).meeting_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Grid;
+
+    #[test]
+    fn coincident_starts_meet_immediately() {
+        let g = Grid::new(16).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = meeting_within(&g, Point::new(3, 3), Point::new(3, 3), 10, &mut rng);
+        assert_eq!(t.meeting_time, Some(0));
+        assert!(t.met_in_d);
+        assert!(t.met());
+    }
+
+    #[test]
+    fn zero_horizon_never_meets_distinct_starts() {
+        let g = Grid::new(16).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = meeting_within(&g, Point::new(0, 0), Point::new(5, 5), 0, &mut rng);
+        assert!(!t.met());
+        assert!(!t.met_in_d);
+    }
+
+    #[test]
+    fn adjacent_walks_meet_often_within_d_squared() {
+        // d = 1 ⇒ horizon 1; Lemma 3 gives probability ≥ c₃ for d = 1
+        // ("the case d = 1 is immediate"). Empirically the one-step
+        // meeting probability of two adjacent lazy walks is ≥ 1/25
+        // (both jump "towards" each other is one of several ways).
+        let g = Grid::new(32).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 20_000;
+        let mut met = 0;
+        for _ in 0..trials {
+            let t = meeting_within(&g, Point::new(10, 10), Point::new(11, 10), 1, &mut rng);
+            if t.met() {
+                met += 1;
+            }
+        }
+        let rate = f64::from(met) / f64::from(trials);
+        assert!(rate > 0.04, "meeting rate {rate}");
+    }
+
+    #[test]
+    fn meeting_probability_decays_slowly_with_distance() {
+        // Lemma 3 shape: P(meet within d²) ≳ c₃/log d — in particular it
+        // should NOT collapse to zero at moderate d.
+        let g = Grid::new(256).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = 16u32;
+        let a = Point::new(120, 128);
+        let b = Point::new(120 + d, 128);
+        let horizon = u64::from(d) * u64::from(d);
+        let trials = 500;
+        let met = (0..trials)
+            .filter(|_| meeting_within(&g, a, b, horizon, &mut rng).met())
+            .count();
+        let rate = met as f64 / f64::from(trials);
+        assert!(rate > 0.02, "meeting rate {rate} too small for d={d}");
+    }
+
+    #[test]
+    fn first_meeting_time_agrees_with_trial() {
+        let g = Grid::new(32).unwrap();
+        let mut rng1 = SmallRng::seed_from_u64(77);
+        let mut rng2 = SmallRng::seed_from_u64(77);
+        let a = Point::new(4, 4);
+        let b = Point::new(8, 8);
+        let t1 = meeting_within(&g, a, b, 5000, &mut rng1).meeting_time;
+        let t2 = first_meeting_time(&g, a, b, 5000, &mut rng2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts must lie in the topology")]
+    fn rejects_out_of_domain_start() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = meeting_within(&g, Point::new(9, 0), Point::new(0, 0), 1, &mut rng);
+    }
+}

@@ -1,0 +1,130 @@
+use sparsegossip_grid::{Point, Topology};
+
+use crate::BitSet;
+
+/// Tracks the set of distinct nodes visited by a walk — the *range*
+/// `R_ℓ` of Lemma 2.2, which the paper lower-bounds by `c₂ ℓ / log ℓ`
+/// after `ℓ` steps (with probability > 1/2).
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_grid::{Grid, Point};
+/// use sparsegossip_walks::{lazy_step, RangeTracker};
+///
+/// let grid = Grid::new(64)?;
+/// let mut rng = SmallRng::seed_from_u64(8);
+/// let mut p = Point::new(32, 32);
+/// let mut range = RangeTracker::new(&grid);
+/// range.record(&grid, p);
+/// for _ in 0..1000 {
+///     p = lazy_step(&grid, p, &mut rng);
+///     range.record(&grid, p);
+/// }
+/// assert!(range.distinct() > 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RangeTracker {
+    visited: BitSet,
+    distinct: u64,
+}
+
+impl RangeTracker {
+    /// Creates a tracker sized to the topology's node-id space
+    /// (`side²`, which exceeds the walkable node count on domains with
+    /// barriers).
+    #[must_use]
+    pub fn new<T: Topology>(topo: &T) -> Self {
+        let id_space = (topo.side() as usize).pow(2);
+        Self { visited: BitSet::new(id_space), distinct: 0 }
+    }
+
+    /// Records a visit to `p`, returning `true` if the node is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` lies outside the topology used at
+    /// construction.
+    #[inline]
+    pub fn record<T: Topology>(&mut self, topo: &T, p: Point) -> bool {
+        let fresh = self.visited.insert(topo.node_id(p).as_usize());
+        if fresh {
+            self.distinct += 1;
+        }
+        fresh
+    }
+
+    /// The number of distinct nodes visited so far.
+    #[inline]
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.distinct
+    }
+
+    /// Whether node `p` has been visited.
+    #[inline]
+    #[must_use]
+    pub fn visited<T: Topology>(&self, topo: &T, p: Point) -> bool {
+        self.visited.contains(topo.node_id(p).as_usize())
+    }
+
+    /// Read access to the underlying visited-node set.
+    #[inline]
+    #[must_use]
+    pub fn visited_set(&self) -> &BitSet {
+        &self.visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lazy_step;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::Grid;
+
+    #[test]
+    fn counts_distinct_nodes_exactly() {
+        let g = Grid::new(8).unwrap();
+        let mut t = RangeTracker::new(&g);
+        assert!(t.record(&g, Point::new(1, 1)));
+        assert!(!t.record(&g, Point::new(1, 1)));
+        assert!(t.record(&g, Point::new(1, 2)));
+        assert_eq!(t.distinct(), 2);
+        assert!(t.visited(&g, Point::new(1, 1)));
+        assert!(!t.visited(&g, Point::new(0, 0)));
+    }
+
+    #[test]
+    fn range_grows_like_ell_over_log_ell() {
+        // Lemma 2.2 shape check: after ℓ steps the range should be within
+        // a constant factor of ℓ/log ℓ (here we just check it's large —
+        // at least ℓ/(8 log ℓ) — and at most ℓ+1).
+        let g = Grid::new(512).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let ell = 20_000u64;
+        let mut p = Point::new(256, 256);
+        let mut t = RangeTracker::new(&g);
+        t.record(&g, p);
+        for _ in 0..ell {
+            p = lazy_step(&g, p, &mut rng);
+            t.record(&g, p);
+        }
+        let r = t.distinct();
+        assert!(r <= ell + 1);
+        let floor = (ell as f64) / (8.0 * (ell as f64).ln());
+        assert!(r as f64 > floor, "range {r} below {floor}");
+    }
+
+    #[test]
+    fn visited_set_exposes_bitset() {
+        let g = Grid::new(4).unwrap();
+        let mut t = RangeTracker::new(&g);
+        t.record(&g, Point::new(0, 0));
+        assert_eq!(t.visited_set().count_ones(), 1);
+    }
+}

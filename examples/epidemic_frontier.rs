@@ -1,0 +1,80 @@
+//! Epidemic-frontier visualisation: watch the informed area `I(t)` of
+//! Theorem 2 creep across the grid.
+//!
+//! Prints an ASCII heat-map of the grid tessellated into character
+//! cells: '.' = untouched, digits = step decile at which the cell was
+//! first visited by an informed agent, and the frontier trace over
+//! time. The sub-ballistic frontier speed is the mechanism behind the
+//! `Ω̃(n/√k)` lower bound.
+//!
+//! Run with `cargo run --release --example epidemic_frontier`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip::core::{FrontierTracker, InformedCurve};
+use sparsegossip::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 64u32;
+    let k = 32usize;
+    let config = SimConfig::builder(side, k).radius(0).build()?;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut sim = BroadcastSim::new(&config, &mut rng)?;
+
+    // Track when each display cell (4×4 nodes) is first touched by an
+    // informed agent.
+    let tess = Tessellation::new(side, 4)?;
+    let cells = tess.num_cells() as usize;
+    let mut first_touch: Vec<Option<u64>> = vec![None; cells];
+    let mut frontier = FrontierTracker::new();
+    let mut curve = InformedCurve::new();
+
+    let record = |sim: &BroadcastSim<Grid>, t: u64, first_touch: &mut Vec<Option<u64>>| {
+        for i in sim.informed().iter_ones() {
+            let c = tess.cell_of(sim.positions()[i]).as_usize();
+            first_touch[c].get_or_insert(t);
+        }
+    };
+    record(&sim, 0, &mut first_touch);
+    while !sim.is_complete() && sim.time() < config.max_steps() {
+        sim.step(&mut rng, &mut (&mut frontier, &mut curve));
+        let t = sim.time();
+        record(&sim, t, &mut first_touch);
+    }
+    let tb = sim.time();
+    println!("T_B = {tb} steps (k = {k}, n = {}, r = 0)\n", config.n());
+
+    // Heat map by decile of first-touch time.
+    let cps = tess.cells_per_side();
+    println!("first-touch decile per 4x4 cell ('.' = never touched):");
+    for row in (0..cps).rev() {
+        let mut line = String::new();
+        for col in 0..cps {
+            let idx = (row * cps + col) as usize;
+            line.push(match first_touch[idx] {
+                Some(t) => {
+                    let decile = (t * 9 / tb.max(1)).min(9);
+                    char::from_digit(decile as u32, 10).unwrap_or('9')
+                }
+                None => '.',
+            });
+        }
+        println!("  {line}");
+    }
+
+    // Frontier trace at ten checkpoints.
+    println!("\nfrontier x-coordinate over time:");
+    let f = frontier.frontier();
+    for c in 0..10 {
+        let idx = (f.len().saturating_sub(1)) * c / 9;
+        println!(
+            "  t = {:>8}   frontier x = {:>3}   informed = {:>3}",
+            idx + 1,
+            f[idx],
+            curve.counts()[idx]
+        );
+    }
+    println!("\nthe frontier advances sub-ballistically (Lemma 7): a walk covers");
+    println!("distance ~sqrt(t), and islands below r_c are too small to relay far.");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: one broadcast below the percolation point.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 128×128 grid (n = 16384 nodes), 64 agents, transmission radius 4.
+    // The percolation radius is r_c = sqrt(n/k) = 16, so r = 4 is deep
+    // in the sparse regime the paper is about.
+    let config = SimConfig::builder(128, 64).radius(4).build()?;
+    println!(
+        "n = {} nodes, k = {} agents, r = {} (r_c = {:.1})",
+        config.n(),
+        config.k(),
+        config.radius(),
+        config.critical_radius()
+    );
+
+    let mut rng = SmallRng::seed_from_u64(2011);
+    let mut sim = BroadcastSim::new(&config, &mut rng)?;
+    let outcome = sim.run(&mut rng);
+
+    match outcome.broadcast_time {
+        Some(t) => {
+            println!("broadcast completed at T_B = {t} steps");
+            let shape = config.n() as f64 / (config.k() as f64).sqrt();
+            println!("paper's shape n/sqrt(k) = {shape:.0}; ratio = {:.2}", t as f64 / shape);
+        }
+        None => println!(
+            "broadcast did not finish within {} steps ({} of {} informed)",
+            config.max_steps(),
+            outcome.informed,
+            outcome.k
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Vehicular-network scenario: how far does a hazard warning travel?
+//!
+//! A city grid with sparse vehicles (a MANET in the paper's sense §1).
+//! We sweep the radio range across the percolation point and print the
+//! headline phenomenon: below `r_c` the broadcast time is flat in `r`
+//! (mobility-dominated); above `r_c` it collapses (connectivity-
+//! dominated).
+//!
+//! Run with `cargo run --release --example vehicular_broadcast`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip::prelude::*;
+
+fn mean_tb(side: u32, k: usize, r: u32, reps: u64) -> f64 {
+    let mut total = 0.0;
+    for i in 0..reps {
+        let config = SimConfig::builder(side, k)
+            .radius(r)
+            .build()
+            .expect("valid configuration");
+        let mut rng = SmallRng::seed_from_u64(7000 + i);
+        let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible sim");
+        let out = sim.run(&mut rng);
+        total += out.broadcast_time.unwrap_or(config.max_steps()) as f64;
+    }
+    total / reps as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 96u32; // ~1 intersection per 10 m on a 1 km² downtown
+    let k = 48usize; // sparse late-night traffic
+    let n = f64::from(side) * f64::from(side);
+    let rc = (n / k as f64).sqrt();
+    println!("city grid {side}x{side}, {k} vehicles, percolation range r_c = {rc:.1}\n");
+    println!("{:>8}  {:>8}  {:>12}", "range r", "r/r_c", "mean T_B");
+
+    for frac in [0.0, 0.25, 0.5, 0.75, 1.5, 2.5] {
+        let r = (frac * rc).round() as u32;
+        let tb = mean_tb(side, k, r, 5);
+        println!("{r:>8}  {:>8.2}  {tb:>12.1}", f64::from(r) / rc);
+    }
+
+    println!();
+    println!("note the flat column below r/r_c = 1: buying a stronger radio");
+    println!("does not speed up dissemination until the network percolates —");
+    println!("the headline result of Pettarin et al. (PODC 2011).");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! # sparsegossip
+//!
+//! A simulator for **information dissemination in sparse mobile
+//! networks**, reproducing Pettarin, Pietracaprina, Pucci and Upfal,
+//! *"Tight Bounds on Information Dissemination in Sparse Mobile
+//! Networks"* (PODC 2011, arXiv:1101.4609).
+//!
+//! The model: `k` agents perform independent lazy random walks on an
+//! `n`-node square grid; at every step a rumor floods each connected
+//! component of the visibility graph `G_t(r)` (agents within Manhattan
+//! distance `r`). The paper's headline result is that below the
+//! percolation radius `r_c ≈ √(n/k)` the broadcast time is
+//! `Θ̃(n/√k)`, *independent of `r`* — and this workspace regenerates
+//! that claim (and every lemma feeding it) experimentally.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`grid`] | grid geometry, topologies, tessellation |
+//! | [`walks`] | lazy-walk engine and walk statistics |
+//! | [`conngraph`] | visibility graph, islands, percolation |
+//! | [`core`] | broadcast/gossip/frog/predator-prey processes |
+//! | [`analysis`] | statistics, regression, sweeps |
+//!
+//! # Quick start
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use sparsegossip::prelude::*;
+//!
+//! // 64×64 grid, 32 agents, contact-only transmission (r = 0).
+//! let config = SimConfig::builder(64, 32).radius(0).build()?;
+//! let mut rng = SmallRng::seed_from_u64(2011);
+//! let mut sim = BroadcastSim::new(&config, &mut rng)?;
+//! let outcome = sim.run(&mut rng);
+//! println!("T_B = {:?}", outcome.broadcast_time);
+//! assert!(outcome.completed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use sparsegossip_analysis as analysis;
+pub use sparsegossip_conngraph as conngraph;
+pub use sparsegossip_core as core;
+pub use sparsegossip_grid as grid;
+pub use sparsegossip_walks as walks;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use sparsegossip_analysis::{power_law_fit, Summary, Sweep, Table};
+    pub use sparsegossip_conngraph::{components, critical_radius, giant_fraction};
+    pub use sparsegossip_core::{
+        broadcast_with_coverage, BroadcastOutcome, BroadcastSim, ExchangeRule, FrogSim,
+        GossipOutcome, GossipSim, InfectionSim, Mobility, Observer, PredatorPreySim,
+        SimConfig, SimError,
+    };
+    pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
+    pub use sparsegossip_walks::{
+        hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_items_are_usable() {
+        use crate::prelude::*;
+        let g = Grid::new(4).unwrap();
+        assert_eq!(g.num_nodes(), 16);
+        let cfg = SimConfig::builder(8, 4).build().unwrap();
+        assert_eq!(cfg.k(), 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration of the analysis harness with real simulations: a
+//! miniature version of experiment E1 must recover the paper's scaling
+//! shape end to end.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip::analysis::{power_law_fit, Sweep};
+use sparsegossip::prelude::*;
+
+fn measure_tb(side: u32, k: usize, seed: u64) -> f64 {
+    let cfg = SimConfig::builder(side, k).radius(0).build().expect("config");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sim = BroadcastSim::new(&cfg, &mut rng).expect("sim");
+    sim.run(&mut rng).broadcast_time.unwrap_or(cfg.max_steps()) as f64
+}
+
+#[test]
+fn mini_e1_recovers_a_negative_sublinear_exponent() {
+    let ks = [4usize, 16, 64];
+    let sweep = Sweep::new(2011).replicates(6).threads(4);
+    let points = sweep.run(&ks, |&k, seed| measure_tb(48, k, seed));
+    let xs: Vec<f64> = points.iter().map(|p| p.param as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.summary.mean()).collect();
+    let fit = power_law_fit(&xs, &ys).expect("fit");
+    // At this tiny scale we only require the *direction and rough
+    // magnitude* of the exponent: decisively negative, sub-linear.
+    assert!(
+        fit.exponent < -0.2 && fit.exponent > -1.1,
+        "exponent {} outside plausible band",
+        fit.exponent
+    );
+    // Means decrease in k.
+    assert!(ys.windows(2).all(|w| w[1] < w[0]), "T_B not decreasing in k: {ys:?}");
+}
+
+#[test]
+fn sweep_results_do_not_depend_on_thread_count() {
+    let ks = [4usize, 8];
+    let serial = Sweep::new(99).replicates(4).threads(1).run(&ks, |&k, seed| {
+        measure_tb(24, k, seed)
+    });
+    let threaded = Sweep::new(99).replicates(4).threads(8).run(&ks, |&k, seed| {
+        measure_tb(24, k, seed)
+    });
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(a.samples, b.samples, "thread count changed the science");
+    }
+}
+
+#[test]
+fn percolation_profile_through_facade() {
+    use sparsegossip::conngraph::percolation_profile;
+    let grid = Grid::new(48).expect("grid");
+    let mut rng = SmallRng::seed_from_u64(5);
+    let rc = critical_radius(grid.num_nodes() as f64, 24.0);
+    let radii = [1u32, rc as u32, (3.0 * rc) as u32];
+    let profile = percolation_profile(&grid, 24, &radii, 20, &mut rng);
+    assert!(profile[0].mean_giant_fraction < profile[2].mean_giant_fraction);
+    assert!(profile[2].mean_giant_fraction > 0.9, "3 r_c should be connected");
+}
+
+#[test]
+fn frontier_speed_is_subballistic_end_to_end() {
+    use sparsegossip::core::FrontierTracker;
+    let cfg = SimConfig::builder(64, 16).radius(0).build().expect("config");
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut sim = BroadcastSim::new(&cfg, &mut rng).expect("sim");
+    let mut tracker = FrontierTracker::new();
+    let out = sim.run_with(&mut rng, &mut tracker);
+    assert!(out.completed());
+    let f = tracker.frontier();
+    let advance = f64::from(f.last().unwrap().saturating_sub(*f.first().unwrap()));
+    let speed = advance / f.len() as f64;
+    // A ballistic walker moves up to 0.8 nodes/step in expectation
+    // (move prob 4/5); the informed frontier must be far slower.
+    assert!(speed < 0.4, "frontier speed {speed} suspiciously ballistic");
+}

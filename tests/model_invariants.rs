@@ -1,0 +1,137 @@
+//! Property-based integration tests: model invariants that must hold
+//! for arbitrary configurations, checked through the facade API.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip::core::NullObserver;
+use sparsegossip::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = (u32, usize, u32, u64)> {
+    // side 8..40, k 2..24, r 0..12, seed
+    (8u32..40, 2usize..24, 0u32..12, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn informed_count_never_decreases((side, k, r, seed) in arb_config()) {
+        let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let mut prev = sim.informed_count();
+        prop_assert!(prev >= 1);
+        for _ in 0..60 {
+            sim.step(&mut rng, &mut NullObserver);
+            let cur = sim.informed_count();
+            prop_assert!(cur >= prev, "informed count dropped {prev} -> {cur}");
+            prop_assert!(cur <= k);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn positions_always_stay_on_the_grid((side, k, r, seed) in arb_config()) {
+        let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let grid = Grid::new(side).unwrap();
+        for _ in 0..40 {
+            sim.step(&mut rng, &mut NullObserver);
+            for p in sim.positions() {
+                prop_assert!(grid.contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn agents_move_at_most_one_step((side, k, r, seed) in arb_config()) {
+        let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        for _ in 0..40 {
+            let before = sim.positions().to_vec();
+            sim.step(&mut rng, &mut NullObserver);
+            for (b, a) in before.iter().zip(sim.positions()) {
+                prop_assert!(b.manhattan(*a) <= 1, "agent teleported {b} -> {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn informed_agents_form_union_of_components((side, k, r, seed) in arb_config()) {
+        // After every exchange, a component either contains no informed
+        // agent or consists entirely of informed agents.
+        let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        for _ in 0..30 {
+            sim.step(&mut rng, &mut NullObserver);
+            let comps = sim.current_components();
+            for c in 0..comps.count() {
+                let members = comps.members(c);
+                let informed =
+                    members.iter().filter(|&&m| sim.informed().contains(m as usize)).count();
+                prop_assert!(
+                    informed == 0 || informed == members.len(),
+                    "partially informed component: {informed}/{}",
+                    members.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_min_count_reaches_k_exactly_at_completion(
+        (side, k, r, seed) in (8u32..24, 2usize..10, 0u32..6, any::<u64>())
+    ) {
+        let cfg = SimConfig::builder(side, k).radius(r).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = GossipSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
+        if out.completed() {
+            prop_assert_eq!(out.min_rumors, k);
+        } else {
+            prop_assert!(out.min_rumors < k);
+        }
+    }
+
+    #[test]
+    fn predator_prey_survivors_zero_iff_extinct(
+        (side, seed) in (8u32..24, any::<u64>())
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = PredatorPreySim::<Grid>::on_grid(side, 4, 4, 0, true, 400, &mut rng)
+            .unwrap();
+        let out = sim.run(&mut rng);
+        prop_assert_eq!(out.completed(), out.survivors == 0);
+        prop_assert!(out.survivors <= out.num_preys);
+    }
+
+    #[test]
+    fn walk_engine_time_tracks_steps((side, k, seed) in (4u32..32, 1usize..16, any::<u64>())) {
+        let grid = Grid::new(side).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut engine = WalkEngine::uniform(grid, k, &mut rng).unwrap();
+        for want in 1..=20u64 {
+            engine.step_all(&mut rng);
+            prop_assert_eq!(engine.time(), want);
+        }
+    }
+
+    #[test]
+    fn broadcast_outcome_is_internally_consistent((side, k, r, seed) in arb_config()) {
+        let cfg = SimConfig::builder(side, k).radius(r).max_steps(500).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
+        prop_assert_eq!(out.k, k);
+        prop_assert!(out.informed >= 1 && out.informed <= k);
+        prop_assert_eq!(out.completed(), out.informed == k);
+        if let Some(t) = out.broadcast_time {
+            prop_assert!(t <= 500);
+        }
+        prop_assert!((0.0..=1.0).contains(&out.informed_fraction()));
+    }
+}

@@ -42,7 +42,13 @@ impl Histogram {
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return Err(format!("invalid histogram range [{lo}, {hi})"));
         }
-        Ok(Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 })
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Records one sample.
@@ -58,8 +64,7 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let frac = (x - self.lo) / (self.hi - self.lo);
-            let idx =
-                ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
             self.counts[idx] += 1;
         }
     }

@@ -33,8 +33,7 @@ where
     }
     let threads = threads.min(items.len());
     let cursor = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<U>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -86,7 +85,9 @@ mod tests {
     fn uneven_work_balances() {
         // Items with wildly different costs still produce correct,
         // ordered output.
-        let items: Vec<u64> = (0..32).map(|i| if i % 7 == 0 { 200_000 } else { 10 }).collect();
+        let items: Vec<u64> = (0..32)
+            .map(|i| if i % 7 == 0 { 200_000 } else { 10 })
+            .collect();
         let out = parallel_map(&items, 4, |&n| (0..n).sum::<u64>());
         for (n, got) in items.iter().zip(&out) {
             assert_eq!(*got, n * (n - 1) / 2);

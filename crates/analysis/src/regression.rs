@@ -52,15 +52,23 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
     let syy: f64 = pairs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let ss_res: f64 =
-        pairs.iter().map(|(x, y)| (y - intercept - slope * x).powi(2)).sum();
+    let ss_res: f64 = pairs
+        .iter()
+        .map(|(x, y)| (y - intercept - slope * x).powi(2))
+        .sum();
     let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
     let slope_std_err = if n > 2 {
         (ss_res / ((nf - 2.0) * sxx)).sqrt()
     } else {
         0.0
     };
-    Some(Fit { slope, intercept, slope_std_err, r_squared, exponent: slope })
+    Some(Fit {
+        slope,
+        intercept,
+        slope_std_err,
+        r_squared,
+        exponent: slope,
+    })
 }
 
 /// Fits `y ≈ C · x^e` by least squares on `(ln x, ln y)`; `e` is
@@ -130,7 +138,10 @@ mod tests {
     #[test]
     fn degenerate_inputs_give_none() {
         assert!(linear_fit(&[1.0], &[2.0]).is_none());
-        assert!(linear_fit(&[2.0, 2.0], &[1.0, 5.0]).is_none(), "vertical line");
+        assert!(
+            linear_fit(&[2.0, 2.0], &[1.0, 5.0]).is_none(),
+            "vertical line"
+        );
         assert!(power_law_fit(&[-1.0, 0.0], &[1.0, 2.0]).is_none());
         assert!(linear_fit(&[f64::NAN, 1.0], &[1.0, 2.0]).is_none());
     }

@@ -46,7 +46,10 @@ impl SeedSequence {
     /// Creates a sequence rooted at `master`.
     #[must_use]
     pub fn new(master: u64) -> Self {
-        Self { master, next_index: 0 }
+        Self {
+            master,
+            next_index: 0,
+        }
     }
 }
 

@@ -35,7 +35,10 @@ impl Summary {
     #[must_use]
     pub fn from_slice(sample: &[f64]) -> Self {
         assert!(!sample.is_empty(), "cannot summarize an empty sample");
-        assert!(sample.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        assert!(
+            sample.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
         let n = sample.len();
         let mean = sample.iter().sum::<f64>() / n as f64;
         let variance = if n > 1 {

@@ -40,7 +40,11 @@ impl Sweep {
     /// single-threaded execution.
     #[must_use]
     pub fn new(master_seed: u64) -> Self {
-        Self { master_seed, replicates: 8, threads: 1 }
+        Self {
+            master_seed,
+            replicates: 8,
+            threads: 1,
+        }
     }
 
     /// Sets the number of replicates per point.
@@ -93,8 +97,9 @@ impl Sweep {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let samples: Vec<f64> =
-                    (0..reps as usize).map(|j| values[i * reps as usize + j]).collect();
+                let samples: Vec<f64> = (0..reps as usize)
+                    .map(|j| values[i * reps as usize + j])
+                    .collect();
                 SweepPoint {
                     param: p.clone(),
                     summary: Summary::from_slice(&samples),

@@ -11,12 +11,16 @@ fn bench_broadcast_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("broadcast_step");
     for &(side, k) in &[(256u32, 256usize), (512, 1024)] {
         let id = format!("side{side}_k{k}");
-        group.bench_with_input(BenchmarkId::from_parameter(id), &(side, k), |b, &(side, k)| {
-            let config = SimConfig::builder(side, k).radius(2).build().unwrap();
-            let mut rng = SmallRng::seed_from_u64(3);
-            let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
-            b.iter(|| black_box(sim.step(&mut rng, &mut NullObserver)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(id),
+            &(side, k),
+            |b, &(side, k)| {
+                let config = SimConfig::builder(side, k).radius(2).build().unwrap();
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+                b.iter(|| black_box(sim.step(&mut rng, &mut NullObserver)));
+            },
+        );
     }
     group.finish();
 }

@@ -40,8 +40,7 @@ fn bench_cover_small(c: &mut Criterion) {
             seed += 1;
             let grid = Grid::new(32).unwrap();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let run = sparsegossip_walks::multi_cover(grid, 16, 10_000_000, &mut rng)
-                .unwrap();
+            let run = sparsegossip_walks::multi_cover(grid, 16, 10_000_000, &mut rng).unwrap();
             black_box(run.cover_time)
         });
     });

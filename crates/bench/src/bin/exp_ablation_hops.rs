@@ -20,7 +20,9 @@ fn tb_with_rule(side: u32, k: usize, r: u32, rule: ExchangeRule, seed: u64) -> f
         .expect("valid config");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible");
-    sim.run(&mut rng).broadcast_time.unwrap_or(config.max_steps()) as f64
+    sim.run(&mut rng)
+        .broadcast_time
+        .unwrap_or(config.max_steps()) as f64
 }
 
 fn main() {
@@ -40,10 +42,12 @@ fn main() {
     let reps = ctx.pick(8, 16);
 
     let sweep = Sweep::new(ctx.seed).replicates(reps).threads(ctx.threads);
-    let flood =
-        sweep.run(&radii, |&r, seed| tb_with_rule(side, k, r, ExchangeRule::Component, seed));
-    let onehop =
-        sweep.run(&radii, |&r, seed| tb_with_rule(side, k, r, ExchangeRule::OneHop, seed));
+    let flood = sweep.run(&radii, |&r, seed| {
+        tb_with_rule(side, k, r, ExchangeRule::Component, seed)
+    });
+    let onehop = sweep.run(&radii, |&r, seed| {
+        tb_with_rule(side, k, r, ExchangeRule::OneHop, seed)
+    });
 
     let mut table = Table::new(vec![
         "r".into(),
@@ -72,7 +76,9 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("sub-critical worst ratio: {sub_ratio:.2}; super-critical worst ratio: {super_ratio:.2}");
+    println!(
+        "sub-critical worst ratio: {sub_ratio:.2}; super-critical worst ratio: {super_ratio:.2}"
+    );
     verdict(
         sub_ratio < 2.0 && super_ratio > sub_ratio,
         &format!(

@@ -55,7 +55,10 @@ fn main() {
     let fit_below = power_law_fit(&xs, &yb).expect("fit");
     let fit_above = power_law_fit(&xs, &ya).expect("fit");
     println!("below r_c exponent: {}", fmt_exponent(&fit_below));
-    println!("above r_c exponent (on T_B + 1): {}", fmt_exponent(&fit_above));
+    println!(
+        "above r_c exponent (on T_B + 1): {}",
+        fmt_exponent(&fit_above)
+    );
     verdict(
         fit_below.exponent < -0.3 && fit_above.exponent.abs() < 0.35,
         &format!(

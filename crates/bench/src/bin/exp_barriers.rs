@@ -64,14 +64,21 @@ fn main() {
     ]);
     for p in &points {
         table.push_row(vec![
-            if p.param >= side { "none".into() } else { p.param.to_string() },
+            if p.param >= side {
+                "none".into()
+            } else {
+                p.param.to_string()
+            },
             format!("{:.1}", p.summary.mean()),
             format!("{:.1}", p.summary.ci95_half_width()),
             format!("{:.2}x", p.summary.mean() / open),
         ]);
     }
     println!("{table}");
-    println!("(vertical wall at x = {}, centered gap, k = {k}, r = 0)", side / 2);
+    println!(
+        "(vertical wall at x = {}, centered gap, k = {k}, r = 0)",
+        side / 2
+    );
 
     let means: Vec<f64> = points.iter().map(|p| p.summary.mean()).collect();
     let monotone = means.windows(2).all(|w| w[1] >= w[0] * 0.9);

@@ -29,7 +29,10 @@ fn main() {
     let mut cells_over_tb = Vec::new();
     let mut distance_slopes = Vec::new();
     for i in 0..reps {
-        let config = SimConfig::builder(side, k).radius(0).build().expect("valid");
+        let config = SimConfig::builder(side, k)
+            .radius(0)
+            .build()
+            .expect("valid");
         let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (0xCE11 + i));
         let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible");
         let source_pos = sim.positions()[config.source()];

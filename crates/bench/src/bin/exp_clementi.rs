@@ -1,4 +1,4 @@
-//! E14 — the dense-MANET baseline of Clementi et al. (§1.1, refs [7,8]).
+//! E14 — the dense-MANET baseline of Clementi et al. (§1.1, refs \[7,8\]).
 //!
 //! Their model: `k = Θ(n)` agents, jumps of radius ρ, one-hop exchange
 //! within radius `R` per step; result `T_B = Θ(√n / R)` w.h.p. for
@@ -58,7 +58,10 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("k = {k} agents on n = {} nodes (dense regime)", u64::from(side) * u64::from(side));
+    println!(
+        "k = {k} agents on n = {} nodes (dense regime)",
+        u64::from(side) * u64::from(side)
+    );
 
     let xs: Vec<f64> = points.iter().map(|p| f64::from(p.param)).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.summary.mean()).collect();

@@ -28,7 +28,10 @@ fn main() {
     );
     let side: u32 = ctx.pick(64, 96);
     let n = f64::from(side) * f64::from(side);
-    let ks: Vec<usize> = ctx.pick(vec![2, 4, 8, 16, 32, 64], vec![2, 4, 8, 16, 32, 64, 128, 256]);
+    let ks: Vec<usize> = ctx.pick(
+        vec![2, 4, 8, 16, 32, 64],
+        vec![2, 4, 8, 16, 32, 64, 128, 256],
+    );
     let reps = ctx.pick(8, 20);
 
     let sweep = Sweep::new(ctx.seed).replicates(reps).threads(ctx.threads);
@@ -59,7 +62,10 @@ fn main() {
     let xs: Vec<f64> = small.iter().map(|p| p.param as f64).collect();
     let ys: Vec<f64> = small.iter().map(|p| p.summary.mean()).collect();
     let fit = power_law_fit(&xs, &ys).expect("enough points");
-    println!("small-k exponent of T_cover ~ k^e: e = {}", fmt_exponent(&fit));
+    println!(
+        "small-k exponent of T_cover ~ k^e: e = {}",
+        fmt_exponent(&fit)
+    );
     println!("paper: e = -1 in the k-dominated regime (flattening later)");
 
     // The claim is an upper bound: measured cover times must never

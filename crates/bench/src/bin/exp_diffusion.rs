@@ -49,7 +49,13 @@ fn main() {
     // squared grid scale instead of growing linearly.
     let small = Grid::new(16).expect("valid side");
     let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0xD1F);
-    let sat = msd_curve(&small, Point::new(8, 8), &[100, 1000, 10_000], trials, &mut rng);
+    let sat = msd_curve(
+        &small,
+        Point::new(8, 8),
+        &[100, 1000, 10_000],
+        trials,
+        &mut rng,
+    );
     println!(
         "saturation on a 16-grid: MSD(100) = {:.1}, MSD(1000) = {:.1}, MSD(10000) = {:.1}",
         sat[0], sat[1], sat[2]

@@ -28,7 +28,10 @@ fn main() {
     let mut speeds = Vec::new();
     let mut tbs = Vec::new();
     for i in 0..reps {
-        let config = SimConfig::builder(side, k).radius(0).build().expect("valid");
+        let config = SimConfig::builder(side, k)
+            .radius(0)
+            .build()
+            .expect("valid");
         let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (0xF0 + i));
         let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible");
         let mut tracker = FrontierTracker::new();
@@ -45,7 +48,10 @@ fn main() {
     let tb = Summary::from_slice(&tbs);
 
     let mut table = Table::new(vec!["quantity".into(), "value".into()]);
-    table.push_row(vec!["mean frontier speed (nodes/step)".into(), format!("{:.5}", speed.mean())]);
+    table.push_row(vec![
+        "mean frontier speed (nodes/step)".into(),
+        format!("{:.5}", speed.mean()),
+    ]);
     table.push_row(vec!["ballistic walk speed bound".into(), "0.8".into()]);
     table.push_row(vec![
         "theory speed scale sqrt(k)/sqrt(n)".into(),

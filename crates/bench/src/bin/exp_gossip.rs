@@ -48,6 +48,9 @@ fn main() {
     println!("max T_G/T_B ratio: {max_ratio:.2}");
     verdict(
         (fit.exponent + 0.5).abs() < 0.25 && max_ratio < 6.0,
-        &format!("e = {:.3} vs -0.5; ratio <= {max_ratio:.2} (bounded)", fit.exponent),
+        &format!(
+            "e = {:.3} vs -0.5; ratio <= {max_ratio:.2} (bounded)",
+            fit.exponent
+        ),
     );
 }

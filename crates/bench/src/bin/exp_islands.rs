@@ -41,11 +41,15 @@ fn main() {
     let log_n = n.ln();
     let rc = (n / k as f64).sqrt();
     let fracs = [0.1f64, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
-    let gammas: Vec<u32> = fracs.iter().map(|f| (f * rc).round().max(0.0) as u32).collect();
+    let gammas: Vec<u32> = fracs
+        .iter()
+        .map(|f| (f * rc).round().max(0.0) as u32)
+        .collect();
 
     let sweep = Sweep::new(ctx.seed).replicates(reps).threads(ctx.threads);
-    let points =
-        sweep.run(&gammas, |&g, seed| max_island_over_time(side, k, g, steps, seed));
+    let points = sweep.run(&gammas, |&g, seed| {
+        max_island_over_time(side, k, g, steps, seed)
+    });
 
     let mut table = Table::new(vec![
         "gamma".into(),
@@ -87,7 +91,9 @@ fn main() {
             }
             deg_total += DegreeStats::compute(&pts, gamma, side).mean_degree;
         }
-        println!("\nisland-size distribution at gamma = sqrt(n/k) = {gamma} ({snapshots} snapshots):");
+        println!(
+            "\nisland-size distribution at gamma = sqrt(n/k) = {gamma} ({snapshots} snapshots):"
+        );
         print!("{}", hist.render(40));
         println!(
             "mean visibility degree at gamma: {:.2} (interior expectation {:.2})",

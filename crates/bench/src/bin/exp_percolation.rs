@@ -19,8 +19,10 @@ fn main() {
         "percolation at r_c ~ sqrt(n/k): thresholds collapse at a common r/r_c",
     );
     let samples: u32 = ctx.pick(30, 100);
-    let configs: Vec<(u32, usize)> =
-        ctx.pick(vec![(64, 64), (128, 64), (128, 256)], vec![(64, 64), (128, 64), (128, 256), (256, 256)]);
+    let configs: Vec<(u32, usize)> = ctx.pick(
+        vec![(64, 64), (128, 64), (128, 256)],
+        vec![(64, 64), (128, 64), (128, 256), (256, 256)],
+    );
     let fracs = [0.25f64, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0];
 
     let mut table = Table::new(vec![
@@ -35,8 +37,10 @@ fn main() {
     for &(side, k) in &configs {
         let grid = Grid::new(side).expect("valid side");
         let rc = critical_radius(grid.num_nodes() as f64, k as f64);
-        let radii: Vec<u32> =
-            fracs.iter().map(|f| (f * rc).round().max(1.0) as u32).collect();
+        let radii: Vec<u32> = fracs
+            .iter()
+            .map(|f| (f * rc).round().max(1.0) as u32)
+            .collect();
         let profile = percolation_profile(&grid, k, &radii, samples, &mut rng);
         for (f, p) in fracs.iter().zip(&profile) {
             table.push_row(vec![

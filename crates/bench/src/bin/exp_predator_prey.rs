@@ -57,10 +57,16 @@ fn main() {
     let xs: Vec<f64> = points.iter().map(|p| p.param as f64).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.summary.mean()).collect();
     let fit = power_law_fit(&xs, &ys).expect("enough points");
-    println!("extinction exponent of T_ext ~ k^e: e = {}", fmt_exponent(&fit));
+    println!(
+        "extinction exponent of T_ext ~ k^e: e = {}",
+        fmt_exponent(&fit)
+    );
     println!("paper: e = -1 (up to logs; catching the last prey adds slack)");
     verdict(
         fit.exponent < -0.55,
-        &format!("measured e = {:.3}, decisively steeper than broadcast's -0.5", fit.exponent),
+        &format!(
+            "measured e = {:.3}, decisively steeper than broadcast's -0.5",
+            fit.exponent
+        ),
     );
 }

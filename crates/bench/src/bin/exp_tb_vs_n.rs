@@ -13,7 +13,10 @@ fn main() {
         "T_B = Theta~(n/sqrt(k)) => slope of log T_B vs log n is about 1",
     );
     let k: usize = 32;
-    let sides: Vec<u32> = ctx.pick(vec![32, 48, 64, 96, 128], vec![32, 48, 64, 96, 128, 192, 256]);
+    let sides: Vec<u32> = ctx.pick(
+        vec![32, 48, 64, 96, 128],
+        vec![32, 48, 64, 96, 128, 192, 256],
+    );
     let reps = ctx.pick(10, 24);
 
     let sweep = Sweep::new(ctx.seed).replicates(reps).threads(ctx.threads);
@@ -39,7 +42,10 @@ fn main() {
     }
     println!("{table}");
 
-    let xs: Vec<f64> = points.iter().map(|p| f64::from(p.param) * f64::from(p.param)).collect();
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|p| f64::from(p.param) * f64::from(p.param))
+        .collect();
     let ys: Vec<f64> = points.iter().map(|p| p.summary.mean()).collect();
     let fit = power_law_fit(&xs, &ys).expect("enough points to fit");
     println!("fitted exponent of T_B ~ n^e: e = {}", fmt_exponent(&fit));

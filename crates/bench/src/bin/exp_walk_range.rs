@@ -61,7 +61,10 @@ fn main() {
     let xs: Vec<f64> = points.iter().map(|p| p.param as f64).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.summary.mean()).collect();
     let fit = power_law_fit(&xs, &ys).expect("enough points");
-    println!("fitted exponent of R_ell ~ ell^e: e = {}", fmt_exponent(&fit));
+    println!(
+        "fitted exponent of R_ell ~ ell^e: e = {}",
+        fmt_exponent(&fit)
+    );
     println!("paper: e = 1 up to the 1/log factor (so slightly below 1)");
 
     // Displacement tail at lambda = 3.
@@ -69,19 +72,21 @@ fn main() {
     let lambda = 3.0f64;
     let threshold = lambda * (ell as f64).sqrt();
     let tail_reps: u32 = ctx.pick(400, 1000);
-    let tail_sweep =
-        Sweep::new(ctx.seed ^ 0xD15C).replicates(tail_reps).threads(ctx.threads);
+    let tail_sweep = Sweep::new(ctx.seed ^ 0xD15C)
+        .replicates(tail_reps)
+        .threads(ctx.threads);
     let tail = tail_sweep.run(&[ell], |&l, seed| {
         let (_, dev) = walk_stats(side, l, seed);
         f64::from(u8::from(dev >= threshold))
     });
     let rate = tail[0].summary.mean();
     let bound = azuma_deviation_bound(lambda);
-    println!(
-        "displacement tail at lambda={lambda}: empirical {rate:.4} vs Azuma bound {bound:.4}"
-    );
+    println!("displacement tail at lambda={lambda}: empirical {rate:.4} vs Azuma bound {bound:.4}");
     verdict(
         (fit.exponent - 1.0).abs() < 0.15 && rate <= bound + 0.01,
-        &format!("range exponent {:.3} ~ 1; tail {rate:.4} <= {bound:.4}", fit.exponent),
+        &format!(
+            "range exponent {:.3} ~ 1; tail {rate:.4} <= {bound:.4}",
+            fit.exponent
+        ),
     );
 }

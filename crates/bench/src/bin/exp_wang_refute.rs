@@ -20,8 +20,10 @@ fn main() {
     // measured slope toward Wang's; 256² is the quick-scale minimum.
     let side: u32 = ctx.pick(256, 384);
     let n = f64::from(side) * f64::from(side);
-    let ks: Vec<usize> =
-        ctx.pick(vec![8, 16, 32, 64, 128, 256, 512], vec![8, 16, 32, 64, 128, 256, 512, 1024]);
+    let ks: Vec<usize> = ctx.pick(
+        vec![8, 16, 32, 64, 128, 256, 512],
+        vec![8, 16, 32, 64, 128, 256, 512, 1024],
+    );
     let reps = ctx.pick(10, 24);
 
     let sweep = Sweep::new(ctx.seed).replicates(reps).threads(ctx.threads);
@@ -47,10 +49,9 @@ fn main() {
     }
     println!("{table}");
 
-    let err_pettarin =
-        fit_error_against(&kf, &tb, |k| n / k.sqrt()).expect("enough points");
-    let err_wang = fit_error_against(&kf, &tb, |k| claimed_infection_time(n, k))
-        .expect("enough points");
+    let err_pettarin = fit_error_against(&kf, &tb, |k| n / k.sqrt()).expect("enough points");
+    let err_wang =
+        fit_error_against(&kf, &tb, |k| claimed_infection_time(n, k)).expect("enough points");
     println!("log-space residual variance vs n/sqrt(k):        {err_pettarin:.4}");
     println!("log-space residual variance vs n ln n ln k / k:  {err_wang:.4}");
 
@@ -62,10 +63,16 @@ fn main() {
     // between the two laws, so residual variance alone is inconclusive;
     // the *sign* of the ratio trend is the robust discriminator.)
     use sparsegossip_analysis::power_law_fit;
-    let wang_ratio: Vec<f64> =
-        kf.iter().zip(&tb).map(|(k, t)| t / claimed_infection_time(n, *k)).collect();
-    let pettarin_ratio: Vec<f64> =
-        kf.iter().zip(&tb).map(|(k, t)| t / (n / k.sqrt())).collect();
+    let wang_ratio: Vec<f64> = kf
+        .iter()
+        .zip(&tb)
+        .map(|(k, t)| t / claimed_infection_time(n, *k))
+        .collect();
+    let pettarin_ratio: Vec<f64> = kf
+        .iter()
+        .zip(&tb)
+        .map(|(k, t)| t / (n / k.sqrt()))
+        .collect();
     let wang_trend = power_law_fit(&kf, &wang_ratio).expect("fit").exponent;
     let pettarin_trend = power_law_fit(&kf, &pettarin_ratio).expect("fit").exponent;
     println!("trend of T_B / wang(k)     ~ k^{wang_trend:.3} (a Θ claim needs ≈ 0)");

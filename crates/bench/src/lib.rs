@@ -58,14 +58,16 @@ impl ExpCtx {
         let threads = std::env::var("SG_THREADS")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(4, usize::from)
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from));
         println!("=== {id}: {title} ===");
         println!("paper claim: {claim}");
         println!("scale: {scale:?}, seed: {seed}, threads: {threads}");
         println!();
-        Self { scale, seed, threads }
+        Self {
+            scale,
+            seed,
+            threads,
+        }
     }
 
     /// Picks `quick` or `full` depending on the scale.
@@ -82,8 +84,10 @@ impl ExpCtx {
 /// run did not finish — callers should size caps so this is rare).
 #[must_use]
 pub fn measure_broadcast(side: u32, k: usize, r: u32, seed: u64) -> f64 {
-    let config =
-        SimConfig::builder(side, k).radius(r).build().expect("valid experiment config");
+    let config = SimConfig::builder(side, k)
+        .radius(r)
+        .build()
+        .expect("valid experiment config");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible sim");
     let out = sim.run(&mut rng);
@@ -107,8 +111,10 @@ pub fn measure_frog(side: u32, k: usize, r: u32, seed: u64) -> f64 {
 /// Runs one gossip and returns `T_G` as `f64`.
 #[must_use]
 pub fn measure_gossip(side: u32, k: usize, r: u32, seed: u64) -> f64 {
-    let config =
-        SimConfig::builder(side, k).radius(r).build().expect("valid experiment config");
+    let config = SimConfig::builder(side, k)
+        .radius(r)
+        .build()
+        .expect("valid experiment config");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sim = GossipSim::new(&config, &mut rng).expect("constructible sim");
     let out = sim.run(&mut rng);
@@ -139,9 +145,17 @@ mod tests {
 
     #[test]
     fn pick_respects_scale() {
-        let ctx = ExpCtx { scale: Scale::Quick, seed: 1, threads: 1 };
+        let ctx = ExpCtx {
+            scale: Scale::Quick,
+            seed: 1,
+            threads: 1,
+        };
         assert_eq!(ctx.pick(1, 2), 1);
-        let ctx = ExpCtx { scale: Scale::Full, seed: 1, threads: 1 };
+        let ctx = ExpCtx {
+            scale: Scale::Full,
+            seed: 1,
+            threads: 1,
+        };
         assert_eq!(ctx.pick(1, 2), 2);
     }
 

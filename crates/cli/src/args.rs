@@ -63,8 +63,11 @@ impl ParsedArgs {
         if command.starts_with("--") {
             return Err(ArgError::MissingCommand);
         }
-        let mut parsed =
-            Self { command, options: BTreeMap::new(), flags: Vec::new() };
+        let mut parsed = Self {
+            command,
+            options: BTreeMap::new(),
+            flags: Vec::new(),
+        };
         while let Some(tok) = iter.next() {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedPositional(tok));
@@ -144,7 +147,10 @@ mod tests {
             ArgError::MissingCommand
         );
         let p = ParsedArgs::parse(to_args("broadcast --side four")).unwrap();
-        assert!(matches!(p.get::<u32>("side", 0), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            p.get::<u32>("side", 0),
+            Err(ArgError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -166,7 +172,10 @@ mod tests {
     fn error_messages_are_lowercase() {
         for e in [
             ArgError::MissingCommand,
-            ArgError::BadValue { key: "k".into(), value: "x".into() },
+            ArgError::BadValue {
+                key: "k".into(),
+                value: "x".into(),
+            },
             ArgError::UnexpectedPositional("y".into()),
         ] {
             assert!(e.to_string().chars().next().unwrap().is_lowercase());

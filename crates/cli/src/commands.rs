@@ -124,9 +124,10 @@ fn common(args: &ParsedArgs) -> Result<Common, CliError> {
 
 fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
     let c = common(args)?;
-    let max_steps =
-        args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
-    let mut builder = SimConfig::builder(c.side, c.k).radius(c.radius).max_steps(max_steps);
+    let max_steps = args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
+    let mut builder = SimConfig::builder(c.side, c.k)
+        .radius(c.radius)
+        .max_steps(max_steps);
     if args.flag("one-hop") {
         builder = builder.exchange_rule(ExchangeRule::OneHop);
     }
@@ -188,7 +189,10 @@ fn coverage(args: &ParsedArgs) -> Result<(), CliError> {
     let mut rng = SmallRng::seed_from_u64(c.seed);
     let out = broadcast_with_coverage(&config, &mut rng)?;
     println!("T_B = {:?}", out.broadcast_time);
-    println!("T_C = {:?} ({}/{} nodes)", out.coverage_time, out.covered, out.num_nodes);
+    println!(
+        "T_C = {:?} ({}/{} nodes)",
+        out.coverage_time, out.covered, out.num_nodes
+    );
     if let Some(r) = out.ratio() {
         println!("T_C/T_B = {r:.2}");
     }
@@ -209,8 +213,7 @@ fn percolation(args: &ParsedArgs) -> Result<(), CliError> {
         .collect();
     let mut rng = SmallRng::seed_from_u64(c.seed);
     let profile = percolation_profile(&grid, c.k, &radii, samples, &mut rng);
-    let mut table =
-        Table::new(vec!["r".into(), "r/r_c".into(), "giant fraction".into()]);
+    let mut table = Table::new(vec!["r".into(), "r/r_c".into(), "giant fraction".into()]);
     for p in &profile {
         table.push_row(vec![
             p.r.to_string(),
@@ -306,7 +309,14 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["broadcast", "gossip", "coverage", "percolation", "cover", "predator"] {
+        for cmd in [
+            "broadcast",
+            "gossip",
+            "coverage",
+            "percolation",
+            "cover",
+            "predator",
+        ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
     }

@@ -23,9 +23,17 @@ impl IslandStats {
         let count = c.count();
         let max_size = c.max_size();
         let singletons = (0..count).filter(|&i| c.size(i) == 1).count();
-        let mean_size =
-            if count == 0 { 0.0 } else { c.num_agents() as f64 / count as f64 };
-        Self { count, max_size, mean_size, singletons }
+        let mean_size = if count == 0 {
+            0.0
+        } else {
+            c.num_agents() as f64 / count as f64
+        };
+        Self {
+            count,
+            max_size,
+            mean_size,
+            singletons,
+        }
     }
 }
 
@@ -58,7 +66,13 @@ impl IslandSampler {
     /// the given side.
     #[must_use]
     pub fn new(gamma: u32, side: u32) -> Self {
-        Self { gamma, side, samples: 0, max_island_ever: 0, total_max: 0 }
+        Self {
+            gamma,
+            side,
+            samples: 0,
+            max_island_ever: 0,
+            total_max: 0,
+        }
     }
 
     /// Observes one time instant, returning that instant's statistics.

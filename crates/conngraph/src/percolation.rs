@@ -81,8 +81,7 @@ pub fn percolation_profile<R: RngExt>(
         let mut frac_total = 0.0;
         let mut size_total = 0.0;
         for _ in 0..samples {
-            let positions: Vec<Point> =
-                (0..k).map(|_| grid.random_point(rng)).collect();
+            let positions: Vec<Point> = (0..k).map(|_| grid.random_point(rng)).collect();
             let c = components(&positions, r, grid.side());
             frac_total += giant_fraction(&c);
             size_total += c.max_size() as f64;

@@ -50,7 +50,10 @@ impl SpatialHash {
 
         let mut counts = vec![0u32; num_buckets + 1];
         for p in positions {
-            assert!(p.x < side && p.y < side, "position {p} outside side-{side} grid");
+            assert!(
+                p.x < side && p.y < side,
+                "position {p} outside side-{side} grid"
+            );
             counts[self_bucket(*p, bucket_side, buckets_per_side) + 1] += 1;
         }
         for i in 1..counts.len() {
@@ -64,7 +67,12 @@ impl SpatialHash {
             agents[cursor[b] as usize] = i as u32;
             cursor[b] += 1;
         }
-        Self { bucket_side, buckets_per_side, agents, offsets }
+        Self {
+            bucket_side,
+            buckets_per_side,
+            agents,
+            offsets,
+        }
     }
 
     /// The bucket side length used.
@@ -117,8 +125,12 @@ mod tests {
 
     #[test]
     fn groups_agents_by_bucket() {
-        let pts =
-            [Point::new(0, 0), Point::new(1, 1), Point::new(5, 5), Point::new(0, 1)];
+        let pts = [
+            Point::new(0, 0),
+            Point::new(1, 1),
+            Point::new(5, 5),
+            Point::new(0, 1),
+        ];
         let h = SpatialHash::build(&pts, 2, 8);
         assert_eq!(h.bucket_side(), 2);
         assert_eq!(h.buckets_per_side(), 4);
@@ -147,8 +159,7 @@ mod tests {
 
     #[test]
     fn every_agent_is_stored_exactly_once() {
-        let pts: Vec<Point> =
-            (0..100).map(|i| Point::new(i % 10, (i * 7) % 10)).collect();
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i % 10, (i * 7) % 10)).collect();
         let h = SpatialHash::build(&pts, 3, 10);
         let mut seen = vec![false; 100];
         for by in 0..h.buckets_per_side() {

@@ -47,7 +47,12 @@ impl DegreeStats {
     pub fn compute(positions: &[Point], r: u32, side: u32) -> Self {
         let k = positions.len();
         if k == 0 {
-            return Self { edges: 0, mean_degree: 0.0, max_degree: 0, isolated: 0 };
+            return Self {
+                edges: 0,
+                mean_degree: 0.0,
+                max_degree: 0,
+                isolated: 0,
+            };
         }
         let hash = SpatialHash::build(positions, r, side);
         let bps = hash.buckets_per_side();
@@ -78,8 +83,7 @@ impl DegreeStats {
                     let there = hash.bucket_agents(nx as u32, ny as u32);
                     for &a in here {
                         for &b in there {
-                            if positions[a as usize].manhattan(positions[b as usize]) <= r
-                            {
+                            if positions[a as usize].manhattan(positions[b as usize]) <= r {
                                 bump(a, b, &mut degree, &mut edges);
                             }
                         }
@@ -168,8 +172,7 @@ mod tests {
             total += DegreeStats::compute(&pts, r, side).mean_degree;
         }
         let mean = total / f64::from(reps);
-        let expect =
-            DegreeStats::expected_mean_degree(r, k, u64::from(side) * u64::from(side));
+        let expect = DegreeStats::expected_mean_degree(r, k, u64::from(side) * u64::from(side));
         // Boundary clipping lowers the empirical value slightly.
         assert!(
             mean > 0.7 * expect && mean < 1.05 * expect,

@@ -31,8 +31,15 @@ impl UnionFind {
     /// Panics if `n` exceeds `u32::MAX`.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "element count {n} exceeds u32 range");
-        Self { parent: (0..n as u32).collect(), size: vec![1; n], count: n }
+        assert!(
+            n <= u32::MAX as usize,
+            "element count {n} exceeds u32 range"
+        );
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            count: n,
+        }
     }
 
     /// The number of elements.
@@ -84,8 +91,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) =
-            if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         self.count -= 1;

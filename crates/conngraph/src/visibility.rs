@@ -62,7 +62,12 @@ impl Components {
             members[cursor[lab as usize] as usize] = i as u32;
             cursor[lab as usize] += 1;
         }
-        Self { labels, sizes, members, offsets }
+        Self {
+            labels,
+            sizes,
+            members,
+            offsets,
+        }
     }
 
     /// The number of components.
@@ -207,7 +212,10 @@ pub fn components(positions: &[Point], r: u32, side: u32) -> Components {
 /// Panics if any position lies outside the grid.
 pub fn components_brute(positions: &[Point], r: u32, side: u32) -> Components {
     for p in positions {
-        assert!(p.x < side && p.y < side, "position {p} outside side-{side} grid");
+        assert!(
+            p.x < side && p.y < side,
+            "position {p} outside side-{side} grid"
+        );
     }
     let mut uf = UnionFind::new(positions.len());
     for i in 0..positions.len() {
@@ -276,8 +284,9 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_fixed_layouts() {
-        let pts: Vec<Point> =
-            (0..50).map(|i| Point::new((i * 13) % 20, (i * 7) % 20)).collect();
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 13) % 20, (i * 7) % 20))
+            .collect();
         for r in [0u32, 1, 2, 3, 5, 10, 40] {
             let fast = components(&pts, r, 20);
             let brute = components_brute(&pts, r, 20);

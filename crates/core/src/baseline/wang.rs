@@ -65,8 +65,7 @@ pub fn fit_error_against<F: Fn(f64) -> f64>(ks: &[f64], ts: &[f64], curve: F) ->
         })
         .collect();
     let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
-    let var =
-        residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / residuals.len() as f64;
+    let var = residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / residuals.len() as f64;
     Some(var)
 }
 

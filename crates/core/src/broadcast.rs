@@ -242,7 +242,11 @@ impl<T: Topology> BroadcastSim<T> {
     /// The visibility-graph components at the current positions.
     #[must_use]
     pub fn current_components(&self) -> Components {
-        components(self.engine.positions(), self.radius, self.engine.topology().side())
+        components(
+            self.engine.positions(),
+            self.radius,
+            self.engine.topology().side(),
+        )
     }
 
     /// The exchange rule in force.
@@ -429,7 +433,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let cfg = SimConfig::builder(16, 8).radius(32).build().unwrap();
         let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
-        assert!(sim.is_complete(), "radius ≥ diameter must flood at placement");
+        assert!(
+            sim.is_complete(),
+            "radius ≥ diameter must flood at placement"
+        );
         let out = sim.run(&mut rng);
         assert_eq!(out.broadcast_time, Some(0));
     }
@@ -437,7 +444,11 @@ mod tests {
     #[test]
     fn source_choice_is_respected() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let cfg = SimConfig::builder(32, 8).source(5).max_steps(1).build().unwrap();
+        let cfg = SimConfig::builder(32, 8)
+            .source(5)
+            .max_steps(1)
+            .build()
+            .unwrap();
         let sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
         assert!(sim.informed().contains(5));
     }
@@ -448,8 +459,7 @@ mod tests {
         // finish in a handful of steps (distance ≫ steps).
         let g = Grid::new(64).unwrap();
         let positions = vec![Point::new(0, 32), Point::new(63, 32)];
-        let mut sim =
-            BroadcastSim::from_positions(g, positions, 0, 0, Mobility::All, 20).unwrap();
+        let mut sim = BroadcastSim::from_positions(g, positions, 0, 0, Mobility::All, 20).unwrap();
         let mut rng = SmallRng::seed_from_u64(6);
         let out = sim.run(&mut rng);
         assert!(!out.completed(), "agents 63 apart cannot meet in 20 steps");

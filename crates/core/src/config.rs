@@ -210,10 +210,14 @@ impl SimConfigBuilder {
             return Err(SimError::TooFewAgents { k: self.k });
         }
         if self.source >= self.k {
-            return Err(SimError::SourceOutOfRange { source: self.source, k: self.k });
+            return Err(SimError::SourceOutOfRange {
+                source: self.source,
+                k: self.k,
+            });
         }
-        let max_steps =
-            self.max_steps.unwrap_or_else(|| SimConfig::default_step_cap(self.side, self.k));
+        let max_steps = self
+            .max_steps
+            .unwrap_or_else(|| SimConfig::default_step_cap(self.side, self.k));
         if max_steps == 0 {
             return Err(SimError::ZeroStepCap);
         }

@@ -38,10 +38,7 @@ impl FrogSim {
     /// # Errors
     ///
     /// As [`BroadcastSim::new`].
-    pub fn new<R: RngExt>(
-        config: &SimConfig,
-        rng: &mut R,
-    ) -> Result<BroadcastSim<Grid>, SimError> {
+    pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<BroadcastSim<Grid>, SimError> {
         let grid = Grid::new(config.side())?;
         BroadcastSim::on_topology(
             grid,
@@ -74,7 +71,11 @@ mod tests {
 
     #[test]
     fn uninformed_agents_do_not_move() {
-        let cfg = SimConfig::builder(32, 10).radius(0).max_steps(50).build().unwrap();
+        let cfg = SimConfig::builder(32, 10)
+            .radius(0)
+            .max_steps(50)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(32);
         let mut sim = FrogSim::new(&cfg, &mut rng).unwrap();
         let initial: Vec<Point> = sim.positions().to_vec();
@@ -113,6 +114,9 @@ mod tests {
         };
         let frog = mean(true);
         let free = mean(false);
-        assert!(frog >= free * 0.8, "frog mean {frog} suspiciously below free {free}");
+        assert!(
+            frog >= free * 0.8,
+            "frog mean {frog} suspiciously below free {free}"
+        );
     }
 }

@@ -89,7 +89,12 @@ impl<T: Topology> GossipSim<T> {
             return Err(SimError::ZeroStepCap);
         }
         let engine = WalkEngine::uniform(topo, k, rng)?;
-        let mut sim = Self { engine, radius, max_steps, rumors: RumorSets::distinct(k) };
+        let mut sim = Self {
+            engine,
+            radius,
+            max_steps,
+            rumors: RumorSets::distinct(k),
+        };
         sim.exchange();
         Ok(sim)
     }
@@ -116,14 +121,21 @@ impl<T: Topology> GossipSim<T> {
             return Err(SimError::TooFewAgents { k });
         }
         if num_rumors == 0 || num_rumors > k {
-            return Err(SimError::SourceOutOfRange { source: num_rumors, k });
+            return Err(SimError::SourceOutOfRange {
+                source: num_rumors,
+                k,
+            });
         }
         if max_steps == 0 {
             return Err(SimError::ZeroStepCap);
         }
         let engine = WalkEngine::uniform(topo, k, rng)?;
-        let mut sim =
-            Self { engine, radius, max_steps, rumors: RumorSets::with_rumors(k, num_rumors) };
+        let mut sim = Self {
+            engine,
+            radius,
+            max_steps,
+            rumors: RumorSets::with_rumors(k, num_rumors),
+        };
         sim.exchange();
         Ok(sim)
     }
@@ -188,8 +200,11 @@ impl<T: Topology> GossipSim<T> {
     }
 
     fn exchange(&mut self) {
-        let comps =
-            components(self.engine.positions(), self.radius, self.engine.topology().side());
+        let comps = components(
+            self.engine.positions(),
+            self.radius,
+            self.engine.topology().side(),
+        );
         self.rumors.exchange(&comps);
     }
 }

@@ -60,10 +60,7 @@ impl InfectionSim {
     /// # Errors
     ///
     /// As [`BroadcastSim::new`].
-    pub fn run<R: RngExt>(
-        config: &SimConfig,
-        rng: &mut R,
-    ) -> Result<InfectionOutcome, SimError> {
+    pub fn run<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<InfectionOutcome, SimError> {
         let grid = Grid::new(config.side())?;
         let mut sim = BroadcastSim::on_topology(
             grid,
@@ -122,8 +119,11 @@ mod tests {
     fn radius_in_config_is_ignored() {
         // Infection is contact-only by definition; a huge configured
         // radius must not make it instantaneous.
-        let cfg =
-            SimConfig::builder(32, 4).radius(64).max_steps(3).build().unwrap();
+        let cfg = SimConfig::builder(32, 4)
+            .radius(64)
+            .max_steps(3)
+            .build()
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(52);
         let out = InfectionSim::run(&cfg, &mut rng).unwrap();
         assert!(!out.completed(), "r must be forced to 0");

@@ -62,7 +62,7 @@ pub use frog::FrogSim;
 pub use gossip::{GossipOutcome, GossipSim};
 pub use infection::{InfectionOutcome, InfectionSim};
 pub use observer::{
-    CellReachTimes, ComponentSizeCurve, FrontierTracker, InformedCurve, InfectionTimes,
+    CellReachTimes, ComponentSizeCurve, FrontierTracker, InfectionTimes, InformedCurve,
     NullObserver, Observer, StepContext,
 };
 pub use predator_prey::{ExtinctionOutcome, PredatorPreySim};

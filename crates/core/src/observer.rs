@@ -190,7 +190,9 @@ impl InfectionTimes {
     /// Creates a tracker for `k` agents.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        Self { times: vec![None; k] }
+        Self {
+            times: vec![None; k],
+        }
     }
 
     /// Per-agent infection times.
@@ -237,7 +239,12 @@ impl CellReachTimes {
     #[must_use]
     pub fn new(tess: sparsegossip_grid::Tessellation) -> Self {
         let cells = tess.num_cells() as usize;
-        Self { tess, first_reach: vec![None; cells], unreached: cells, all_reached_at: None }
+        Self {
+            tess,
+            first_reach: vec![None; cells],
+            unreached: cells,
+            all_reached_at: None,
+        }
     }
 
     /// Per-cell first-reach steps (row-major cell order).
@@ -295,7 +302,13 @@ mod tests {
         comps: &'a Components,
         informed: &'a BitSet,
     ) -> StepContext<'a> {
-        StepContext { time, side: 16, positions, components: comps, informed }
+        StepContext {
+            time,
+            side: 16,
+            positions,
+            components: comps,
+            informed,
+        }
     }
 
     #[test]

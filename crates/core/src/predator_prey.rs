@@ -186,8 +186,7 @@ impl<T: Topology> PredatorPreySim<T> {
                         continue;
                     }
                     for &pred in hash.bucket_agents(nx as u32, ny as u32) {
-                        if self.predators.position(pred as usize).manhattan(p)
-                            <= self.catch_radius
+                        if self.predators.position(pred as usize).manhattan(p) <= self.catch_radius
                         {
                             dead = true;
                             break 'scan;
@@ -236,8 +235,7 @@ mod tests {
     fn extinction_on_small_grid() {
         let mut rng = SmallRng::seed_from_u64(41);
         let mut sim =
-            PredatorPreySim::<Grid>::on_grid(12, 6, 4, 0, true, 2_000_000, &mut rng)
-                .unwrap();
+            PredatorPreySim::<Grid>::on_grid(12, 6, 4, 0, true, 2_000_000, &mut rng).unwrap();
         assert_eq!(sim.num_predators(), 6);
         let out = sim.run(&mut rng);
         assert!(out.completed());
@@ -264,9 +262,11 @@ mod tests {
     #[test]
     fn large_catch_radius_is_instant_extinction() {
         let mut rng = SmallRng::seed_from_u64(43);
-        let sim =
-            PredatorPreySim::<Grid>::on_grid(8, 2, 4, 16, true, 100, &mut rng).unwrap();
-        assert!(sim.is_extinct(), "radius covering the grid must catch at placement");
+        let sim = PredatorPreySim::<Grid>::on_grid(8, 2, 4, 16, true, 100, &mut rng).unwrap();
+        assert!(
+            sim.is_extinct(),
+            "radius covering the grid must catch at placement"
+        );
         assert_eq!(sim.outcome().extinction_time, Some(0));
     }
 
@@ -274,24 +274,20 @@ mod tests {
     fn static_preys_match_frog_style_dynamics() {
         let mut rng = SmallRng::seed_from_u64(44);
         let mut sim =
-            PredatorPreySim::<Grid>::on_grid(10, 4, 3, 0, false, 1_000_000, &mut rng)
-                .unwrap();
+            PredatorPreySim::<Grid>::on_grid(10, 4, 3, 0, false, 1_000_000, &mut rng).unwrap();
         let out = sim.run(&mut rng);
-        assert!(out.completed(), "static preys on a tiny grid must be caught");
+        assert!(
+            out.completed(),
+            "static preys on a tiny grid must be caught"
+        );
     }
 
     #[test]
     fn constructor_validation() {
         let mut rng = SmallRng::seed_from_u64(45);
-        assert!(
-            PredatorPreySim::<Grid>::on_grid(8, 0, 4, 0, true, 10, &mut rng).is_err()
-        );
-        assert!(
-            PredatorPreySim::<Grid>::on_grid(8, 4, 0, 0, true, 10, &mut rng).is_err()
-        );
-        assert!(
-            PredatorPreySim::<Grid>::on_grid(8, 4, 4, 0, true, 0, &mut rng).is_err()
-        );
+        assert!(PredatorPreySim::<Grid>::on_grid(8, 0, 4, 0, true, 10, &mut rng).is_err());
+        assert!(PredatorPreySim::<Grid>::on_grid(8, 4, 0, 0, true, 10, &mut rng).is_err());
+        assert!(PredatorPreySim::<Grid>::on_grid(8, 4, 4, 0, true, 0, &mut rng).is_err());
     }
 
     #[test]
@@ -301,10 +297,9 @@ mod tests {
             let mut total = 0u64;
             for i in 0..reps {
                 let mut rng = SmallRng::seed_from_u64(seed + i);
-                let mut sim = PredatorPreySim::<Grid>::on_grid(
-                    16, k, 4, 0, true, 5_000_000, &mut rng,
-                )
-                .unwrap();
+                let mut sim =
+                    PredatorPreySim::<Grid>::on_grid(16, k, 4, 0, true, 5_000_000, &mut rng)
+                        .unwrap();
                 total += sim.run(&mut rng).extinction_time.unwrap();
             }
             total as f64 / 8.0

@@ -42,7 +42,10 @@ impl RumorSets {
                 s
             })
             .collect();
-        Self { sets, num_rumors: k }
+        Self {
+            sets,
+            num_rumors: k,
+        }
     }
 
     /// `num_rumors` rumors held by the first `num_rumors` agents

@@ -62,7 +62,7 @@ pub fn extinction_time_shape(n: f64, k: f64) -> f64 {
     n * l * l / k
 }
 
-/// The dense-MANET baseline shape `√n / R` of Clementi et al. [7]
+/// The dense-MANET baseline shape `√n / R` of Clementi et al. \[7\]
 /// (valid for `k = Θ(n)`, `ρ = O(R)`).
 #[must_use]
 pub fn clementi_time_shape(n: f64, big_r: f64) -> f64 {

@@ -63,11 +63,27 @@ impl L1Ball {
     #[must_use]
     pub fn new(center: Point, r: u32, side: u32) -> Self {
         if side == 0 || center.x >= side || center.y >= side {
-            return Self { center, r, side, y: None, y_max: 0, x: 0, x_max: 0 };
+            return Self {
+                center,
+                r,
+                side,
+                y: None,
+                y_max: 0,
+                x: 0,
+                x_max: 0,
+            };
         }
         let y_min = center.y.saturating_sub(r);
         let y_max = (center.y + r).min(side - 1);
-        let mut ball = Self { center, r, side, y: Some(y_min), y_max, x: 0, x_max: 0 };
+        let mut ball = Self {
+            center,
+            r,
+            side,
+            y: Some(y_min),
+            y_max,
+            x: 0,
+            x_max: 0,
+        };
         ball.reset_row(y_min);
         ball
     }

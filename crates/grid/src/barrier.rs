@@ -64,7 +64,11 @@ impl BarrierGrid {
                 *last = (1u64 << tail) - 1;
             }
         }
-        Ok(Self { side, open, open_count: n })
+        Ok(Self {
+            side,
+            open,
+            open_count: n,
+        })
     }
 
     /// Creates a barrier grid with the given inclusive rectangles
@@ -99,7 +103,10 @@ impl BarrierGrid {
     ///
     /// Panics if `p` is outside the bounding square.
     pub fn block(&mut self, p: Point) {
-        assert!(p.x < self.side && p.y < self.side, "point {p} outside the grid");
+        assert!(
+            p.x < self.side && p.y < self.side,
+            "point {p} outside the grid"
+        );
         let id = (u64::from(p.y) * u64::from(self.side) + u64::from(p.x)) as usize;
         let mask = 1u64 << (id % 64);
         if self.open[id / 64] & mask != 0 {
@@ -132,7 +139,9 @@ impl BarrierGrid {
     /// `r = 0`.
     #[must_use]
     pub fn is_connected(&self) -> bool {
-        let Some(start) = self.first_open() else { return true };
+        let Some(start) = self.first_open() else {
+            return true;
+        };
         let n = (u64::from(self.side) * u64::from(self.side)) as usize;
         let mut seen = vec![false; n];
         let mut queue = std::collections::VecDeque::new();
@@ -205,8 +214,10 @@ impl Topology for BarrierGrid {
     {
         assert!(self.open_count > 0, "no open nodes to sample");
         loop {
-            let p =
-                Point::new(rng.random_range(0..self.side), rng.random_range(0..self.side));
+            let p = Point::new(
+                rng.random_range(0..self.side),
+                rng.random_range(0..self.side),
+            );
             if self.is_open(p) {
                 return p;
             }
@@ -232,8 +243,7 @@ mod tests {
 
     #[test]
     fn wall_blocks_movement_and_reduces_node_count() {
-        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 6))])
-            .unwrap();
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 6))]).unwrap();
         assert_eq!(g.num_nodes(), 64 - 7);
         assert_eq!(g.neighbor(Point::new(2, 3), Direction::East), None);
         assert_eq!(g.neighbor(Point::new(4, 3), Direction::West), None);
@@ -244,8 +254,7 @@ mod tests {
 
     #[test]
     fn full_wall_disconnects() {
-        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 7))])
-            .unwrap();
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 7))]).unwrap();
         assert!(!g.is_connected());
     }
 
@@ -259,8 +268,7 @@ mod tests {
                 side: 8
             })
         );
-        assert!(BarrierGrid::with_barriers(8, &[(Point::new(0, 0), Point::new(8, 0))])
-            .is_err());
+        assert!(BarrierGrid::with_barriers(8, &[(Point::new(0, 0), Point::new(8, 0))]).is_err());
     }
 
     #[test]
@@ -275,8 +283,7 @@ mod tests {
     fn random_point_avoids_barriers() {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
-        let g = BarrierGrid::with_barriers(8, &[(Point::new(0, 0), Point::new(6, 6))])
-            .unwrap();
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(0, 0), Point::new(6, 6))]).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..500 {
             assert!(g.is_open(g.random_point(&mut rng)));
@@ -288,8 +295,7 @@ mod tests {
         use crate::Topology;
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
-        let g = BarrierGrid::with_barriers(12, &[(Point::new(4, 4), Point::new(7, 7))])
-            .unwrap();
+        let g = BarrierGrid::with_barriers(12, &[(Point::new(4, 4), Point::new(7, 7))]).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
         // Simulate the lazy step law inline (walks crate depends on us,
         // not vice versa).
@@ -311,8 +317,7 @@ mod tests {
 
     #[test]
     fn contains_means_open() {
-        let g = BarrierGrid::with_barriers(6, &[(Point::new(2, 2), Point::new(2, 2))])
-            .unwrap();
+        let g = BarrierGrid::with_barriers(6, &[(Point::new(2, 2), Point::new(2, 2))]).unwrap();
         assert!(!g.contains(Point::new(2, 2)));
         assert!(g.contains(Point::new(2, 3)));
         assert!(!g.contains(Point::new(6, 0)));

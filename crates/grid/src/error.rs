@@ -67,7 +67,10 @@ mod tests {
             GridError::ZeroSide,
             GridError::SideTooLarge { side: 70000 },
             GridError::ZeroCellSide,
-            GridError::CellLargerThanGrid { cell_side: 9, side: 8 },
+            GridError::CellLargerThanGrid {
+                cell_side: 9,
+                side: 8,
+            },
         ];
         for v in variants {
             let msg = v.to_string();

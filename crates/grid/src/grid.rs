@@ -69,7 +69,9 @@ impl Grid {
         // Guard against floating-point overshoot near perfect squares.
         let side = if side * side > n { side - 1 } else { side };
         if side > u64::from(Self::MAX_SIDE) {
-            return Err(GridError::SideTooLarge { side: Self::MAX_SIDE + 1 });
+            return Err(GridError::SideTooLarge {
+                side: Self::MAX_SIDE + 1,
+            });
         }
         Self::new(side as u32)
     }
@@ -99,7 +101,10 @@ mod tests {
     #[test]
     fn rejects_degenerate_sides() {
         assert_eq!(Grid::new(0), Err(GridError::ZeroSide));
-        assert_eq!(Grid::new(70_000), Err(GridError::SideTooLarge { side: 70_000 }));
+        assert_eq!(
+            Grid::new(70_000),
+            Err(GridError::SideTooLarge { side: 70_000 })
+        );
         assert!(Grid::new(Grid::MAX_SIDE).is_ok());
     }
 

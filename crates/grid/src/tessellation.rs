@@ -82,7 +82,11 @@ impl Tessellation {
         if cell_side > side {
             return Err(GridError::CellLargerThanGrid { cell_side, side });
         }
-        Ok(Self { side, cell_side, cells_per_side: side.div_ceil(cell_side) })
+        Ok(Self {
+            side,
+            cell_side,
+            cells_per_side: side.div_ceil(cell_side),
+        })
     }
 
     /// The tessellation with the paper's cell side
@@ -232,7 +236,10 @@ mod tests {
         assert_eq!(Tessellation::new(8, 0), Err(GridError::ZeroCellSide));
         assert_eq!(
             Tessellation::new(4, 5),
-            Err(GridError::CellLargerThanGrid { cell_side: 5, side: 4 })
+            Err(GridError::CellLargerThanGrid {
+                cell_side: 5,
+                side: 4
+            })
         );
     }
 

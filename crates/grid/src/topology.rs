@@ -67,7 +67,11 @@ pub trait Topology {
                 len += 1;
             }
         }
-        Neighbors { items, len, next: 0 }
+        Neighbors {
+            items,
+            len,
+            next: 0,
+        }
     }
 
     /// The row-major node index of `p`.
@@ -77,7 +81,11 @@ pub trait Topology {
     /// Panics in debug builds if `p` is outside the domain.
     #[inline]
     fn node_id(&self, p: Point) -> NodeId {
-        debug_assert!(self.contains(p), "point {p} outside side-{} domain", self.side());
+        debug_assert!(
+            self.contains(p),
+            "point {p} outside side-{} domain",
+            self.side()
+        );
         NodeId::new(p.y * self.side() + p.x)
     }
 
@@ -95,7 +103,11 @@ pub trait Topology {
     /// Iterates over all points in row-major order.
     #[inline]
     fn points(&self) -> PointsIter {
-        PointsIter { side: self.side(), next: 0, end: self.num_nodes() }
+        PointsIter {
+            side: self.side(),
+            next: 0,
+            end: self.num_nodes(),
+        }
     }
 
     /// Samples a node uniformly at random.
@@ -107,7 +119,10 @@ pub trait Topology {
     where
         Self: Sized,
     {
-        Point::new(rng.random_range(0..self.side()), rng.random_range(0..self.side()))
+        Point::new(
+            rng.random_range(0..self.side()),
+            rng.random_range(0..self.side()),
+        )
     }
 
     /// The graph diameter in Manhattan steps.
@@ -192,7 +207,10 @@ impl Iterator for PointsIter {
         if self.next < self.end {
             let i = self.next;
             self.next += 1;
-            Some(Point::new((i % self.side as u64) as u32, (i / self.side as u64) as u32))
+            Some(Point::new(
+                (i % self.side as u64) as u32,
+                (i / self.side as u64) as u32,
+            ))
         } else {
             None
         }

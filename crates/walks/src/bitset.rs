@@ -27,7 +27,10 @@ impl BitSet {
     /// Creates an empty set with capacity for bits `0..len`.
     #[must_use]
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// The capacity (number of addressable bits).
@@ -118,7 +121,10 @@ impl BitSet {
     #[must_use]
     pub fn is_subset(&self, other: &Self) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Clears all bits, keeping the capacity.
@@ -140,7 +146,11 @@ impl BitSet {
 
     /// Iterates over the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> Ones<'_> {
-        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Zeroes the bits above `len` in the last word so `count_ones` stays

@@ -47,7 +47,11 @@ impl CoverTracker {
     #[must_use]
     pub fn new<T: Topology>(topo: &T) -> Self {
         let id_space = (topo.side() as usize).pow(2);
-        Self { visited: BitSet::new(id_space), covered: 0, num_nodes: topo.num_nodes() }
+        Self {
+            visited: BitSet::new(id_space),
+            covered: 0,
+            num_nodes: topo.num_nodes(),
+        }
     }
 
     /// Records a visit, returning `true` if the node was fresh.

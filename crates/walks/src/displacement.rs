@@ -46,7 +46,11 @@ impl DisplacementTracker {
     /// Creates a tracker anchored at `origin`.
     #[must_use]
     pub fn new(origin: Point) -> Self {
-        Self { origin, max_deviation: 0, last_deviation: 0 }
+        Self {
+            origin,
+            max_deviation: 0,
+            last_deviation: 0,
+        }
     }
 
     /// Records the walk's position, updating the running maximum.
@@ -120,7 +124,10 @@ mod tests {
             }
         }
         let rate = f64::from(exceed) / f64::from(trials);
-        assert!(rate <= azuma_deviation_bound(lambda) + 0.01, "tail rate {rate}");
+        assert!(
+            rate <= azuma_deviation_bound(lambda) + 0.01,
+            "tail rate {rate}"
+        );
     }
 
     #[test]

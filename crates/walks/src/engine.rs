@@ -46,7 +46,11 @@ impl<T: Topology> WalkEngine<T> {
             return Err(WalkError::NoAgents);
         }
         let positions = (0..k).map(|_| topo.random_point(rng)).collect();
-        Ok(Self { topo, positions, time: 0 })
+        Ok(Self {
+            topo,
+            positions,
+            time: 0,
+        })
     }
 
     /// Creates walks at explicit starting positions.
@@ -65,7 +69,11 @@ impl<T: Topology> WalkEngine<T> {
                 return Err(WalkError::PositionOutOfBounds { agent, position });
             }
         }
-        Ok(Self { topo, positions, time: 0 })
+        Ok(Self {
+            topo,
+            positions,
+            time: 0,
+        })
     }
 
     /// The number of agents `k`.
@@ -173,8 +181,14 @@ mod tests {
     fn zero_agents_is_an_error() {
         let g = Grid::new(8).unwrap();
         let mut r = rng(2);
-        assert_eq!(WalkEngine::uniform(g, 0, &mut r).unwrap_err(), WalkError::NoAgents);
-        assert_eq!(WalkEngine::from_positions(g, vec![]).unwrap_err(), WalkError::NoAgents);
+        assert_eq!(
+            WalkEngine::uniform(g, 0, &mut r).unwrap_err(),
+            WalkError::NoAgents
+        );
+        assert_eq!(
+            WalkEngine::from_positions(g, vec![]).unwrap_err(),
+            WalkError::NoAgents
+        );
     }
 
     #[test]
@@ -183,7 +197,10 @@ mod tests {
         let err = WalkEngine::from_positions(g, vec![Point::new(8, 0)]).unwrap_err();
         assert_eq!(
             err,
-            WalkError::PositionOutOfBounds { agent: 0, position: Point::new(8, 0) }
+            WalkError::PositionOutOfBounds {
+                agent: 0,
+                position: Point::new(8, 0)
+            }
         );
     }
 

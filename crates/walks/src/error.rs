@@ -22,7 +22,10 @@ impl fmt::Display for WalkError {
         match self {
             Self::NoAgents => write!(f, "walk engine requires at least one agent"),
             Self::PositionOutOfBounds { agent, position } => {
-                write!(f, "agent {agent} starts at {position}, outside the topology")
+                write!(
+                    f,
+                    "agent {agent} starts at {position}, outside the topology"
+                )
             }
         }
     }
@@ -37,7 +40,10 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(WalkError::NoAgents.to_string().contains("at least one"));
-        let e = WalkError::PositionOutOfBounds { agent: 3, position: Point::new(9, 9) };
+        let e = WalkError::PositionOutOfBounds {
+            agent: 3,
+            position: Point::new(9, 9),
+        };
         assert!(e.to_string().contains("agent 3"));
     }
 }

@@ -94,14 +94,20 @@ mod tests {
     fn coincident_points_hit_at_time_zero() {
         let g = Grid::new(8).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(hit_within(&g, Point::new(3, 3), Point::new(3, 3), 0, &mut rng), Some(0));
+        assert_eq!(
+            hit_within(&g, Point::new(3, 3), Point::new(3, 3), 0, &mut rng),
+            Some(0)
+        );
     }
 
     #[test]
     fn zero_horizon_never_hits_distinct_target() {
         let g = Grid::new(8).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
-        assert_eq!(hit_within(&g, Point::new(0, 0), Point::new(5, 5), 0, &mut rng), None);
+        assert_eq!(
+            hit_within(&g, Point::new(0, 0), Point::new(5, 5), 0, &mut rng),
+            None
+        );
     }
 
     #[test]
@@ -109,9 +115,7 @@ mod tests {
         let g = Grid::new(32).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..50 {
-            if let Some(t) =
-                hit_within(&g, Point::new(10, 10), Point::new(12, 10), 100, &mut rng)
-            {
+            if let Some(t) = hit_within(&g, Point::new(10, 10), Point::new(12, 10), 100, &mut rng) {
                 assert!((2..=100).contains(&t), "hit at impossible time {t}");
             }
         }
@@ -123,23 +127,14 @@ mod tests {
         // distance-8 targets within 64 steps still at a decent rate.
         let g = Grid::new(128).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
-        let near = hitting_probability(
-            &g,
-            Point::new(64, 64),
-            Point::new(65, 64),
-            4000,
-            &mut rng,
-        );
-        let far = hitting_probability(
-            &g,
-            Point::new(64, 64),
-            Point::new(72, 64),
-            4000,
-            &mut rng,
-        );
+        let near = hitting_probability(&g, Point::new(64, 64), Point::new(65, 64), 4000, &mut rng);
+        let far = hitting_probability(&g, Point::new(64, 64), Point::new(72, 64), 4000, &mut rng);
         assert!(near > 0.15, "adjacent hit rate {near}");
         assert!(far > 0.015, "distance-8 hit rate {far}");
-        assert!(near >= far, "hitting probability must not grow with distance");
+        assert!(
+            near >= far,
+            "hitting probability must not grow with distance"
+        );
     }
 
     #[test]

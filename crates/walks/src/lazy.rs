@@ -75,8 +75,17 @@ impl<T: Topology> Walk<T> {
     /// Panics if `start` lies outside the topology.
     #[must_use]
     pub fn new(topo: T, start: Point) -> Self {
-        assert!(topo.contains(start), "start {start} outside side-{} domain", topo.side());
-        Self { topo, position: start, origin: start, steps: 0 }
+        assert!(
+            topo.contains(start),
+            "start {start} outside side-{} domain",
+            topo.side()
+        );
+        Self {
+            topo,
+            position: start,
+            origin: start,
+            steps: 0,
+        }
     }
 
     /// Advances the walk by one lazy step.
@@ -172,7 +181,9 @@ mod tests {
         let corner = Point::new(0, 0);
         let mut rng = SmallRng::seed_from_u64(7);
         let trials = 200_000u32;
-        let held = (0..trials).filter(|_| lazy_step(&g, corner, &mut rng) == corner).count();
+        let held = (0..trials)
+            .filter(|_| lazy_step(&g, corner, &mut rng) == corner)
+            .count();
         let hold_rate = held as f64 / f64::from(trials);
         assert!((hold_rate - 0.6).abs() < 0.01, "hold rate {hold_rate}");
     }
@@ -201,7 +212,10 @@ mod tests {
         let expected = reps as f64;
         for (i, &c) in counts.iter().enumerate() {
             let ratio = c as f64 / expected;
-            assert!((ratio - 1.0).abs() < 0.15, "node {i} occupancy ratio {ratio}");
+            assert!(
+                (ratio - 1.0).abs() < 0.15,
+                "node {i} occupancy ratio {ratio}"
+            );
         }
     }
 

@@ -61,22 +61,34 @@ pub fn meeting_within<T: Topology, R: RngExt>(
     horizon: u64,
     rng: &mut R,
 ) -> MeetingTrial {
-    assert!(topo.contains(a0) && topo.contains(b0), "starts must lie in the topology");
+    assert!(
+        topo.contains(a0) && topo.contains(b0),
+        "starts must lie in the topology"
+    );
     let d = a0.manhattan(b0);
     let mut a = a0;
     let mut b = b0;
     if a == b {
-        return MeetingTrial { meeting_time: Some(0), met_in_d: true };
+        return MeetingTrial {
+            meeting_time: Some(0),
+            met_in_d: true,
+        };
     }
     for t in 1..=horizon {
         a = lazy_step(topo, a, rng);
         b = lazy_step(topo, b, rng);
         if a == b {
             let in_d = a.manhattan(a0) <= d && a.manhattan(b0) <= d;
-            return MeetingTrial { meeting_time: Some(t), met_in_d: in_d };
+            return MeetingTrial {
+                meeting_time: Some(t),
+                met_in_d: in_d,
+            };
         }
     }
-    MeetingTrial { meeting_time: None, met_in_d: false }
+    MeetingTrial {
+        meeting_time: None,
+        met_in_d: false,
+    }
 }
 
 /// First meeting time of two lazy walks, capped at `cap` steps.

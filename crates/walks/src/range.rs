@@ -39,7 +39,10 @@ impl RangeTracker {
     #[must_use]
     pub fn new<T: Topology>(topo: &T) -> Self {
         let id_space = (topo.side() as usize).pow(2);
-        Self { visited: BitSet::new(id_space), distinct: 0 }
+        Self {
+            visited: BitSet::new(id_space),
+            distinct: 0,
+        }
     }
 
     /// Records a visit to `p`, returning `true` if the node is new.

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let side = 64u32;
     let k = 32usize;
     let reps = 5u64;
-    println!("city {side}x{side}, {k} couriers, r = 0; a river wall at x = {}\n", side / 2);
+    println!(
+        "city {side}x{side}, {k} couriers, r = 0; a river wall at x = {}\n",
+        side / 2
+    );
     println!("{:>8}  {:>10}  {:>10}", "bridge", "mean T_B", "vs open");
 
     let mut open_tb = 0.0;
@@ -44,15 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert!(topo.is_connected());
             let cap = SimConfig::default_step_cap(side, k) * 8;
             let mut rng = SmallRng::seed_from_u64(4242 + i);
-            let mut sim =
-                BroadcastSim::on_topology(topo, k, 0, 0, Mobility::All, cap, &mut rng)?;
+            let mut sim = BroadcastSim::on_topology(topo, k, 0, 0, Mobility::All, cap, &mut rng)?;
             total += sim.run(&mut rng).broadcast_time.unwrap_or(cap) as f64;
         }
         let mean = total / reps as f64;
         if gap >= side {
             open_tb = mean;
         }
-        let label = if gap >= side { "none".to_string() } else { format!("{gap}") };
+        let label = if gap >= side {
+            "none".to_string()
+        } else {
+            format!("{gap}")
+        };
         println!("{label:>8}  {mean:>10.1}  {:>9.2}x", mean / open_tb);
     }
 

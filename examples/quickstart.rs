@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(t) => {
             println!("broadcast completed at T_B = {t} steps");
             let shape = config.n() as f64 / (config.k() as f64).sqrt();
-            println!("paper's shape n/sqrt(k) = {shape:.0}; ratio = {:.2}", t as f64 / shape);
+            println!(
+                "paper's shape n/sqrt(k) = {shape:.0}; ratio = {:.2}",
+                t as f64 / shape
+            );
         }
         None => println!(
             "broadcast did not finish within {} steps ({} of {} informed)",

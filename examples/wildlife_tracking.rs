@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = gossip.run(&mut rng);
     match g.gossip_time {
         Some(t) => println!("all {} logs on all collars after {t} steps", g.num_rumors),
-        None => println!("gossip incomplete (min {} of {} logs)", g.min_rumors, g.num_rumors),
+        None => println!(
+            "gossip incomplete (min {} of {} logs)",
+            g.min_rumors, g.num_rumors
+        ),
     }
 
     // 2. Coverage: how long until data-carrying animals have swept every

@@ -52,13 +52,11 @@ pub mod prelude {
     pub use sparsegossip_conngraph::{components, critical_radius, giant_fraction};
     pub use sparsegossip_core::{
         broadcast_with_coverage, BroadcastOutcome, BroadcastSim, ExchangeRule, FrogSim,
-        GossipOutcome, GossipSim, InfectionSim, Mobility, Observer, PredatorPreySim,
-        SimConfig, SimError,
+        GossipOutcome, GossipSim, InfectionSim, Mobility, Observer, PredatorPreySim, SimConfig,
+        SimError,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
-    pub use sparsegossip_walks::{
-        hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine,
-    };
+    pub use sparsegossip_walks::{hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine};
 }
 
 #[cfg(test)]

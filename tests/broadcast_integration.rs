@@ -9,7 +9,10 @@ use sparsegossip::core::{
 use sparsegossip::prelude::*;
 
 fn cfg(side: u32, k: usize, r: u32) -> SimConfig {
-    SimConfig::builder(side, k).radius(r).build().expect("valid config")
+    SimConfig::builder(side, k)
+        .radius(r)
+        .build()
+        .expect("valid config")
 }
 
 #[test]
@@ -87,7 +90,10 @@ fn gossip_time_dominates_single_rumor_broadcast_statistically() {
         let mut b = BroadcastSim::new(&c, &mut rng).expect("sim");
         tb_total += b.run(&mut rng).broadcast_time.expect("completes") as f64;
     }
-    assert!(tg_total >= tb_total, "gossip {tg_total} beat broadcast {tb_total}");
+    assert!(
+        tg_total >= tb_total,
+        "gossip {tg_total} beat broadcast {tb_total}"
+    );
 }
 
 #[test]
@@ -104,12 +110,20 @@ fn coverage_time_dominates_broadcast_time_statistically() {
     }
     // Informed agents must *walk* every node, which takes at least as
     // long as meeting every agent on almost every run at this density.
-    assert!(dominated >= 6, "coverage beat broadcast on {} of 8 runs", 8 - dominated);
+    assert!(
+        dominated >= 6,
+        "coverage beat broadcast on {} of 8 runs",
+        8 - dominated
+    );
 }
 
 #[test]
 fn frog_model_dormant_agents_hold_position_until_informed() {
-    let c = SimConfig::builder(48, 12).radius(0).max_steps(200).build().expect("cfg");
+    let c = SimConfig::builder(48, 12)
+        .radius(0)
+        .max_steps(200)
+        .build()
+        .expect("cfg");
     let mut rng = SmallRng::seed_from_u64(77);
     let mut sim = FrogSim::new(&c, &mut rng).expect("sim");
     let start = sim.positions().to_vec();
@@ -140,9 +154,16 @@ fn infection_times_are_consistent_with_broadcast_completion() {
     let out = InfectionSim::run(&c, &mut rng).expect("sim");
     assert!(out.completed());
     let t = out.infection_time.expect("completed");
-    let max_per_agent =
-        out.per_agent.iter().map(|x| x.expect("all infected")).max().expect("nonempty");
-    assert_eq!(max_per_agent, t, "last infection defines the infection time");
+    let max_per_agent = out
+        .per_agent
+        .iter()
+        .map(|x| x.expect("all infected"))
+        .max()
+        .expect("nonempty");
+    assert_eq!(
+        max_per_agent, t,
+        "last infection defines the infection time"
+    );
 }
 
 #[test]

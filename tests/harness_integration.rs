@@ -8,7 +8,10 @@ use sparsegossip::analysis::{power_law_fit, Sweep};
 use sparsegossip::prelude::*;
 
 fn measure_tb(side: u32, k: usize, seed: u64) -> f64 {
-    let cfg = SimConfig::builder(side, k).radius(0).build().expect("config");
+    let cfg = SimConfig::builder(side, k)
+        .radius(0)
+        .build()
+        .expect("config");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sim = BroadcastSim::new(&cfg, &mut rng).expect("sim");
     sim.run(&mut rng).broadcast_time.unwrap_or(cfg.max_steps()) as f64
@@ -30,18 +33,23 @@ fn mini_e1_recovers_a_negative_sublinear_exponent() {
         fit.exponent
     );
     // Means decrease in k.
-    assert!(ys.windows(2).all(|w| w[1] < w[0]), "T_B not decreasing in k: {ys:?}");
+    assert!(
+        ys.windows(2).all(|w| w[1] < w[0]),
+        "T_B not decreasing in k: {ys:?}"
+    );
 }
 
 #[test]
 fn sweep_results_do_not_depend_on_thread_count() {
     let ks = [4usize, 8];
-    let serial = Sweep::new(99).replicates(4).threads(1).run(&ks, |&k, seed| {
-        measure_tb(24, k, seed)
-    });
-    let threaded = Sweep::new(99).replicates(4).threads(8).run(&ks, |&k, seed| {
-        measure_tb(24, k, seed)
-    });
+    let serial = Sweep::new(99)
+        .replicates(4)
+        .threads(1)
+        .run(&ks, |&k, seed| measure_tb(24, k, seed));
+    let threaded = Sweep::new(99)
+        .replicates(4)
+        .threads(8)
+        .run(&ks, |&k, seed| measure_tb(24, k, seed));
     for (a, b) in serial.iter().zip(&threaded) {
         assert_eq!(a.samples, b.samples, "thread count changed the science");
     }
@@ -56,13 +64,19 @@ fn percolation_profile_through_facade() {
     let radii = [1u32, rc as u32, (3.0 * rc) as u32];
     let profile = percolation_profile(&grid, 24, &radii, 20, &mut rng);
     assert!(profile[0].mean_giant_fraction < profile[2].mean_giant_fraction);
-    assert!(profile[2].mean_giant_fraction > 0.9, "3 r_c should be connected");
+    assert!(
+        profile[2].mean_giant_fraction > 0.9,
+        "3 r_c should be connected"
+    );
 }
 
 #[test]
 fn frontier_speed_is_subballistic_end_to_end() {
     use sparsegossip::core::FrontierTracker;
-    let cfg = SimConfig::builder(64, 16).radius(0).build().expect("config");
+    let cfg = SimConfig::builder(64, 16)
+        .radius(0)
+        .build()
+        .expect("config");
     let mut rng = SmallRng::seed_from_u64(17);
     let mut sim = BroadcastSim::new(&cfg, &mut rng).expect("sim");
     let mut tracker = FrontierTracker::new();

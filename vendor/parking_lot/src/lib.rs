@@ -1,0 +1,135 @@
+//! Offline vendored subset of the [`parking_lot`] API.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the two lock types `sparsegossip` uses, backed by `std::sync`. The
+//! signature difference that matters is preserved: [`Mutex::lock`] and
+//! the [`RwLock`] accessors return guards directly (no poison `Result`).
+//! A thread panicking while holding a lock aborts the lock's poison
+//! state handling by propagating the panic at the next `lock` call —
+//! acceptable here because the workspace treats any worker panic as
+//! fatal to the run.
+//!
+//! [`parking_lot`]: https://docs.rs/parking_lot
+//!
+//! # Examples
+//!
+//! ```
+//! use parking_lot::Mutex;
+//!
+//! let m = Mutex::new(5);
+//! *m.lock() += 1;
+//! assert_eq!(m.into_inner(), 6);
+//! ```
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    #[inline]
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the lock and returns the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the lock.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("lock holder panicked")
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader–writer lock whose accessors return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    #[inline]
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock and returns the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer panicked while holding the lock.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("lock holder panicked")
+    }
+
+    /// Acquires an exclusive write guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer panicked while holding the lock.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("lock holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mutex_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 8000);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(l.into_inner(), 2);
+    }
+}

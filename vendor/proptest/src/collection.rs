@@ -1,0 +1,47 @@
+//! Collection strategies.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// A strategy generating `Vec`s; see [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+/// A strategy generating vectors whose length is drawn from `len` and
+/// whose elements are drawn from `element`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = vec((0u32..5, 0u32..5), 1..9);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&(x, y)| x < 5 && y < 5));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline vendored subset of the [`proptest`] property-testing API.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the surface `sparsegossip`'s property tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`);
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, plus
+//!   strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`strategy::any`], and [`collection::vec()`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the plain assertion message), and each test's case stream is seeded
+//! deterministically from the test's module path and name, so runs are
+//! reproducible. Set `PROPTEST_CASES` to override the case count and
+//! `PROPTEST_SEED` to perturb the stream.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// Applies the `PROPTEST_CASES` environment override, if any.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn resolve_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Builds the deterministic per-test RNG. Exposed for the [`proptest!`]
+/// macro expansion only.
+#[doc(hidden)]
+#[must_use]
+pub fn __test_rng(test_path: &str) -> SmallRng {
+    // FNV-1a over the fully qualified test name: stable across runs and
+    // platforms, distinct per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = extra.parse::<u64>() {
+            h ^= s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn` runs its body once per generated
+/// case, with arguments drawn from the strategies after `in`.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategies = ($($strat,)+);
+                let mut __rng =
+                    $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.resolve_cases() {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..=5, n in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            let _ = n;
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values(
+            (side, x) in (1u32..40).prop_flat_map(|s| (Just(s), 0..s)),
+        ) {
+            prop_assert!(x < side);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in crate::collection::vec(0usize..10, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_cases_is_honored(_x in 0u32..10) {
+            // Runs exactly 5 times; the loop bound is the config.
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = crate::__test_rng("a::b");
+        let mut b = crate::__test_rng("a::b");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::__test_rng("a::c");
+        let _ = c.next_u64();
+    }
+}

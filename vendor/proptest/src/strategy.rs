@@ -1,0 +1,255 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, RngExt};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking:
+/// `generate` draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy that feeds each generated value into `f` to obtain the
+    /// strategy for the final value (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy over a type's whole value domain; see [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy generating arbitrary values of `T`.
+///
+/// Integer domains are sampled uniformly, with a small bias toward the
+/// edge values `0`, `1` and `MAX` (1 case in 16) because off-by-one
+/// bugs live there.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types [`any`] can generate.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                if rng.random_range(0u32..16) == 0 {
+                    *[0 as $t, 1 as $t, <$t>::MAX]
+                        .get(rng.random_range(0usize..3))
+                        .unwrap()
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(S0 / 0);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+impl_strategy_for_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+impl_strategy_for_tuple!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
+impl_strategy_for_tuple!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8
+);
+impl_strategy_for_tuple!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8,
+    S9 / 9
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = (1u32..10)
+            .prop_flat_map(|n| (Just(n), 0..n))
+            .prop_map(|(n, x)| (n, x));
+        for _ in 0..200 {
+            let (n, x) = s.generate(&mut rng);
+            assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = (0u32..4, 10u64..20, 0usize..2);
+        for _ in 0..100 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 4 && (10..20).contains(&b) && c < 2);
+        }
+    }
+
+    #[test]
+    fn any_hits_edge_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut saw_edge = false;
+        for _ in 0..500 {
+            let v = u64::arbitrary(&mut rng);
+            saw_edge |= v == 0 || v == 1 || v == u64::MAX;
+        }
+        assert!(saw_edge, "edge bias never fired in 500 draws");
+    }
+}

@@ -7,6 +7,8 @@
 //! * [`Summary`] — replication summaries (mean, CI, quantiles);
 //! * [`power_law_fit`] — log–log regression recovering scaling
 //!   exponents with standard errors;
+//! * [`Runner`] — multi-seed parallel execution of one simulation
+//!   configuration (the ensemble companion of the `Process` API);
 //! * [`Sweep`] — parameter sweeps with per-point replication, run
 //!   across threads with deterministic per-replicate seeds
 //!   ([`derive_seed`]);
@@ -29,6 +31,7 @@
 mod histogram;
 mod parallel;
 mod regression;
+mod runner;
 mod seeds;
 mod stats;
 mod sweep;
@@ -37,6 +40,7 @@ mod table;
 pub use histogram::Histogram;
 pub use parallel::parallel_map;
 pub use regression::{linear_fit, power_law_fit, Fit};
+pub use runner::{Runner, RunnerReport};
 pub use seeds::{derive_seed, SeedSequence};
 pub use stats::Summary;
 pub use sweep::{Sweep, SweepPoint};

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_core::{BroadcastSim, ExchangeRule, Mobility, NullObserver, SimConfig};
+use sparsegossip_core::{ExchangeRule, Mobility, NullObserver, SimConfig, Simulation};
 use std::hint::black_box;
 
 fn bench_broadcast_step(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_broadcast_step(c: &mut Criterion) {
             |b, &(side, k)| {
                 let config = SimConfig::builder(side, k).radius(2).build().unwrap();
                 let mut rng = SmallRng::seed_from_u64(3);
-                let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+                let mut sim = Simulation::broadcast(&config, &mut rng).unwrap();
                 b.iter(|| black_box(sim.step(&mut rng, &mut NullObserver)));
             },
         );
@@ -33,7 +33,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             seed += 1;
             let config = SimConfig::builder(32, 16).radius(0).build().unwrap();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+            let mut sim = Simulation::broadcast(&config, &mut rng).unwrap();
             black_box(sim.run(&mut rng))
         });
     });
@@ -47,7 +47,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .build()
                 .unwrap();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut sim = sparsegossip_core::FrogSim::new(&config, &mut rng).unwrap();
+            let mut sim = Simulation::frog(&config, &mut rng).unwrap();
             black_box(sim.run(&mut rng))
         });
     });
@@ -61,7 +61,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .build()
                 .unwrap();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut sim = BroadcastSim::new(&config, &mut rng).unwrap();
+            let mut sim = Simulation::broadcast(&config, &mut rng).unwrap();
             black_box(sim.run(&mut rng))
         });
     });

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_core::{GossipSim, PredatorPreySim, SimConfig};
+use sparsegossip_core::{NullObserver, PredatorPrey, SimConfig, Simulation};
 use sparsegossip_grid::Grid;
 use std::hint::black_box;
 
@@ -15,10 +15,10 @@ fn bench_gossip_step(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let config = SimConfig::builder(256, k).radius(2).build().unwrap();
             let mut rng = SmallRng::seed_from_u64(5);
-            let mut sim = GossipSim::new(&config, &mut rng).unwrap();
+            let mut sim = Simulation::gossip(&config, &mut rng).unwrap();
             b.iter(|| {
-                sim.step(&mut rng);
-                black_box(sim.rumors().min_count())
+                let _ = sim.step(&mut rng, &mut NullObserver);
+                black_box(sim.process().rumor_sets().min_count())
             });
         });
     }
@@ -28,10 +28,10 @@ fn bench_gossip_step(c: &mut Criterion) {
 fn bench_predator_step(c: &mut Criterion) {
     c.bench_function("predator_prey_step_k256_m256", |b| {
         let mut rng = SmallRng::seed_from_u64(6);
-        let mut sim =
-            PredatorPreySim::<Grid>::on_grid(512, 256, 256, 4, true, u64::MAX / 2, &mut rng)
-                .unwrap();
-        b.iter(|| black_box(sim.step(&mut rng)));
+        let grid = Grid::new(512).unwrap();
+        let process = PredatorPrey::uniform(&grid, 256, 4, true, &mut rng).unwrap();
+        let mut sim = Simulation::new(grid, 256, 4, u64::MAX / 2, process, &mut rng).unwrap();
+        b.iter(|| black_box(sim.step(&mut rng, &mut NullObserver)));
     });
 }
 
@@ -42,7 +42,7 @@ fn bench_gossip_end_to_end(c: &mut Criterion) {
             seed += 1;
             let config = SimConfig::builder(24, 8).radius(0).build().unwrap();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut sim = GossipSim::new(&config, &mut rng).unwrap();
+            let mut sim = Simulation::gossip(&config, &mut rng).unwrap();
             black_box(sim.run(&mut rng))
         });
     });

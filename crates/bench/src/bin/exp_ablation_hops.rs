@@ -10,7 +10,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip_analysis::{Sweep, Table};
 use sparsegossip_bench::{verdict, ExpCtx};
-use sparsegossip_core::{BroadcastSim, ExchangeRule, SimConfig};
+use sparsegossip_core::{ExchangeRule, SimConfig, Simulation};
 
 fn tb_with_rule(side: u32, k: usize, r: u32, rule: ExchangeRule, seed: u64) -> f64 {
     let config = SimConfig::builder(side, k)
@@ -19,7 +19,7 @@ fn tb_with_rule(side: u32, k: usize, r: u32, rule: ExchangeRule, seed: u64) -> f
         .build()
         .expect("valid config");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible");
+    let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible");
     sim.run(&mut rng)
         .broadcast_time
         .unwrap_or(config.max_steps()) as f64

@@ -8,15 +8,15 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip_analysis::{power_law_fit, Sweep, Table};
 use sparsegossip_bench::{fmt_exponent, measure_broadcast, verdict, ExpCtx};
-use sparsegossip_core::{BroadcastSim, Mobility, SimConfig};
+use sparsegossip_core::{Broadcast, SimConfig, Simulation};
 use sparsegossip_grid::Torus;
 
 fn torus_tb(side: u32, k: usize, seed: u64) -> f64 {
     let torus = Torus::new(side).expect("valid side");
     let cap = SimConfig::default_step_cap(side, k);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = BroadcastSim::on_topology(torus, k, 0, 0, Mobility::All, cap, &mut rng)
-        .expect("constructible");
+    let process = Broadcast::new(k, 0).expect("valid process");
+    let mut sim = Simulation::new(torus, k, 0, cap, process, &mut rng).expect("constructible");
     sim.run(&mut rng).broadcast_time.unwrap_or(cap) as f64
 }
 

@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip_analysis::{Sweep, Table};
 use sparsegossip_bench::{verdict, ExpCtx};
-use sparsegossip_core::{BroadcastSim, Mobility, SimConfig};
+use sparsegossip_core::{Broadcast, SimConfig, Simulation};
 use sparsegossip_grid::{BarrierGrid, Point};
 
 /// Broadcast time on a grid with a vertical wall at x = side/2 with a
@@ -36,8 +36,8 @@ fn tb_with_gap(side: u32, k: usize, gap: u32, seed: u64) -> f64 {
         assert!(g.is_connected(), "gap must keep the domain connected");
         g
     };
-    let mut sim = BroadcastSim::on_topology(topo, k, 0, 0, Mobility::All, cap, &mut rng)
-        .expect("constructible");
+    let process = Broadcast::new(k, 0).expect("valid process");
+    let mut sim = Simulation::new(topo, k, 0, cap, process, &mut rng).expect("constructible");
     sim.run(&mut rng).broadcast_time.unwrap_or(cap) as f64
 }
 

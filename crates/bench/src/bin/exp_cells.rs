@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip_analysis::{linear_fit, Summary, Table};
 use sparsegossip_bench::{verdict, ExpCtx};
-use sparsegossip_core::{BroadcastSim, CellReachTimes, SimConfig};
+use sparsegossip_core::{CellReachTimes, SimConfig, Simulation};
 use sparsegossip_grid::Tessellation;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
             .build()
             .expect("valid");
         let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (0xCE11 + i));
-        let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible");
+        let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible");
         let source_pos = sim.positions()[config.source()];
         let tess = Tessellation::new(side, cell_side).expect("valid tessellation");
         let source_cell = tess.cell_of(source_pos);

@@ -8,7 +8,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip_analysis::{power_law_fit, Sweep, Table};
 use sparsegossip_bench::{fmt_exponent, verdict, ExpCtx};
-use sparsegossip_core::{broadcast_with_coverage, SimConfig};
+use sparsegossip_core::{SimConfig, Simulation};
 
 fn coverage_pair(side: u32, k: usize, seed: u64) -> (f64, f64) {
     let config = SimConfig::builder(side, k)
@@ -17,7 +17,9 @@ fn coverage_pair(side: u32, k: usize, seed: u64) -> (f64, f64) {
         .build()
         .expect("valid config");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let out = broadcast_with_coverage(&config, &mut rng).expect("constructible sim");
+    let out = Simulation::coverage(&config, &mut rng)
+        .expect("constructible sim")
+        .run(&mut rng);
     (
         out.broadcast_time.unwrap_or(config.max_steps()) as f64,
         out.coverage_time.unwrap_or(config.max_steps()) as f64,

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use sparsegossip_analysis::{Summary, Table};
 use sparsegossip_bench::{verdict, ExpCtx};
 use sparsegossip_core::theory::broadcast_lower_bound_shape;
-use sparsegossip_core::{BroadcastSim, FrontierTracker, SimConfig};
+use sparsegossip_core::{FrontierTracker, SimConfig, Simulation};
 
 fn main() {
     let ctx = ExpCtx::init(
@@ -33,7 +33,7 @@ fn main() {
             .build()
             .expect("valid");
         let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (0xF0 + i));
-        let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible");
+        let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible");
         let mut tracker = FrontierTracker::new();
         let out = sim.run_with(&mut rng, &mut tracker);
         let tb = out.broadcast_time.unwrap_or(config.max_steps());

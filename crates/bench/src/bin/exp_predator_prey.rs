@@ -9,14 +9,15 @@ use rand::SeedableRng;
 use sparsegossip_analysis::{power_law_fit, Sweep, Table};
 use sparsegossip_bench::{fmt_exponent, verdict, ExpCtx};
 use sparsegossip_core::theory::extinction_time_shape;
-use sparsegossip_core::PredatorPreySim;
+use sparsegossip_core::{PredatorPrey, Simulation};
 use sparsegossip_grid::Grid;
 
 fn extinction(side: u32, k: usize, m: usize, seed: u64) -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed);
     let cap = 500u64 * u64::from(side) * u64::from(side);
-    let mut sim = PredatorPreySim::<Grid>::on_grid(side, k, m, 0, true, cap, &mut rng)
-        .expect("constructible sim");
+    let grid = Grid::new(side).expect("valid side");
+    let process = PredatorPrey::uniform(&grid, m, 0, true, &mut rng).expect("valid process");
+    let mut sim = Simulation::new(grid, k, 0, cap, process, &mut rng).expect("constructible sim");
     sim.run(&mut rng).extinction_time.unwrap_or(cap) as f64
 }
 

@@ -19,7 +19,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_core::{BroadcastSim, FrogSim, GossipSim, Mobility, SimConfig};
+use sparsegossip_core::{Mobility, SimConfig, Simulation};
 
 /// Experiment scale selected via `SG_SCALE`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,7 +89,7 @@ pub fn measure_broadcast(side: u32, k: usize, r: u32, seed: u64) -> f64 {
         .build()
         .expect("valid experiment config");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible sim");
+    let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible sim");
     let out = sim.run(&mut rng);
     out.broadcast_time.unwrap_or(config.max_steps()) as f64
 }
@@ -103,7 +103,7 @@ pub fn measure_frog(side: u32, k: usize, r: u32, seed: u64) -> f64 {
         .build()
         .expect("valid experiment config");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = FrogSim::new(&config, &mut rng).expect("constructible sim");
+    let mut sim = Simulation::frog(&config, &mut rng).expect("constructible sim");
     let out = sim.run(&mut rng);
     out.broadcast_time.unwrap_or(config.max_steps()) as f64
 }
@@ -116,7 +116,7 @@ pub fn measure_gossip(side: u32, k: usize, r: u32, seed: u64) -> f64 {
         .build()
         .expect("valid experiment config");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = GossipSim::new(&config, &mut rng).expect("constructible sim");
+    let mut sim = Simulation::gossip(&config, &mut rng).expect("constructible sim");
     let out = sim.run(&mut rng);
     out.gossip_time.unwrap_or(config.max_steps()) as f64
 }

@@ -1,14 +1,19 @@
 //! Subcommand implementations.
+//!
+//! Every run command goes through the unified [`Simulation`] driver;
+//! `--reps`/`--threads` route multi-seed ensembles through the
+//! [`Runner`], and `--json` emits machine-readable outcome lines so
+//! results are scriptable.
 
 use core::fmt;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_analysis::Table;
+use sparsegossip_analysis::{Runner, Table};
 use sparsegossip_conngraph::{critical_radius, percolation_profile};
 use sparsegossip_core::{
-    broadcast_with_coverage, BroadcastSim, ExchangeRule, FrogSim, GossipSim, Mobility,
-    PredatorPreySim, SimConfig,
+    BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, Gossip, GossipOutcome,
+    InfectionOutcome, Mobility, PredatorPrey, SimConfig, Simulation,
 };
 use sparsegossip_grid::{Grid, Topology};
 use sparsegossip_walks::multi_cover;
@@ -28,8 +33,11 @@ COMMANDS:
                --side N --k K --radius R --seed S --max-steps M
                --frog (only informed agents move)
                --one-hop (one hop per step instead of component flooding)
+               --reps R --threads T (multi-seed ensemble via the Runner)
   gossip       all rumors to all agents
                --side N --k K --radius R --seed S --rumors M
+  infection    contact infection (r = 0) with per-agent infection times
+               --side N --k K --seed S --max-steps M
   coverage     broadcast + informed-agent coverage times
                --side N --k K --radius R --seed S
   percolation  giant-component fraction around r_c = sqrt(n/k)
@@ -41,6 +49,7 @@ COMMANDS:
                --static-preys --seed S
   help         this text
 
+All run commands accept --json for machine-readable outcome output.
 Defaults: --side 64, --k 32, --radius 0, --seed 2011.
 ";
 
@@ -98,6 +107,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
     match args.command.as_str() {
         "broadcast" => broadcast(args),
         "gossip" => gossip(args),
+        "infection" => infection(args),
         "coverage" => coverage(args),
         "percolation" => percolation(args),
         "cover" => cover(args),
@@ -111,6 +121,7 @@ struct Common {
     k: usize,
     radius: u32,
     seed: u64,
+    json: bool,
 }
 
 fn common(args: &ParsedArgs) -> Result<Common, CliError> {
@@ -119,12 +130,69 @@ fn common(args: &ParsedArgs) -> Result<Common, CliError> {
         k: args.get("k", 32usize)?,
         radius: args.get("radius", 0u32)?,
         seed: args.get("seed", 2011u64)?,
+        json: args.flag("json"),
     })
+}
+
+/// Renders `Option<u64>` as JSON (`null` when absent).
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |t| t.to_string())
+}
+
+fn broadcast_json(out: &BroadcastOutcome) -> String {
+    format!(
+        "{{\"process\":\"broadcast\",\"broadcast_time\":{},\"informed\":{},\"k\":{}}}",
+        json_opt(out.broadcast_time),
+        out.informed,
+        out.k
+    )
+}
+
+fn gossip_json(out: &GossipOutcome) -> String {
+    format!(
+        "{{\"process\":\"gossip\",\"gossip_time\":{},\"min_rumors\":{},\"num_rumors\":{}}}",
+        json_opt(out.gossip_time),
+        out.min_rumors,
+        out.num_rumors
+    )
+}
+
+fn infection_json(out: &InfectionOutcome) -> String {
+    let per_agent: Vec<String> = out.per_agent.iter().map(|t| json_opt(*t)).collect();
+    let mean = out
+        .mean_time
+        .map_or_else(|| "null".to_string(), |m| format!("{m}"));
+    format!(
+        "{{\"process\":\"infection\",\"infection_time\":{},\"mean_time\":{mean},\"per_agent\":[{}]}}",
+        json_opt(out.infection_time),
+        per_agent.join(",")
+    )
+}
+
+fn coverage_json(out: &CoverageOutcome) -> String {
+    format!(
+        "{{\"process\":\"coverage\",\"broadcast_time\":{},\"coverage_time\":{},\"covered\":{},\"num_nodes\":{}}}",
+        json_opt(out.broadcast_time),
+        json_opt(out.coverage_time),
+        out.covered,
+        out.num_nodes
+    )
+}
+
+fn extinction_json(out: &ExtinctionOutcome) -> String {
+    format!(
+        "{{\"process\":\"predator_prey\",\"extinction_time\":{},\"survivors\":{},\"num_preys\":{}}}",
+        json_opt(out.extinction_time),
+        out.survivors,
+        out.num_preys
+    )
 }
 
 fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
     let c = common(args)?;
     let max_steps = args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
+    let reps: u32 = args.get("reps", 1u32)?;
+    let threads: usize = args.get("threads", 1usize)?;
     let mut builder = SimConfig::builder(c.side, c.k)
         .radius(c.radius)
         .max_steps(max_steps);
@@ -135,13 +203,16 @@ fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
         builder = builder.mobility(Mobility::InformedOnly);
     }
     let config = builder.build()?;
+    if reps > 1 {
+        return broadcast_ensemble(&config, c.seed, reps, threads, c.json);
+    }
     let mut rng = SmallRng::seed_from_u64(c.seed);
-    let mut sim = if args.flag("frog") {
-        FrogSim::new(&config, &mut rng)?
-    } else {
-        BroadcastSim::new(&config, &mut rng)?
-    };
+    let mut sim = Simulation::broadcast(&config, &mut rng)?;
     let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", broadcast_json(&out));
+        return Ok(());
+    }
     println!(
         "n = {}, k = {}, r = {} (r_c = {:.1}), seed = {}",
         config.n(),
@@ -150,15 +221,53 @@ fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
         config.critical_radius(),
         c.seed
     );
-    match out.broadcast_time {
-        Some(t) => println!("T_B = {t}"),
-        None => println!(
-            "not finished after {} steps ({}/{} informed)",
-            config.max_steps(),
-            out.informed,
-            out.k
-        ),
+    println!("{out}");
+    Ok(())
+}
+
+/// Multi-seed broadcast ensemble through the [`Runner`]: every seed's
+/// `T_B` is measured through the parallel path and aggregated.
+fn broadcast_ensemble(
+    config: &SimConfig,
+    seed: u64,
+    reps: u32,
+    threads: usize,
+    json: bool,
+) -> Result<(), CliError> {
+    let runner = Runner::new(seed).repetitions(reps).threads(threads);
+    let report = runner.measure(|s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        let mut sim = Simulation::broadcast(config, &mut rng).expect("validated config");
+        sim.run(&mut rng)
+            .broadcast_time
+            .unwrap_or(config.max_steps()) as f64
+    });
+    if json {
+        let samples: Vec<String> = report.samples.iter().map(|s| format!("{s}")).collect();
+        println!(
+            "{{\"process\":\"broadcast\",\"reps\":{reps},\"mean\":{},\"median\":{},\"min\":{},\"max\":{},\"samples\":[{}]}}",
+            report.summary.mean(),
+            report.summary.median(),
+            report.summary.min(),
+            report.summary.max(),
+            samples.join(",")
+        );
+        return Ok(());
     }
+    println!(
+        "n = {}, k = {}, r = {} (r_c = {:.1}), master seed = {seed}, {reps} seeds",
+        config.n(),
+        config.k(),
+        config.radius(),
+        config.critical_radius(),
+    );
+    println!(
+        "T_B: mean {:.1}, median {:.1}, min {:.0}, max {:.0}",
+        report.summary.mean(),
+        report.summary.median(),
+        report.summary.min(),
+        report.summary.max()
+    );
     Ok(())
 }
 
@@ -168,8 +277,13 @@ fn gossip(args: &ParsedArgs) -> Result<(), CliError> {
     let grid = Grid::new(c.side)?;
     let cap = SimConfig::default_step_cap(c.side, c.k);
     let mut rng = SmallRng::seed_from_u64(c.seed);
-    let mut sim = GossipSim::with_rumors(grid, c.k, rumors, c.radius, cap, &mut rng)?;
+    let process = Gossip::with_rumors(c.k, rumors)?;
+    let mut sim = Simulation::new(grid, c.k, c.radius, cap, process, &mut rng)?;
     let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", gossip_json(&out));
+        return Ok(());
+    }
     match out.gossip_time {
         Some(t) => println!("T_G = {t} ({} rumors to {} agents)", out.num_rumors, c.k),
         None => println!(
@@ -180,6 +294,26 @@ fn gossip(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+fn infection(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let max_steps = args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
+    if args.has_option("radius") {
+        eprintln!("note: --radius is ignored; infection is contact-only (r = 0)");
+    }
+    let config = SimConfig::builder(c.side, c.k)
+        .max_steps(max_steps)
+        .build()?;
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let mut sim = Simulation::infection(&config, &mut rng)?;
+    let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", infection_json(&out));
+        return Ok(());
+    }
+    println!("{out}");
+    Ok(())
+}
+
 fn coverage(args: &ParsedArgs) -> Result<(), CliError> {
     let c = common(args)?;
     let config = SimConfig::builder(c.side, c.k)
@@ -187,7 +321,12 @@ fn coverage(args: &ParsedArgs) -> Result<(), CliError> {
         .max_steps(SimConfig::default_step_cap(c.side, c.k) * 4)
         .build()?;
     let mut rng = SmallRng::seed_from_u64(c.seed);
-    let out = broadcast_with_coverage(&config, &mut rng)?;
+    let mut sim = Simulation::coverage(&config, &mut rng)?;
+    let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", coverage_json(&out));
+        return Ok(());
+    }
     println!("T_B = {:?}", out.broadcast_time);
     println!(
         "T_C = {:?} ({}/{} nodes)",
@@ -247,17 +386,21 @@ fn predator(args: &ParsedArgs) -> Result<(), CliError> {
     let predators: usize = args.get("predators", 16usize)?;
     let preys: usize = args.get("preys", 8usize)?;
     let cap = 500 * u64::from(c.side) * u64::from(c.side);
+    if predators == 0 {
+        return Err(CliError::Sim(sparsegossip_core::SimError::TooFewAgents {
+            k: predators,
+        }));
+    }
+    let grid = Grid::new(c.side)?;
     let mut rng = SmallRng::seed_from_u64(c.seed);
-    let mut sim = PredatorPreySim::<Grid>::on_grid(
-        c.side,
-        predators,
-        preys,
-        c.radius,
-        !args.flag("static-preys"),
-        cap,
-        &mut rng,
-    )?;
+    let process =
+        PredatorPrey::uniform(&grid, preys, c.radius, !args.flag("static-preys"), &mut rng)?;
+    let mut sim = Simulation::new(grid, predators, c.radius, cap, process, &mut rng)?;
     let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", extinction_json(&out));
+        return Ok(());
+    }
     match out.extinction_time {
         Some(t) => println!("extinction time = {t} ({predators} predators, {preys} preys)"),
         None => println!("{} preys survived after {cap} steps", out.survivors),
@@ -279,13 +422,20 @@ mod tests {
             "broadcast --side 12 --k 6 --seed 1",
             "broadcast --side 12 --k 6 --frog --seed 1",
             "broadcast --side 12 --k 6 --one-hop --radius 1 --seed 1",
+            "broadcast --side 12 --k 6 --seed 1 --reps 4 --threads 2",
+            "broadcast --side 12 --k 6 --seed 1 --json",
             "gossip --side 12 --k 4 --seed 1",
             "gossip --side 12 --k 4 --rumors 2 --seed 1",
+            "gossip --side 12 --k 4 --seed 1 --json",
+            "infection --side 12 --k 4 --seed 1",
+            "infection --side 12 --k 4 --seed 1 --json",
             "coverage --side 10 --k 6 --seed 1",
+            "coverage --side 10 --k 6 --seed 1 --json",
             "percolation --side 16 --k 8 --samples 3 --seed 1",
             "cover --side 8 --k 4 --seed 1",
             "predator --side 10 --predators 4 --preys 3 --seed 1",
             "predator --side 10 --predators 4 --preys 3 --static-preys --seed 1",
+            "predator --side 10 --predators 4 --preys 3 --seed 1 --json",
         ] {
             dispatch(&parsed(cmd)).unwrap_or_else(|e| panic!("{cmd}: {e}"));
         }
@@ -305,6 +455,55 @@ mod tests {
         assert!(e.to_string().contains("grid"));
         let e = dispatch(&parsed("broadcast --side 8 --k 1")).unwrap_err();
         assert!(e.to_string().contains("agents"));
+        let e = dispatch(&parsed("predator --side 8 --predators 0 --preys 2")).unwrap_err();
+        assert!(e.to_string().contains("agents"));
+    }
+
+    #[test]
+    fn json_outputs_are_well_formed() {
+        let done = BroadcastOutcome {
+            broadcast_time: Some(10),
+            informed: 4,
+            k: 4,
+        };
+        assert_eq!(
+            broadcast_json(&done),
+            "{\"process\":\"broadcast\",\"broadcast_time\":10,\"informed\":4,\"k\":4}"
+        );
+        let capped = BroadcastOutcome {
+            broadcast_time: None,
+            informed: 2,
+            k: 4,
+        };
+        assert!(broadcast_json(&capped).contains("\"broadcast_time\":null"));
+        let inf = InfectionOutcome {
+            infection_time: Some(3),
+            per_agent: vec![Some(0), None, Some(3)],
+            mean_time: Some(1.5),
+        };
+        assert_eq!(
+            infection_json(&inf),
+            "{\"process\":\"infection\",\"infection_time\":3,\"mean_time\":1.5,\"per_agent\":[0,null,3]}"
+        );
+        let cov = CoverageOutcome {
+            broadcast_time: Some(1),
+            coverage_time: None,
+            covered: 9,
+            num_nodes: 16,
+        };
+        assert!(coverage_json(&cov).contains("\"coverage_time\":null"));
+        let ext = ExtinctionOutcome {
+            extinction_time: Some(5),
+            survivors: 0,
+            num_preys: 3,
+        };
+        assert!(extinction_json(&ext).contains("\"extinction_time\":5"));
+        let g = GossipOutcome {
+            gossip_time: None,
+            min_rumors: 1,
+            num_rumors: 4,
+        };
+        assert!(gossip_json(&g).contains("\"gossip_time\":null"));
     }
 
     #[test]
@@ -312,10 +511,12 @@ mod tests {
         for cmd in [
             "broadcast",
             "gossip",
+            "infection",
             "coverage",
             "percolation",
             "cover",
             "predator",
+            "--json",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }

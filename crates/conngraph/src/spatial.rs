@@ -110,6 +110,24 @@ impl SpatialHash {
         let end = self.offsets[b + 1] as usize;
         &self.agents[start..end]
     }
+
+    /// Iterates over the agent indices in the 3×3 bucket neighborhood
+    /// of `p` — a superset of every agent within the build radius of
+    /// `p` (callers still apply the exact distance test).
+    ///
+    /// This is the shared candidate scan behind one-hop rumor exchange
+    /// and predator–prey catch resolution.
+    pub fn candidates(&self, p: Point) -> impl Iterator<Item = u32> + '_ {
+        let (bx, by) = self.bucket_of(p);
+        let last = self.buckets_per_side - 1;
+        let x_range = bx.saturating_sub(1)..=bx.saturating_add(1).min(last);
+        let y_range = by.saturating_sub(1)..=by.saturating_add(1).min(last);
+        y_range.flat_map(move |y| {
+            x_range
+                .clone()
+                .flat_map(move |x| self.bucket_agents(x, y).iter().copied())
+        })
+    }
 }
 
 #[inline]
@@ -161,7 +179,7 @@ mod tests {
     fn every_agent_is_stored_exactly_once() {
         let pts: Vec<Point> = (0..100).map(|i| Point::new(i % 10, (i * 7) % 10)).collect();
         let h = SpatialHash::build(&pts, 3, 10);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for by in 0..h.buckets_per_side() {
             for bx in 0..h.buckets_per_side() {
                 for &a in h.bucket_agents(bx, by) {

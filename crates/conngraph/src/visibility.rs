@@ -41,14 +41,14 @@ impl Components {
         let mut labels = vec![u32::MAX; k];
         let mut root_label = vec![u32::MAX; k];
         let mut sizes = Vec::new();
-        for i in 0..k {
+        for (i, label) in labels.iter_mut().enumerate() {
             let r = uf.find(i);
             if root_label[r] == u32::MAX {
                 root_label[r] = sizes.len() as u32;
                 sizes.push(0);
             }
             let lab = root_label[r];
-            labels[i] = lab;
+            *label = lab;
             sizes[lab as usize] += 1;
         }
         // Counting sort agents by label.

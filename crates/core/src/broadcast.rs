@@ -1,12 +1,19 @@
-use rand::RngExt;
-use sparsegossip_conngraph::{components, Components};
-use sparsegossip_grid::{Grid, Point, Topology};
-use sparsegossip_walks::{BitSet, WalkEngine};
+use core::fmt;
+use core::ops::ControlFlow;
 
-use crate::{ExchangeRule, Mobility, NullObserver, Observer, SimConfig, SimError, StepContext};
+use rand::RngExt;
+use sparsegossip_conngraph::{Components, SpatialHash};
+use sparsegossip_grid::{Grid, Point, Topology};
+use sparsegossip_walks::BitSet;
+
+use crate::{
+    ExchangeCtx, ExchangeRule, Mobility, NullObserver, Observer, Process, SimConfig, SimError,
+    Simulation,
+};
 
 /// Outcome of a broadcast run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct BroadcastOutcome {
     /// The broadcast time `T_B`: first step at which every agent knew
     /// the rumor, or `None` if the step cap was reached first.
@@ -32,196 +39,115 @@ impl BroadcastOutcome {
     }
 }
 
-/// Single-rumor broadcast among mobile agents — the process of
+impl fmt::Display for BroadcastOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.broadcast_time {
+            Some(t) => write!(f, "T_B = {t} ({}/{} informed)", self.informed, self.k),
+            None => write!(f, "incomplete ({}/{} informed)", self.informed, self.k),
+        }
+    }
+}
+
+/// Single-rumor broadcast among mobile agents — the [`Process`] of
 /// Theorems 1 and 2.
 ///
-/// Dynamics per step: (1) agents move according to the mobility rule;
-/// (2) the visibility graph `G_t(r)` is rebuilt; (3) the rumor floods
-/// every component containing an informed agent (the paper's
-/// instantaneous in-component spreading). An initial exchange happens at
-/// placement time (step 0), since `G_0(r)` already exists.
+/// Dynamics per step (run by [`Simulation`]): (1) agents move according
+/// to the mobility rule; (2) the visibility graph `G_t(r)` is rebuilt;
+/// (3) the rumor floods every component containing an informed agent
+/// (the paper's instantaneous in-component spreading). An initial
+/// exchange happens at placement time (step 0), since `G_0(r)` already
+/// exists.
 ///
 /// # Examples
 ///
 /// ```
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
-/// use sparsegossip_core::{BroadcastSim, SimConfig};
+/// use sparsegossip_core::{SimConfig, Simulation};
 ///
 /// let config = SimConfig::builder(48, 24).radius(1).build()?;
 /// let mut rng = SmallRng::seed_from_u64(7);
-/// let mut sim = BroadcastSim::new(&config, &mut rng)?;
+/// let mut sim = Simulation::broadcast(&config, &mut rng)?;
 /// let outcome = sim.run(&mut rng);
 /// assert!(outcome.completed());
 /// assert_eq!(outcome.informed, 24);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
-pub struct BroadcastSim<T> {
-    engine: WalkEngine<T>,
-    radius: u32,
+pub struct Broadcast {
     mobility: Mobility,
     exchange_rule: ExchangeRule,
-    max_steps: u64,
     informed: BitSet,
     informed_count: usize,
 }
 
-impl BroadcastSim<Grid> {
-    /// Creates a broadcast simulation on the bounded grid described by
-    /// `config`, with agents placed uniformly at random.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration errors ([`SimError::Grid`],
-    /// [`SimError::Walk`]).
-    pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
-        let grid = Grid::new(config.side())?;
-        Self::on_topology(
-            grid,
-            config.k(),
-            config.radius(),
-            config.source(),
-            config.mobility(),
-            config.max_steps(),
-            rng,
-        )
-        .map(|mut sim| {
-            sim.exchange_rule = config.exchange_rule();
-            // Re-run the step-0 exchange under the configured rule; the
-            // component rule applied at construction is a superset, so
-            // only OneHop needs a fresh start.
-            if config.exchange_rule() == ExchangeRule::OneHop {
-                sim.informed.clear();
-                sim.informed.insert(config.source());
-                sim.informed_count = 1;
-                sim.exchange_one_hop();
-            }
-            sim
-        })
-    }
-}
-
-impl<T: Topology> BroadcastSim<T> {
-    /// Creates a broadcast simulation on an arbitrary topology with
-    /// uniform random placement.
+impl Broadcast {
+    /// Creates the process state for `k` agents with one informed
+    /// `source`.
     ///
     /// # Errors
     ///
     /// * [`SimError::TooFewAgents`] if `k < 2`;
-    /// * [`SimError::SourceOutOfRange`] if `source ≥ k`;
-    /// * [`SimError::ZeroStepCap`] if `max_steps == 0`;
-    /// * [`SimError::Walk`] if the engine rejects the placement.
-    pub fn on_topology<R: RngExt>(
-        topo: T,
-        k: usize,
-        radius: u32,
-        source: usize,
-        mobility: Mobility,
-        max_steps: u64,
-        rng: &mut R,
-    ) -> Result<Self, SimError> {
+    /// * [`SimError::SourceOutOfRange`] if `source ≥ k`.
+    pub fn new(k: usize, source: usize) -> Result<Self, SimError> {
         if k < 2 {
             return Err(SimError::TooFewAgents { k });
         }
         if source >= k {
             return Err(SimError::SourceOutOfRange { source, k });
         }
-        if max_steps == 0 {
-            return Err(SimError::ZeroStepCap);
-        }
-        let engine = WalkEngine::uniform(topo, k, rng)?;
         let mut informed = BitSet::new(k);
         informed.insert(source);
-        let mut sim = Self {
-            engine,
-            radius,
-            mobility,
+        Ok(Self {
+            mobility: Mobility::All,
             exchange_rule: ExchangeRule::Component,
-            max_steps,
             informed,
             informed_count: 1,
-        };
-        // Step-0 exchange: the source's component at placement time.
-        let comps = sim.current_components();
-        sim.exchange(&comps);
-        Ok(sim)
+        })
     }
 
-    /// Creates a simulation from explicit starting positions (useful
-    /// for worst-case placements in lower-bound experiments).
+    /// Creates the process described by `config` (mobility, exchange
+    /// rule, source).
     ///
     /// # Errors
     ///
-    /// As [`BroadcastSim::on_topology`], plus [`SimError::Walk`] if any
-    /// position is outside the topology.
-    pub fn from_positions(
-        topo: T,
-        positions: Vec<Point>,
-        radius: u32,
-        source: usize,
-        mobility: Mobility,
-        max_steps: u64,
-    ) -> Result<Self, SimError> {
-        let k = positions.len();
-        if k < 2 {
-            return Err(SimError::TooFewAgents { k });
-        }
-        if source >= k {
-            return Err(SimError::SourceOutOfRange { source, k });
-        }
-        if max_steps == 0 {
-            return Err(SimError::ZeroStepCap);
-        }
-        let engine = WalkEngine::from_positions(topo, positions)?;
-        let mut informed = BitSet::new(k);
-        informed.insert(source);
-        let mut sim = Self {
-            engine,
-            radius,
-            mobility,
-            exchange_rule: ExchangeRule::Component,
-            max_steps,
-            informed,
-            informed_count: 1,
-        };
-        let comps = sim.current_components();
-        sim.exchange(&comps);
-        Ok(sim)
+    /// As [`Broadcast::new`].
+    pub fn from_config(config: &SimConfig) -> Result<Self, SimError> {
+        Ok(Self::new(config.k(), config.source())?
+            .mobility(config.mobility())
+            .exchange_rule(config.exchange_rule()))
     }
 
-    /// The number of agents.
-    #[inline]
+    /// Sets the mobility rule (default [`Mobility::All`]).
     #[must_use]
-    pub fn k(&self) -> usize {
-        self.engine.len()
+    pub fn mobility(mut self, mobility: Mobility) -> Self {
+        self.mobility = mobility;
+        self
     }
 
-    /// The transmission radius.
-    #[inline]
+    /// Sets the exchange rule (default [`ExchangeRule::Component`]).
     #[must_use]
-    pub fn radius(&self) -> u32 {
-        self.radius
+    pub fn exchange_rule(mut self, rule: ExchangeRule) -> Self {
+        self.exchange_rule = rule;
+        self
     }
 
-    /// Steps taken so far.
+    /// The exchange rule in force.
     #[inline]
     #[must_use]
-    pub fn time(&self) -> u64 {
-        self.engine.time()
+    pub fn rule(&self) -> ExchangeRule {
+        self.exchange_rule
     }
 
-    /// Current agent positions.
-    #[inline]
-    #[must_use]
-    pub fn positions(&self) -> &[Point] {
-        self.engine.positions()
+    /// Switches the exchange rule (used by the hop-count ablation).
+    pub fn set_exchange_rule(&mut self, rule: ExchangeRule) {
+        self.exchange_rule = rule;
     }
 
     /// The informed-agent set.
     #[inline]
     #[must_use]
-    pub fn informed(&self) -> &BitSet {
+    pub fn informed_set(&self) -> &BitSet {
         &self.informed
     }
 
@@ -236,121 +162,24 @@ impl<T: Topology> BroadcastSim<T> {
     #[inline]
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.informed_count == self.k()
-    }
-
-    /// The visibility-graph components at the current positions.
-    #[must_use]
-    pub fn current_components(&self) -> Components {
-        components(
-            self.engine.positions(),
-            self.radius,
-            self.engine.topology().side(),
-        )
-    }
-
-    /// The exchange rule in force.
-    #[inline]
-    #[must_use]
-    pub fn exchange_rule(&self) -> ExchangeRule {
-        self.exchange_rule
-    }
-
-    /// Switches the exchange rule (used by the hop-count ablation).
-    pub fn set_exchange_rule(&mut self, rule: ExchangeRule) {
-        self.exchange_rule = rule;
-    }
-
-    /// Advances one step (move, rebuild `G_t(r)`, exchange), invoking
-    /// the observer with the post-exchange snapshot. Returns the number
-    /// of newly informed agents.
-    pub fn step<R: RngExt, O: Observer>(&mut self, rng: &mut R, observer: &mut O) -> usize {
-        match self.mobility {
-            Mobility::All => self.engine.step_all(rng),
-            Mobility::InformedOnly => {
-                // Clone the informed mask so the borrow checker allows
-                // stepping the engine; k bits is negligible.
-                let mask = self.informed.clone();
-                self.engine.step_masked(&mask, rng);
-            }
-        }
-        let comps = self.current_components();
-        let fresh = match self.exchange_rule {
-            ExchangeRule::Component => self.exchange(&comps),
-            ExchangeRule::OneHop => self.exchange_one_hop(),
-        };
-        observer.on_step(StepContext {
-            time: self.engine.time(),
-            side: self.engine.topology().side(),
-            positions: self.engine.positions(),
-            components: &comps,
-            informed: &self.informed,
-        });
-        fresh
-    }
-
-    /// Runs to completion or the step cap; equivalent to
-    /// [`run_with`](Self::run_with) with a [`NullObserver`].
-    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> BroadcastOutcome {
-        self.run_with(rng, &mut NullObserver)
-    }
-
-    /// Runs to completion or the step cap with an observer.
-    pub fn run_with<R: RngExt, O: Observer>(
-        &mut self,
-        rng: &mut R,
-        observer: &mut O,
-    ) -> BroadcastOutcome {
-        if self.is_complete() {
-            return self.outcome();
-        }
-        while self.engine.time() < self.max_steps {
-            self.step(rng, observer);
-            if self.is_complete() {
-                break;
-            }
-        }
-        self.outcome()
-    }
-
-    /// The outcome at the current state.
-    #[must_use]
-    pub fn outcome(&self) -> BroadcastOutcome {
-        BroadcastOutcome {
-            broadcast_time: self.is_complete().then(|| self.engine.time()),
-            informed: self.informed_count,
-            k: self.k(),
-        }
+        self.informed_count == self.informed.len()
     }
 
     /// One-hop exchange: every agent within `r` of a currently informed
     /// agent becomes informed; returns the number of newly informed.
-    fn exchange_one_hop(&mut self) -> usize {
-        use sparsegossip_conngraph::SpatialHash;
-        let side = self.engine.topology().side();
-        let hash = SpatialHash::build(self.engine.positions(), self.radius, side);
-        let bps = hash.buckets_per_side();
+    fn exchange_one_hop(&mut self, positions: &[Point], radius: u32, side: u32) -> usize {
+        let hash = SpatialHash::build(positions, radius, side);
         let snapshot = self.informed.clone();
         let mut fresh = 0;
         for i in snapshot.iter_ones() {
-            let p = self.engine.position(i);
-            let (bx, by) = hash.bucket_of(p);
-            for dy in -1i64..=1 {
-                for dx in -1i64..=1 {
-                    let nx = bx as i64 + dx;
-                    let ny = by as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= i64::from(bps) || ny >= i64::from(bps) {
-                        continue;
-                    }
-                    for &j in hash.bucket_agents(nx as u32, ny as u32) {
-                        let j = j as usize;
-                        if !self.informed.contains(j)
-                            && self.engine.position(j).manhattan(p) <= self.radius
-                            && self.informed.insert(j)
-                        {
-                            fresh += 1;
-                        }
-                    }
+            let p = positions[i];
+            for j in hash.candidates(p) {
+                let j = j as usize;
+                if !self.informed.contains(j)
+                    && positions[j].manhattan(p) <= radius
+                    && self.informed.insert(j)
+                {
+                    fresh += 1;
                 }
             }
         }
@@ -360,7 +189,7 @@ impl<T: Topology> BroadcastSim<T> {
 
     /// Floods every component containing an informed agent; returns the
     /// number of newly informed agents.
-    fn exchange(&mut self, comps: &Components) -> usize {
+    fn exchange_components(&mut self, comps: &Components) -> usize {
         let mut fresh = 0;
         for c in 0..comps.count() {
             let members = comps.members(c);
@@ -380,8 +209,301 @@ impl<T: Topology> BroadcastSim<T> {
     }
 }
 
+impl Process for Broadcast {
+    type Outcome = BroadcastOutcome;
+
+    fn agent_count(&self) -> Option<usize> {
+        Some(self.informed.len())
+    }
+
+    fn mobility_mask(&self) -> Option<&BitSet> {
+        match self.mobility {
+            Mobility::All => None,
+            Mobility::InformedOnly => Some(&self.informed),
+        }
+    }
+
+    fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        match self.exchange_rule {
+            ExchangeRule::Component => self.exchange_components(ctx.components),
+            ExchangeRule::OneHop => self.exchange_one_hop(ctx.positions, ctx.radius, ctx.side),
+        };
+        if self.is_complete() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn informed(&self) -> Option<&BitSet> {
+        Some(&self.informed)
+    }
+
+    fn outcome(&self, time: u64) -> BroadcastOutcome {
+        BroadcastOutcome {
+            broadcast_time: self.is_complete().then_some(time),
+            informed: self.informed_count,
+            k: self.informed.len(),
+        }
+    }
+}
+
+impl Simulation<Broadcast, Grid> {
+    /// Builds a broadcast simulation on the bounded grid described by
+    /// `config`, with agents placed uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors ([`SimError::Grid`],
+    /// [`SimError::Walk`], [`SimError::TooFewAgents`],
+    /// [`SimError::SourceOutOfRange`], [`SimError::ZeroStepCap`]).
+    pub fn broadcast<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        let grid = Grid::new(config.side())?;
+        Simulation::new(
+            grid,
+            config.k(),
+            config.radius(),
+            config.max_steps(),
+            Broadcast::from_config(config)?,
+            rng,
+        )
+    }
+
+    /// Builds a Frog-model broadcast (§4): the `config`'s mobility rule
+    /// is overridden to [`Mobility::InformedOnly`].
+    ///
+    /// Unlike the legacy `FrogSim::new` (which always flooded
+    /// components), the configured
+    /// [`exchange_rule`](SimConfig::exchange_rule) is honored — with a
+    /// non-default rule the two constructors produce different runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::broadcast`].
+    pub fn frog<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        let grid = Grid::new(config.side())?;
+        Simulation::new(
+            grid,
+            config.k(),
+            config.radius(),
+            config.max_steps(),
+            Broadcast::from_config(config)?.mobility(Mobility::InformedOnly),
+            rng,
+        )
+    }
+}
+
+/// Pre-redesign single-rumor broadcast simulator; now a thin shim over
+/// [`Simulation<Broadcast, T>`].
+///
+/// Prefer [`Simulation::broadcast`] / [`Simulation::new`] in new code:
+/// the generic driver exposes the same pipeline for every process.
+///
+/// # Examples
+///
+/// ```
+/// # #![allow(deprecated)]
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{BroadcastSim, SimConfig};
+///
+/// let config = SimConfig::builder(48, 24).radius(1).build()?;
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut sim = BroadcastSim::new(&config, &mut rng)?;
+/// let outcome = sim.run(&mut rng);
+/// assert!(outcome.completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BroadcastSim<T> {
+    sim: Simulation<Broadcast, T>,
+}
+
+impl BroadcastSim<Grid> {
+    /// Creates a broadcast simulation on the bounded grid described by
+    /// `config`, with agents placed uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors ([`SimError::Grid`],
+    /// [`SimError::Walk`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::broadcast`)"
+    )]
+    pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        Simulation::broadcast(config, rng).map(|sim| Self { sim })
+    }
+}
+
+impl<T: Topology> BroadcastSim<T> {
+    /// Creates a broadcast simulation on an arbitrary topology with
+    /// uniform random placement.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooFewAgents`] if `k < 2`;
+    /// * [`SimError::SourceOutOfRange`] if `source ≥ k`;
+    /// * [`SimError::ZeroStepCap`] if `max_steps == 0`;
+    /// * [`SimError::Walk`] if the engine rejects the placement.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::new`)"
+    )]
+    pub fn on_topology<R: RngExt>(
+        topo: T,
+        k: usize,
+        radius: u32,
+        source: usize,
+        mobility: Mobility,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        let process = Broadcast::new(k, source)?.mobility(mobility);
+        Simulation::new(topo, k, radius, max_steps, process, rng).map(|sim| Self { sim })
+    }
+
+    /// Creates a simulation from explicit starting positions (useful
+    /// for worst-case placements in lower-bound experiments).
+    ///
+    /// # Errors
+    ///
+    /// As [`BroadcastSim::on_topology`], plus [`SimError::Walk`] if any
+    /// position is outside the topology.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::from_positions`)"
+    )]
+    pub fn from_positions(
+        topo: T,
+        positions: Vec<Point>,
+        radius: u32,
+        source: usize,
+        mobility: Mobility,
+        max_steps: u64,
+    ) -> Result<Self, SimError> {
+        let process = Broadcast::new(positions.len(), source)?.mobility(mobility);
+        Simulation::from_positions(topo, positions, radius, max_steps, process)
+            .map(|sim| Self { sim })
+    }
+
+    /// The underlying generic simulation.
+    #[inline]
+    #[must_use]
+    pub fn as_simulation(&self) -> &Simulation<Broadcast, T> {
+        &self.sim
+    }
+
+    /// Consumes the shim, yielding the generic simulation.
+    #[inline]
+    #[must_use]
+    pub fn into_simulation(self) -> Simulation<Broadcast, T> {
+        self.sim
+    }
+
+    /// The number of agents.
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.sim.k()
+    }
+
+    /// The transmission radius.
+    #[inline]
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.sim.radius()
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.sim.time()
+    }
+
+    /// Current agent positions.
+    #[inline]
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        self.sim.positions()
+    }
+
+    /// The informed-agent set.
+    #[inline]
+    #[must_use]
+    pub fn informed(&self) -> &BitSet {
+        self.sim.process().informed_set()
+    }
+
+    /// The number of informed agents.
+    #[inline]
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.sim.process().informed_count()
+    }
+
+    /// Whether every agent is informed.
+    #[inline]
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.sim.is_complete()
+    }
+
+    /// The visibility-graph components at the current positions.
+    #[must_use]
+    pub fn current_components(&self) -> Components {
+        self.sim.current_components()
+    }
+
+    /// The exchange rule in force.
+    #[inline]
+    #[must_use]
+    pub fn exchange_rule(&self) -> ExchangeRule {
+        self.sim.process().rule()
+    }
+
+    /// Switches the exchange rule (used by the hop-count ablation).
+    pub fn set_exchange_rule(&mut self, rule: ExchangeRule) {
+        self.sim.process_mut().set_exchange_rule(rule);
+    }
+
+    /// Advances one step (move, rebuild `G_t(r)`, exchange), invoking
+    /// the observer with the post-exchange snapshot. Returns the number
+    /// of newly informed agents.
+    pub fn step<R: RngExt, O: Observer>(&mut self, rng: &mut R, observer: &mut O) -> usize {
+        let before = self.sim.process().informed_count();
+        let _ = self.sim.step(rng, observer);
+        self.sim.process().informed_count() - before
+    }
+
+    /// Runs to completion or the step cap; equivalent to
+    /// [`run_with`](Self::run_with) with a [`NullObserver`].
+    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> BroadcastOutcome {
+        self.run_with(rng, &mut NullObserver)
+    }
+
+    /// Runs to completion or the step cap with an observer.
+    pub fn run_with<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> BroadcastOutcome {
+        self.sim.run_with(rng, observer)
+    }
+
+    /// The outcome at the current state.
+    pub fn outcome(&self) -> BroadcastOutcome {
+        self.sim.outcome()
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // The legacy-shim tests exercise the deprecated constructors on
+    // purpose: they are the compatibility surface under test.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -500,5 +622,21 @@ mod tests {
         let slow = mean_tb(0, 100);
         let fast = mean_tb(4, 200);
         assert!(fast <= slow * 1.2, "r=4 mean {fast} ≫ r=0 mean {slow}");
+    }
+
+    #[test]
+    fn outcome_display_reports_both_states() {
+        let done = BroadcastOutcome {
+            broadcast_time: Some(42),
+            informed: 8,
+            k: 8,
+        };
+        assert_eq!(done.to_string(), "T_B = 42 (8/8 informed)");
+        let capped = BroadcastOutcome {
+            broadcast_time: None,
+            informed: 3,
+            k: 8,
+        };
+        assert_eq!(capped.to_string(), "incomplete (3/8 informed)");
     }
 }

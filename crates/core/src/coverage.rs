@@ -2,14 +2,18 @@
 //! time every grid node has been visited by an *informed* agent. §4 of
 //! the paper argues `T_C ≈ T_B = Õ(n/√k)` in the dynamic model.
 
-use rand::RngExt;
-use sparsegossip_grid::Grid;
-use sparsegossip_walks::CoverTracker;
+use core::fmt;
+use core::ops::ControlFlow;
 
-use crate::{BroadcastSim, NullObserver, Observer, SimConfig, SimError, StepContext};
+use rand::RngExt;
+use sparsegossip_grid::{Grid, Topology};
+use sparsegossip_walks::{BitSet, CoverTracker};
+
+use crate::{Broadcast, ExchangeCtx, NullObserver, Process, SimConfig, SimError, Simulation};
 
 /// Outcome of a joint broadcast + coverage run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct CoverageOutcome {
     /// Broadcast time `T_B` (first step all agents informed).
     pub broadcast_time: Option<u64>,
@@ -40,24 +44,142 @@ impl CoverageOutcome {
     }
 }
 
-/// Observer that marks the nodes visited by informed agents.
-struct InformedCoverage {
+impl fmt::Display for CoverageOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.broadcast_time, self.coverage_time) {
+            (Some(tb), Some(tc)) => write!(f, "T_B = {tb}, T_C = {tc}"),
+            _ => write!(
+                f,
+                "incomplete (T_B = {:?}, T_C = {:?}, {}/{} nodes covered)",
+                self.broadcast_time, self.coverage_time, self.covered, self.num_nodes
+            ),
+        }
+    }
+}
+
+/// Joint broadcast + informed-coverage — the [`Process`] behind §4's
+/// `T_C ≈ T_B` claim: a [`Broadcast`] that keeps walking past `T_B`
+/// until informed agents have visited every node.
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    inner: Broadcast,
     grid: Grid,
     tracker: CoverTracker,
+    broadcast_time: Option<u64>,
     coverage_time: Option<u64>,
 }
 
-impl Observer for InformedCoverage {
-    fn on_step(&mut self, ctx: StepContext<'_>) {
+impl Coverage {
+    /// Creates the process state for `k` agents on `grid` with one
+    /// informed `source`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broadcast::new`].
+    pub fn new(grid: Grid, k: usize, source: usize) -> Result<Self, SimError> {
+        Broadcast::new(k, source).map(|inner| Self::around(grid, inner))
+    }
+
+    /// Creates the process described by `config` (mobility, exchange
+    /// rule, source) on `grid`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broadcast::new`].
+    pub fn from_config(grid: Grid, config: &SimConfig) -> Result<Self, SimError> {
+        Broadcast::from_config(config).map(|inner| Self::around(grid, inner))
+    }
+
+    fn around(grid: Grid, inner: Broadcast) -> Self {
+        Self {
+            inner,
+            grid,
+            tracker: CoverTracker::new(&grid),
+            broadcast_time: None,
+            coverage_time: None,
+        }
+    }
+
+    /// Marks the nodes currently occupied by informed agents; records
+    /// the coverage time when the last node is reached.
+    fn record(&mut self, ctx: ExchangeCtx<'_>) {
         if self.coverage_time.is_some() {
             return;
         }
-        for i in ctx.informed.iter_ones() {
+        for i in self.inner.informed_set().iter_ones() {
             self.tracker.record(&self.grid, ctx.positions[i]);
         }
         if self.tracker.is_complete() {
             self.coverage_time = Some(ctx.time);
         }
+    }
+
+    fn flow(&self) -> ControlFlow<()> {
+        if self.broadcast_time.is_some() && self.coverage_time.is_some() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+impl Process for Coverage {
+    type Outcome = CoverageOutcome;
+
+    fn agent_count(&self) -> Option<usize> {
+        self.inner.agent_count()
+    }
+
+    fn on_placement(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        if self.inner.on_placement(ctx).is_break() {
+            self.broadcast_time = Some(ctx.time);
+        }
+        self.record(ctx);
+        self.flow()
+    }
+
+    fn mobility_mask(&self) -> Option<&BitSet> {
+        self.inner.mobility_mask()
+    }
+
+    fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        if self.inner.exchange(ctx).is_break() && self.broadcast_time.is_none() {
+            self.broadcast_time = Some(ctx.time);
+        }
+        self.record(ctx);
+        self.flow()
+    }
+
+    fn informed(&self) -> Option<&BitSet> {
+        self.inner.informed()
+    }
+
+    fn outcome(&self, _time: u64) -> CoverageOutcome {
+        CoverageOutcome {
+            broadcast_time: self.broadcast_time,
+            coverage_time: self.coverage_time,
+            covered: self.tracker.covered(),
+            num_nodes: self.grid.num_nodes(),
+        }
+    }
+}
+
+impl Simulation<Coverage, Grid> {
+    /// Builds a joint broadcast + coverage simulation per `config`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::broadcast`].
+    pub fn coverage<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        let grid = Grid::new(config.side())?;
+        Simulation::new(
+            grid,
+            config.k(),
+            config.radius(),
+            config.max_steps(),
+            Coverage::from_config(grid, config)?,
+            rng,
+        )
     }
 }
 
@@ -66,7 +188,7 @@ impl Observer for InformedCoverage {
 ///
 /// # Errors
 ///
-/// Propagates construction errors from [`BroadcastSim::new`].
+/// Propagates construction errors from [`Simulation::coverage`].
 ///
 /// # Examples
 ///
@@ -88,62 +210,20 @@ pub fn broadcast_with_coverage<R: RngExt>(
     config: &SimConfig,
     rng: &mut R,
 ) -> Result<CoverageOutcome, SimError> {
-    let grid = Grid::new(config.side())?;
-    let mut sim = BroadcastSim::new(config, rng)?;
-    let mut cov = InformedCoverage {
-        grid,
-        tracker: CoverTracker::new(&grid),
-        coverage_time: None,
-    };
-    // Record the initial informed positions (step 0).
-    {
-        let comps = sim.current_components();
-        let ctx = StepContext {
-            time: 0,
-            side: config.side(),
-            positions: sim.positions(),
-            components: &comps,
-            informed: sim.informed(),
-        };
-        cov.on_step(ctx);
-    }
-    let mut broadcast_time = sim.is_complete().then(|| sim.time());
-    while sim.time() < config.max_steps() {
-        if broadcast_time.is_some() && cov.coverage_time.is_some() {
-            break;
-        }
-        if broadcast_time.is_none() {
-            sim.step(rng, &mut cov);
-            if sim.is_complete() {
-                broadcast_time = Some(sim.time());
-            }
-        } else {
-            // Broadcast done: keep walking for coverage only.
-            sim.step(rng, &mut cov);
-        }
-    }
-    // A final wrap-up in case completion happened exactly at the cap.
-    if broadcast_time.is_none() && sim.is_complete() {
-        broadcast_time = Some(sim.time());
-    }
-    Ok(CoverageOutcome {
-        broadcast_time,
-        coverage_time: cov.coverage_time,
-        covered: cov.tracker.covered(),
-        num_nodes: config.n(),
-    })
+    let mut sim = Simulation::coverage(config, rng)?;
+    Ok(sim.run(rng))
 }
 
 /// Runs only the broadcast part (convenience for matched comparisons).
 ///
 /// # Errors
 ///
-/// Propagates construction errors from [`BroadcastSim::new`].
+/// Propagates construction errors from [`Simulation::broadcast`].
 pub fn broadcast_only<R: RngExt>(
     config: &SimConfig,
     rng: &mut R,
 ) -> Result<crate::BroadcastOutcome, SimError> {
-    let mut sim = BroadcastSim::new(config, rng)?;
+    let mut sim = Simulation::broadcast(config, rng)?;
     Ok(sim.run_with(rng, &mut NullObserver))
 }
 
@@ -190,6 +270,7 @@ mod tests {
             num_nodes: 100,
         };
         assert_eq!(o.ratio(), Some(2.5));
+        assert_eq!(o.to_string(), "T_B = 10, T_C = 25");
         let o = CoverageOutcome {
             broadcast_time: None,
             coverage_time: None,
@@ -197,6 +278,10 @@ mod tests {
             num_nodes: 100,
         };
         assert_eq!(o.ratio(), None);
+        assert_eq!(
+            o.to_string(),
+            "incomplete (T_B = None, T_C = None, 7/100 nodes covered)"
+        );
     }
 
     #[test]
@@ -205,5 +290,42 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(23);
         let out = broadcast_only(&cfg, &mut rng).unwrap();
         assert!(out.completed());
+    }
+
+    #[test]
+    fn coverage_honors_frog_mobility_from_config() {
+        use sparsegossip_grid::Point;
+        let cfg = SimConfig::builder(32, 10)
+            .mobility(crate::Mobility::InformedOnly)
+            .max_steps(40)
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(25);
+        let mut sim = Simulation::coverage(&cfg, &mut rng).unwrap();
+        let initial: Vec<Point> = sim.positions().to_vec();
+        for _ in 0..40 {
+            let _ = sim.step(&mut rng, &mut crate::NullObserver);
+        }
+        let informed = sim.process().informed().unwrap();
+        for (i, start) in initial.iter().enumerate() {
+            if !informed.contains(i) {
+                assert_eq!(sim.positions()[i], *start, "dormant agent {i} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_runs_stepwise_through_the_driver() {
+        let cfg = SimConfig::builder(10, 6).radius(0).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(24);
+        let mut sim = Simulation::coverage(&cfg, &mut rng).unwrap();
+        let mut steps = 0u64;
+        while !sim.is_complete() && sim.time() < cfg.max_steps() {
+            let _ = sim.step(&mut rng, &mut NullObserver);
+            steps += 1;
+        }
+        let out = sim.outcome();
+        assert!(out.completed());
+        assert_eq!(steps, sim.time());
     }
 }

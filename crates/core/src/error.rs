@@ -26,6 +26,13 @@ pub enum SimError {
     },
     /// A step cap of zero was requested.
     ZeroStepCap,
+    /// A process sized for one agent count was driven with another.
+    AgentCountMismatch {
+        /// The agent count the process was built for.
+        process: usize,
+        /// The agent count handed to the driver.
+        k: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +47,9 @@ impl fmt::Display for SimError {
                 write!(f, "source agent {source} out of range for {k} agents")
             }
             Self::ZeroStepCap => write!(f, "step cap must be positive"),
+            Self::AgentCountMismatch { process, k } => {
+                write!(f, "process sized for {process} agents driven with {k}")
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 use rand::RngExt;
 use sparsegossip_grid::Grid;
 
-use crate::{BroadcastSim, Mobility, SimConfig, SimError};
+use crate::{Broadcast, BroadcastSim, Mobility, SimConfig, SimError};
 
 /// The Frog model of §4: only informed agents walk; uninformed agents
 /// sit at their initial positions until an informed agent comes within
@@ -10,20 +10,22 @@ use crate::{BroadcastSim, Mobility, SimConfig, SimError};
 /// The paper shows the same `Θ̃(n/√k)` bounds hold here (with Lemma 3
 /// replaced by Lemma 1 in the upper-bound argument).
 ///
-/// `FrogSim` is a thin constructor around [`BroadcastSim`] with
-/// [`Mobility::InformedOnly`]; the returned simulator exposes the full
-/// broadcast API.
+/// The Frog model is [`Broadcast`] with [`Mobility::InformedOnly`]:
+/// `Broadcast::new(k, source)?.mobility(Mobility::InformedOnly)` run by
+/// [`Simulation`](crate::Simulation), or
+/// [`Simulation::frog`](crate::Simulation::frog) on a grid. `FrogSim` is
+/// the pre-redesign constructor kept as a shim.
 ///
 /// # Examples
 ///
 /// ```
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
-/// use sparsegossip_core::{FrogSim, SimConfig};
+/// use sparsegossip_core::{SimConfig, Simulation};
 ///
 /// let config = SimConfig::builder(24, 12).radius(0).build()?;
 /// let mut rng = SmallRng::seed_from_u64(5);
-/// let mut sim = FrogSim::new(&config, &mut rng)?;
+/// let mut sim = Simulation::frog(&config, &mut rng)?;
 /// let outcome = sim.run(&mut rng);
 /// assert!(outcome.completed());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -38,6 +40,11 @@ impl FrogSim {
     /// # Errors
     ///
     /// As [`BroadcastSim::new`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::frog`)"
+    )]
+    #[allow(deprecated, clippy::new_ret_no_self)]
     pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<BroadcastSim<Grid>, SimError> {
         let grid = Grid::new(config.side())?;
         BroadcastSim::on_topology(
@@ -50,12 +57,26 @@ impl FrogSim {
             rng,
         )
     }
+
+    /// The Frog-model [`Process`](crate::Process) for `k` agents — a
+    /// [`Broadcast`] restricted to informed-only mobility.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broadcast::new`].
+    pub fn process(k: usize, source: usize) -> Result<Broadcast, SimError> {
+        Broadcast::new(k, source).map(|b| b.mobility(Mobility::InformedOnly))
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy-shim tests exercise the deprecated constructors on
+    // purpose: they are the compatibility surface under test.
+    #![allow(deprecated)]
+
     use super::*;
-    use crate::NullObserver;
+    use crate::{NullObserver, Simulation};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use sparsegossip_grid::Point;
@@ -67,6 +88,16 @@ mod tests {
         let mut sim = FrogSim::new(&cfg, &mut rng).unwrap();
         let out = sim.run(&mut rng);
         assert!(out.completed(), "informed only {}", out.informed);
+    }
+
+    #[test]
+    fn frog_constructor_matches_generic_driver() {
+        let cfg = SimConfig::builder(16, 8).radius(0).build().unwrap();
+        let mut rng_a = SmallRng::seed_from_u64(35);
+        let mut rng_b = SmallRng::seed_from_u64(35);
+        let mut shim = FrogSim::new(&cfg, &mut rng_a).unwrap();
+        let mut generic = Simulation::frog(&cfg, &mut rng_b).unwrap();
+        assert_eq!(shim.run(&mut rng_a), generic.run(&mut rng_b));
     }
 
     #[test]
@@ -83,9 +114,9 @@ mod tests {
         for _ in 0..20 {
             sim.step(&mut rng, &mut NullObserver);
         }
-        for i in 0..sim.k() {
+        for (i, start) in initial.iter().enumerate() {
             if !sim.informed().contains(i) {
-                assert_eq!(sim.positions()[i], initial[i], "dormant frog {i} moved");
+                assert_eq!(sim.positions()[i], *start, "dormant frog {i} moved");
             }
             // Agents informed at start may have moved; don't constrain.
             let _ = &informed_at_start;

@@ -1,12 +1,16 @@
-use rand::RngExt;
-use sparsegossip_conngraph::components;
-use sparsegossip_grid::{Grid, Point, Topology};
-use sparsegossip_walks::WalkEngine;
+use core::fmt;
+use core::ops::ControlFlow;
 
-use crate::{RumorSets, SimConfig, SimError};
+use rand::RngExt;
+use sparsegossip_grid::{Grid, Point, Topology};
+
+use crate::{
+    ExchangeCtx, NullObserver, Observer, Process, RumorSets, SimConfig, SimError, Simulation,
+};
 
 /// Outcome of a gossip run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct GossipOutcome {
     /// The gossip time `T_G`: first step at which every agent knew
     /// every rumor, or `None` if the cap was reached first.
@@ -26,12 +30,156 @@ impl GossipOutcome {
     }
 }
 
-/// All-to-all gossip: every agent starts with a distinct rumor and all
-/// agents must learn all rumors (Corollary 2: `T_G = Õ(n/√k)` w.h.p.).
+impl fmt::Display for GossipOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.gossip_time {
+            Some(t) => write!(f, "T_G = {t} ({} rumors everywhere)", self.num_rumors),
+            None => write!(
+                f,
+                "incomplete (min {}/{} rumors per agent)",
+                self.min_rumors, self.num_rumors
+            ),
+        }
+    }
+}
+
+/// All-to-all gossip — the [`Process`] of Corollary 2: every agent
+/// must learn every rumor (`T_G = Õ(n/√k)` w.h.p.).
 ///
 /// # Examples
 ///
 /// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{SimConfig, Simulation};
+///
+/// let config = SimConfig::builder(32, 8).radius(1).build()?;
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let mut sim = Simulation::gossip(&config, &mut rng)?;
+/// let outcome = sim.run(&mut rng);
+/// assert!(outcome.completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gossip {
+    rumors: RumorSets,
+}
+
+impl Gossip {
+    /// One distinct rumor per agent (the Corollary 2 initial
+    /// condition).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooFewAgents`] if `k < 2`.
+    pub fn distinct(k: usize) -> Result<Self, SimError> {
+        if k < 2 {
+            return Err(SimError::TooFewAgents { k });
+        }
+        Ok(Self {
+            rumors: RumorSets::distinct(k),
+        })
+    }
+
+    /// `num_rumors` rumors held by the first `num_rumors` agents — the
+    /// paper's general setting where the number of rumors is at most
+    /// the number of agents.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooFewAgents`] if `k < 2`;
+    /// * [`SimError::SourceOutOfRange`] if `num_rumors` is zero or
+    ///   exceeds `k`.
+    pub fn with_rumors(k: usize, num_rumors: usize) -> Result<Self, SimError> {
+        if k < 2 {
+            return Err(SimError::TooFewAgents { k });
+        }
+        if num_rumors == 0 || num_rumors > k {
+            return Err(SimError::SourceOutOfRange {
+                source: num_rumors,
+                k,
+            });
+        }
+        Ok(Self {
+            rumors: RumorSets::with_rumors(k, num_rumors),
+        })
+    }
+
+    /// The per-agent rumor sets.
+    #[inline]
+    #[must_use]
+    pub fn rumor_sets(&self) -> &RumorSets {
+        &self.rumors
+    }
+
+    /// Whether every agent knows every rumor.
+    #[inline]
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.rumors.all_complete()
+    }
+}
+
+impl Process for Gossip {
+    type Outcome = GossipOutcome;
+
+    fn agent_count(&self) -> Option<usize> {
+        Some(self.rumors.k())
+    }
+
+    fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        self.rumors.exchange(ctx.components);
+        if self.rumors.all_complete() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn rumors(&self) -> Option<&RumorSets> {
+        Some(&self.rumors)
+    }
+
+    fn outcome(&self, time: u64) -> GossipOutcome {
+        GossipOutcome {
+            gossip_time: self.rumors.all_complete().then_some(time),
+            min_rumors: self.rumors.min_count(),
+            num_rumors: self.rumors.num_rumors(),
+        }
+    }
+}
+
+impl Simulation<Gossip, Grid> {
+    /// Builds an all-to-all gossip simulation per `config` (one rumor
+    /// per agent, uniform placement). The configured source is ignored
+    /// — gossip is symmetric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors, as [`Simulation::broadcast`].
+    pub fn gossip<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        let grid = Grid::new(config.side())?;
+        Simulation::new(
+            grid,
+            config.k(),
+            config.radius(),
+            config.max_steps(),
+            Gossip::distinct(config.k())?,
+            rng,
+        )
+    }
+}
+
+/// Pre-redesign all-to-all gossip simulator; now a thin shim over
+/// [`Simulation<Gossip, T>`] — and, through it, gossip runs gained
+/// observer hooks ([`run_with`](GossipSim::run_with)).
+///
+/// Prefer [`Simulation::gossip`] / [`Simulation::new`] in new code.
+///
+/// # Examples
+///
+/// ```
+/// # #![allow(deprecated)]
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
 /// use sparsegossip_core::{GossipSim, SimConfig};
@@ -45,10 +193,7 @@ impl GossipOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct GossipSim<T> {
-    engine: WalkEngine<T>,
-    radius: u32,
-    max_steps: u64,
-    rumors: RumorSets,
+    sim: Simulation<Gossip, T>,
 }
 
 impl GossipSim<Grid> {
@@ -61,9 +206,12 @@ impl GossipSim<Grid> {
     /// Propagates configuration errors, as [`BroadcastSim::new`].
     ///
     /// [`BroadcastSim::new`]: crate::BroadcastSim::new
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::gossip`)"
+    )]
     pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
-        let grid = Grid::new(config.side())?;
-        Self::on_topology(grid, config.k(), config.radius(), config.max_steps(), rng)
+        Simulation::gossip(config, rng).map(|sim| Self { sim })
     }
 }
 
@@ -75,6 +223,10 @@ impl<T: Topology> GossipSim<T> {
     /// * [`SimError::TooFewAgents`] if `k < 2`;
     /// * [`SimError::ZeroStepCap`] if `max_steps == 0`;
     /// * [`SimError::Walk`] on placement failure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::new`)"
+    )]
     pub fn on_topology<R: RngExt>(
         topo: T,
         k: usize,
@@ -82,21 +234,8 @@ impl<T: Topology> GossipSim<T> {
         max_steps: u64,
         rng: &mut R,
     ) -> Result<Self, SimError> {
-        if k < 2 {
-            return Err(SimError::TooFewAgents { k });
-        }
-        if max_steps == 0 {
-            return Err(SimError::ZeroStepCap);
-        }
-        let engine = WalkEngine::uniform(topo, k, rng)?;
-        let mut sim = Self {
-            engine,
-            radius,
-            max_steps,
-            rumors: RumorSets::distinct(k),
-        };
-        sim.exchange();
-        Ok(sim)
+        let process = Gossip::distinct(k)?;
+        Simulation::new(topo, k, radius, max_steps, process, rng).map(|sim| Self { sim })
     }
 
     /// Creates a gossip simulation where only the first `num_rumors`
@@ -109,6 +248,10 @@ impl<T: Topology> GossipSim<T> {
     /// As [`GossipSim::on_topology`], plus
     /// [`SimError::SourceOutOfRange`] if `num_rumors` is zero or
     /// exceeds `k`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::new`)"
+    )]
     pub fn with_rumors<R: RngExt>(
         topo: T,
         k: usize,
@@ -117,101 +260,94 @@ impl<T: Topology> GossipSim<T> {
         max_steps: u64,
         rng: &mut R,
     ) -> Result<Self, SimError> {
-        if k < 2 {
-            return Err(SimError::TooFewAgents { k });
-        }
-        if num_rumors == 0 || num_rumors > k {
-            return Err(SimError::SourceOutOfRange {
-                source: num_rumors,
-                k,
-            });
-        }
-        if max_steps == 0 {
-            return Err(SimError::ZeroStepCap);
-        }
-        let engine = WalkEngine::uniform(topo, k, rng)?;
-        let mut sim = Self {
-            engine,
-            radius,
-            max_steps,
-            rumors: RumorSets::with_rumors(k, num_rumors),
-        };
-        sim.exchange();
-        Ok(sim)
+        let process = Gossip::with_rumors(k, num_rumors)?;
+        Simulation::new(topo, k, radius, max_steps, process, rng).map(|sim| Self { sim })
+    }
+
+    /// The underlying generic simulation.
+    #[inline]
+    #[must_use]
+    pub fn as_simulation(&self) -> &Simulation<Gossip, T> {
+        &self.sim
     }
 
     /// The number of agents.
     #[inline]
     #[must_use]
     pub fn k(&self) -> usize {
-        self.engine.len()
+        self.sim.k()
     }
 
     /// Steps taken so far.
     #[inline]
     #[must_use]
     pub fn time(&self) -> u64 {
-        self.engine.time()
+        self.sim.time()
     }
 
     /// Current agent positions.
     #[inline]
     #[must_use]
     pub fn positions(&self) -> &[Point] {
-        self.engine.positions()
+        self.sim.positions()
     }
 
     /// The per-agent rumor sets.
     #[inline]
     #[must_use]
     pub fn rumors(&self) -> &RumorSets {
-        &self.rumors
+        self.sim.process().rumor_sets()
     }
 
     /// Whether gossip is complete.
     #[inline]
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.rumors.all_complete()
+        self.sim.is_complete()
     }
 
     /// Advances one step (move, rebuild graph, exchange).
     pub fn step<R: RngExt>(&mut self, rng: &mut R) {
-        self.engine.step_all(rng);
-        self.exchange();
+        let _ = self.sim.step(rng, &mut NullObserver);
+    }
+
+    /// Advances one step, invoking the observer with the post-exchange
+    /// snapshot (the rumor sets arrive via
+    /// [`StepContext::rumors`](crate::StepContext::rumors)).
+    pub fn step_with<R: RngExt, O: Observer>(&mut self, rng: &mut R, observer: &mut O) {
+        let _ = self.sim.step(rng, observer);
     }
 
     /// Runs until completion or the step cap.
     pub fn run<R: RngExt>(&mut self, rng: &mut R) -> GossipOutcome {
-        while !self.is_complete() && self.engine.time() < self.max_steps {
-            self.step(rng);
-        }
-        self.outcome()
+        self.sim.run(rng)
+    }
+
+    /// Runs until completion or the step cap with an observer — e.g.
+    /// [`MinRumorsCurve`](crate::MinRumorsCurve) for the gossip
+    /// analogue of the epidemic curve.
+    pub fn run_with<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> GossipOutcome {
+        self.sim.run_with(rng, observer)
     }
 
     /// The outcome at the current state.
-    #[must_use]
     pub fn outcome(&self) -> GossipOutcome {
-        GossipOutcome {
-            gossip_time: self.is_complete().then(|| self.engine.time()),
-            min_rumors: self.rumors.min_count(),
-            num_rumors: self.rumors.num_rumors(),
-        }
-    }
-
-    fn exchange(&mut self) {
-        let comps = components(
-            self.engine.positions(),
-            self.radius,
-            self.engine.topology().side(),
-        );
-        self.rumors.exchange(&comps);
+        self.sim.outcome()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy-shim tests exercise the deprecated constructors on
+    // purpose: they are the compatibility surface under test.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::MinRumorsCurve;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -264,6 +400,20 @@ mod tests {
     }
 
     #[test]
+    fn observer_sees_min_rumors_curve() {
+        let cfg = SimConfig::builder(16, 6).radius(0).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut sim = GossipSim::new(&cfg, &mut rng).unwrap();
+        let mut curve = MinRumorsCurve::new();
+        let out = sim.run_with(&mut rng, &mut curve);
+        assert!(out.completed());
+        assert!(!curve.counts().is_empty());
+        assert!(curve.counts().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*curve.counts().last().unwrap() as usize, out.num_rumors);
+        assert!(curve.time_to_reach(6).is_some());
+    }
+
+    #[test]
     fn cap_reports_partial_progress() {
         let cfg = SimConfig::builder(64, 4).max_steps(1).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(13);
@@ -296,5 +446,21 @@ mod tests {
         let mut sim = GossipSim::new(&cfg, &mut rng).unwrap();
         assert!(sim.is_complete());
         assert_eq!(sim.run(&mut rng).gossip_time, Some(0));
+    }
+
+    #[test]
+    fn outcome_display_reports_both_states() {
+        let done = GossipOutcome {
+            gossip_time: Some(9),
+            min_rumors: 4,
+            num_rumors: 4,
+        };
+        assert_eq!(done.to_string(), "T_G = 9 (4 rumors everywhere)");
+        let capped = GossipOutcome {
+            gossip_time: None,
+            min_rumors: 1,
+            num_rumors: 4,
+        };
+        assert_eq!(capped.to_string(), "incomplete (min 1/4 rumors per agent)");
     }
 }

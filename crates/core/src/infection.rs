@@ -1,13 +1,18 @@
+use core::fmt;
+use core::ops::ControlFlow;
+
 use rand::RngExt;
 use sparsegossip_grid::Grid;
+use sparsegossip_walks::BitSet;
 
-use crate::{BroadcastSim, InfectionTimes, SimConfig, SimError};
+use crate::{Broadcast, ExchangeCtx, Observer, Process, SimConfig, SimError, Simulation};
 
 /// Outcome of an infection run: broadcast at `r = 0` with per-agent
 /// infection times, the quantity studied by Dimitriou, Nikoletseas and
 /// Spirakis (general bound `O(t* log k)`) and mis-estimated by Wang et
 /// al. as `Θ((n log n log k)/k)` — the bound the paper refutes.
 #[derive(Clone, Debug, PartialEq)]
+#[must_use]
 pub struct InfectionOutcome {
     /// First step at which every agent was infected, if reached.
     pub infection_time: Option<u64>,
@@ -27,14 +32,139 @@ impl InfectionOutcome {
     }
 }
 
-/// The infection-time framing of the dynamic model: `k` walking agents,
-/// one initially infected, transmission on contact (`r = 0` — agents
-/// meeting at a node).
+impl fmt::Display for InfectionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let infected = self.per_agent.iter().filter(|t| t.is_some()).count();
+        match (self.infection_time, self.mean_time) {
+            (Some(t), Some(mean)) => write!(f, "T_I = {t} (mean {mean:.1})"),
+            _ => write!(
+                f,
+                "incomplete ({infected}/{} infected)",
+                self.per_agent.len()
+            ),
+        }
+    }
+}
+
+/// The infection-time [`Process`]: broadcast with transmission on
+/// contact (`r = 0` — agents meeting at a node), recording the step at
+/// which each agent was first infected.
 ///
-/// This is exactly [`BroadcastSim`] with radius zero plus the
-/// [`InfectionTimes`] observer; the wrapper exists because the
-/// infection literature reports *per-agent* and *mean* infection times
-/// rather than just the completion time.
+/// This is exactly [`Broadcast`] plus per-agent bookkeeping; the
+/// wrapper exists because the infection literature reports *per-agent*
+/// and *mean* infection times rather than just the completion time.
+#[derive(Clone, Debug)]
+pub struct Infection {
+    inner: Broadcast,
+    times: Vec<Option<u64>>,
+}
+
+impl Infection {
+    /// Creates the process state for `k` agents with infected `source`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broadcast::new`].
+    pub fn new(k: usize, source: usize) -> Result<Self, SimError> {
+        Ok(Self {
+            inner: Broadcast::new(k, source)?,
+            times: vec![None; k],
+        })
+    }
+
+    /// Sets the mobility rule of the underlying broadcast (default
+    /// [`Mobility`](crate::Mobility)`::All`; `InformedOnly` gives
+    /// Frog-style infection where only carriers walk).
+    #[must_use]
+    pub fn mobility(mut self, mobility: crate::Mobility) -> Self {
+        self.inner = self.inner.mobility(mobility);
+        self
+    }
+
+    /// Per-agent first-infection steps recorded so far.
+    #[inline]
+    #[must_use]
+    pub fn times(&self) -> &[Option<u64>] {
+        &self.times
+    }
+
+    fn record(&mut self, time: u64) {
+        for i in self.inner.informed_set().iter_ones() {
+            if self.times[i].is_none() {
+                self.times[i] = Some(time);
+            }
+        }
+    }
+}
+
+impl Process for Infection {
+    type Outcome = InfectionOutcome;
+
+    fn agent_count(&self) -> Option<usize> {
+        Some(self.times.len())
+    }
+
+    fn on_placement(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        let flow = self.inner.on_placement(ctx);
+        self.record(ctx.time);
+        flow
+    }
+
+    fn mobility_mask(&self) -> Option<&BitSet> {
+        self.inner.mobility_mask()
+    }
+
+    fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        let flow = self.inner.exchange(ctx);
+        self.record(ctx.time);
+        flow
+    }
+
+    fn informed(&self) -> Option<&BitSet> {
+        self.inner.informed()
+    }
+
+    fn outcome(&self, time: u64) -> InfectionOutcome {
+        let infected: Vec<u64> = self.times.iter().flatten().copied().collect();
+        let mean_time = if infected.is_empty() {
+            None
+        } else {
+            Some(infected.iter().sum::<u64>() as f64 / infected.len() as f64)
+        };
+        InfectionOutcome {
+            infection_time: self.inner.is_complete().then_some(time),
+            per_agent: self.times.clone(),
+            mean_time,
+        }
+    }
+}
+
+impl Simulation<Infection, Grid> {
+    /// Builds an infection simulation per `config`. The transmission
+    /// radius is forced to 0 — infection is contact-only by definition.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::broadcast`].
+    pub fn infection<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        let grid = Grid::new(config.side())?;
+        Simulation::new(
+            grid,
+            config.k(),
+            0,
+            config.max_steps(),
+            Infection::new(config.k(), config.source())?.mobility(config.mobility()),
+            rng,
+        )
+    }
+}
+
+/// The infection-time framing of the dynamic model: `k` walking agents,
+/// one initially infected, transmission on contact (`r = 0`).
+///
+/// Constructed then run like every other simulator (the pre-redesign
+/// static one-shot survives as the deprecated
+/// [`run_once`](InfectionSim::run_once)).
 ///
 /// # Examples
 ///
@@ -45,52 +175,77 @@ impl InfectionOutcome {
 ///
 /// let config = SimConfig::builder(24, 8).build()?;
 /// let mut rng = SmallRng::seed_from_u64(4);
-/// let out = InfectionSim::run(&config, &mut rng)?;
+/// let mut sim = InfectionSim::new(&config, &mut rng)?;
+/// let out = sim.run(&mut rng);
 /// assert!(out.completed());
 /// assert_eq!(out.per_agent.len(), 8);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
-pub struct InfectionSim;
+#[derive(Clone, Debug)]
+pub struct InfectionSim {
+    sim: Simulation<Infection, Grid>,
+}
 
 impl InfectionSim {
-    /// Runs an infection process per `config` (radius forced to 0) and
-    /// reports per-agent infection times.
+    /// Creates an infection simulation per `config` (radius forced
+    /// to 0), with agents placed uniformly at random.
     ///
     /// # Errors
     ///
-    /// As [`BroadcastSim::new`].
-    pub fn run<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<InfectionOutcome, SimError> {
-        let grid = Grid::new(config.side())?;
-        let mut sim = BroadcastSim::on_topology(
-            grid,
-            config.k(),
-            0,
-            config.source(),
-            config.mobility(),
-            config.max_steps(),
-            rng,
-        )?;
-        let mut times = InfectionTimes::new(config.k());
-        // Record step-0 infections (source plus its co-located cluster).
-        {
-            let comps = sim.current_components();
-            let ctx = crate::StepContext {
-                time: 0,
-                side: config.side(),
-                positions: sim.positions(),
-                components: &comps,
-                informed: sim.informed(),
-            };
-            use crate::Observer;
-            times.on_step(ctx);
-        }
-        let outcome = sim.run_with(rng, &mut times);
-        Ok(InfectionOutcome {
-            infection_time: outcome.broadcast_time,
-            mean_time: times.mean(),
-            per_agent: times.times().to_vec(),
-        })
+    /// As [`BroadcastSim::new`](crate::BroadcastSim::new).
+    pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        Simulation::infection(config, rng).map(|sim| Self { sim })
+    }
+
+    /// The underlying generic simulation.
+    #[inline]
+    #[must_use]
+    pub fn as_simulation(&self) -> &Simulation<Infection, Grid> {
+        &self.sim
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.sim.time()
+    }
+
+    /// Whether every agent is infected.
+    #[inline]
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.sim.is_complete()
+    }
+
+    /// Advances one step (move, contact detection, infection spread).
+    pub fn step<R: RngExt, O: Observer>(&mut self, rng: &mut R, observer: &mut O) {
+        let _ = self.sim.step(rng, observer);
+    }
+
+    /// Runs until every agent is infected or the step cap.
+    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> InfectionOutcome {
+        self.sim.run(rng)
+    }
+
+    /// The outcome at the current state.
+    pub fn outcome(&self) -> InfectionOutcome {
+        self.sim.outcome()
+    }
+
+    /// Pre-redesign one-shot API: runs an infection process per
+    /// `config` and reports per-agent infection times.
+    ///
+    /// # Errors
+    ///
+    /// As [`InfectionSim::new`].
+    #[deprecated(since = "0.1.0", note = "use `InfectionSim::new` + `run` instead")]
+    pub fn run_once<R: RngExt>(
+        config: &SimConfig,
+        rng: &mut R,
+    ) -> Result<InfectionOutcome, SimError> {
+        let mut sim = Self::new(config, rng)?;
+        Ok(sim.run(rng))
     }
 }
 
@@ -104,7 +259,8 @@ mod tests {
     fn per_agent_times_are_recorded_and_bounded() {
         let cfg = SimConfig::builder(16, 6).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(51);
-        let out = InfectionSim::run(&cfg, &mut rng).unwrap();
+        let mut sim = InfectionSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
         assert!(out.completed());
         let t_total = out.infection_time.unwrap();
         for (i, t) in out.per_agent.iter().enumerate() {
@@ -125,7 +281,8 @@ mod tests {
             .build()
             .unwrap();
         let mut rng = SmallRng::seed_from_u64(52);
-        let out = InfectionSim::run(&cfg, &mut rng).unwrap();
+        let mut sim = InfectionSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
         assert!(!out.completed(), "r must be forced to 0");
     }
 
@@ -134,7 +291,56 @@ mod tests {
         // The source is always infected at step 0, so mean is Some.
         let cfg = SimConfig::builder(32, 4).max_steps(1).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(53);
-        let out = InfectionSim::run(&cfg, &mut rng).unwrap();
+        let mut sim = InfectionSim::new(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
         assert!(out.mean_time.is_some());
+    }
+
+    #[test]
+    fn informed_only_mobility_freezes_uninfected_agents() {
+        use sparsegossip_grid::Point;
+        let cfg = SimConfig::builder(32, 10)
+            .mobility(crate::Mobility::InformedOnly)
+            .max_steps(40)
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(55);
+        let mut sim = Simulation::infection(&cfg, &mut rng).unwrap();
+        let initial: Vec<Point> = sim.positions().to_vec();
+        for _ in 0..40 {
+            let _ = sim.step(&mut rng, &mut crate::NullObserver);
+        }
+        for (i, start) in initial.iter().enumerate() {
+            if sim.process().times()[i].is_none() {
+                assert_eq!(sim.positions()[i], *start, "uninfected agent {i} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_one_shot_matches_constructed_run() {
+        let cfg = SimConfig::builder(16, 6).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(54);
+        #[allow(deprecated)]
+        let once = InfectionSim::run_once(&cfg, &mut rng).unwrap();
+        let mut rng = SmallRng::seed_from_u64(54);
+        let mut sim = InfectionSim::new(&cfg, &mut rng).unwrap();
+        assert_eq!(once, sim.run(&mut rng));
+    }
+
+    #[test]
+    fn outcome_display_reports_both_states() {
+        let done = InfectionOutcome {
+            infection_time: Some(10),
+            per_agent: vec![Some(0), Some(10)],
+            mean_time: Some(5.0),
+        };
+        assert_eq!(done.to_string(), "T_I = 10 (mean 5.0)");
+        let capped = InfectionOutcome {
+            infection_time: None,
+            per_agent: vec![Some(0), None],
+            mean_time: Some(0.0),
+        };
+        assert_eq!(capped.to_string(), "incomplete (1/2 infected)");
     }
 }

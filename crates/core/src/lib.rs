@@ -11,18 +11,25 @@
 //! that below the percolation radius `r_c ≈ √(n/k)` the broadcast time
 //! is `Θ̃(n/√k)`, *independently of `r`*.
 //!
-//! This crate implements:
+//! Every process is one [`Process`] implementation run by the generic
+//! [`Simulation`] driver, which owns the shared per-step pipeline
+//! (mobility rule → walk step → visibility components → exchange →
+//! observer):
 //!
-//! * [`BroadcastSim`] — single-rumor broadcast, the object of
-//!   Theorems 1 and 2 ([`FrogSim`] gives the Frog-model variant of §4);
-//! * [`GossipSim`] — all-to-all gossip (Corollary 2);
-//! * [`coverage`] — joint broadcast/coverage runs (`T_C ≈ T_B`, §4);
-//! * [`PredatorPreySim`] — the predator–prey extinction process (§4);
-//! * [`InfectionSim`] — the `r = 0` infection-time framing
+//! * [`Broadcast`] — single-rumor broadcast, the object of Theorems 1
+//!   and 2 (with [`Mobility::InformedOnly`], the Frog model of §4);
+//! * [`Gossip`] — all-to-all gossip (Corollary 2);
+//! * [`Coverage`] — joint broadcast/coverage runs (`T_C ≈ T_B`, §4);
+//! * [`PredatorPrey`] — the predator–prey extinction process (§4);
+//! * [`Infection`] — the `r = 0` infection-time framing
 //!   (Dimitriou et al.) with per-agent infection times;
 //! * [`baseline`] — the dense-MANET comparison model of Clementi et
 //!   al. and the (refuted) analytic bound of Wang et al.;
 //! * [`theory`] — closed-form reference curves for every bound.
+//!
+//! The pre-redesign per-process structs ([`BroadcastSim`],
+//! [`GossipSim`], [`InfectionSim`], [`FrogSim`], [`PredatorPreySim`])
+//! remain as thin shims over the driver.
 //!
 //! # Examples
 //!
@@ -31,11 +38,11 @@
 //! ```
 //! use rand::rngs::SmallRng;
 //! use rand::SeedableRng;
-//! use sparsegossip_core::{BroadcastSim, SimConfig};
+//! use sparsegossip_core::{SimConfig, Simulation};
 //!
 //! let config = SimConfig::builder(64, 32).radius(0).build()?;
 //! let mut rng = SmallRng::seed_from_u64(1);
-//! let mut sim = BroadcastSim::new(&config, &mut rng)?;
+//! let mut sim = Simulation::broadcast(&config, &mut rng)?;
 //! let outcome = sim.run(&mut rng);
 //! assert!(outcome.completed());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -51,19 +58,21 @@ mod gossip;
 mod infection;
 mod observer;
 mod predator_prey;
+mod process;
 mod rumor;
 pub mod theory;
 
-pub use broadcast::{BroadcastOutcome, BroadcastSim};
+pub use broadcast::{Broadcast, BroadcastOutcome, BroadcastSim};
 pub use config::{ExchangeRule, Mobility, SimConfig, SimConfigBuilder};
-pub use coverage::{broadcast_with_coverage, CoverageOutcome};
+pub use coverage::{broadcast_with_coverage, Coverage, CoverageOutcome};
 pub use error::SimError;
 pub use frog::FrogSim;
-pub use gossip::{GossipOutcome, GossipSim};
-pub use infection::{InfectionOutcome, InfectionSim};
+pub use gossip::{Gossip, GossipOutcome, GossipSim};
+pub use infection::{Infection, InfectionOutcome, InfectionSim};
 pub use observer::{
     CellReachTimes, ComponentSizeCurve, FrontierTracker, InfectionTimes, InformedCurve,
-    NullObserver, Observer, StepContext,
+    MinRumorsCurve, NullObserver, Observer, StepContext,
 };
-pub use predator_prey::{ExtinctionOutcome, PredatorPreySim};
+pub use predator_prey::{ExtinctionOutcome, PredatorPrey, PredatorPreySim};
+pub use process::{ExchangeCtx, Process, Simulation};
 pub use rumor::RumorSets;

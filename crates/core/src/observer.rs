@@ -2,6 +2,8 @@ use sparsegossip_conngraph::Components;
 use sparsegossip_grid::Point;
 use sparsegossip_walks::BitSet;
 
+use crate::RumorSets;
+
 /// The per-step snapshot handed to [`Observer`] implementations.
 ///
 /// All references are valid only for the duration of the callback.
@@ -16,8 +18,12 @@ pub struct StepContext<'a> {
     pub positions: &'a [Point],
     /// Connected components of the visibility graph at this step.
     pub components: &'a Components,
-    /// Informed-agent set after the exchange.
+    /// Informed-agent set after the exchange (empty for processes
+    /// without a single-rumor informed notion, e.g. gossip).
     pub informed: &'a BitSet,
+    /// Per-agent rumor sets after the exchange, for multi-rumor
+    /// processes (`None` elsewhere).
+    pub rumors: Option<&'a RumorSets>,
 }
 
 /// Hook invoked after every exchange of a broadcast-style simulation.
@@ -101,6 +107,64 @@ impl InformedCurve {
 impl Observer for InformedCurve {
     fn on_step(&mut self, ctx: StepContext<'_>) {
         self.counts.push(ctx.informed.count_ones() as u32);
+    }
+}
+
+/// Records the minimum per-agent rumor count after every step — the
+/// gossip analogue of the epidemic curve, so multi-rumor runs are as
+/// inspectable as broadcast runs.
+///
+/// Steps whose context carries no rumor sets (single-rumor processes)
+/// are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{MinRumorsCurve, SimConfig, Simulation};
+///
+/// let config = SimConfig::builder(16, 6).build()?;
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let mut sim = Simulation::gossip(&config, &mut rng)?;
+/// let mut curve = MinRumorsCurve::new();
+/// sim.run_with(&mut rng, &mut curve);
+/// // The curve is non-decreasing and ends at the full rumor count.
+/// assert!(curve.counts().windows(2).all(|w| w[0] <= w[1]));
+/// assert_eq!(*curve.counts().last().unwrap(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MinRumorsCurve {
+    counts: Vec<u32>,
+}
+
+impl MinRumorsCurve {
+    /// Creates an empty curve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The minimum per-agent rumor count after each observed step.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The first observed step index at which every agent knew at least
+    /// `threshold` rumors.
+    #[must_use]
+    pub fn time_to_reach(&self, threshold: u32) -> Option<usize> {
+        self.counts.iter().position(|&c| c >= threshold)
+    }
+}
+
+impl Observer for MinRumorsCurve {
+    fn on_step(&mut self, ctx: StepContext<'_>) {
+        if let Some(rumors) = ctx.rumors {
+            self.counts.push(rumors.min_count() as u32);
+        }
     }
 }
 
@@ -308,6 +372,7 @@ mod tests {
             positions,
             components: comps,
             informed,
+            rumors: None,
         }
     }
 
@@ -366,6 +431,29 @@ mod tests {
         pair.on_step(ctx_at(0, &positions, &comps, &informed));
         assert_eq!(c.max_sizes(), &[2]);
         assert_eq!(c.peak(), 2);
+    }
+
+    #[test]
+    fn min_rumors_curve_reads_rumor_contexts_only() {
+        let positions = [Point::new(0, 0), Point::new(1, 1)];
+        let comps = components(&positions, 0, 16);
+        let informed = BitSet::new(2);
+        let mut curve = MinRumorsCurve::new();
+        // A context without rumor sets is ignored.
+        curve.on_step(ctx_at(0, &positions, &comps, &informed));
+        assert!(curve.counts().is_empty());
+        let rumors = crate::RumorSets::distinct(2);
+        curve.on_step(StepContext {
+            time: 1,
+            side: 16,
+            positions: &positions,
+            components: &comps,
+            informed: &informed,
+            rumors: Some(&rumors),
+        });
+        assert_eq!(curve.counts(), &[1]);
+        assert_eq!(curve.time_to_reach(1), Some(0));
+        assert_eq!(curve.time_to_reach(2), None);
     }
 
     #[test]

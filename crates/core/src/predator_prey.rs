@@ -1,11 +1,16 @@
-use rand::RngExt;
-use sparsegossip_grid::{Grid, Point, Topology};
-use sparsegossip_walks::{lazy_step, BitSet, WalkEngine};
+use core::fmt;
+use core::ops::ControlFlow;
 
-use crate::SimError;
+use rand::RngExt;
+use sparsegossip_conngraph::SpatialHash;
+use sparsegossip_grid::{Grid, Point, Topology};
+use sparsegossip_walks::{lazy_step, BitSet};
+
+use crate::{ExchangeCtx, NullObserver, Observer, Process, SimError, Simulation};
 
 /// Outcome of a predator–prey run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
 pub struct ExtinctionOutcome {
     /// First step at which no prey survived, or `None` at the cap.
     pub extinction_time: Option<u64>,
@@ -24,17 +29,165 @@ impl ExtinctionOutcome {
     }
 }
 
-/// The random predator–prey system of §4: `k` predators perform
-/// independent lazy walks; a prey is caught when a predator comes
-/// within the catch radius. The paper's techniques give an
-/// `O(n log²n / k)` high-probability bound on the extinction time for
-/// `k = Ω(log n)` predators.
+impl fmt::Display for ExtinctionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.extinction_time {
+            Some(t) => write!(f, "extinct at {t} ({} preys)", self.num_preys),
+            None => write!(
+                f,
+                "incomplete ({}/{} preys surviving)",
+                self.survivors, self.num_preys
+            ),
+        }
+    }
+}
+
+/// The random predator–prey system of §4 as a [`Process`]: the driven
+/// agents are `k` predators performing independent lazy walks; a prey
+/// is caught when a predator comes within the catch radius. The paper's
+/// techniques give an `O(n log²n / k)` high-probability bound on the
+/// extinction time for `k = Ω(log n)` predators.
 ///
-/// Preys may be mobile (walking like the predators) or static.
+/// Preys may be mobile (walking like the predators, via
+/// [`Process::post_move`]) or static. Catch resolution does not use the
+/// visibility components, so the process opts out of the rebuild
+/// ([`Process::NEEDS_COMPONENTS`] is `false`).
+#[derive(Clone, Debug)]
+pub struct PredatorPrey {
+    prey_positions: Vec<Point>,
+    prey_alive: BitSet,
+    alive_count: usize,
+    catch_radius: u32,
+    preys_mobile: bool,
+    num_preys: usize,
+}
+
+impl PredatorPrey {
+    /// Creates `m` preys placed uniformly at random on `topo`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooFewAgents`] if `m == 0`.
+    pub fn uniform<T: Topology, R: RngExt>(
+        topo: &T,
+        m: usize,
+        catch_radius: u32,
+        preys_mobile: bool,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        if m == 0 {
+            return Err(SimError::TooFewAgents { k: m });
+        }
+        let prey_positions = (0..m).map(|_| topo.random_point(rng)).collect();
+        Ok(Self::from_prey_positions(
+            prey_positions,
+            catch_radius,
+            preys_mobile,
+        ))
+    }
+
+    /// Creates the process from explicit prey positions.
+    #[must_use]
+    pub fn from_prey_positions(
+        prey_positions: Vec<Point>,
+        catch_radius: u32,
+        preys_mobile: bool,
+    ) -> Self {
+        let m = prey_positions.len();
+        let mut prey_alive = BitSet::new(m);
+        prey_alive.set_all();
+        Self {
+            prey_positions,
+            prey_alive,
+            alive_count: m,
+            catch_radius,
+            preys_mobile,
+            num_preys: m,
+        }
+    }
+
+    /// The number of surviving preys.
+    #[inline]
+    #[must_use]
+    pub fn survivors(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Whether every prey has been caught.
+    #[inline]
+    #[must_use]
+    pub fn is_extinct(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// Current prey positions (dead preys stay where they were caught).
+    #[inline]
+    #[must_use]
+    pub fn prey_positions(&self) -> &[Point] {
+        &self.prey_positions
+    }
+
+    /// Kills every living prey within the catch radius of a predator;
+    /// returns the kill count.
+    fn catch_preys(&mut self, predators: &[Point], side: u32) -> usize {
+        let hash = SpatialHash::build(predators, self.catch_radius, side);
+        let mut caught = 0;
+        for i in self.prey_alive.clone().iter_ones() {
+            let p = self.prey_positions[i];
+            let dead = hash
+                .candidates(p)
+                .any(|pred| predators[pred as usize].manhattan(p) <= self.catch_radius);
+            if dead {
+                self.prey_alive.remove(i);
+                self.alive_count -= 1;
+                caught += 1;
+            }
+        }
+        caught
+    }
+}
+
+impl Process for PredatorPrey {
+    type Outcome = ExtinctionOutcome;
+
+    /// Catches are resolved against prey positions directly; no
+    /// predator-to-predator visibility graph is needed.
+    const NEEDS_COMPONENTS: bool = false;
+
+    fn post_move<T: Topology, R: RngExt>(&mut self, topo: &T, rng: &mut R) {
+        if self.preys_mobile {
+            // Walk only the living preys; carcasses stay put.
+            for i in self.prey_alive.clone().iter_ones() {
+                self.prey_positions[i] = lazy_step(topo, self.prey_positions[i], rng);
+            }
+        }
+    }
+
+    fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        self.catch_preys(ctx.positions, ctx.side);
+        if self.is_extinct() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn outcome(&self, time: u64) -> ExtinctionOutcome {
+        ExtinctionOutcome {
+            extinction_time: self.is_extinct().then_some(time),
+            survivors: self.alive_count,
+            num_preys: self.num_preys,
+        }
+    }
+}
+
+/// Pre-redesign predator–prey simulator; now a thin shim over
+/// [`Simulation<PredatorPrey, T>`].
 ///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
 /// use sparsegossip_core::PredatorPreySim;
@@ -50,14 +203,7 @@ impl ExtinctionOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PredatorPreySim<T> {
-    predators: WalkEngine<T>,
-    prey_positions: Vec<Point>,
-    prey_alive: BitSet,
-    alive_count: usize,
-    catch_radius: u32,
-    preys_mobile: bool,
-    max_steps: u64,
-    num_preys: usize,
+    sim: Simulation<PredatorPrey, T>,
 }
 
 impl<T: Topology> PredatorPreySim<T> {
@@ -69,6 +215,10 @@ impl<T: Topology> PredatorPreySim<T> {
     ///
     /// * [`SimError::TooFewAgents`] if `k == 0` or `m == 0`;
     /// * [`SimError::ZeroStepCap`] if `max_steps == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::new`)"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn new<R: RngExt>(
         topo: T,
@@ -88,119 +238,71 @@ impl<T: Topology> PredatorPreySim<T> {
         if max_steps == 0 {
             return Err(SimError::ZeroStepCap);
         }
-        let prey_positions = (0..m).map(|_| topo.random_point(rng)).collect();
-        let predators = WalkEngine::uniform(topo, k, rng)?;
-        let mut prey_alive = BitSet::new(m);
-        prey_alive.set_all();
-        let mut sim = Self {
-            predators,
-            prey_positions,
-            prey_alive,
-            alive_count: m,
-            catch_radius,
-            preys_mobile,
-            max_steps,
-            num_preys: m,
-        };
-        sim.catch_preys();
-        Ok(sim)
+        // Prey placement draws first, then the predator engine — the
+        // pre-redesign draw order, preserved for seed equivalence.
+        let process = PredatorPrey::uniform(&topo, m, catch_radius, preys_mobile, rng)?;
+        Simulation::new(topo, k, catch_radius, max_steps, process, rng).map(|sim| Self { sim })
+    }
+
+    /// The underlying generic simulation.
+    #[inline]
+    #[must_use]
+    pub fn as_simulation(&self) -> &Simulation<PredatorPrey, T> {
+        &self.sim
     }
 
     /// The number of predators.
     #[inline]
     #[must_use]
     pub fn num_predators(&self) -> usize {
-        self.predators.len()
+        self.sim.k()
     }
 
     /// The number of surviving preys.
     #[inline]
     #[must_use]
     pub fn survivors(&self) -> usize {
-        self.alive_count
+        self.sim.process().survivors()
     }
 
     /// Steps taken so far.
     #[inline]
     #[must_use]
     pub fn time(&self) -> u64 {
-        self.predators.time()
+        self.sim.time()
     }
 
     /// Whether every prey has been caught.
     #[inline]
     #[must_use]
     pub fn is_extinct(&self) -> bool {
-        self.alive_count == 0
+        self.sim.is_complete()
     }
 
     /// Advances one step: predators (and mobile preys) walk, then
     /// catches are resolved. Returns the number of preys caught.
     pub fn step<R: RngExt>(&mut self, rng: &mut R) -> usize {
-        self.predators.step_all(rng);
-        if self.preys_mobile {
-            // Walk only the living preys; carcasses stay put.
-            let topo = self.predators.topology();
-            for i in self.prey_alive.clone().iter_ones() {
-                self.prey_positions[i] = lazy_step(topo, self.prey_positions[i], rng);
-            }
-        }
-        self.catch_preys()
+        let before = self.sim.process().survivors();
+        let _ = self.sim.step(rng, &mut NullObserver);
+        before - self.sim.process().survivors()
+    }
+
+    /// Advances one step with an observer (positions and step index;
+    /// predator–prey has no informed set or components).
+    pub fn step_with<R: RngExt, O: Observer>(&mut self, rng: &mut R, observer: &mut O) -> usize {
+        let before = self.sim.process().survivors();
+        let _ = self.sim.step(rng, observer);
+        before - self.sim.process().survivors()
     }
 
     /// Runs until extinction or the step cap.
     pub fn run<R: RngExt>(&mut self, rng: &mut R) -> ExtinctionOutcome {
-        while !self.is_extinct() && self.predators.time() < self.max_steps {
-            self.step(rng);
-        }
-        self.outcome()
+        self.sim.run(rng)
     }
 
     /// The outcome at the current state.
-    #[must_use]
     pub fn outcome(&self) -> ExtinctionOutcome {
-        ExtinctionOutcome {
-            extinction_time: self.is_extinct().then(|| self.predators.time()),
-            survivors: self.alive_count,
-            num_preys: self.num_preys,
-        }
-    }
-
-    /// Kills every living prey within the catch radius of a predator;
-    /// returns the kill count.
-    fn catch_preys(&mut self) -> usize {
-        use sparsegossip_conngraph::SpatialHash;
-        let side = self.predators.topology().side();
-        let hash = SpatialHash::build(self.predators.positions(), self.catch_radius, side);
-        let bps = hash.buckets_per_side();
-        let mut caught = 0;
-        for i in self.prey_alive.clone().iter_ones() {
-            let p = self.prey_positions[i];
-            let (bx, by) = hash.bucket_of(p);
-            let mut dead = false;
-            'scan: for dy in -1i64..=1 {
-                for dx in -1i64..=1 {
-                    let nx = bx as i64 + dx;
-                    let ny = by as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= i64::from(bps) || ny >= i64::from(bps) {
-                        continue;
-                    }
-                    for &pred in hash.bucket_agents(nx as u32, ny as u32) {
-                        if self.predators.position(pred as usize).manhattan(p) <= self.catch_radius
-                        {
-                            dead = true;
-                            break 'scan;
-                        }
-                    }
-                }
-            }
-            if dead {
-                self.prey_alive.remove(i);
-                self.alive_count -= 1;
-                caught += 1;
-            }
-        }
-        caught
+        self.sim.outcome()
     }
 }
 
@@ -211,6 +313,11 @@ impl<T: Topology> PredatorPreySim<T> {
     ///
     /// As [`PredatorPreySim::new`], plus [`SimError::Grid`] on a bad
     /// side.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified `Simulation` driver (`Simulation::new`)"
+    )]
+    #[allow(deprecated)]
     pub fn on_grid<R: RngExt>(
         side: u32,
         k: usize,
@@ -227,6 +334,10 @@ impl<T: Topology> PredatorPreySim<T> {
 
 #[cfg(test)]
 mod tests {
+    // The legacy-shim tests exercise the deprecated constructors on
+    // purpose: they are the compatibility surface under test.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -307,5 +418,21 @@ mod tests {
         let few = mean(2, 777);
         let many = mean(16, 888);
         assert!(many < few, "k=16 mean {many} not below k=2 mean {few}");
+    }
+
+    #[test]
+    fn outcome_display_reports_both_states() {
+        let done = ExtinctionOutcome {
+            extinction_time: Some(7),
+            survivors: 0,
+            num_preys: 4,
+        };
+        assert_eq!(done.to_string(), "extinct at 7 (4 preys)");
+        let capped = ExtinctionOutcome {
+            extinction_time: None,
+            survivors: 2,
+            num_preys: 4,
+        };
+        assert_eq!(capped.to_string(), "incomplete (2/4 preys surviving)");
     }
 }

@@ -1,0 +1,469 @@
+//! The unified process API: every dissemination dynamic of the paper —
+//! broadcast, gossip, the Frog model, infection, coverage,
+//! predator–prey — is one [`Process`] run by one generic [`Simulation`]
+//! driver.
+//!
+//! The shared dynamic (paper §2): agents move one lazy step, the
+//! visibility graph `G_t(r)` is rebuilt, and state is exchanged across
+//! its components. A [`Process`] supplies only the parts that differ —
+//! which agents move, what state is exchanged, and when the run is
+//! over — while [`Simulation`] owns the per-step pipeline
+//! (mobility → [`WalkEngine::step_all`] → [`components`] → exchange →
+//! [`Observer`]). Every process therefore gets observers, explicit
+//! stepping, arbitrary [`Topology`] support and deterministic seeding
+//! for free.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use sparsegossip_core::{Broadcast, SimConfig, Simulation};
+//!
+//! let config = SimConfig::builder(32, 16).radius(1).build()?;
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut sim = Simulation::broadcast(&config, &mut rng)?;
+//! let outcome = sim.run(&mut rng);
+//! assert!(outcome.completed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use core::ops::ControlFlow;
+
+use rand::RngExt;
+use sparsegossip_conngraph::{components, Components};
+use sparsegossip_grid::{Point, Topology};
+use sparsegossip_walks::{BitSet, WalkEngine};
+
+use crate::{Observer, RumorSets, SimError, StepContext};
+
+/// The per-step snapshot handed to [`Process::exchange`].
+///
+/// Unlike [`StepContext`] (the observer view, which includes the
+/// process's own informed/rumor state), this carries only the driver's
+/// state: the step index, the domain, the post-move positions, and the
+/// visibility components — everything the process does *not* own.
+#[derive(Clone, Copy, Debug)]
+pub struct ExchangeCtx<'a> {
+    /// The step that just completed (0 at placement time).
+    pub time: u64,
+    /// The domain side, for node indexing.
+    pub side: u32,
+    /// The visibility radius `r` the components were built with.
+    pub radius: u32,
+    /// Agent positions after the move.
+    pub positions: &'a [Point],
+    /// Connected components of `G_t(r)` at these positions (empty when
+    /// the process opts out via [`Process::NEEDS_COMPONENTS`]).
+    pub components: &'a Components,
+}
+
+/// One dissemination dynamic, pluggable into [`Simulation`].
+///
+/// Implementations hold the process-specific state (informed set, rumor
+/// sets, surviving preys, …) and answer four questions: who moves
+/// ([`mobility_mask`](Process::mobility_mask)), what happens after the
+/// move but before the exchange ([`post_move`](Process::post_move)),
+/// how state spreads ([`exchange`](Process::exchange)), and what the
+/// result is ([`outcome`](Process::outcome)).
+pub trait Process {
+    /// The result type of a completed (or capped) run.
+    type Outcome;
+
+    /// Whether the driver must rebuild the visibility components each
+    /// step. Processes that resolve interactions themselves (e.g.
+    /// predator–prey catches) opt out and receive empty components.
+    const NEEDS_COMPONENTS: bool = true;
+
+    /// The number of walking agents this process was sized for, if it
+    /// has a fixed size; [`Simulation::new`] verifies it against the
+    /// engine. `None` disables the check.
+    fn agent_count(&self) -> Option<usize> {
+        None
+    }
+
+    /// Called once at placement time (step 0) with the initial
+    /// components; returns [`ControlFlow::Break`] if the run is already
+    /// complete. Defaults to a plain [`exchange`](Process::exchange) —
+    /// `G_0(r)` already exists, so the paper's step-0 exchange applies.
+    fn on_placement(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+        self.exchange(ctx)
+    }
+
+    /// Which agents walk this step: `None` means all of them (the
+    /// paper's main model), `Some(mask)` restricts movement to the set
+    /// bits (the Frog model).
+    fn mobility_mask(&self) -> Option<&BitSet> {
+        None
+    }
+
+    /// Hook between the engine step and the component rebuild, for
+    /// auxiliary random state (e.g. mobile preys walking). Draws must
+    /// come from `rng` so runs stay seed-reproducible.
+    fn post_move<T: Topology, R: RngExt>(&mut self, _topo: &T, _rng: &mut R) {}
+
+    /// Exchanges state across the visibility graph; returns
+    /// [`ControlFlow::Break`] once the process has reached its
+    /// completion condition.
+    fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()>;
+
+    /// The informed-agent set, if the process has one (shown to
+    /// observers via [`StepContext::informed`]).
+    fn informed(&self) -> Option<&BitSet> {
+        None
+    }
+
+    /// The per-agent rumor sets, if the process has them (shown to
+    /// observers via [`StepContext::rumors`]).
+    fn rumors(&self) -> Option<&RumorSets> {
+        None
+    }
+
+    /// The outcome at the current state; `time` is the number of steps
+    /// taken so far.
+    fn outcome(&self, time: u64) -> Self::Outcome;
+}
+
+/// The generic driver: owns the walk engine, the step cap and the
+/// shared per-step pipeline, and runs any [`Process`] on any
+/// [`Topology`].
+///
+/// # Examples
+///
+/// Run gossip on a torus — a combination the old per-process structs
+/// never exposed:
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{Gossip, Simulation};
+/// use sparsegossip_grid::Torus;
+///
+/// let torus = Torus::new(16)?;
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let mut sim = Simulation::new(torus, 6, 0, 1_000_000, Gossip::distinct(6)?, &mut rng)?;
+/// assert!(sim.run(&mut rng).completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation<P: Process, T> {
+    engine: WalkEngine<T>,
+    radius: u32,
+    max_steps: u64,
+    process: P,
+    complete: bool,
+    /// Reused empty structures for processes without components or an
+    /// informed set, so `StepContext` can always hand out references.
+    empty_components: Components,
+    empty_informed: BitSet,
+}
+
+impl<P: Process, T: Topology> Simulation<P, T> {
+    /// Places `k` agents uniformly at random on `topo` and runs the
+    /// step-0 exchange.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ZeroStepCap`] if `max_steps == 0`;
+    /// * [`SimError::AgentCountMismatch`] if the process was sized for
+    ///   a different `k`;
+    /// * [`SimError::Walk`] if the engine rejects the placement.
+    pub fn new<R: RngExt>(
+        topo: T,
+        k: usize,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        Self::validate(&process, k, max_steps)?;
+        let engine = WalkEngine::uniform(topo, k, rng)?;
+        Ok(Self::on_engine(engine, radius, max_steps, process))
+    }
+
+    /// Builds a simulation from explicit starting positions (worst-case
+    /// placements for lower-bound experiments).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::new`], plus [`SimError::Walk`] if any position
+    /// lies outside the topology.
+    pub fn from_positions(
+        topo: T,
+        positions: Vec<Point>,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+    ) -> Result<Self, SimError> {
+        Self::validate(&process, positions.len(), max_steps)?;
+        let engine = WalkEngine::from_positions(topo, positions)?;
+        Ok(Self::on_engine(engine, radius, max_steps, process))
+    }
+
+    fn validate(process: &P, k: usize, max_steps: u64) -> Result<(), SimError> {
+        if max_steps == 0 {
+            return Err(SimError::ZeroStepCap);
+        }
+        if let Some(expected) = process.agent_count() {
+            if expected != k {
+                return Err(SimError::AgentCountMismatch {
+                    process: expected,
+                    k,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn on_engine(engine: WalkEngine<T>, radius: u32, max_steps: u64, mut process: P) -> Self {
+        let empty_components = components(&[], radius, engine.topology().side());
+        let comps = if P::NEEDS_COMPONENTS {
+            components(engine.positions(), radius, engine.topology().side())
+        } else {
+            empty_components.clone()
+        };
+        let flow = process.on_placement(ExchangeCtx {
+            time: 0,
+            side: engine.topology().side(),
+            radius,
+            positions: engine.positions(),
+            components: &comps,
+        });
+        Self {
+            engine,
+            radius,
+            max_steps,
+            process,
+            complete: flow.is_break(),
+            empty_components,
+            empty_informed: BitSet::new(0),
+        }
+    }
+
+    /// The number of walking agents.
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// The visibility radius `r`.
+    #[inline]
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// The step cap.
+    #[inline]
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.engine.time()
+    }
+
+    /// Current agent positions.
+    #[inline]
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        self.engine.positions()
+    }
+
+    /// The underlying topology.
+    #[inline]
+    #[must_use]
+    pub fn topology(&self) -> &T {
+        self.engine.topology()
+    }
+
+    /// The process state (informed sets, rumor sets, …).
+    #[inline]
+    #[must_use]
+    pub fn process(&self) -> &P {
+        &self.process
+    }
+
+    /// Mutable access to the process state (e.g. to switch the exchange
+    /// rule mid-run in ablations).
+    #[inline]
+    pub fn process_mut(&mut self) -> &mut P {
+        &mut self.process
+    }
+
+    /// Whether the process has reached its completion condition.
+    #[inline]
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The visibility-graph components at the current positions.
+    #[must_use]
+    pub fn current_components(&self) -> Components {
+        components(
+            self.engine.positions(),
+            self.radius,
+            self.engine.topology().side(),
+        )
+    }
+
+    /// Advances one step of the shared pipeline: mobility rule →
+    /// engine step → [`Process::post_move`] → component rebuild →
+    /// [`Process::exchange`] → observer. Returns
+    /// [`ControlFlow::Break`] once the process completes.
+    pub fn step<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> ControlFlow<()> {
+        match self.process.mobility_mask() {
+            None => self.engine.step_all(rng),
+            Some(mask) => self.engine.step_masked(mask, rng),
+        }
+        self.process.post_move(self.engine.topology(), rng);
+        let side = self.engine.topology().side();
+        let comps = if P::NEEDS_COMPONENTS {
+            components(self.engine.positions(), self.radius, side)
+        } else {
+            self.empty_components.clone()
+        };
+        let flow = self.process.exchange(ExchangeCtx {
+            time: self.engine.time(),
+            side,
+            radius: self.radius,
+            positions: self.engine.positions(),
+            components: &comps,
+        });
+        if flow.is_break() {
+            self.complete = true;
+        }
+        observer.on_step(StepContext {
+            time: self.engine.time(),
+            side,
+            positions: self.engine.positions(),
+            components: &comps,
+            informed: self.process.informed().unwrap_or(&self.empty_informed),
+            rumors: self.process.rumors(),
+        });
+        flow
+    }
+
+    /// Runs to completion or the step cap; equivalent to
+    /// [`run_with`](Self::run_with) with a
+    /// [`NullObserver`](crate::NullObserver).
+    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> P::Outcome {
+        self.run_with(rng, &mut crate::NullObserver)
+    }
+
+    /// Runs to completion or the step cap, invoking `observer` after
+    /// every exchange.
+    pub fn run_with<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> P::Outcome {
+        while !self.complete && self.engine.time() < self.max_steps {
+            let _ = self.step(rng, observer);
+        }
+        self.outcome()
+    }
+
+    /// The outcome at the current state.
+    #[must_use]
+    pub fn outcome(&self) -> P::Outcome {
+        self.process.outcome(self.engine.time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Broadcast, Gossip, NullObserver, SimConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sparsegossip_grid::{Grid, Torus};
+
+    #[test]
+    fn generic_driver_runs_broadcast_to_completion() {
+        let cfg = SimConfig::builder(16, 8).radius(0).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        let out = sim.run(&mut rng);
+        assert!(out.completed());
+        assert!(sim.is_complete());
+        assert_eq!(out.informed, 8);
+    }
+
+    #[test]
+    fn step_reports_break_exactly_at_completion() {
+        let cfg = SimConfig::builder(12, 6).radius(0).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        let mut broke = false;
+        for _ in 0..cfg.max_steps() {
+            if sim.step(&mut rng, &mut NullObserver).is_break() {
+                broke = true;
+                break;
+            }
+        }
+        assert!(broke, "tiny grid must complete");
+        assert!(sim.is_complete());
+    }
+
+    #[test]
+    fn any_process_runs_on_any_topology() {
+        let torus = Torus::new(12).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sim = Simulation::new(
+            torus,
+            6,
+            0,
+            1_000_000,
+            Gossip::distinct(6).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(sim.run(&mut rng).completed());
+    }
+
+    #[test]
+    fn agent_count_mismatch_is_rejected() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let err =
+            Simulation::new(g, 5, 0, 10, Broadcast::new(4, 0).unwrap(), &mut rng).unwrap_err();
+        assert_eq!(err, SimError::AgentCountMismatch { process: 4, k: 5 });
+    }
+
+    #[test]
+    fn zero_cap_is_rejected() {
+        let g = Grid::new(8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            Simulation::new(g, 4, 0, 0, Broadcast::new(4, 0).unwrap(), &mut rng).unwrap_err(),
+            SimError::ZeroStepCap
+        );
+    }
+
+    #[test]
+    fn accessors_expose_driver_state() {
+        let cfg = SimConfig::builder(16, 8).radius(2).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        assert_eq!(sim.k(), 8);
+        assert_eq!(sim.radius(), 2);
+        assert_eq!(sim.max_steps(), cfg.max_steps());
+        assert_eq!(sim.time(), 0);
+        assert_eq!(sim.positions().len(), 8);
+        assert_eq!(sim.topology().side(), 16);
+        assert!(sim.process().informed_count() >= 1);
+        let comps = sim.current_components();
+        assert_eq!(comps.num_agents(), 8);
+    }
+}

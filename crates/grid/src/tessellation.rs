@@ -210,17 +210,13 @@ impl Tessellation {
         let (min, max) = self.cell_bounds(c);
         let dx = if p.x < min.x {
             min.x - p.x
-        } else if p.x > max.x {
-            p.x - max.x
         } else {
-            0
+            p.x.saturating_sub(max.x)
         };
         let dy = if p.y < min.y {
             min.y - p.y
-        } else if p.y > max.y {
-            p.y - max.y
         } else {
-            0
+            p.y.saturating_sub(max.y)
         };
         dx + dy
     }

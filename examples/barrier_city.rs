@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip::core::{BroadcastSim, Mobility, SimConfig};
+use sparsegossip::core::{Broadcast, SimConfig, Simulation};
 use sparsegossip::grid::{BarrierGrid, Point};
 
 fn wall_with_gap(side: u32, gap: u32) -> BarrierGrid {
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert!(topo.is_connected());
             let cap = SimConfig::default_step_cap(side, k) * 8;
             let mut rng = SmallRng::seed_from_u64(4242 + i);
-            let mut sim = BroadcastSim::on_topology(topo, k, 0, 0, Mobility::All, cap, &mut rng)?;
+            let mut sim = Simulation::new(topo, k, 0, cap, Broadcast::new(k, 0)?, &mut rng)?;
             total += sim.run(&mut rng).broadcast_time.unwrap_or(cap) as f64;
         }
         let mean = total / reps as f64;

@@ -11,7 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip::core::{FrontierTracker, InformedCurve};
+use sparsegossip::core::{Broadcast, FrontierTracker, InformedCurve};
 use sparsegossip::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 32usize;
     let config = SimConfig::builder(side, k).radius(0).build()?;
     let mut rng = SmallRng::seed_from_u64(99);
-    let mut sim = BroadcastSim::new(&config, &mut rng)?;
+    let mut sim = Simulation::broadcast(&config, &mut rng)?;
 
     // Track when each display cell (4×4 nodes) is first touched by an
     // informed agent.
@@ -29,15 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut frontier = FrontierTracker::new();
     let mut curve = InformedCurve::new();
 
-    let record = |sim: &BroadcastSim<Grid>, t: u64, first_touch: &mut Vec<Option<u64>>| {
-        for i in sim.informed().iter_ones() {
+    let record = |sim: &Simulation<Broadcast, Grid>, t: u64, first_touch: &mut Vec<Option<u64>>| {
+        for i in sim.process().informed_set().iter_ones() {
             let c = tess.cell_of(sim.positions()[i]).as_usize();
             first_touch[c].get_or_insert(t);
         }
     };
     record(&sim, 0, &mut first_touch);
     while !sim.is_complete() && sim.time() < config.max_steps() {
-        sim.step(&mut rng, &mut (&mut frontier, &mut curve));
+        let _ = sim.step(&mut rng, &mut (&mut frontier, &mut curve));
         let t = sim.time();
         record(&sim, t, &mut first_touch);
     }

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut rng = SmallRng::seed_from_u64(2011);
-    let mut sim = BroadcastSim::new(&config, &mut rng)?;
+    let mut sim = Simulation::broadcast(&config, &mut rng)?;
     let outcome = sim.run(&mut rng);
 
     match outcome.broadcast_time {

@@ -20,7 +20,7 @@ fn mean_tb(side: u32, k: usize, r: u32, reps: u64) -> f64 {
             .build()
             .expect("valid configuration");
         let mut rng = SmallRng::seed_from_u64(7000 + i);
-        let mut sim = BroadcastSim::new(&config, &mut rng).expect("constructible sim");
+        let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible sim");
         let out = sim.run(&mut rng);
         total += out.broadcast_time.unwrap_or(config.max_steps()) as f64;
     }

@@ -19,16 +19,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.critical_radius()
     );
 
-    // 1. Gossip: all logs to all collars.
+    // 1. Gossip: all logs to all collars, with the min-rumors curve
+    // recording how the slowest collar catches up.
     let mut rng = SmallRng::seed_from_u64(1337);
-    let mut gossip = GossipSim::new(&config, &mut rng)?;
-    let g = gossip.run(&mut rng);
+    let mut gossip = Simulation::gossip(&config, &mut rng)?;
+    let mut curve = sparsegossip::core::MinRumorsCurve::new();
+    let g = gossip.run_with(&mut rng, &mut curve);
     match g.gossip_time {
         Some(t) => println!("all {} logs on all collars after {t} steps", g.num_rumors),
         None => println!(
             "gossip incomplete (min {} of {} logs)",
             g.min_rumors, g.num_rumors
         ),
+    }
+    if let Some(i) = curve.time_to_reach(config.k() as u32 / 2) {
+        // Observation i is simulation step i + 1 (placement is step 0).
+        println!("slowest collar had half the logs by step {}", i + 1);
     }
 
     // 2. Coverage: how long until data-carrying animals have swept every
@@ -46,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. What if only data-carrying animals keep moving? (Frog model —
     // e.g. collars wake animals' trackers only after first contact.)
     let mut rng = SmallRng::seed_from_u64(1339);
-    let mut frog = FrogSim::new(&config, &mut rng)?;
+    let mut frog = Simulation::frog(&config, &mut rng)?;
     let f = frog.run(&mut rng);
     println!("frog-model broadcast: T_B = {:?}", f.broadcast_time);
     Ok(())

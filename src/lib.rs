@@ -33,10 +33,27 @@
 //! // 64×64 grid, 32 agents, contact-only transmission (r = 0).
 //! let config = SimConfig::builder(64, 32).radius(0).build()?;
 //! let mut rng = SmallRng::seed_from_u64(2011);
-//! let mut sim = BroadcastSim::new(&config, &mut rng)?;
+//! let mut sim = Simulation::broadcast(&config, &mut rng)?;
 //! let outcome = sim.run(&mut rng);
-//! println!("T_B = {:?}", outcome.broadcast_time);
+//! println!("{outcome}");
 //! assert!(outcome.completed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Multi-seed ensembles go through the [`analysis::Runner`]:
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use sparsegossip::prelude::*;
+//!
+//! let config = SimConfig::builder(32, 16).build()?;
+//! let report = Runner::new(2011).repetitions(8).threads(4).measure(|seed| {
+//!     let mut rng = SmallRng::seed_from_u64(seed);
+//!     let mut sim = Simulation::broadcast(&config, &mut rng).expect("valid");
+//!     sim.run(&mut rng).broadcast_time.expect("completes") as f64
+//! });
+//! assert_eq!(report.summary.n(), 8);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -48,12 +65,12 @@ pub use sparsegossip_walks as walks;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use sparsegossip_analysis::{power_law_fit, Summary, Sweep, Table};
+    pub use sparsegossip_analysis::{power_law_fit, Runner, Summary, Sweep, Table};
     pub use sparsegossip_conngraph::{components, critical_radius, giant_fraction};
     pub use sparsegossip_core::{
-        broadcast_with_coverage, BroadcastOutcome, BroadcastSim, ExchangeRule, FrogSim,
-        GossipOutcome, GossipSim, InfectionSim, Mobility, Observer, PredatorPreySim, SimConfig,
-        SimError,
+        broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, Coverage, ExchangeRule,
+        FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim, Mobility, Observer,
+        PredatorPrey, PredatorPreySim, Process, SimConfig, SimError, Simulation,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
     pub use sparsegossip_walks::{hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine};

@@ -20,7 +20,7 @@ fn identical_seeds_give_identical_runs() {
     for r in [0u32, 2, 5] {
         let run = |seed: u64| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut sim = BroadcastSim::new(&cfg(32, 16, r), &mut rng).expect("sim");
+            let mut sim = Simulation::broadcast(&cfg(32, 16, r), &mut rng).expect("sim");
             sim.run(&mut rng)
         };
         assert_eq!(run(7), run(7), "same seed must reproduce at r={r}");
@@ -31,7 +31,7 @@ fn identical_seeds_give_identical_runs() {
 fn different_seeds_give_different_runs() {
     let run = |seed: u64| {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&cfg(48, 16, 0), &mut rng).expect("sim");
+        let mut sim = Simulation::broadcast(&cfg(48, 16, 0), &mut rng).expect("sim");
         sim.run(&mut rng).broadcast_time
     };
     // With a 48×48 grid two seeds colliding on T_B exactly is unlikely;
@@ -42,7 +42,7 @@ fn different_seeds_give_different_runs() {
 #[test]
 fn observers_compose_and_agree_with_outcome() {
     let mut rng = SmallRng::seed_from_u64(11);
-    let mut sim = BroadcastSim::new(&cfg(24, 12, 1), &mut rng).expect("sim");
+    let mut sim = Simulation::broadcast(&cfg(24, 12, 1), &mut rng).expect("sim");
     let mut curve = InformedCurve::new();
     let mut frontier = FrontierTracker::new();
     let mut comps = ComponentSizeCurve::new();
@@ -65,7 +65,7 @@ fn broadcast_time_is_nonincreasing_in_radius_on_average() {
         let mut total = 0u64;
         for seed in 0..15 {
             let mut rng = SmallRng::seed_from_u64(900 + seed);
-            let mut sim = BroadcastSim::new(&cfg(24, 12, r), &mut rng).expect("sim");
+            let mut sim = Simulation::broadcast(&cfg(24, 12, r), &mut rng).expect("sim");
             total += sim.run(&mut rng).broadcast_time.expect("completes");
         }
         total as f64 / 15.0
@@ -84,10 +84,10 @@ fn gossip_time_dominates_single_rumor_broadcast_statistically() {
     for seed in 0..10 {
         let c = cfg(20, 8, 0);
         let mut rng = SmallRng::seed_from_u64(40 + seed);
-        let mut g = GossipSim::new(&c, &mut rng).expect("sim");
+        let mut g = Simulation::gossip(&c, &mut rng).expect("sim");
         tg_total += g.run(&mut rng).gossip_time.expect("completes") as f64;
         let mut rng = SmallRng::seed_from_u64(40 + seed);
-        let mut b = BroadcastSim::new(&c, &mut rng).expect("sim");
+        let mut b = Simulation::broadcast(&c, &mut rng).expect("sim");
         tb_total += b.run(&mut rng).broadcast_time.expect("completes") as f64;
     }
     assert!(
@@ -125,14 +125,14 @@ fn frog_model_dormant_agents_hold_position_until_informed() {
         .build()
         .expect("cfg");
     let mut rng = SmallRng::seed_from_u64(77);
-    let mut sim = FrogSim::new(&c, &mut rng).expect("sim");
+    let mut sim = Simulation::frog(&c, &mut rng).expect("sim");
     let start = sim.positions().to_vec();
     let mut last_uninformed_positions = start.clone();
     for _ in 0..200 {
         use sparsegossip::core::NullObserver;
-        sim.step(&mut rng, &mut NullObserver);
+        let _ = sim.step(&mut rng, &mut NullObserver);
         for i in 0..sim.k() {
-            if !sim.informed().contains(i) {
+            if !sim.process().informed_set().contains(i) {
                 assert_eq!(
                     sim.positions()[i],
                     start[i],
@@ -151,7 +151,9 @@ fn frog_model_dormant_agents_hold_position_until_informed() {
 fn infection_times_are_consistent_with_broadcast_completion() {
     let c = cfg(16, 6, 0);
     let mut rng = SmallRng::seed_from_u64(88);
-    let out = InfectionSim::run(&c, &mut rng).expect("sim");
+    let out = Simulation::infection(&c, &mut rng)
+        .expect("sim")
+        .run(&mut rng);
     assert!(out.completed());
     let t = out.infection_time.expect("completed");
     let max_per_agent = out
@@ -177,7 +179,7 @@ fn percolation_and_broadcast_agree_about_the_regime() {
     for seed in 0..10 {
         let c = cfg(side, k, (3.0 * rc) as u32);
         let mut rng = SmallRng::seed_from_u64(100 + seed);
-        let mut sim = BroadcastSim::new(&c, &mut rng).expect("sim");
+        let mut sim = Simulation::broadcast(&c, &mut rng).expect("sim");
         if sim.run(&mut rng).broadcast_time == Some(0) {
             zero_above += 1;
         }
@@ -186,7 +188,7 @@ fn percolation_and_broadcast_agree_about_the_regime() {
     for seed in 0..10 {
         let c = cfg(side, k, (0.2 * rc) as u32);
         let mut rng = SmallRng::seed_from_u64(200 + seed);
-        let mut sim = BroadcastSim::new(&c, &mut rng).expect("sim");
+        let mut sim = Simulation::broadcast(&c, &mut rng).expect("sim");
         let t = sim.run(&mut rng).broadcast_time.expect("completes");
         assert!(t > 0, "instant broadcast deep below r_c on seed {seed}");
     }
@@ -203,7 +205,7 @@ fn exchange_rule_ablation_matches_components_below_percolation() {
             .build()
             .expect("cfg");
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&c, &mut rng).expect("sim");
+        let mut sim = Simulation::broadcast(&c, &mut rng).expect("sim");
         sim.run(&mut rng).broadcast_time
     };
     for seed in 0..5 {
@@ -228,7 +230,7 @@ fn theory_shapes_bound_small_instances() {
     let mut total = 0.0;
     for seed in 0..10 {
         let mut rng = SmallRng::seed_from_u64(300 + seed);
-        let mut sim = BroadcastSim::new(&cfg(side, k, 0), &mut rng).expect("sim");
+        let mut sim = Simulation::broadcast(&cfg(side, k, 0), &mut rng).expect("sim");
         total += sim.run(&mut rng).broadcast_time.expect("completes") as f64;
     }
     let mean = total / 10.0;

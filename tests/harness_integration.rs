@@ -13,7 +13,7 @@ fn measure_tb(side: u32, k: usize, seed: u64) -> f64 {
         .build()
         .expect("config");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = BroadcastSim::new(&cfg, &mut rng).expect("sim");
+    let mut sim = Simulation::broadcast(&cfg, &mut rng).expect("sim");
     sim.run(&mut rng).broadcast_time.unwrap_or(cfg.max_steps()) as f64
 }
 
@@ -78,7 +78,7 @@ fn frontier_speed_is_subballistic_end_to_end() {
         .build()
         .expect("config");
     let mut rng = SmallRng::seed_from_u64(17);
-    let mut sim = BroadcastSim::new(&cfg, &mut rng).expect("sim");
+    let mut sim = Simulation::broadcast(&cfg, &mut rng).expect("sim");
     let mut tracker = FrontierTracker::new();
     let out = sim.run_with(&mut rng, &mut tracker);
     assert!(out.completed());

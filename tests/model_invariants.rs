@@ -19,12 +19,12 @@ proptest! {
     fn informed_count_never_decreases((side, k, r, seed) in arb_config()) {
         let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
-        let mut prev = sim.informed_count();
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        let mut prev = sim.process().informed_count();
         prop_assert!(prev >= 1);
         for _ in 0..60 {
-            sim.step(&mut rng, &mut NullObserver);
-            let cur = sim.informed_count();
+            let _ = sim.step(&mut rng, &mut NullObserver);
+            let cur = sim.process().informed_count();
             prop_assert!(cur >= prev, "informed count dropped {prev} -> {cur}");
             prop_assert!(cur <= k);
             prev = cur;
@@ -35,10 +35,10 @@ proptest! {
     fn positions_always_stay_on_the_grid((side, k, r, seed) in arb_config()) {
         let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
         let grid = Grid::new(side).unwrap();
         for _ in 0..40 {
-            sim.step(&mut rng, &mut NullObserver);
+            let _ = sim.step(&mut rng, &mut NullObserver);
             for p in sim.positions() {
                 prop_assert!(grid.contains(*p));
             }
@@ -49,10 +49,10 @@ proptest! {
     fn agents_move_at_most_one_step((side, k, r, seed) in arb_config()) {
         let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
         for _ in 0..40 {
             let before = sim.positions().to_vec();
-            sim.step(&mut rng, &mut NullObserver);
+            let _ = sim.step(&mut rng, &mut NullObserver);
             for (b, a) in before.iter().zip(sim.positions()) {
                 prop_assert!(b.manhattan(*a) <= 1, "agent teleported {b} -> {a}");
             }
@@ -65,14 +65,14 @@ proptest! {
         // agent or consists entirely of informed agents.
         let cfg = SimConfig::builder(side, k).radius(r).max_steps(300).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
         for _ in 0..30 {
-            sim.step(&mut rng, &mut NullObserver);
+            let _ = sim.step(&mut rng, &mut NullObserver);
             let comps = sim.current_components();
             for c in 0..comps.count() {
                 let members = comps.members(c);
                 let informed =
-                    members.iter().filter(|&&m| sim.informed().contains(m as usize)).count();
+                    members.iter().filter(|&&m| sim.process().informed_set().contains(m as usize)).count();
                 prop_assert!(
                     informed == 0 || informed == members.len(),
                     "partially informed component: {informed}/{}",
@@ -88,7 +88,7 @@ proptest! {
     ) {
         let cfg = SimConfig::builder(side, k).radius(r).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = GossipSim::new(&cfg, &mut rng).unwrap();
+        let mut sim = Simulation::gossip(&cfg, &mut rng).unwrap();
         let out = sim.run(&mut rng);
         if out.completed() {
             prop_assert_eq!(out.min_rumors, k);
@@ -102,8 +102,9 @@ proptest! {
         (side, seed) in (8u32..24, any::<u64>())
     ) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = PredatorPreySim::<Grid>::on_grid(side, 4, 4, 0, true, 400, &mut rng)
-            .unwrap();
+        let grid = Grid::new(side).unwrap();
+        let process = PredatorPrey::uniform(&grid, 4, 0, true, &mut rng).unwrap();
+        let mut sim = Simulation::new(grid, 4, 0, 400, process, &mut rng).unwrap();
         let out = sim.run(&mut rng);
         prop_assert_eq!(out.completed(), out.survivors == 0);
         prop_assert!(out.survivors <= out.num_preys);
@@ -124,7 +125,7 @@ proptest! {
     fn broadcast_outcome_is_internally_consistent((side, k, r, seed) in arb_config()) {
         let cfg = SimConfig::builder(side, k).radius(r).max_steps(500).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut sim = BroadcastSim::new(&cfg, &mut rng).unwrap();
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
         let out = sim.run(&mut rng);
         prop_assert_eq!(out.k, k);
         prop_assert!(out.informed >= 1 && out.informed <= k);

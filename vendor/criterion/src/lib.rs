@@ -11,7 +11,10 @@
 //! grade.
 //!
 //! Benchmarks honor the standard cargo-bench filter argument:
-//! `cargo bench -- <substring>` runs only matching benchmark ids.
+//! `cargo bench -- <substring>` runs only matching benchmark ids — and
+//! upstream's `--quick` flag: `cargo bench -- --quick` clamps the
+//! per-benchmark work (2 samples, short calibration) so CI can smoke
+//! every hot loop in seconds.
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
@@ -29,6 +32,7 @@ const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    quick: bool,
 }
 
 impl Default for Criterion {
@@ -38,9 +42,12 @@ impl Default for Criterion {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "--bench");
+        // Mirror upstream's `--quick`: minimal sampling for smoke runs.
+        let quick = std::env::args().skip(1).any(|a| a == "--quick");
         Self {
             sample_size: 20,
             filter,
+            quick,
         }
     }
 }
@@ -82,7 +89,12 @@ impl Criterion {
         }
         let mut bencher = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: if self.quick { 2 } else { self.sample_size },
+            target_sample_time: if self.quick {
+                Duration::from_millis(1)
+            } else {
+                TARGET_SAMPLE_TIME
+            },
         };
         f(&mut bencher);
         bencher.report(id);
@@ -143,6 +155,7 @@ impl BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    target_sample_time: Duration,
 }
 
 impl Bencher {
@@ -160,7 +173,7 @@ impl Bencher {
             for _ in 0..iters {
                 black_box(f());
             }
-            if start.elapsed() >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+            if start.elapsed() >= self.target_sample_time || iters >= 1 << 30 {
                 break;
             }
             iters = iters.saturating_mul(2);
@@ -255,6 +268,7 @@ mod tests {
         let mut c = Criterion {
             sample_size: 2,
             filter: None,
+            quick: true,
         };
         let mut runs = 0u64;
         c.bench_function("smoke", |b| {
@@ -271,6 +285,7 @@ mod tests {
         let mut c = Criterion {
             sample_size: 2,
             filter: Some("zzz".into()),
+            quick: true,
         };
         let mut ran = false;
         c.bench_function("smoke", |b| {

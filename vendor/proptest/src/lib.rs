@@ -113,6 +113,9 @@ macro_rules! prop_assert_ne {
 ///     }
 /// }
 /// ```
+// The `#[test]` inside the doc example is upstream proptest's documented
+// usage form, not a unit test meant to run in the doctest.
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (

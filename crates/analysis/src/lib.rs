@@ -38,7 +38,7 @@ mod sweep;
 mod table;
 
 pub use histogram::Histogram;
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_with};
 pub use regression::{linear_fit, power_law_fit, Fit};
 pub use runner::{Runner, RunnerReport};
 pub use seeds::{derive_seed, SeedSequence};

@@ -1,4 +1,4 @@
-use crate::{derive_seed, parallel_map, Summary, Table};
+use crate::{derive_seed, parallel_map, parallel_map_with, Summary, Table};
 
 /// Executes one measurement per seed across worker threads — the
 /// multi-seed companion of the `Process`/`Simulation` API: any process
@@ -12,16 +12,27 @@ use crate::{derive_seed, parallel_map, Summary, Table};
 ///
 /// # Examples
 ///
+/// A multi-seed ensemble with [`measure`](Runner::measure): any
+/// `Fn(u64) -> f64` plugs in — with the simulator, the closure is
+/// `|seed| { let mut rng = SmallRng::seed_from_u64(seed); let mut sim =
+/// Simulation::broadcast(&cfg, &mut rng)?; sim.run(&mut rng)
+/// .broadcast_time }` (see the `sparsegossip` facade docs for the full
+/// version, and [`run_with_state`](Runner::run_with_state) for the
+/// scratch-reusing variant):
+///
 /// ```
 /// use sparsegossip_analysis::Runner;
 ///
-/// // Any `Fn(u64) -> O` runs; a simulation plugs in the same way:
-/// // `|seed| Simulation::broadcast(&cfg, &mut SmallRng::seed_from_u64(seed))…`.
 /// let runner = Runner::new(2011).repetitions(16).threads(4);
-/// let outcomes = runner.run(|seed| seed % 7);
-/// assert_eq!(outcomes.len(), 16);
-/// let serial = Runner::new(2011).repetitions(16).threads(1).run(|seed| seed % 7);
-/// assert_eq!(outcomes, serial, "aggregation is independent of parallelism");
+/// let report = runner.measure(|seed| (seed % 7) as f64);
+/// assert_eq!(report.summary.n(), 16);
+/// assert_eq!(report.samples.len(), 16);
+/// println!("{}", report.table("T_B").to_csv());
+///
+/// // Outcomes are a pure function of the seed list: thread count and
+/// // scheduling never change the aggregate.
+/// let serial = Runner::new(2011).repetitions(16).threads(1).measure(|seed| (seed % 7) as f64);
+/// assert_eq!(report.samples, serial.samples);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Runner {
@@ -111,6 +122,44 @@ impl Runner {
         F: Fn(u64) -> O + Sync,
     {
         parallel_map(&self.seeds, self.threads, |&seed| run_one(seed))
+    }
+
+    /// As [`Runner::run`], but every worker thread builds one private
+    /// state with `init` and reuses it for its whole seed batch — the
+    /// scratch-reuse path: a worker warms up simulation buffers once
+    /// and then runs every one of its seeds allocation-free.
+    ///
+    /// Per-seed determinism must come from the seed alone (the state is
+    /// shared across a scheduling-dependent subset of seeds), exactly
+    /// as with [`run`](Runner::run); outcomes come back in seed order.
+    ///
+    /// # Examples
+    ///
+    /// Reusing one scratch buffer per worker (with a `Simulation`, the
+    /// state would be a recycled `SimScratch` or a whole resettable
+    /// simulation — see `exp_perf` in `crates/bench`):
+    ///
+    /// ```
+    /// use sparsegossip_analysis::Runner;
+    ///
+    /// let runner = Runner::new(2011).repetitions(16).threads(4);
+    /// let with_state = runner.run_with_state(Vec::new, |buf: &mut Vec<u64>, seed| {
+    ///     buf.clear(); // reused allocation, per-seed content
+    ///     buf.extend([seed % 1000, seed % 7]);
+    ///     buf.iter().sum::<u64>()
+    /// });
+    /// let stateless = runner.run(|seed| seed % 1000 + seed % 7);
+    /// assert_eq!(with_state, stateless, "state reuse never changes results");
+    /// ```
+    pub fn run_with_state<S, O, I, F>(&self, init: I, run_one: F) -> Vec<O>
+    where
+        O: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, u64) -> O + Sync,
+    {
+        parallel_map_with(&self.seeds, self.threads, init, |state, &seed| {
+            run_one(state, seed)
+        })
     }
 
     /// Runs `measure(seed)` for every seed and aggregates the samples

@@ -1,10 +1,12 @@
 //! Micro-benchmarks of visibility-graph component construction: the
-//! spatial-hash path against the O(k²) brute force, across densities.
+//! spatial-hash path against the O(k²) brute force, across densities,
+//! and the fresh-allocation path against the scratch-reuse path
+//! (`components_into`) that the simulation hot loop uses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use sparsegossip_conngraph::{components, components_brute};
+use sparsegossip_conngraph::{components, components_brute, components_into, ComponentsScratch};
 use sparsegossip_grid::Point;
 use std::hint::black_box;
 
@@ -34,6 +36,38 @@ fn bench_components(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fresh `components` (allocating four Vecs plus the spatial hash per
+/// call) vs `components_into` with a persistent scratch — the before/
+/// after of the zero-allocation hot-path rework, at the sub-critical
+/// radius and at the contact-only `r = 0` regime.
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let side = 512;
+    let mut group = c.benchmark_group("components_scratch_reuse");
+    for &k in &[256usize, 2048, 16384] {
+        let pts = positions(k, side, 7);
+        let r = (((side as f64).powi(2) / k as f64).sqrt() / 2.0) as u32;
+        group.bench_with_input(BenchmarkId::new("fresh", k), &k, |b, _| {
+            b.iter(|| black_box(components(&pts, r, side)));
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", k), &k, |b, _| {
+            let mut scratch = ComponentsScratch::new();
+            b.iter(|| {
+                black_box(components_into(&mut scratch, &pts, r, side));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_r0", k), &k, |b, _| {
+            b.iter(|| black_box(components(&pts, 0, side)));
+        });
+        group.bench_with_input(BenchmarkId::new("scratch_r0", k), &k, |b, _| {
+            let mut scratch = ComponentsScratch::new();
+            b.iter(|| {
+                black_box(components_into(&mut scratch, &pts, 0, side));
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_radius_sweep(c: &mut Criterion) {
     let side = 512;
     let k = 4096usize;
@@ -50,6 +84,6 @@ fn bench_radius_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_components, bench_radius_sweep
+    targets = bench_components, bench_scratch_reuse, bench_radius_sweep
 }
 criterion_main!(benches);

@@ -1,0 +1,309 @@
+//! P1: steady-state hot-path throughput and allocation census.
+//!
+//! The paper's regime of interest (`T_B ≈ n/√k` steps per run) executes
+//! the mobility → spatial-hash → union–find → exchange pipeline hundreds
+//! of thousands of times per experiment, so the per-step constant factor
+//! *is* the experiment runtime. This binary measures that constant
+//! directly, for a matrix of processes × grid sides × agent counts:
+//!
+//! * **ns/step** and **steps/sec** over a timed window of steady-state
+//!   steps (after a warm-up that fills the scratch buffers);
+//! * **allocs/step** and **bytes/step** via a counting global allocator
+//!   — the tentpole claim is that a steady-state step performs **zero**
+//!   heap allocations.
+//!
+//! Results are printed as a table and written to `BENCH_hotpath.json`
+//! (the repo's perf-trajectory artifact; CI uploads it per commit).
+//!
+//! A closing section drives a multi-seed broadcast ensemble through
+//! `Runner::run_with_state`, where each worker thread recycles one
+//! simulation (engine buffer + scratch) across its whole seed batch via
+//! `Simulation::reset`, and cross-checks the outcomes against fresh
+//! per-seed constructions — the scratch-reuse determinism contract.
+//!
+//! Scale via `SG_SCALE` (`quick`/`full`), seed via `SG_SEED`, ensemble
+//! threads via `SG_THREADS`, like every other `exp_*` binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_analysis::Runner;
+use sparsegossip_bench::{verdict, ExpCtx};
+use sparsegossip_core::{Broadcast, NullObserver, Process, SimConfig, Simulation};
+use sparsegossip_grid::{Grid, Topology};
+
+/// A pass-through allocator that counts allocations — the measurement
+/// instrument behind the allocs/step column. Deallocations are not
+/// counted: the claim under test is "the steady state allocates
+/// nothing", and any alloc shows up here.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// One measured scenario row.
+struct Row {
+    process: &'static str,
+    side: u32,
+    k: usize,
+    r: u32,
+    steps: u64,
+    ns_per_step: f64,
+    steps_per_sec: f64,
+    allocs_per_step: f64,
+    bytes_per_step: f64,
+}
+
+/// Steps `sim` for `warmup + steps` steps, timing and alloc-counting the
+/// last `steps` of them. Completion does not stop the pipeline: a
+/// completed process keeps exchanging over the live components, which is
+/// exactly the steady-state workload under test.
+fn measure_steps<P: Process, T: Topology>(
+    sim: &mut Simulation<P, T>,
+    rng: &mut SmallRng,
+    warmup: u64,
+    steps: u64,
+) -> (f64, f64, f64, f64) {
+    for _ in 0..warmup {
+        let _ = sim.step(rng, &mut NullObserver);
+    }
+    let (a0, b0) = allocs_now();
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        let _ = sim.step(rng, &mut NullObserver);
+    }
+    let elapsed = t0.elapsed();
+    let (a1, b1) = allocs_now();
+    let ns_per_step = elapsed.as_nanos() as f64 / steps as f64;
+    (
+        ns_per_step,
+        1e9 / ns_per_step,
+        (a1 - a0) as f64 / steps as f64,
+        (b1 - b0) as f64 / steps as f64,
+    )
+}
+
+/// Sub-critical radius `√(n/k)/2`, the paper's regime of interest.
+fn subcritical_radius(side: u32, k: usize) -> u32 {
+    (((side as f64).powi(2) / k as f64).sqrt() / 2.0) as u32
+}
+
+fn scenario(process: &'static str, side: u32, k: usize, seed: u64, warmup: u64, steps: u64) -> Row {
+    let r = match process {
+        "infection" => 0, // contact-only by definition
+        _ => subcritical_radius(side, k),
+    };
+    let config = SimConfig::builder(side, k)
+        .radius(r)
+        .build()
+        .expect("valid scenario config");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (ns_per_step, steps_per_sec, allocs_per_step, bytes_per_step) = match process {
+        "broadcast" => {
+            let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible");
+            measure_steps(&mut sim, &mut rng, warmup, steps)
+        }
+        "gossip" => {
+            let mut sim = Simulation::gossip(&config, &mut rng).expect("constructible");
+            measure_steps(&mut sim, &mut rng, warmup, steps)
+        }
+        "infection" => {
+            let mut sim = Simulation::infection(&config, &mut rng).expect("constructible");
+            measure_steps(&mut sim, &mut rng, warmup, steps)
+        }
+        other => unreachable!("unknown process {other}"),
+    };
+    Row {
+        process,
+        side,
+        k,
+        r,
+        steps,
+        ns_per_step,
+        steps_per_sec,
+        allocs_per_step,
+        bytes_per_step,
+    }
+}
+
+/// Renders the rows as the JSON perf artifact.
+fn to_json(ctx: &ExpCtx, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"exp_perf\",\n");
+    out.push_str(&format!("  \"scale\": \"{:?}\",\n", ctx.scale));
+    out.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    out.push_str("  \"unit\": {\"ns_per_step\": \"nanoseconds\", \"allocs_per_step\": \"heap allocations\"},\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"process\": \"{}\", \"side\": {}, \"k\": {}, \"r\": {}, \"steps\": {}, \
+             \"ns_per_step\": {:.1}, \"steps_per_sec\": {:.0}, \"allocs_per_step\": {}, \
+             \"bytes_per_step\": {}}}{}\n",
+            row.process,
+            row.side,
+            row.k,
+            row.r,
+            row.steps,
+            row.ns_per_step,
+            row.steps_per_sec,
+            row.allocs_per_step,
+            row.bytes_per_step,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Drives a broadcast ensemble through `Runner::run_with_state`: each
+/// worker holds one simulation for its whole seed batch, recycled via
+/// `Simulation::reset`, and the outcomes must equal per-seed fresh
+/// constructions.
+fn ensemble_check(ctx: &ExpCtx, side: u32, k: usize, reps: u32) -> bool {
+    let config = SimConfig::builder(side, k)
+        .radius(subcritical_radius(side, k))
+        .build()
+        .expect("valid ensemble config");
+    let runner = Runner::new(ctx.seed).repetitions(reps).threads(ctx.threads);
+    let t0 = Instant::now();
+    let reused = runner.run_with_state(
+        || None::<Simulation<Broadcast, Grid>>,
+        |slot, seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let sim = match slot {
+                // First seed on this worker: construct (warms the scratch).
+                None => {
+                    slot.insert(Simulation::broadcast(&config, &mut rng).expect("constructible"))
+                }
+                // Later seeds: reuse engine buffer + scratch wholesale.
+                Some(sim) => {
+                    sim.reset(
+                        Broadcast::from_config(&config).expect("valid process"),
+                        &mut rng,
+                    )
+                    .expect("matching agent count");
+                    sim
+                }
+            };
+            sim.run(&mut rng).broadcast_time
+        },
+    );
+    let reused_elapsed = t0.elapsed();
+    let fresh = runner.run(|seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&config, &mut rng).expect("constructible");
+        sim.run(&mut rng).broadcast_time
+    });
+    let identical = reused == fresh;
+    println!(
+        "ensemble: {reps} broadcast seeds (side {side}, k {k}) on {} threads, \
+         one recycled sim per worker: {:.2}s; outcomes {} fresh construction",
+        ctx.threads,
+        reused_elapsed.as_secs_f64(),
+        if identical {
+            "IDENTICAL to"
+        } else {
+            "DIVERGE from"
+        },
+    );
+    identical
+}
+
+fn main() {
+    let ctx = ExpCtx::init(
+        "P1",
+        "steady-state hot-path throughput and allocation census",
+        "a steady-state simulation step performs zero heap allocations",
+    );
+    let (warmup, steps) = ctx.pick((100u64, 2_000u64), (200, 20_000));
+    let sides: &[u32] = ctx.pick(&[128, 512][..], &[128, 512, 1024][..]);
+
+    let mut rows = Vec::new();
+    for &side in sides {
+        for &process in &["broadcast", "gossip", "infection"] {
+            // k = side keeps the density at the paper's sparse regime
+            // (k/n = 1/side); k = side/4 samples a sparser point.
+            for k in [side as usize / 4, side as usize] {
+                rows.push(scenario(process, side, k, ctx.seed, warmup, steps));
+            }
+        }
+    }
+
+    println!(
+        "{:<10} {:>5} {:>6} {:>4} {:>7} {:>10} {:>12} {:>12} {:>11}",
+        "process", "side", "k", "r", "steps", "ns/step", "steps/sec", "allocs/step", "bytes/step"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:>5} {:>6} {:>4} {:>7} {:>10.1} {:>12.0} {:>12} {:>11}",
+            row.process,
+            row.side,
+            row.k,
+            row.r,
+            row.steps,
+            row.ns_per_step,
+            row.steps_per_sec,
+            row.allocs_per_step,
+            row.bytes_per_step,
+        );
+    }
+    println!();
+
+    let ensemble_ok = ensemble_check(&ctx, 64, 32, ctx.pick(16, 64));
+    println!();
+
+    let json = to_json(&ctx, &rows);
+    std::fs::write("BENCH_hotpath.json", &json).expect("writable BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json ({} rows)", rows.len());
+
+    // The tentpole acceptance: zero steady-state allocs/step everywhere,
+    // spotlighting broadcast on the 512-grid.
+    let clean = rows.iter().all(|r| r.allocs_per_step == 0.0);
+    let spotlight = rows
+        .iter()
+        .find(|r| r.process == "broadcast" && r.side == 512)
+        .expect("512-grid broadcast row present");
+    verdict(
+        clean && ensemble_ok,
+        &format!(
+            "broadcast@512: {} allocs/step, {:.0} steps/sec; all {} scenarios \
+             allocation-free: {}; ensemble determinism: {}",
+            spotlight.allocs_per_step,
+            spotlight.steps_per_sec,
+            rows.len(),
+            clean,
+            ensemble_ok
+        ),
+    );
+}

@@ -37,7 +37,9 @@ pub use islands::{IslandSampler, IslandStats};
 pub use percolation::{
     critical_radius, estimate_threshold, giant_fraction, percolation_profile, PercolationPoint,
 };
-pub use spatial::SpatialHash;
+pub use spatial::{SpatialHash, SpatialScratch};
 pub use stats::DegreeStats;
 pub use union_find::UnionFind;
-pub use visibility::{components, components_brute, Components};
+pub use visibility::{
+    components, components_brute, components_into, Components, ComponentsScratch,
+};

@@ -30,6 +30,65 @@ pub struct SpatialHash {
     agents: Vec<u32>,
     /// Start offset of each bucket in `agents`; length `buckets² + 1`.
     offsets: Vec<u32>,
+    /// Indices of buckets holding at least one agent, in first-touch
+    /// order. Lets scans run in O(k) instead of O(#buckets) — decisive
+    /// in the contact-only regime (`r = 0`), where there are `n ≫ k`
+    /// buckets.
+    occupied: Vec<u32>,
+}
+
+/// Reusable buffers for [`SpatialHash::build_into`]: the hash under
+/// construction plus the counting-sort cursor.
+///
+/// One scratch amortizes every per-step hash rebuild of a simulation —
+/// after the first build at a given size, rebuilding is allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_grid::Point;
+/// use sparsegossip_conngraph::{SpatialHash, SpatialScratch};
+///
+/// let mut scratch = SpatialScratch::new();
+/// let pts = [Point::new(0, 0), Point::new(3, 3)];
+/// let hash = SpatialHash::build_into(&mut scratch, &pts, 2, 8);
+/// assert_eq!(hash.bucket_agents(0, 0), &[0]);
+/// // The same scratch serves the next (possibly differently sized) build.
+/// let hash = SpatialHash::build_into(&mut scratch, &[Point::new(7, 7)], 1, 8);
+/// assert_eq!(hash.bucket_agents(7, 7), &[0]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SpatialScratch {
+    hash: SpatialHash,
+    cursor: Vec<u32>,
+}
+
+impl SpatialScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the scratch, yielding the most recently built hash.
+    #[must_use]
+    pub fn into_hash(self) -> SpatialHash {
+        self.hash
+    }
+}
+
+impl Default for SpatialHash {
+    /// An empty hash over zero agents (side-1 buckets, zero buckets per
+    /// axis); useful only as scratch seed state.
+    fn default() -> Self {
+        Self {
+            bucket_side: 1,
+            buckets_per_side: 0,
+            agents: Vec::new(),
+            offsets: Vec::new(),
+            occupied: Vec::new(),
+        }
+    }
 }
 
 impl SpatialHash {
@@ -42,37 +101,68 @@ impl SpatialHash {
     /// if there are more than `u32::MAX` agents.
     #[must_use]
     pub fn build(positions: &[Point], r: u32, side: u32) -> Self {
+        let mut scratch = SpatialScratch::new();
+        Self::build_into(&mut scratch, positions, r, side);
+        scratch.into_hash()
+    }
+
+    /// Builds the hash inside `scratch`, clearing and refilling its
+    /// buffers instead of allocating, and returns a view of the result.
+    ///
+    /// Produces exactly the same hash as [`SpatialHash::build`]; after
+    /// the scratch has warmed up to the working size, this performs no
+    /// heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// As [`SpatialHash::build`].
+    pub fn build_into<'a>(
+        scratch: &'a mut SpatialScratch,
+        positions: &[Point],
+        r: u32,
+        side: u32,
+    ) -> &'a Self {
         assert!(side > 0, "grid side must be positive");
         assert!(positions.len() <= u32::MAX as usize, "too many agents");
         let bucket_side = r.max(1).min(side);
         let buckets_per_side = side.div_ceil(bucket_side);
         let num_buckets = (buckets_per_side as usize).pow(2);
+        // Bucket indices are stored as u32 in `occupied`; checked before
+        // any allocation so oversize grids fail fast instead of OOMing
+        // or truncating.
+        assert!(num_buckets <= u32::MAX as usize, "too many buckets");
 
-        let mut counts = vec![0u32; num_buckets + 1];
+        let SpatialScratch { hash, cursor } = scratch;
+        hash.bucket_side = bucket_side;
+        hash.buckets_per_side = buckets_per_side;
+        // `offsets` doubles as the count accumulator, then prefix-sums
+        // in place.
+        hash.offsets.clear();
+        hash.offsets.resize(num_buckets + 1, 0);
         for p in positions {
             assert!(
                 p.x < side && p.y < side,
                 "position {p} outside side-{side} grid"
             );
-            counts[self_bucket(*p, bucket_side, buckets_per_side) + 1] += 1;
+            hash.offsets[self_bucket(*p, bucket_side, buckets_per_side) + 1] += 1;
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
+        for i in 1..hash.offsets.len() {
+            hash.offsets[i] += hash.offsets[i - 1];
         }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut agents = vec![0u32; positions.len()];
+        cursor.clear();
+        cursor.extend_from_slice(&hash.offsets);
+        hash.agents.clear();
+        hash.agents.resize(positions.len(), 0);
+        hash.occupied.clear();
         for (i, p) in positions.iter().enumerate() {
             let b = self_bucket(*p, bucket_side, buckets_per_side);
-            agents[cursor[b] as usize] = i as u32;
+            if cursor[b] == hash.offsets[b] {
+                hash.occupied.push(b as u32);
+            }
+            hash.agents[cursor[b] as usize] = i as u32;
             cursor[b] += 1;
         }
-        Self {
-            bucket_side,
-            buckets_per_side,
-            agents,
-            offsets,
-        }
+        &*hash
     }
 
     /// The bucket side length used.
@@ -94,6 +184,16 @@ impl SpatialHash {
     #[must_use]
     pub fn bucket_of(&self, p: Point) -> (u32, u32) {
         (p.x / self.bucket_side, p.y / self.bucket_side)
+    }
+
+    /// The indices (`by * buckets_per_side + bx`) of the buckets that
+    /// hold at least one agent, in first-touch order — at most `k`
+    /// entries, so scans driven by this list cost O(k) even when the
+    /// bucket grid has `n ≫ k` cells (`r = 0`).
+    #[inline]
+    #[must_use]
+    pub fn occupied_buckets(&self) -> &[u32] {
+        &self.occupied
     }
 
     /// The agent indices stored in bucket `(bx, by)`, in increasing
@@ -197,5 +297,47 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn rejects_out_of_grid_positions() {
         let _ = SpatialHash::build(&[Point::new(8, 0)], 1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many buckets")]
+    fn rejects_grids_with_more_buckets_than_u32() {
+        // 70 000² buckets > u32::MAX; must panic before allocating.
+        let _ = SpatialHash::build(&[], 0, 70_000);
+    }
+
+    #[test]
+    fn build_into_reuse_matches_fresh_build() {
+        let mut scratch = SpatialScratch::new();
+        // Alternate sizes and radii so stale buffer contents would show.
+        let layouts: [(&[Point], u32, u32); 3] = [
+            (
+                &[Point::new(0, 0), Point::new(5, 5), Point::new(0, 1)],
+                2,
+                8,
+            ),
+            (&[Point::new(9, 9)], 0, 10),
+            (
+                &[
+                    Point::new(1, 1),
+                    Point::new(2, 2),
+                    Point::new(3, 3),
+                    Point::new(15, 0),
+                ],
+                4,
+                16,
+            ),
+        ];
+        for &(pts, r, side) in &layouts {
+            let reused = SpatialHash::build_into(&mut scratch, pts, r, side).clone();
+            let fresh = SpatialHash::build(pts, r, side);
+            assert_eq!(reused.bucket_side(), fresh.bucket_side());
+            assert_eq!(reused.buckets_per_side(), fresh.buckets_per_side());
+            for by in 0..fresh.buckets_per_side() {
+                for bx in 0..fresh.buckets_per_side() {
+                    assert_eq!(reused.bucket_agents(bx, by), fresh.bucket_agents(bx, by));
+                }
+            }
+        }
     }
 }

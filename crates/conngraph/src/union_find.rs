@@ -23,6 +23,14 @@ pub struct UnionFind {
     count: usize,
 }
 
+impl Default for UnionFind {
+    /// An empty forest, ready to be sized with
+    /// [`reset_to`](UnionFind::reset_to).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl UnionFind {
     /// Creates `n` singleton sets.
     ///
@@ -121,6 +129,26 @@ impl UnionFind {
         self.size.fill(1);
         self.count = self.parent.len();
     }
+
+    /// Resizes to `n` singleton sets, reusing the existing allocations —
+    /// the scratch-reuse entry point behind
+    /// [`components_into`](crate::components_into). After this call the
+    /// forest is indistinguishable from `UnionFind::new(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX`.
+    pub fn reset_to(&mut self, n: usize) {
+        assert!(
+            n <= u32::MAX as usize,
+            "element count {n} exceeds u32 range"
+        );
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.count = n;
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +198,26 @@ mod tests {
         assert_eq!(uf.count(), 4);
         assert!(!uf.connected(0, 3));
         assert_eq!(uf.size(3), 1);
+    }
+
+    #[test]
+    fn reset_to_matches_fresh_forest() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.reset_to(6);
+        assert_eq!(uf.len(), 6);
+        assert_eq!(uf.count(), 6);
+        for i in 0..6 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.size(i), 1);
+        }
+        // Shrinking works too.
+        uf.union(4, 5);
+        uf.reset_to(2);
+        assert_eq!(uf.len(), 2);
+        assert_eq!(uf.count(), 2);
+        assert!(!uf.connected(0, 1));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use sparsegossip_grid::Point;
 
-use crate::{SpatialHash, UnionFind};
+use crate::{SpatialHash, SpatialScratch, UnionFind};
 
 /// The connected components of a visibility graph `G_t(r)`.
 ///
@@ -34,39 +34,71 @@ pub struct Components {
     offsets: Vec<u32>,
 }
 
+impl Default for Components {
+    /// An empty partition over zero agents.
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl Components {
+    /// An empty partition over zero agents.
+    fn empty() -> Self {
+        Self {
+            labels: Vec::new(),
+            sizes: Vec::new(),
+            members: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+
     /// Builds the grouped representation from a union–find over agents.
     fn from_union_find(mut uf: UnionFind) -> Self {
+        let mut out = Self::empty();
+        let mut root_label = Vec::new();
+        let mut cursor = Vec::new();
+        Self::rebuild(&mut out, &mut uf, &mut root_label, &mut cursor);
+        out
+    }
+
+    /// Rebuilds `out` in place from `uf`, reusing every buffer
+    /// (including the caller-provided `root_label` / `cursor` scratch).
+    /// Produces content identical to [`Components::from_union_find`].
+    fn rebuild(
+        out: &mut Components,
+        uf: &mut UnionFind,
+        root_label: &mut Vec<u32>,
+        cursor: &mut Vec<u32>,
+    ) {
         let k = uf.len();
-        let mut labels = vec![u32::MAX; k];
-        let mut root_label = vec![u32::MAX; k];
-        let mut sizes = Vec::new();
-        for (i, label) in labels.iter_mut().enumerate() {
+        out.labels.clear();
+        out.labels.resize(k, u32::MAX);
+        root_label.clear();
+        root_label.resize(k, u32::MAX);
+        out.sizes.clear();
+        for (i, label) in out.labels.iter_mut().enumerate() {
             let r = uf.find(i);
             if root_label[r] == u32::MAX {
-                root_label[r] = sizes.len() as u32;
-                sizes.push(0);
+                root_label[r] = out.sizes.len() as u32;
+                out.sizes.push(0);
             }
             let lab = root_label[r];
             *label = lab;
-            sizes[lab as usize] += 1;
+            out.sizes[lab as usize] += 1;
         }
         // Counting sort agents by label.
-        let mut offsets = vec![0u32; sizes.len() + 1];
-        for (c, &s) in sizes.iter().enumerate() {
-            offsets[c + 1] = offsets[c] + s;
+        out.offsets.clear();
+        out.offsets.resize(out.sizes.len() + 1, 0);
+        for c in 0..out.sizes.len() {
+            out.offsets[c + 1] = out.offsets[c] + out.sizes[c];
         }
-        let mut cursor = offsets.clone();
-        let mut members = vec![0u32; k];
-        for (i, &lab) in labels.iter().enumerate() {
-            members[cursor[lab as usize] as usize] = i as u32;
+        cursor.clear();
+        cursor.extend_from_slice(&out.offsets);
+        out.members.clear();
+        out.members.resize(k, 0);
+        for (i, &lab) in out.labels.iter().enumerate() {
+            out.members[cursor[lab as usize] as usize] = i as u32;
             cursor[lab as usize] += 1;
-        }
-        Self {
-            labels,
-            sizes,
-            members,
-            offsets,
         }
     }
 
@@ -153,6 +185,92 @@ impl Components {
     }
 }
 
+/// Reusable buffers for [`components_into`]: the spatial-hash scratch,
+/// the union–find forest, the grouped [`Components`] under construction
+/// and the counting-sort cursors.
+///
+/// One scratch per simulation (or per worker thread) turns the per-step
+/// component rebuild — the hot path of every dissemination run — into a
+/// clear-and-refill with zero steady-state heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_conngraph::{components, components_into, ComponentsScratch};
+/// use sparsegossip_grid::Point;
+///
+/// let mut scratch = ComponentsScratch::new();
+/// let pts = [Point::new(0, 0), Point::new(0, 1), Point::new(9, 9)];
+/// for r in [0, 1, 2] {
+///     let reused = components_into(&mut scratch, &pts, r, 10);
+///     assert_eq!(reused, &components(&pts, r, 10));
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ComponentsScratch {
+    spatial: SpatialScratch,
+    uf: UnionFind,
+    root_label: Vec<u32>,
+    cursor: Vec<u32>,
+    comps: Components,
+}
+
+impl ComponentsScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the scratch, yielding the most recently built partition.
+    #[must_use]
+    pub fn into_components(self) -> Components {
+        self.comps
+    }
+}
+
+/// Unions every pair of agents at Manhattan distance ≤ `r`, scanning
+/// each *occupied* bucket pair of the hash exactly once — O(k) bucket
+/// work even when the grid has `n ≫ k` buckets (the `r = 0`
+/// contact-only regime), where a full-grid sweep would cost O(n).
+///
+/// The scan order differs from a row-major sweep, but the union–find
+/// partition — and therefore the canonical [`Components`] labelling
+/// (dense ids in first-agent order) — is order-independent.
+fn union_visible(hash: &SpatialHash, positions: &[Point], r: u32, uf: &mut UnionFind) {
+    let bps = hash.buckets_per_side();
+    // Half-neighbourhood scan so each bucket pair is examined once:
+    // within-bucket pairs, then (E, N, NE, NW) neighbour buckets.
+    const NEIGHBOR_OFFSETS: [(i32, i32); 4] = [(1, 0), (0, 1), (1, 1), (-1, 1)];
+    for &bucket in hash.occupied_buckets() {
+        let bx = bucket % bps;
+        let by = bucket / bps;
+        let here = hash.bucket_agents(bx, by);
+        for (idx, &a) in here.iter().enumerate() {
+            for &b in &here[idx + 1..] {
+                if positions[a as usize].manhattan(positions[b as usize]) <= r {
+                    uf.union(a as usize, b as usize);
+                }
+            }
+        }
+        for (dx, dy) in NEIGHBOR_OFFSETS {
+            let nx = bx as i32 + dx;
+            let ny = by as i32 + dy;
+            if nx < 0 || ny < 0 || nx >= bps as i32 || ny >= bps as i32 {
+                continue;
+            }
+            let there = hash.bucket_agents(nx as u32, ny as u32);
+            for &a in here {
+                for &b in there {
+                    if positions[a as usize].manhattan(positions[b as usize]) <= r {
+                        uf.union(a as usize, b as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Computes the connected components of `G_t(r)` over `positions` on a
 /// grid of the given side, via spatial hashing (O(k) expected in sparse
 /// regimes).
@@ -161,44 +279,50 @@ impl Components {
 /// `r = 0` agents are adjacent only when co-located, matching the
 /// paper's most restricted case.
 ///
+/// Allocates a fresh partition per call; the per-step hot path uses
+/// [`components_into`] with a persistent [`ComponentsScratch`] instead.
+///
 /// # Panics
 ///
 /// Panics if `side == 0` or any position lies outside the grid.
 pub fn components(positions: &[Point], r: u32, side: u32) -> Components {
-    let hash = SpatialHash::build(positions, r, side);
-    let mut uf = UnionFind::new(positions.len());
-    let bps = hash.buckets_per_side();
-    // Half-neighbourhood scan so each bucket pair is examined once:
-    // within-bucket pairs, then (E, N, NE, NW) neighbour buckets.
-    const NEIGHBOR_OFFSETS: [(i32, i32); 4] = [(1, 0), (0, 1), (1, 1), (-1, 1)];
-    for by in 0..bps {
-        for bx in 0..bps {
-            let here = hash.bucket_agents(bx, by);
-            for (idx, &a) in here.iter().enumerate() {
-                for &b in &here[idx + 1..] {
-                    if positions[a as usize].manhattan(positions[b as usize]) <= r {
-                        uf.union(a as usize, b as usize);
-                    }
-                }
-            }
-            for (dx, dy) in NEIGHBOR_OFFSETS {
-                let nx = bx as i32 + dx;
-                let ny = by as i32 + dy;
-                if nx < 0 || ny < 0 || nx >= bps as i32 || ny >= bps as i32 {
-                    continue;
-                }
-                let there = hash.bucket_agents(nx as u32, ny as u32);
-                for &a in here {
-                    for &b in there {
-                        if positions[a as usize].manhattan(positions[b as usize]) <= r {
-                            uf.union(a as usize, b as usize);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Components::from_union_find(uf)
+    let mut scratch = ComponentsScratch::new();
+    components_into(&mut scratch, positions, r, side);
+    scratch.into_components()
+}
+
+/// Computes the connected components of `G_t(r)` inside `scratch`,
+/// clearing and refilling its buffers (spatial hash, union–find, the
+/// grouped partition) instead of allocating, and returns a view of the
+/// result.
+///
+/// Produces a partition identical to [`components`] — same labels, same
+/// member order — so a reused scratch is observationally equivalent to
+/// a fresh build (the property tests in `tests/proptests.rs` pin this).
+/// After warm-up at the working size the rebuild performs zero heap
+/// allocations.
+///
+/// # Panics
+///
+/// As [`components`].
+pub fn components_into<'a>(
+    scratch: &'a mut ComponentsScratch,
+    positions: &[Point],
+    r: u32,
+    side: u32,
+) -> &'a Components {
+    let ComponentsScratch {
+        spatial,
+        uf,
+        root_label,
+        cursor,
+        comps,
+    } = scratch;
+    let hash = SpatialHash::build_into(spatial, positions, r, side);
+    uf.reset_to(positions.len());
+    union_visible(hash, positions, r, uf);
+    Components::rebuild(comps, uf, root_label, cursor);
+    &*comps
 }
 
 /// Reference implementation of [`components`] by O(k²) pairwise checks.
@@ -291,6 +415,31 @@ mod tests {
             let fast = components(&pts, r, 20);
             let brute = components_brute(&pts, r, 20);
             assert_eq!(fast, brute, "partition mismatch at r={r}");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_identical_to_fresh_build() {
+        let mut scratch = ComponentsScratch::new();
+        // Shrinking and growing agent counts between calls exercises the
+        // buffer-resizing paths; equality is content-exact (labels,
+        // sizes, members, offsets).
+        let layouts: [Vec<Point>; 4] = [
+            (0..50)
+                .map(|i| Point::new((i * 13) % 20, (i * 7) % 20))
+                .collect(),
+            vec![Point::new(3, 3)],
+            (0..200)
+                .map(|i| Point::new(i % 20, (i / 20) % 20))
+                .collect(),
+            Vec::new(),
+        ];
+        for pts in &layouts {
+            for r in [0u32, 1, 3, 10] {
+                let fresh = components(pts, r, 20);
+                let reused = components_into(&mut scratch, pts, r, 20);
+                assert_eq!(reused, &fresh, "k={} r={r}", pts.len());
+            }
         }
     }
 

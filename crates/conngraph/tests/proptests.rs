@@ -3,7 +3,9 @@
 //! agent layouts and radii.
 
 use proptest::prelude::*;
-use sparsegossip_conngraph::{components, components_brute, giant_fraction, IslandStats};
+use sparsegossip_conngraph::{
+    components, components_brute, components_into, giant_fraction, ComponentsScratch, IslandStats,
+};
 use sparsegossip_grid::Point;
 
 fn arb_layout() -> impl Strategy<Value = (Vec<Point>, u32, u32)> {
@@ -23,6 +25,21 @@ proptest! {
         let fast = components(&positions, r, side);
         let brute = components_brute(&positions, r, side);
         prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn scratch_reuse_equals_fresh_build(
+        (positions_a, r_a, side_a) in arb_layout(),
+        (positions_b, r_b, side_b) in arb_layout(),
+    ) {
+        // One scratch, two arbitrary consecutive builds (different
+        // sizes, radii, grids): each must equal the fresh build exactly
+        // — stale buffer contents never leak into the partition.
+        let mut scratch = ComponentsScratch::new();
+        let first = components_into(&mut scratch, &positions_a, r_a, side_a).clone();
+        prop_assert_eq!(first, components(&positions_a, r_a, side_a));
+        let second = components_into(&mut scratch, &positions_b, r_b, side_b).clone();
+        prop_assert_eq!(second, components(&positions_b, r_b, side_b));
     }
 
     #[test]

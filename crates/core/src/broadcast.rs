@@ -2,7 +2,7 @@ use core::fmt;
 use core::ops::ControlFlow;
 
 use rand::RngExt;
-use sparsegossip_conngraph::{Components, SpatialHash};
+use sparsegossip_conngraph::{Components, SpatialHash, SpatialScratch};
 use sparsegossip_grid::{Grid, Point, Topology};
 use sparsegossip_walks::BitSet;
 
@@ -79,6 +79,11 @@ pub struct Broadcast {
     exchange_rule: ExchangeRule,
     informed: BitSet,
     informed_count: usize,
+    /// Reused buffers for the one-hop exchange rule (the spatial hash
+    /// over agents and the start-of-step informed snapshot), so the
+    /// ablation path is as allocation-free as the component path.
+    one_hop_spatial: SpatialScratch,
+    one_hop_snapshot: BitSet,
 }
 
 impl Broadcast {
@@ -103,6 +108,8 @@ impl Broadcast {
             exchange_rule: ExchangeRule::Component,
             informed,
             informed_count: 1,
+            one_hop_spatial: SpatialScratch::new(),
+            one_hop_snapshot: BitSet::new(k),
         })
     }
 
@@ -167,11 +174,14 @@ impl Broadcast {
 
     /// One-hop exchange: every agent within `r` of a currently informed
     /// agent becomes informed; returns the number of newly informed.
+    ///
+    /// Both the spatial hash and the start-of-step snapshot refill
+    /// persistent buffers, so the step allocates nothing.
     fn exchange_one_hop(&mut self, positions: &[Point], radius: u32, side: u32) -> usize {
-        let hash = SpatialHash::build(positions, radius, side);
-        let snapshot = self.informed.clone();
+        let hash = SpatialHash::build_into(&mut self.one_hop_spatial, positions, radius, side);
+        self.one_hop_snapshot.copy_from(&self.informed);
         let mut fresh = 0;
-        for i in snapshot.iter_ones() {
+        for i in self.one_hop_snapshot.iter_ones() {
             let p = positions[i];
             for j in hash.candidates(p) {
                 let j = j as usize;
@@ -258,14 +268,31 @@ impl Simulation<Broadcast, Grid> {
     /// [`SimError::Walk`], [`SimError::TooFewAgents`],
     /// [`SimError::SourceOutOfRange`], [`SimError::ZeroStepCap`]).
     pub fn broadcast<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        Self::broadcast_with_scratch(config, rng, crate::SimScratch::new())
+    }
+
+    /// As [`Simulation::broadcast`], reusing a recycled
+    /// [`SimScratch`](crate::SimScratch) (see
+    /// [`Simulation::into_scratch`]) so repeated runs share one set of
+    /// hot-path buffers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::broadcast`].
+    pub fn broadcast_with_scratch<R: RngExt>(
+        config: &SimConfig,
+        rng: &mut R,
+        scratch: crate::SimScratch,
+    ) -> Result<Self, SimError> {
         let grid = Grid::new(config.side())?;
-        Simulation::new(
+        Simulation::new_with_scratch(
             grid,
             config.k(),
             config.radius(),
             config.max_steps(),
             Broadcast::from_config(config)?,
             rng,
+            scratch,
         )
     }
 
@@ -329,7 +356,8 @@ impl BroadcastSim<Grid> {
     /// [`SimError::Walk`]).
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::broadcast`)"
+        note = "use the unified `Simulation` driver (`Simulation::broadcast`); \
+                see the migration table in README.md"
     )]
     pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
         Simulation::broadcast(config, rng).map(|sim| Self { sim })
@@ -348,7 +376,8 @@ impl<T: Topology> BroadcastSim<T> {
     /// * [`SimError::Walk`] if the engine rejects the placement.
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::new`)"
+        note = "use the unified `Simulation` driver (`Simulation::new`); \
+                see the migration table in README.md"
     )]
     pub fn on_topology<R: RngExt>(
         topo: T,
@@ -372,7 +401,8 @@ impl<T: Topology> BroadcastSim<T> {
     /// position is outside the topology.
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::from_positions`)"
+        note = "use the unified `Simulation` driver (`Simulation::from_positions`); \
+                see the migration table in README.md"
     )]
     pub fn from_positions(
         topo: T,

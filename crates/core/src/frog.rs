@@ -42,7 +42,8 @@ impl FrogSim {
     /// As [`BroadcastSim::new`].
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::frog`)"
+        note = "use the unified `Simulation` driver (`Simulation::frog`); \
+                see the migration table in README.md"
     )]
     #[allow(deprecated, clippy::new_ret_no_self)]
     pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<BroadcastSim<Grid>, SimError> {

@@ -158,14 +158,30 @@ impl Simulation<Gossip, Grid> {
     ///
     /// Propagates configuration errors, as [`Simulation::broadcast`].
     pub fn gossip<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
+        Self::gossip_with_scratch(config, rng, crate::SimScratch::new())
+    }
+
+    /// As [`Simulation::gossip`], reusing a recycled
+    /// [`SimScratch`](crate::SimScratch) so repeated runs share one set
+    /// of hot-path buffers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::gossip`].
+    pub fn gossip_with_scratch<R: RngExt>(
+        config: &SimConfig,
+        rng: &mut R,
+        scratch: crate::SimScratch,
+    ) -> Result<Self, SimError> {
         let grid = Grid::new(config.side())?;
-        Simulation::new(
+        Simulation::new_with_scratch(
             grid,
             config.k(),
             config.radius(),
             config.max_steps(),
             Gossip::distinct(config.k())?,
             rng,
+            scratch,
         )
     }
 }
@@ -208,7 +224,8 @@ impl GossipSim<Grid> {
     /// [`BroadcastSim::new`]: crate::BroadcastSim::new
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::gossip`)"
+        note = "use the unified `Simulation` driver (`Simulation::gossip`); \
+                see the migration table in README.md"
     )]
     pub fn new<R: RngExt>(config: &SimConfig, rng: &mut R) -> Result<Self, SimError> {
         Simulation::gossip(config, rng).map(|sim| Self { sim })
@@ -225,7 +242,8 @@ impl<T: Topology> GossipSim<T> {
     /// * [`SimError::Walk`] on placement failure.
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::new`)"
+        note = "use the unified `Simulation` driver (`Simulation::new`); \
+                see the migration table in README.md"
     )]
     pub fn on_topology<R: RngExt>(
         topo: T,
@@ -250,7 +268,8 @@ impl<T: Topology> GossipSim<T> {
     /// exceeds `k`.
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::new`)"
+        note = "use the unified `Simulation` driver (`Simulation::new`); \
+                see the migration table in README.md"
     )]
     pub fn with_rumors<R: RngExt>(
         topo: T,

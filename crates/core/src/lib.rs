@@ -74,5 +74,5 @@ pub use observer::{
     MinRumorsCurve, NullObserver, Observer, StepContext,
 };
 pub use predator_prey::{ExtinctionOutcome, PredatorPrey, PredatorPreySim};
-pub use process::{ExchangeCtx, Process, Simulation};
+pub use process::{ExchangeCtx, Process, SimScratch, Simulation};
 pub use rumor::RumorSets;

@@ -2,7 +2,7 @@ use core::fmt;
 use core::ops::ControlFlow;
 
 use rand::RngExt;
-use sparsegossip_conngraph::SpatialHash;
+use sparsegossip_conngraph::{SpatialHash, SpatialScratch};
 use sparsegossip_grid::{Grid, Point, Topology};
 use sparsegossip_walks::{lazy_step, BitSet};
 
@@ -60,6 +60,9 @@ pub struct PredatorPrey {
     catch_radius: u32,
     preys_mobile: bool,
     num_preys: usize,
+    /// Reused buffers for the per-step predator hash, so catch
+    /// resolution never allocates.
+    spatial: SpatialScratch,
 }
 
 impl PredatorPrey {
@@ -103,6 +106,7 @@ impl PredatorPrey {
             catch_radius,
             preys_mobile,
             num_preys: m,
+            spatial: SpatialScratch::new(),
         }
     }
 
@@ -128,11 +132,15 @@ impl PredatorPrey {
     }
 
     /// Kills every living prey within the catch radius of a predator;
-    /// returns the kill count.
+    /// returns the kill count. Allocation-free: the predator hash
+    /// refills a persistent scratch and preys are scanned by index.
     fn catch_preys(&mut self, predators: &[Point], side: u32) -> usize {
-        let hash = SpatialHash::build(predators, self.catch_radius, side);
+        let hash = SpatialHash::build_into(&mut self.spatial, predators, self.catch_radius, side);
         let mut caught = 0;
-        for i in self.prey_alive.clone().iter_ones() {
+        for i in 0..self.prey_positions.len() {
+            if !self.prey_alive.contains(i) {
+                continue;
+            }
             let p = self.prey_positions[i];
             let dead = hash
                 .candidates(p)
@@ -156,9 +164,14 @@ impl Process for PredatorPrey {
 
     fn post_move<T: Topology, R: RngExt>(&mut self, topo: &T, rng: &mut R) {
         if self.preys_mobile {
-            // Walk only the living preys; carcasses stay put.
-            for i in self.prey_alive.clone().iter_ones() {
-                self.prey_positions[i] = lazy_step(topo, self.prey_positions[i], rng);
+            // Walk only the living preys; carcasses stay put. The index
+            // scan visits living preys in the same increasing order as
+            // the old snapshot-clone did, so RNG draws are unchanged —
+            // just without the per-step allocation.
+            for i in 0..self.prey_positions.len() {
+                if self.prey_alive.contains(i) {
+                    self.prey_positions[i] = lazy_step(topo, self.prey_positions[i], rng);
+                }
             }
         }
     }
@@ -217,7 +230,8 @@ impl<T: Topology> PredatorPreySim<T> {
     /// * [`SimError::ZeroStepCap`] if `max_steps == 0`.
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::new`)"
+        note = "use the unified `Simulation` driver (`Simulation::new`); \
+                see the migration table in README.md"
     )]
     #[allow(clippy::too_many_arguments)]
     pub fn new<R: RngExt>(
@@ -315,7 +329,8 @@ impl<T: Topology> PredatorPreySim<T> {
     /// side.
     #[deprecated(
         since = "0.1.0",
-        note = "use the unified `Simulation` driver (`Simulation::new`)"
+        note = "use the unified `Simulation` driver (`Simulation::new`); \
+                see the migration table in README.md"
     )]
     #[allow(deprecated)]
     pub fn on_grid<R: RngExt>(

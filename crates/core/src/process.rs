@@ -31,11 +31,54 @@
 use core::ops::ControlFlow;
 
 use rand::RngExt;
-use sparsegossip_conngraph::{components, Components};
+use sparsegossip_conngraph::{components, components_into, Components, ComponentsScratch};
 use sparsegossip_grid::{Point, Topology};
 use sparsegossip_walks::{BitSet, WalkEngine};
 
 use crate::{Observer, RumorSets, SimError, StepContext};
+
+/// Reusable hot-path buffers for a [`Simulation`]: the spatial hash,
+/// union–find and component arrays behind the per-step visibility
+/// rebuild.
+///
+/// Every simulation owns one (construction creates it implicitly), so
+/// after the first few steps warm the buffers a steady-state step
+/// performs **zero heap allocations**. To amortize the warm-up across
+/// many runs — one scratch per worker thread for a whole seed batch —
+/// recycle it explicitly:
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{SimConfig, SimScratch, Simulation};
+///
+/// let config = SimConfig::builder(24, 12).radius(1).build()?;
+/// let mut scratch = SimScratch::new();
+/// for seed in 0..4u64 {
+///     let mut rng = SmallRng::seed_from_u64(seed);
+///     let mut sim = Simulation::broadcast_with_scratch(&config, &mut rng, scratch)?;
+///     let outcome = sim.run(&mut rng);
+///     assert!(outcome.completed());
+///     scratch = sim.into_scratch();
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// Scratch contents never influence results: a recycled scratch is
+/// draw-for-draw identical to a fresh one (the `tests/scratch_reuse.rs`
+/// regression suite and the conngraph property tests pin this).
+#[derive(Clone, Debug, Default)]
+pub struct SimScratch {
+    comps: ComponentsScratch,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The per-step snapshot handed to [`Process::exchange`].
 ///
@@ -66,6 +109,53 @@ pub struct ExchangeCtx<'a> {
 /// move but before the exchange ([`post_move`](Process::post_move)),
 /// how state spreads ([`exchange`](Process::exchange)), and what the
 /// result is ([`outcome`](Process::outcome)).
+///
+/// # Examples
+///
+/// A complete custom process: "first contact" — the run ends the first
+/// time any two agents can see each other (share a non-singleton
+/// component). Only `exchange` and `outcome` are mandatory; mobility,
+/// placement and observer wiring come from the driver:
+///
+/// ```
+/// use core::ops::ControlFlow;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use sparsegossip_core::{ExchangeCtx, Process, Simulation};
+/// use sparsegossip_grid::Grid;
+///
+/// struct FirstContact {
+///     met: bool,
+/// }
+///
+/// impl Process for FirstContact {
+///     /// The step at which the first meeting happened, if any.
+///     type Outcome = Option<u64>;
+///
+///     fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
+///         // `ctx` carries the post-move positions and the components
+///         // of G_t(r); a non-singleton component is a meeting.
+///         self.met = ctx.components.max_size() >= 2;
+///         if self.met {
+///             ControlFlow::Break(())
+///         } else {
+///             ControlFlow::Continue(())
+///         }
+///     }
+///
+///     fn outcome(&self, time: u64) -> Option<u64> {
+///         self.met.then_some(time)
+///     }
+/// }
+///
+/// let grid = Grid::new(16)?;
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let process = FirstContact { met: false };
+/// let mut sim = Simulation::new(grid, 4, 1, 1_000_000, process, &mut rng)?;
+/// let meeting_time = sim.run(&mut rng);
+/// assert!(meeting_time.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub trait Process {
     /// The result type of a completed (or capped) run.
     type Outcome;
@@ -152,6 +242,9 @@ pub struct Simulation<P: Process, T> {
     max_steps: u64,
     process: P,
     complete: bool,
+    /// Persistent hot-path buffers: the per-step component rebuild
+    /// clears and refills these instead of allocating.
+    scratch: SimScratch,
     /// Reused empty structures for processes without components or an
     /// informed set, so `StepContext` can always hand out references.
     empty_components: Components,
@@ -176,9 +269,29 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         process: P,
         rng: &mut R,
     ) -> Result<Self, SimError> {
+        Self::new_with_scratch(topo, k, radius, max_steps, process, rng, SimScratch::new())
+    }
+
+    /// As [`Simulation::new`], but reusing the hot-path buffers of a
+    /// previous simulation (see [`SimScratch`]) so even the placement
+    /// exchange avoids allocating. Results are identical to a fresh
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::new`].
+    pub fn new_with_scratch<R: RngExt>(
+        topo: T,
+        k: usize,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+        rng: &mut R,
+        scratch: SimScratch,
+    ) -> Result<Self, SimError> {
         Self::validate(&process, k, max_steps)?;
         let engine = WalkEngine::uniform(topo, k, rng)?;
-        Ok(Self::on_engine(engine, radius, max_steps, process))
+        Ok(Self::on_engine(engine, radius, max_steps, process, scratch))
     }
 
     /// Builds a simulation from explicit starting positions (worst-case
@@ -197,7 +310,13 @@ impl<P: Process, T: Topology> Simulation<P, T> {
     ) -> Result<Self, SimError> {
         Self::validate(&process, positions.len(), max_steps)?;
         let engine = WalkEngine::from_positions(topo, positions)?;
-        Ok(Self::on_engine(engine, radius, max_steps, process))
+        Ok(Self::on_engine(
+            engine,
+            radius,
+            max_steps,
+            process,
+            SimScratch::new(),
+        ))
     }
 
     fn validate(process: &P, k: usize, max_steps: u64) -> Result<(), SimError> {
@@ -215,29 +334,53 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         Ok(())
     }
 
-    fn on_engine(engine: WalkEngine<T>, radius: u32, max_steps: u64, mut process: P) -> Self {
-        let empty_components = components(&[], radius, engine.topology().side());
-        let comps = if P::NEEDS_COMPONENTS {
-            components(engine.positions(), radius, engine.topology().side())
-        } else {
-            empty_components.clone()
-        };
-        let flow = process.on_placement(ExchangeCtx {
-            time: 0,
-            side: engine.topology().side(),
-            radius,
-            positions: engine.positions(),
-            components: &comps,
-        });
-        Self {
+    fn on_engine(
+        engine: WalkEngine<T>,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+        scratch: SimScratch,
+    ) -> Self {
+        // Built on a 1-node domain: the empty partition is identical for
+        // every grid, and this avoids sizing a real bucket array (O(n)
+        // at r = 0) just for a placeholder.
+        let empty_components = components(&[], 0, 1);
+        let mut sim = Self {
             engine,
             radius,
             max_steps,
             process,
-            complete: flow.is_break(),
+            complete: false,
+            scratch,
             empty_components,
             empty_informed: BitSet::new(0),
-        }
+        };
+        sim.placement_exchange();
+        sim
+    }
+
+    /// Runs the paper's step-0 exchange on `G_0(r)` — the placement
+    /// already forms a visibility graph — and records completion.
+    fn placement_exchange(&mut self) {
+        let side = self.engine.topology().side();
+        let comps: &Components = if P::NEEDS_COMPONENTS {
+            components_into(
+                &mut self.scratch.comps,
+                self.engine.positions(),
+                self.radius,
+                side,
+            )
+        } else {
+            &self.empty_components
+        };
+        let flow = self.process.on_placement(ExchangeCtx {
+            time: 0,
+            side,
+            radius: self.radius,
+            positions: self.engine.positions(),
+            components: comps,
+        });
+        self.complete = flow.is_break();
     }
 
     /// The number of walking agents.
@@ -303,6 +446,55 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         self.complete
     }
 
+    /// Consumes the simulation, yielding its warmed-up hot-path buffers
+    /// for reuse by the next one (via
+    /// [`new_with_scratch`](Simulation::new_with_scratch) or a
+    /// `*_with_scratch` convenience constructor).
+    #[must_use]
+    pub fn into_scratch(self) -> SimScratch {
+        self.scratch
+    }
+
+    /// Restarts the simulation in place for a fresh run: re-places the
+    /// agents uniformly at random (reusing the engine's position
+    /// buffer), installs `process` as the new process state, rewinds
+    /// time to 0 and re-runs the step-0 placement exchange — all while
+    /// keeping the warmed-up scratch.
+    ///
+    /// Draw-for-draw identical to constructing a new simulation with
+    /// [`Simulation::new`] from the same RNG state, but allocation-free:
+    /// one simulation per worker thread serves a whole seed batch.
+    ///
+    /// ```
+    /// use rand::rngs::SmallRng;
+    /// use rand::SeedableRng;
+    /// use sparsegossip_core::{Broadcast, SimConfig, Simulation};
+    ///
+    /// let config = SimConfig::builder(20, 10).radius(1).build()?;
+    /// let mut rng = SmallRng::seed_from_u64(1);
+    /// let mut sim = Simulation::broadcast(&config, &mut rng)?;
+    /// let first = sim.run(&mut rng);
+    ///
+    /// // Second seed: same simulation object, fresh process state.
+    /// let mut rng = SmallRng::seed_from_u64(2);
+    /// sim.reset(Broadcast::from_config(&config)?, &mut rng)?;
+    /// let second = sim.run(&mut rng);
+    /// assert!(first.completed() && second.completed());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AgentCountMismatch`] if `process` was sized for a
+    /// different number of agents than the engine holds.
+    pub fn reset<R: RngExt>(&mut self, process: P, rng: &mut R) -> Result<(), SimError> {
+        Self::validate(&process, self.engine.len(), self.max_steps)?;
+        self.engine.reset_uniform(rng);
+        self.process = process;
+        self.placement_exchange();
+        Ok(())
+    }
+
     /// The visibility-graph components at the current positions.
     #[must_use]
     pub fn current_components(&self) -> Components {
@@ -314,9 +506,42 @@ impl<P: Process, T: Topology> Simulation<P, T> {
     }
 
     /// Advances one step of the shared pipeline: mobility rule →
-    /// engine step → [`Process::post_move`] → component rebuild →
+    /// engine step → [`Process::post_move`] → component rebuild (into
+    /// the owned [`SimScratch`], allocation-free at steady state) →
     /// [`Process::exchange`] → observer. Returns
     /// [`ControlFlow::Break`] once the process completes.
+    ///
+    /// # Examples
+    ///
+    /// Step-level driving with an observer — here recording the largest
+    /// visibility component over the first 50 steps:
+    ///
+    /// ```
+    /// use core::ops::ControlFlow;
+    /// use rand::rngs::SmallRng;
+    /// use rand::SeedableRng;
+    /// use sparsegossip_core::{Observer, SimConfig, Simulation, StepContext};
+    ///
+    /// #[derive(Default)]
+    /// struct MaxIsland(usize);
+    /// impl Observer for MaxIsland {
+    ///     fn on_step(&mut self, ctx: StepContext<'_>) {
+    ///         self.0 = self.0.max(ctx.components.max_size());
+    ///     }
+    /// }
+    ///
+    /// let config = SimConfig::builder(24, 12).radius(1).build()?;
+    /// let mut rng = SmallRng::seed_from_u64(5);
+    /// let mut sim = Simulation::broadcast(&config, &mut rng)?;
+    /// let mut obs = MaxIsland::default();
+    /// for _ in 0..50 {
+    ///     if sim.step(&mut rng, &mut obs) == ControlFlow::Break(()) {
+    ///         break;
+    ///     }
+    /// }
+    /// assert!(obs.0 >= 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn step<R: RngExt, O: Observer>(
         &mut self,
         rng: &mut R,
@@ -328,17 +553,22 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         }
         self.process.post_move(self.engine.topology(), rng);
         let side = self.engine.topology().side();
-        let comps = if P::NEEDS_COMPONENTS {
-            components(self.engine.positions(), self.radius, side)
+        let comps: &Components = if P::NEEDS_COMPONENTS {
+            components_into(
+                &mut self.scratch.comps,
+                self.engine.positions(),
+                self.radius,
+                side,
+            )
         } else {
-            self.empty_components.clone()
+            &self.empty_components
         };
         let flow = self.process.exchange(ExchangeCtx {
             time: self.engine.time(),
             side,
             radius: self.radius,
             positions: self.engine.positions(),
-            components: &comps,
+            components: comps,
         });
         if flow.is_break() {
             self.complete = true;
@@ -347,7 +577,7 @@ impl<P: Process, T: Topology> Simulation<P, T> {
             time: self.engine.time(),
             side,
             positions: self.engine.positions(),
-            components: &comps,
+            components: comps,
             informed: self.process.informed().unwrap_or(&self.empty_informed),
             rumors: self.process.rumors(),
         });

@@ -28,6 +28,9 @@ use sparsegossip_walks::BitSet;
 pub struct RumorSets {
     sets: Vec<BitSet>,
     num_rumors: usize,
+    /// Reused union accumulator for [`RumorSets::exchange`], so the
+    /// per-step exchange never allocates.
+    union_scratch: BitSet,
 }
 
 impl RumorSets {
@@ -45,6 +48,7 @@ impl RumorSets {
         Self {
             sets,
             num_rumors: k,
+            union_scratch: BitSet::new(k),
         }
     }
 
@@ -67,7 +71,11 @@ impl RumorSets {
                 s
             })
             .collect();
-        Self { sets, num_rumors }
+        Self {
+            sets,
+            num_rumors,
+            union_scratch: BitSet::new(num_rumors),
+        }
     }
 
     /// The number of agents.
@@ -121,8 +129,11 @@ impl RumorSets {
 
     /// Applies one synchronous exchange: within each component, every
     /// agent's set becomes the union of the members' sets.
+    ///
+    /// Allocation-free: the union accumulator is a persistent scratch
+    /// and member sets are overwritten in place.
     pub fn exchange(&mut self, comps: &Components) {
-        let mut union = BitSet::new(self.num_rumors);
+        let union = &mut self.union_scratch;
         for c in 0..comps.count() {
             let members = comps.members(c);
             if members.len() == 1 {
@@ -133,7 +144,7 @@ impl RumorSets {
                 union.union_with(&self.sets[m as usize]);
             }
             for &m in members {
-                self.sets[m as usize] = union.clone();
+                self.sets[m as usize].copy_from(union);
             }
         }
     }

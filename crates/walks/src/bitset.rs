@@ -132,6 +132,17 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Makes `self` an exact copy of `other` without allocating — the
+    /// hot-path alternative to `*self = other.clone()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Sets all bits in `0..len`.
     pub fn set_all(&mut self) {
         self.words.fill(!0);
@@ -248,6 +259,24 @@ mod tests {
         a.union_with(&b);
         assert!(b.is_subset(&a));
         assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let mut src = BitSet::new(130);
+        src.insert(0);
+        src.insert(129);
+        let mut dst = BitSet::new(130);
+        dst.insert(64);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn copy_from_rejects_capacity_mismatch() {
+        let mut a = BitSet::new(10);
+        a.copy_from(&BitSet::new(11));
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use sparsegossip_core::{
         broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, Coverage, ExchangeRule,
         FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim, Mobility, Observer,
-        PredatorPrey, PredatorPreySim, Process, SimConfig, SimError, Simulation,
+        PredatorPrey, PredatorPreySim, Process, SimConfig, SimError, SimScratch, Simulation,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
     pub use sparsegossip_walks::{hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine};

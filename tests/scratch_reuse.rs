@@ -1,0 +1,172 @@
+//! Regression suite for the zero-allocation hot-path rework: recycled
+//! scratch buffers and in-place `Simulation::reset` must be
+//! observationally invisible — every run is draw-for-draw identical to
+//! a fresh construction, whether driven in one `run` call or step by
+//! step.
+
+use core::ops::ControlFlow;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip::core::SimScratch;
+use sparsegossip::prelude::*;
+
+fn config(side: u32, k: usize, r: u32) -> SimConfig {
+    SimConfig::builder(side, k).radius(r).build().unwrap()
+}
+
+#[test]
+fn recycled_scratch_reproduces_fresh_outcomes_across_seeds() {
+    // One scratch threaded through a whole seed batch, against fresh
+    // constructions: outcomes must match seed for seed.
+    let cfg = config(24, 12, 1);
+    let mut scratch = SimScratch::new();
+    for seed in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast_with_scratch(&cfg, &mut rng, scratch).unwrap();
+        let reused = sim.run(&mut rng);
+        scratch = sim.into_scratch();
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fresh = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        assert_eq!(reused, fresh.run(&mut rng), "seed={seed}");
+    }
+}
+
+#[test]
+fn scratch_recycles_across_process_types() {
+    // The same buffers serve broadcast, then gossip, then infection —
+    // sizes and shapes differ, results must not.
+    let scratch = SimScratch::new();
+
+    let cfg = config(20, 10, 2);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut sim = Simulation::broadcast_with_scratch(&cfg, &mut rng, scratch).unwrap();
+    let out = sim.run(&mut rng);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut fresh = Simulation::broadcast(&cfg, &mut rng).unwrap();
+    assert_eq!(out, fresh.run(&mut rng));
+    let scratch = sim.into_scratch();
+
+    let cfg = config(16, 6, 0);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut sim = Simulation::gossip_with_scratch(&cfg, &mut rng, scratch).unwrap();
+    let out = sim.run(&mut rng);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut fresh = Simulation::gossip(&cfg, &mut rng).unwrap();
+    assert_eq!(out, fresh.run(&mut rng));
+    let scratch = sim.into_scratch();
+
+    let cfg = config(16, 6, 0);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut sim = Simulation::infection_with_scratch(&cfg, &mut rng, scratch).unwrap();
+    let out = sim.run(&mut rng);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut fresh = Simulation::infection(&cfg, &mut rng).unwrap();
+    assert_eq!(out, fresh.run(&mut rng));
+}
+
+#[test]
+fn long_run_then_reset_then_stepwise_share_one_scratch() {
+    // The satellite regression: a long `run` and a step-by-step drive
+    // share one simulation (hence one scratch) across a `reset`, and
+    // both halves must be draw-for-draw identical to fresh sims.
+    let cfg = config(24, 12, 1);
+
+    // Leg 1: long run on seed 41.
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+    let long_out = sim.run(&mut rng);
+
+    // Leg 2: reset in place to seed 42, drive step by step.
+    let mut rng = SmallRng::seed_from_u64(42);
+    sim.reset(Broadcast::from_config(&cfg).unwrap(), &mut rng)
+        .unwrap();
+    assert_eq!(sim.time(), 0, "reset rewinds time");
+    let mut steps = 0u64;
+    while !sim.is_complete() && sim.time() < cfg.max_steps() {
+        let flow = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+        steps += 1;
+        if flow == ControlFlow::Break(()) {
+            break;
+        }
+    }
+    let stepwise_out = sim.outcome();
+    assert_eq!(steps, sim.time());
+
+    // Both legs equal their fresh-simulation counterparts.
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut fresh = Simulation::broadcast(&cfg, &mut rng).unwrap();
+    assert_eq!(long_out, fresh.run(&mut rng), "long-run leg diverged");
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut fresh = Simulation::broadcast(&cfg, &mut rng).unwrap();
+    assert_eq!(stepwise_out, fresh.run(&mut rng), "stepwise leg diverged");
+}
+
+#[test]
+fn reset_rejects_mismatched_process_size() {
+    let cfg = config(16, 8, 0);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+    let wrong = Broadcast::new(5, 0).unwrap();
+    assert_eq!(
+        sim.reset(wrong, &mut rng).unwrap_err(),
+        SimError::AgentCountMismatch { process: 5, k: 8 }
+    );
+}
+
+#[test]
+fn runner_with_state_matches_stateless_runner() {
+    // The analysis-layer thread: each worker recycles one simulation
+    // via reset; outcomes must equal the stateless per-seed path, for
+    // any thread count.
+    let cfg = config(20, 10, 1);
+    let run_fresh = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        sim.run(&mut rng).broadcast_time
+    };
+    let stateless = Runner::new(3).repetitions(24).threads(1).run(run_fresh);
+    for threads in [1usize, 4] {
+        let reused = Runner::new(3)
+            .repetitions(24)
+            .threads(threads)
+            .run_with_state(
+                || None,
+                |slot: &mut Option<Simulation<Broadcast, Grid>>, seed| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let sim = match slot {
+                        None => slot.insert(Simulation::broadcast(&cfg, &mut rng).unwrap()),
+                        Some(sim) => {
+                            sim.reset(Broadcast::from_config(&cfg).unwrap(), &mut rng)
+                                .unwrap();
+                            sim
+                        }
+                    };
+                    sim.run(&mut rng).broadcast_time
+                },
+            );
+        assert_eq!(reused, stateless, "threads={threads}");
+    }
+}
+
+#[test]
+fn gossip_and_predator_prey_survive_repeated_stepping_with_scratch() {
+    // Processes with their own internal scratch (rumor unions, one-hop
+    // spatial hash, predator hash) keep working when stepped past
+    // completion — the perf harness drives them that way.
+    let cfg = config(12, 6, 1);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut sim = Simulation::gossip(&cfg, &mut rng).unwrap();
+    for _ in 0..2_000 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+    }
+    assert!(sim.process().is_complete());
+
+    let grid = Grid::new(12).unwrap();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let process = PredatorPrey::uniform(&grid, 4, 1, true, &mut rng).unwrap();
+    let mut sim = Simulation::new(grid, 6, 1, 2_000_000, process, &mut rng).unwrap();
+    let out = sim.run(&mut rng);
+    assert_eq!(out.survivors, 0);
+}

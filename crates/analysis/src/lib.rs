@@ -12,6 +12,9 @@
 //! * [`Sweep`] — parameter sweeps with per-point replication, run
 //!   across threads with deterministic per-replicate seeds
 //!   ([`derive_seed`]);
+//! * [`ScenarioSweep`] — multi-axis {side, k, r} sweeps of a
+//!   declarative `ScenarioSpec`, with a phase-transition detector
+//!   cross-checked against `sparsegossip_core::theory`;
 //! * [`Table`] — aligned text/CSV rendering of experiment outputs.
 //!
 //! # Examples
@@ -32,6 +35,7 @@ mod histogram;
 mod parallel;
 mod regression;
 mod runner;
+mod scenario_sweep;
 mod seeds;
 mod stats;
 mod sweep;
@@ -41,6 +45,9 @@ pub use histogram::Histogram;
 pub use parallel::{parallel_map, parallel_map_with};
 pub use regression::{linear_fit, power_law_fit, Fit};
 pub use runner::{Runner, RunnerReport};
+pub use scenario_sweep::{
+    RadiusAxis, ScenarioCell, ScenarioSweep, ScenarioSweepReport, SweepCell, TransitionEstimate,
+};
 pub use seeds::{derive_seed, SeedSequence};
 pub use stats::Summary;
 pub use sweep::{Sweep, SweepPoint};

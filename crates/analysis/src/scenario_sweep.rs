@@ -1,0 +1,930 @@
+//! Multi-axis scenario sweeps: the engine that drives a
+//! [`ScenarioSpec`] across the cartesian product of {grid side, agent
+//! count, radius} axes and locates the paper's phase transition.
+//!
+//! One base spec plus axis lists expand into a grid of *cells* (each a
+//! re-validated spec); every cell is replicated with deterministic,
+//! decorrelated seeds (`derive_seed(master, cell · R + replicate)`), so
+//! the whole sweep is a pure function of the spec and the master seed —
+//! independent of thread count and scheduling. Workers recycle one
+//! [`SimScratch`] each across their whole share of the sweep, so the
+//! steady-state step stays allocation-free.
+//!
+//! The [`ScenarioSweepReport`] carries per-cell summaries and a
+//! **transition detector** ([`ScenarioSweepReport::transitions`]):
+//! for each (side, k) it finds the knee in the metric-vs-radius curve
+//! and cross-checks it against the percolation radius
+//! `r_c = √(n/k)` predicted by `sparsegossip_core::theory`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparsegossip_analysis::ScenarioSweep;
+//! use sparsegossip_core::{ProcessKind, ScenarioSpec};
+//!
+//! let base = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 8).build()?;
+//! let report = ScenarioSweep::new(base, 2011)
+//!     .sides(vec![12, 16])
+//!     .ks(vec![6, 8])
+//!     .r_factors(vec![0.5, 1.0, 2.0]) // radii as fractions of r_c
+//!     .replicates(2)
+//!     .threads(2)
+//!     .run()?;
+//! assert_eq!(report.cells.len(), 2 * 2 * 3);
+//! assert_eq!(report.transitions().len(), 4); // one knee per (side, k)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use sparsegossip_core::theory;
+use sparsegossip_core::toml::{TomlDoc, TomlError};
+use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError};
+
+use crate::{derive_seed, parallel_map_with, Summary, Table};
+
+/// The radius axis of a sweep: absolute grid-step radii, or fractions
+/// of the cell's own percolation radius `r_c = √(n/k)` (so the axis
+/// tracks the transition across differently-sized cells).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RadiusAxis {
+    /// Radii in grid steps, used verbatim for every (side, k).
+    Absolute(Vec<u32>),
+    /// Radii as multiples of each cell's `r_c`, rounded to grid steps.
+    CriticalFractions(Vec<f64>),
+}
+
+impl RadiusAxis {
+    /// The concrete radii this axis yields for a `side × side` grid
+    /// with `k` agents, first occurrence order, duplicates removed —
+    /// distinct fractions of a small `r_c` can round to the same grid
+    /// radius, and a repeated radius would only re-measure the same
+    /// cell under another name.
+    #[must_use]
+    pub fn resolve(&self, side: u32, k: usize) -> Vec<u32> {
+        let raw: Vec<u32> = match self {
+            Self::Absolute(radii) => radii.clone(),
+            Self::CriticalFractions(factors) => {
+                let n = f64::from(side) * f64::from(side);
+                let rc = theory::critical_radius(n, k as f64);
+                factors.iter().map(|f| (f * rc).round() as u32).collect()
+            }
+        };
+        let mut radii = Vec::with_capacity(raw.len());
+        for r in raw {
+            if !radii.contains(&r) {
+                radii.push(r);
+            }
+        }
+        radii
+    }
+
+    /// Number of axis points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Absolute(v) => v.len(),
+            Self::CriticalFractions(v) => v.len(),
+        }
+    }
+
+    /// Whether the axis has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One cell of the expanded sweep grid: its axis coordinates and the
+/// re-validated spec that runs there.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioCell {
+    /// Grid side of this cell.
+    pub side: u32,
+    /// Agent count of this cell.
+    pub k: usize,
+    /// Transmission radius of this cell (resolved from the axis).
+    pub radius: u32,
+    /// The runnable spec for this cell.
+    pub spec: ScenarioSpec,
+}
+
+/// A multi-axis sweep of one [`ScenarioSpec`] over {side, k, r}.
+///
+/// Cells are ordered side-major, then k, then radius; the seed of
+/// replicate `j` of cell `i` is `derive_seed(master, i · R + j)` —
+/// fixed by the spec alone, so results never depend on the thread
+/// count (pinned by the `scenario_sweep_regression` suite).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSweep {
+    base: ScenarioSpec,
+    master_seed: u64,
+    sides: Vec<u32>,
+    ks: Vec<usize>,
+    radii: RadiusAxis,
+    replicates: u32,
+    threads: usize,
+}
+
+impl ScenarioSweep {
+    /// Creates a sweep of `base` rooted at `master_seed`; every axis
+    /// defaults to the base spec's own value (a 1×1×1 grid), with 8
+    /// replicates and single-threaded execution.
+    #[must_use]
+    pub fn new(base: ScenarioSpec, master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            sides: vec![base.config().side()],
+            ks: vec![base.config().k()],
+            radii: RadiusAxis::Absolute(vec![base.config().radius()]),
+            replicates: 8,
+            threads: 1,
+            base,
+        }
+    }
+
+    /// Sets the grid-side axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides` is empty.
+    #[must_use]
+    pub fn sides(mut self, sides: Vec<u32>) -> Self {
+        assert!(!sides.is_empty(), "at least one side required");
+        self.sides = sides;
+        self
+    }
+
+    /// Sets the agent-count axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks` is empty.
+    #[must_use]
+    pub fn ks(mut self, ks: Vec<usize>) -> Self {
+        assert!(!ks.is_empty(), "at least one k required");
+        self.ks = ks;
+        self
+    }
+
+    /// Sets the radius axis to absolute radii.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radii` is empty.
+    #[must_use]
+    pub fn radii(mut self, radii: Vec<u32>) -> Self {
+        assert!(!radii.is_empty(), "at least one radius required");
+        self.radii = RadiusAxis::Absolute(radii);
+        self
+    }
+
+    /// Sets the radius axis to fractions of each cell's `r_c` (e.g.
+    /// `[0.25, 0.5, 1.0, 2.0]` brackets the transition everywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty or contains a negative or
+    /// non-finite factor.
+    #[must_use]
+    pub fn r_factors(mut self, factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "at least one radius factor required");
+        assert!(
+            factors.iter().all(|f| f.is_finite() && *f >= 0.0),
+            "radius factors must be finite and non-negative"
+        );
+        self.radii = RadiusAxis::CriticalFractions(factors);
+        self
+    }
+
+    /// Sets the number of replicates per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicates == 0`.
+    #[must_use]
+    pub fn replicates(mut self, replicates: u32) -> Self {
+        assert!(replicates > 0, "at least one replicate required");
+        self.replicates = replicates;
+        self
+    }
+
+    /// Sets the number of worker threads (values below 1 are clamped);
+    /// never affects results, only wall-clock time.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the master seed the per-cell seeds derive from.
+    #[must_use]
+    pub fn seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// The base spec the axes expand.
+    #[inline]
+    #[must_use]
+    pub fn base(&self) -> &ScenarioSpec {
+        &self.base
+    }
+
+    /// The master seed.
+    #[inline]
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The replicates per cell.
+    #[inline]
+    #[must_use]
+    pub fn num_replicates(&self) -> u32 {
+        self.replicates
+    }
+
+    /// Expands the axes into the ordered cell grid, re-validating the
+    /// spec at every coordinate.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any cell's validation produces (e.g. the
+    /// base source index is out of range for a smaller `k`).
+    pub fn cells(&self) -> Result<Vec<ScenarioCell>, SimError> {
+        let mut cells = Vec::with_capacity(self.sides.len() * self.ks.len() * self.radii.len());
+        for &side in &self.sides {
+            for &k in &self.ks {
+                for radius in self.radii.resolve(side, k) {
+                    cells.push(ScenarioCell {
+                        side,
+                        k,
+                        radius,
+                        spec: self.base.with_axes(side, k, radius)?,
+                    });
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Runs every replicate of every cell across the worker threads and
+    /// aggregates per cell.
+    ///
+    /// # Errors
+    ///
+    /// As [`cells`](Self::cells).
+    pub fn run(&self) -> Result<ScenarioSweepReport, SimError> {
+        let cells = self.cells()?;
+        let reps = u64::from(self.replicates);
+        let tasks: Vec<(usize, u64)> = (0..cells.len())
+            .flat_map(|i| (0..reps).map(move |j| (i, j)))
+            .collect();
+        let values =
+            parallel_map_with(&tasks, self.threads, SimScratch::new, |scratch, &(i, j)| {
+                let seed = derive_seed(self.master_seed, i as u64 * reps + j);
+                cells[i].spec.run_seed_with_scratch(scratch, seed)
+            });
+        let cells = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let samples: Vec<f64> = (0..reps as usize)
+                    .map(|j| values[i * reps as usize + j])
+                    .collect();
+                let n = f64::from(cell.side) * f64::from(cell.side);
+                SweepCell {
+                    side: cell.side,
+                    k: cell.k,
+                    radius: cell.radius,
+                    critical_radius: theory::critical_radius(n, cell.k as f64),
+                    summary: Summary::from_slice(&samples),
+                    samples,
+                }
+            })
+            .collect();
+        Ok(ScenarioSweepReport {
+            process: self.base.kind(),
+            metric: self.base.metric(),
+            master_seed: self.master_seed,
+            replicates: self.replicates,
+            cells,
+        })
+    }
+
+    /// Parses a sweep from text holding a `[scenario]` section and an
+    /// optional `[sweep]` section with keys `sides`, `ks`, `radii` *or*
+    /// `r_factors`, `replicates`, `seed` and `threads` (axes default to
+    /// the scenario's own values).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioSpec::from_toml_str`], plus [`SpecError::Toml`] /
+    /// [`SpecError::UnknownKey`] on malformed `[sweep]` entries.
+    pub fn from_toml_str(text: &str) -> Result<Self, SpecError> {
+        let doc = TomlDoc::parse(text)?;
+        let base = ScenarioSpec::from_toml_doc(&doc)?;
+        let mut sweep = Self::new(base, 2011);
+        let Some(table) = doc.opt_section("sweep") else {
+            return Ok(sweep);
+        };
+        const KNOWN: [&str; 6] = ["sides", "ks", "radii", "r_factors", "replicates", "seed"];
+        const KNOWN_EXEC: [&str; 1] = ["threads"];
+        for key in table.keys() {
+            if !KNOWN.contains(&key) && !KNOWN_EXEC.contains(&key) {
+                return Err(SpecError::UnknownKey {
+                    section: "sweep".to_string(),
+                    key: key.to_string(),
+                });
+            }
+        }
+        let bad = |key, expected| {
+            SpecError::Toml(TomlError::BadValue {
+                section: "sweep".to_string(),
+                key,
+                expected,
+            })
+        };
+        if let Some(sides) = table.opt_u32_array("sides")? {
+            if sides.is_empty() {
+                return Err(bad("sides".to_string(), "non-empty array"));
+            }
+            sweep = sweep.sides(sides);
+        }
+        if let Some(ks) = table.opt_usize_array("ks")? {
+            if ks.is_empty() {
+                return Err(bad("ks".to_string(), "non-empty array"));
+            }
+            sweep = sweep.ks(ks);
+        }
+        let radii = table.opt_u32_array("radii")?;
+        let factors = table.opt_f64_array("r_factors")?;
+        match (radii, factors) {
+            (Some(_), Some(_)) => {
+                return Err(bad(
+                    "radii".to_string(),
+                    "single radius axis (either `radii` or `r_factors`, not both)",
+                ))
+            }
+            (Some(radii), None) => {
+                if radii.is_empty() {
+                    return Err(bad("radii".to_string(), "non-empty array"));
+                }
+                sweep = sweep.radii(radii);
+            }
+            (None, Some(factors)) => {
+                if factors.is_empty() || factors.iter().any(|f| !f.is_finite() || *f < 0.0) {
+                    return Err(bad(
+                        "r_factors".to_string(),
+                        "non-empty array of finite non-negative numbers",
+                    ));
+                }
+                sweep = sweep.r_factors(factors);
+            }
+            (None, None) => {}
+        }
+        if let Some(reps) = table.opt_u32("replicates")? {
+            if reps == 0 {
+                return Err(bad("replicates".to_string(), "positive integer"));
+            }
+            sweep = sweep.replicates(reps);
+        }
+        if let Some(seed) = table.opt_u64("seed")? {
+            sweep.master_seed = seed;
+        }
+        if let Some(threads) = table.opt_usize("threads")? {
+            sweep = sweep.threads(threads);
+        }
+        Ok(sweep)
+    }
+
+    /// Renders the sweep (scenario + axes) in the TOML subset;
+    /// [`from_toml_str`](Self::from_toml_str) parses it back to an
+    /// equal sweep.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let mut out = self.base.to_toml();
+        out.push_str("\n[sweep]\n");
+        out.push_str(&format!(
+            "sides = [{}]\n",
+            join_with(self.sides.iter(), ", ")
+        ));
+        out.push_str(&format!("ks = [{}]\n", join_with(self.ks.iter(), ", ")));
+        match &self.radii {
+            RadiusAxis::Absolute(radii) => {
+                out.push_str(&format!("radii = [{}]\n", join_with(radii.iter(), ", ")));
+            }
+            RadiusAxis::CriticalFractions(factors) => {
+                let rendered: Vec<String> = factors.iter().map(|f| format_toml_f64(*f)).collect();
+                out.push_str(&format!("r_factors = [{}]\n", rendered.join(", ")));
+            }
+        }
+        out.push_str(&format!("replicates = {}\n", self.replicates));
+        out.push_str(&format!("seed = {}\n", self.master_seed));
+        out.push_str(&format!("threads = {}\n", self.threads));
+        out
+    }
+}
+
+fn join_with<T: ToString>(items: impl Iterator<Item = T>, sep: &str) -> String {
+    items.map(|x| x.to_string()).collect::<Vec<_>>().join(sep)
+}
+
+/// Renders an `f64` so the subset parser reads it back as a float
+/// (integral values keep a `.0`).
+fn format_toml_f64(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// One completed cell of a sweep: coordinates, theory prediction and
+/// replicate summary.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Grid side.
+    pub side: u32,
+    /// Agent count.
+    pub k: usize,
+    /// Transmission radius.
+    pub radius: u32,
+    /// The predicted percolation radius `r_c = √(n/k)` at these axes.
+    pub critical_radius: f64,
+    /// Summary over replicates.
+    pub summary: Summary,
+    /// Raw per-replicate measurements (replicate order).
+    pub samples: Vec<f64>,
+}
+
+/// A located phase transition on one (side, k) radius curve: the knee
+/// between the last sub-critical and first super-critical axis point,
+/// cross-checked against the theory prediction.
+#[derive(Clone, Copy, Debug)]
+pub struct TransitionEstimate {
+    /// Grid side of the curve.
+    pub side: u32,
+    /// Agent count of the curve.
+    pub k: usize,
+    /// Radius on the slow side of the knee.
+    pub r_below: u32,
+    /// Radius on the fast side of the knee.
+    pub r_above: u32,
+    /// The knee location (geometric midpoint of the bracketing radii).
+    pub r_knee: f64,
+    /// Mean-metric drop across the knee (slow mean / fast mean).
+    pub drop_ratio: f64,
+    /// `r_c = √(n/k)` from `sparsegossip_core::theory`.
+    pub predicted_rc: f64,
+}
+
+impl TransitionEstimate {
+    /// The predicted band for the measured knee: `[r_c/4, 4·r_c]`, the
+    /// factor-4 window around the asymptotic `r_c = √(n/k)` that the
+    /// `Θ̃`-notation's model-dependent constant is allowed to occupy
+    /// (the same window the percolation threshold tests use).
+    #[must_use]
+    pub fn band(&self) -> (f64, f64) {
+        (self.predicted_rc / 4.0, self.predicted_rc * 4.0)
+    }
+
+    /// Whether the knee lies inside [`band`](Self::band).
+    #[must_use]
+    pub fn within_band(&self) -> bool {
+        let (lo, hi) = self.band();
+        self.r_knee >= lo && self.r_knee <= hi
+    }
+}
+
+/// Aggregated result of a [`ScenarioSweep::run`]: per-cell summaries in
+/// cell order, renderable as a [`Table`] or machine-readable JSON.
+#[derive(Clone, Debug)]
+#[must_use]
+pub struct ScenarioSweepReport {
+    /// The swept process kind.
+    pub process: ProcessKind,
+    /// The reported metric.
+    pub metric: Metric,
+    /// The master seed the cell seeds derive from.
+    pub master_seed: u64,
+    /// Replicates per cell.
+    pub replicates: u32,
+    /// Per-cell results, side-major then k then radius.
+    pub cells: Vec<SweepCell>,
+}
+
+impl ScenarioSweepReport {
+    /// The smallest mean-metric drop an adjacent radius pair must show
+    /// for [`transitions`](Self::transitions) to call it a knee: well
+    /// below the order-of-magnitude collapse the paper predicts across
+    /// `r_c`, comfortably above replicate noise on a flat curve.
+    pub const MIN_DROP_RATIO: f64 = 2.0;
+
+    /// Locates the knee of every (side, k) radius curve with at least
+    /// three distinct radii: the adjacent radius pair with the largest
+    /// drop in mean metric (at least
+    /// [`MIN_DROP_RATIO`](Self::MIN_DROP_RATIO) — a flat curve reports
+    /// no transition), its knee at their geometric midpoint.
+    ///
+    /// Meaningful for [`Metric::Time`], where crossing `r_c` collapses
+    /// the completion time; with [`Metric::Fraction`] the drop ratios
+    /// are typically below 1, so no transition is reported.
+    #[must_use]
+    pub fn transitions(&self) -> Vec<TransitionEstimate> {
+        let mut out = Vec::new();
+        let mut groups: Vec<(u32, usize)> = Vec::new();
+        for cell in &self.cells {
+            if !groups.contains(&(cell.side, cell.k)) {
+                groups.push((cell.side, cell.k));
+            }
+        }
+        for (side, k) in groups {
+            let mut curve: Vec<(u32, f64, f64)> = self
+                .cells
+                .iter()
+                .filter(|c| c.side == side && c.k == k)
+                .map(|c| (c.radius, c.summary.mean(), c.critical_radius))
+                .collect();
+            curve.sort_by_key(|&(r, _, _)| r);
+            curve.dedup_by_key(|&mut (r, _, _)| r);
+            if curve.len() < 3 {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..curve.len() - 1 {
+                let (_, mean_lo, _) = curve[i];
+                let (_, mean_hi, _) = curve[i + 1];
+                // The 0.5 floor guards division when the fast side
+                // completes at step 0.
+                let ratio = mean_lo / mean_hi.max(0.5);
+                if best.is_none_or(|(_, b)| ratio > b) {
+                    best = Some((i, ratio));
+                }
+            }
+            let Some((i, drop_ratio)) = best else {
+                continue;
+            };
+            // A flat curve (all-subcritical or all-supercritical axis,
+            // or seed noise) has no knee: only a drop that clears the
+            // threshold is a transition.
+            if drop_ratio < Self::MIN_DROP_RATIO {
+                continue;
+            }
+            let (r_below, _, predicted_rc) = curve[i];
+            let (r_above, _, _) = curve[i + 1];
+            let r_knee = if r_below == 0 {
+                f64::from(r_below + r_above) / 2.0
+            } else {
+                (f64::from(r_below) * f64::from(r_above)).sqrt()
+            };
+            out.push(TransitionEstimate {
+                side,
+                k,
+                r_below,
+                r_above,
+                r_knee,
+                drop_ratio,
+                predicted_rc,
+            });
+        }
+        out
+    }
+
+    /// Renders the per-cell summaries as an aligned table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "side".into(),
+            "k".into(),
+            "r".into(),
+            "r/r_c".into(),
+            format!("mean {}", self.metric),
+            "ci95".into(),
+            "median".into(),
+        ]);
+        for c in &self.cells {
+            t.push_row(vec![
+                c.side.to_string(),
+                c.k.to_string(),
+                c.radius.to_string(),
+                format!("{:.2}", f64::from(c.radius) / c.critical_radius),
+                format!("{:.1}", c.summary.mean()),
+                format!("{:.1}", c.summary.ci95_half_width()),
+                format!("{:.1}", c.summary.median()),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the report (cells + transitions) as a self-describing
+    /// JSON document — the schema behind `BENCH_sweep.json` and the
+    /// CLI's `sweep --json`, pinned by the CLI golden tests.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"scenario_sweep\",\n");
+        out.push_str(&format!("  \"process\": \"{}\",\n", self.process));
+        out.push_str(&format!("  \"metric\": \"{}\",\n", self.metric));
+        out.push_str(&format!("  \"seed\": {},\n", self.master_seed));
+        out.push_str(&format!("  \"replicates\": {},\n", self.replicates));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let samples: Vec<String> = c.samples.iter().map(|s| format!("{s}")).collect();
+            out.push_str(&format!(
+                "    {{\"side\": {}, \"k\": {}, \"r\": {}, \"r_c\": {}, \"mean\": {}, \
+                 \"ci95\": {}, \"median\": {}, \"min\": {}, \"max\": {}, \"samples\": [{}]}}{}\n",
+                c.side,
+                c.k,
+                c.radius,
+                c.critical_radius,
+                c.summary.mean(),
+                c.summary.ci95_half_width(),
+                c.summary.median(),
+                c.summary.min(),
+                c.summary.max(),
+                samples.join(","),
+                if i + 1 == self.cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"transitions\": [\n");
+        let transitions = self.transitions();
+        for (i, t) in transitions.iter().enumerate() {
+            let (lo, hi) = t.band();
+            out.push_str(&format!(
+                "    {{\"side\": {}, \"k\": {}, \"r_below\": {}, \"r_above\": {}, \
+                 \"r_knee\": {}, \"drop_ratio\": {}, \"predicted_rc\": {}, \
+                 \"band\": [{}, {}], \"within_band\": {}}}{}\n",
+                t.side,
+                t.k,
+                t.r_below,
+                t.r_above,
+                t.r_knee,
+                t.drop_ratio,
+                t.predicted_rc,
+                lo,
+                hi,
+                t.within_band(),
+                if i + 1 == transitions.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> ScenarioSpec {
+        ScenarioSpec::builder(ProcessKind::Broadcast, 12, 6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cells_expand_side_major_then_k_then_r() {
+        let sweep = ScenarioSweep::new(tiny_base(), 1)
+            .sides(vec![8, 12])
+            .ks(vec![4, 6])
+            .radii(vec![0, 2]);
+        let cells = sweep.cells().unwrap();
+        assert_eq!(cells.len(), 8);
+        let coords: Vec<(u32, usize, u32)> =
+            cells.iter().map(|c| (c.side, c.k, c.radius)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (8, 4, 0),
+                (8, 4, 2),
+                (8, 6, 0),
+                (8, 6, 2),
+                (12, 4, 0),
+                (12, 4, 2),
+                (12, 6, 0),
+                (12, 6, 2)
+            ]
+        );
+        // Default caps re-derive per cell.
+        assert_eq!(
+            cells[0].spec.config().max_steps(),
+            sparsegossip_core::SimConfig::default_step_cap(8, 4)
+        );
+    }
+
+    #[test]
+    fn critical_fraction_axis_tracks_rc() {
+        let axis = RadiusAxis::CriticalFractions(vec![0.5, 1.0, 2.0]);
+        // side 16, k 16: r_c = 4.
+        assert_eq!(axis.resolve(16, 16), vec![2, 4, 8]);
+        // side 32, k 16: r_c = 8.
+        assert_eq!(axis.resolve(32, 16), vec![4, 8, 16]);
+        assert_eq!(axis.len(), 3);
+        assert!(!axis.is_empty());
+    }
+
+    #[test]
+    fn invalid_cell_is_reported_not_panicked() {
+        let base = ScenarioSpec::builder(ProcessKind::Broadcast, 12, 8)
+            .source(5)
+            .build()
+            .unwrap();
+        let err = ScenarioSweep::new(base, 1).ks(vec![4]).run().unwrap_err();
+        assert_eq!(err, SimError::SourceOutOfRange { source: 5, k: 4 });
+    }
+
+    #[test]
+    fn run_aggregates_every_cell() {
+        let report = ScenarioSweep::new(tiny_base(), 3)
+            .sides(vec![10, 12])
+            .radii(vec![0, 1, 2])
+            .replicates(3)
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 6);
+        for cell in &report.cells {
+            assert_eq!(cell.samples.len(), 3);
+            assert_eq!(cell.summary.n(), 3);
+            assert!(cell.critical_radius > 0.0);
+        }
+        assert_eq!(report.replicates, 3);
+        assert_eq!(report.process, ProcessKind::Broadcast);
+    }
+
+    #[test]
+    fn transitions_locate_a_synthetic_knee() {
+        // Hand-build a report with a sharp drop between r=4 and r=8 on
+        // a side-32, k-16 curve (r_c = 8).
+        let cell = |radius: u32, mean: f64| SweepCell {
+            side: 32,
+            k: 16,
+            radius,
+            critical_radius: 8.0,
+            summary: Summary::from_slice(&[mean]),
+            samples: vec![mean],
+        };
+        let report = ScenarioSweepReport {
+            process: ProcessKind::Broadcast,
+            metric: Metric::Time,
+            master_seed: 0,
+            replicates: 1,
+            cells: vec![cell(2, 900.0), cell(4, 880.0), cell(8, 40.0), cell(16, 5.0)],
+        };
+        let ts = report.transitions();
+        assert_eq!(ts.len(), 1);
+        let t = &ts[0];
+        assert_eq!((t.r_below, t.r_above), (4, 8));
+        assert!((t.r_knee - 32f64.sqrt()).abs() < 1e-9);
+        assert!(t.drop_ratio > 20.0);
+        assert!(t.within_band(), "knee {} outside {:?}", t.r_knee, t.band());
+    }
+
+    #[test]
+    fn transitions_need_three_distinct_radii() {
+        let cell = |radius: u32, mean: f64| SweepCell {
+            side: 16,
+            k: 8,
+            radius,
+            critical_radius: 5.65,
+            summary: Summary::from_slice(&[mean]),
+            samples: vec![mean],
+        };
+        let report = ScenarioSweepReport {
+            process: ProcessKind::Broadcast,
+            metric: Metric::Time,
+            master_seed: 0,
+            replicates: 1,
+            // Two distinct radii only (the duplicate dedups away).
+            cells: vec![cell(2, 100.0), cell(2, 90.0), cell(8, 10.0)],
+        };
+        assert!(report.transitions().is_empty());
+    }
+
+    #[test]
+    fn flat_curves_report_no_transition() {
+        // An all-supercritical axis: tiny near-constant means whose
+        // largest adjacent ratio is seed noise, far below the drop
+        // threshold — no knee must be reported.
+        let cell = |radius: u32, mean: f64| SweepCell {
+            side: 32,
+            k: 16,
+            radius,
+            critical_radius: 8.0,
+            summary: Summary::from_slice(&[mean]),
+            samples: vec![mean],
+        };
+        let report = ScenarioSweepReport {
+            process: ProcessKind::Broadcast,
+            metric: Metric::Time,
+            master_seed: 0,
+            replicates: 1,
+            cells: vec![cell(12, 3.0), cell(16, 2.0), cell(24, 2.0), cell(32, 1.5)],
+        };
+        assert!(
+            report.transitions().is_empty(),
+            "noise ratio {:.2} must not register as a knee",
+            3.0 / 2.0
+        );
+    }
+
+    #[test]
+    fn duplicate_rounded_radii_collapse_to_one_cell() {
+        // side 64, k 128: r_c ≈ 5.66, so factors 0.12 and 0.25 both
+        // round to r = 1 — the axis must yield each radius once.
+        let axis = RadiusAxis::CriticalFractions(vec![0.12, 0.25, 0.5, 1.0]);
+        assert_eq!(axis.resolve(64, 128), vec![1, 3, 6]);
+        let base = ScenarioSpec::builder(ProcessKind::Broadcast, 64, 128)
+            .build()
+            .unwrap();
+        let cells = ScenarioSweep::new(base, 1)
+            .r_factors(vec![0.12, 0.25, 0.5, 1.0])
+            .cells()
+            .unwrap();
+        let radii: Vec<u32> = cells.iter().map(|c| c.radius).collect();
+        assert_eq!(radii, vec![1, 3, 6], "no duplicate cells after rounding");
+    }
+
+    #[test]
+    fn zero_radius_knee_uses_arithmetic_midpoint() {
+        let cell = |radius: u32, mean: f64| SweepCell {
+            side: 16,
+            k: 8,
+            radius,
+            critical_radius: 5.65,
+            summary: Summary::from_slice(&[mean]),
+            samples: vec![mean],
+        };
+        let report = ScenarioSweepReport {
+            process: ProcessKind::Broadcast,
+            metric: Metric::Time,
+            master_seed: 0,
+            replicates: 1,
+            cells: vec![cell(0, 500.0), cell(4, 20.0), cell(8, 10.0)],
+        };
+        let ts = report.transitions();
+        assert_eq!(ts.len(), 1);
+        assert_eq!((ts[0].r_below, ts[0].r_above), (0, 4));
+        assert_eq!(ts[0].r_knee, 2.0);
+    }
+
+    #[test]
+    fn toml_round_trip_is_identity() {
+        let sweep = ScenarioSweep::new(tiny_base(), 99)
+            .sides(vec![12, 16])
+            .ks(vec![4, 6])
+            .r_factors(vec![0.25, 1.0, 2.0])
+            .replicates(5)
+            .threads(3);
+        let text = sweep.to_toml();
+        let parsed = ScenarioSweep::from_toml_str(&text).unwrap();
+        assert_eq!(sweep, parsed, "round trip changed the sweep:\n{text}");
+
+        let absolute = ScenarioSweep::new(tiny_base(), 7).radii(vec![0, 3, 6]);
+        let parsed = ScenarioSweep::from_toml_str(&absolute.to_toml()).unwrap();
+        assert_eq!(absolute, parsed);
+    }
+
+    #[test]
+    fn toml_sweep_section_is_optional_and_validated() {
+        let spec_only = "[scenario]\nprocess = \"broadcast\"\nside = 12\nk = 6\n";
+        let sweep = ScenarioSweep::from_toml_str(spec_only).unwrap();
+        assert_eq!(sweep.cells().unwrap().len(), 1);
+
+        let with = |extra: &str| format!("{spec_only}\n[sweep]\n{extra}");
+        assert!(matches!(
+            ScenarioSweep::from_toml_str(&with("typo = 1\n")),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(ScenarioSweep::from_toml_str(&with("sides = []\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("ks = []\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("radii = []\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("r_factors = [-1.0]\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("replicates = 0\n")).is_err());
+        assert!(
+            ScenarioSweep::from_toml_str(&with("radii = [1]\nr_factors = [1.0]\n")).is_err(),
+            "both radius axes at once must be rejected"
+        );
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = ScenarioSweep::new(tiny_base(), 5)
+            .radii(vec![0, 2, 4])
+            .replicates(2)
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"experiment\": \"scenario_sweep\""));
+        assert!(json.contains("\"process\": \"broadcast\""));
+        assert!(json.contains("\"cells\": ["));
+        assert!(json.contains("\"transitions\": ["));
+        assert_eq!(
+            json.matches("\"side\":").count(),
+            3 + report.transitions().len()
+        );
+        // No trailing commas before closing brackets.
+        assert!(!json.contains(",\n  ]"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Regression suite for the scenario sweep engine's determinism
+//! contract: results are a pure function of the sweep (thread-count
+//! independent, rerun-stable), and a TOML-loaded sweep is
+//! indistinguishable from its builder-built twin — including the
+//! committed `examples/phase_transition.toml`.
+
+use sparsegossip_analysis::{ScenarioSweep, ScenarioSweepReport};
+use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec};
+
+fn small_sweep() -> ScenarioSweep {
+    // An explicit cap keeps the worst replicate bounded in debug test
+    // runs; capped cells are as deterministic as completed ones.
+    let base = ScenarioSpec::builder(ProcessKind::Broadcast, 10, 4)
+        .max_steps(2_000)
+        .build()
+        .unwrap();
+    ScenarioSweep::new(base, 2011)
+        .sides(vec![8, 10])
+        .ks(vec![4, 6])
+        .radii(vec![0, 1, 3])
+        .replicates(3)
+}
+
+fn assert_reports_identical(a: &ScenarioSweepReport, b: &ScenarioSweepReport, what: &str) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{what}: cell count differs");
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(
+            (ca.side, ca.k, ca.radius),
+            (cb.side, cb.k, cb.radius),
+            "{what}: cell order differs"
+        );
+        assert_eq!(
+            ca.samples, cb.samples,
+            "{what}: samples differ at side={} k={} r={}",
+            ca.side, ca.k, ca.radius
+        );
+    }
+}
+
+#[test]
+fn results_are_identical_for_1_2_and_8_threads() {
+    let serial = small_sweep().threads(1).run().unwrap();
+    for threads in [2, 8] {
+        let parallel = small_sweep().threads(threads).run().unwrap();
+        assert_reports_identical(&serial, &parallel, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn rerunning_the_same_sweep_reproduces_samples_exactly() {
+    let a = small_sweep().threads(4).run().unwrap();
+    let b = small_sweep().threads(4).run().unwrap();
+    assert_reports_identical(&a, &b, "rerun");
+}
+
+#[test]
+fn toml_loaded_sweep_equals_builder_built_sweep() {
+    let built = small_sweep().threads(2);
+    let loaded = ScenarioSweep::from_toml_str(&built.to_toml()).unwrap();
+    assert_eq!(built, loaded, "serialization round trip changed the sweep");
+    let a = built.run().unwrap();
+    let b = loaded.run().unwrap();
+    assert_reports_identical(&a, &b, "toml vs builder");
+}
+
+#[test]
+fn fraction_metric_sweeps_are_thread_independent_too() {
+    let base = ScenarioSpec::builder(ProcessKind::Gossip, 10, 4)
+        .max_steps(300)
+        .metric(Metric::Fraction)
+        .build()
+        .unwrap();
+    let sweep = |threads| {
+        ScenarioSweep::new(base, 7)
+            .radii(vec![0, 2, 4])
+            .replicates(4)
+            .threads(threads)
+            .run()
+            .unwrap()
+    };
+    let serial = sweep(1);
+    assert_reports_identical(&serial, &sweep(8), "fraction metric");
+    for cell in &serial.cells {
+        for s in &cell.samples {
+            assert!((0.0..=1.0).contains(s), "fraction {s} out of range");
+        }
+    }
+}
+
+/// The committed example spec is the acceptance artifact: parsing it
+/// must equal the builder-built twin, and running a trimmed version of
+/// both must produce identical outcomes.
+#[test]
+fn committed_example_spec_round_trips_against_builder() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/phase_transition.toml"
+    );
+    let text = std::fs::read_to_string(path).expect("examples/phase_transition.toml exists");
+    let loaded = ScenarioSweep::from_toml_str(&text).expect("example spec parses");
+
+    // The builder-built twin of the committed file, field for field.
+    let base = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+        .radius(0)
+        .source(0)
+        .metric(Metric::Time)
+        .build()
+        .unwrap();
+    let built = ScenarioSweep::new(base, 2011)
+        .sides(vec![24, 32, 48])
+        .ks(vec![8, 16, 32])
+        .r_factors(vec![0.25, 0.5, 1.0, 2.0, 3.0])
+        .replicates(4)
+        .threads(4);
+    assert_eq!(
+        built, loaded,
+        "committed spec drifted from its builder twin"
+    );
+
+    // Run a trimmed slice of both (debug-friendly) and compare
+    // outcomes cell by cell: parse → run ≡ build → run.
+    let trim = |s: ScenarioSweep| s.sides(vec![24]).ks(vec![8, 16]).replicates(2).threads(2);
+    let a = trim(built).run().unwrap();
+    let b = trim(loaded).run().unwrap();
+    assert_reports_identical(&a, &b, "trimmed example spec");
+    assert_eq!(a.cells.len(), 2 * 5, "trim keeps the full radius axis");
+}

@@ -9,11 +9,11 @@ use core::fmt;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_analysis::{Runner, Table};
+use sparsegossip_analysis::{Runner, ScenarioSweep, Table};
 use sparsegossip_conngraph::{critical_radius, percolation_profile};
 use sparsegossip_core::{
     BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, Gossip, GossipOutcome,
-    InfectionOutcome, Mobility, PredatorPrey, SimConfig, Simulation,
+    InfectionOutcome, Mobility, PredatorPrey, SimConfig, Simulation, SpecError,
 };
 use sparsegossip_grid::{Grid, Topology};
 use sparsegossip_walks::multi_cover;
@@ -47,6 +47,9 @@ COMMANDS:
   predator     predator-prey extinction time
                --side N --predators K --preys M --radius R
                --static-preys --seed S
+  sweep        multi-axis {side, k, r} scenario sweep from a TOML spec,
+               with phase-transition detection against r_c = sqrt(n/k)
+               --spec file.toml [--replicates R --threads T --seed S]
   help         this text
 
 All run commands accept --json for machine-readable outcome output.
@@ -60,6 +63,17 @@ pub enum CliError {
     Args(ArgError),
     /// The simulation could not be configured.
     Sim(sparsegossip_core::SimError),
+    /// A required option was not given.
+    MissingOption(&'static str),
+    /// A spec file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying error text.
+        error: String,
+    },
+    /// A spec file could not be parsed or validated.
+    Spec(SpecError),
     /// Unknown subcommand.
     UnknownCommand(String),
 }
@@ -69,6 +83,9 @@ impl fmt::Display for CliError {
         match self {
             Self::Args(e) => write!(f, "{e}"),
             Self::Sim(e) => write!(f, "{e}"),
+            Self::MissingOption(name) => write!(f, "missing required option --{name}"),
+            Self::Io { path, error } => write!(f, "cannot read {path:?}: {error}"),
+            Self::Spec(e) => write!(f, "{e}"),
             Self::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?}; try `sparsegossip help`")
             }
@@ -87,6 +104,12 @@ impl From<ArgError> for CliError {
 impl From<sparsegossip_core::SimError> for CliError {
     fn from(e: sparsegossip_core::SimError) -> Self {
         Self::Sim(e)
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        Self::Spec(e)
     }
 }
 
@@ -112,6 +135,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "percolation" => percolation(args),
         "cover" => cover(args),
         "predator" => predator(args),
+        "sweep" => sweep(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -408,6 +432,76 @@ fn predator(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Runs a multi-axis scenario sweep loaded from a TOML spec file and
+/// reports per-cell summaries plus the detected phase transitions.
+fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
+    let path: String = args.get("spec", String::new())?;
+    if path.is_empty() {
+        return Err(CliError::MissingOption("spec"));
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| CliError::Io {
+        path: path.clone(),
+        error: e.to_string(),
+    })?;
+    let mut sweep = ScenarioSweep::from_toml_str(&text)?;
+    if args.has_option("replicates") {
+        let reps: u32 = args.get("replicates", 1u32)?;
+        if reps == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                key: "replicates".to_string(),
+                value: "0".to_string(),
+            }));
+        }
+        sweep = sweep.replicates(reps);
+    }
+    if args.has_option("threads") {
+        sweep = sweep.threads(args.get("threads", 1usize)?);
+    }
+    if args.has_option("seed") {
+        sweep = sweep.seed(args.get("seed", 2011u64)?);
+    }
+    let report = sweep.run()?;
+    if args.flag("json") {
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    println!(
+        "{} sweep: {} cells × {} replicates (metric {}, master seed {})",
+        report.process,
+        report.cells.len(),
+        report.replicates,
+        report.metric,
+        report.master_seed
+    );
+    println!("{}", report.table());
+    let transitions = report.transitions();
+    if transitions.is_empty() {
+        println!(
+            "no transition detected (needs >= 3 distinct radii per (side, k) \
+             and a >= {:.0}x drop in the mean)",
+            sparsegossip_analysis::ScenarioSweepReport::MIN_DROP_RATIO
+        );
+    }
+    for t in &transitions {
+        let (lo, hi) = t.band();
+        println!(
+            "transition side={} k={}: knee r = {:.1} (between r={} and r={}), \
+             drop {:.1}x, predicted r_c = {:.1}, band [{:.1}, {:.1}] -> {}",
+            t.side,
+            t.k,
+            t.r_knee,
+            t.r_below,
+            t.r_above,
+            t.drop_ratio,
+            t.predicted_rc,
+            lo,
+            hi,
+            if t.within_band() { "WITHIN" } else { "OUTSIDE" }
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +533,54 @@ mod tests {
         ] {
             dispatch(&parsed(cmd)).unwrap_or_else(|e| panic!("{cmd}: {e}"));
         }
+    }
+
+    #[test]
+    fn sweep_runs_from_a_spec_file() {
+        let path = std::env::temp_dir().join("sparsegossip_cli_sweep_unit.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nprocess = \"broadcast\"\nside = 10\nk = 5\n\n\
+             [sweep]\nsides = [8, 10]\nradii = [0, 1, 3]\nreplicates = 2\nseed = 7\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+        dispatch(&parsed(&format!("sweep --spec {path}"))).unwrap();
+        dispatch(&parsed(&format!("sweep --spec {path} --json"))).unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {path} --replicates 1 --threads 2 --seed 3"
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_reports_missing_and_bad_specs() {
+        assert!(matches!(
+            dispatch(&parsed("sweep")),
+            Err(CliError::MissingOption("spec"))
+        ));
+        assert!(matches!(
+            dispatch(&parsed("sweep --spec /nonexistent/no.toml")),
+            Err(CliError::Io { .. })
+        ));
+        let path = std::env::temp_dir().join("sparsegossip_cli_sweep_bad.toml");
+        std::fs::write(&path, "[scenario]\nprocess = \"warp\"\nside = 8\nk = 4\n").unwrap();
+        let spec = path.to_str().unwrap();
+        assert!(matches!(
+            dispatch(&parsed(&format!("sweep --spec {spec}"))),
+            Err(CliError::Spec(_))
+        ));
+        let good = std::env::temp_dir().join("sparsegossip_cli_sweep_reps.toml");
+        std::fs::write(
+            &good,
+            "[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 4\n",
+        )
+        .unwrap();
+        let good = good.to_str().unwrap();
+        assert!(matches!(
+            dispatch(&parsed(&format!("sweep --spec {good} --replicates 0"))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
     }
 
     #[test]
@@ -516,6 +658,7 @@ mod tests {
             "percolation",
             "cover",
             "predator",
+            "sweep",
             "--json",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");

@@ -1,0 +1,215 @@
+//! Golden-output tests for the CLI's `--json` mode: the exact bytes of
+//! every run command's JSON line and of the `sweep` command's JSON
+//! report are pinned here, so downstream tooling can rely on the
+//! schema (field names, ordering, null encoding) *and* on the seeded
+//! draws staying draw-for-draw stable.
+//!
+//! If a change legitimately alters the simulation draws or the schema,
+//! update these snapshots deliberately — that is the point of the test.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sparsegossip"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.success(),
+    )
+}
+
+fn assert_golden(args: &str, expected_stdout: &str) {
+    let argv: Vec<&str> = args.split_whitespace().collect();
+    let (stdout, stderr, ok) = run(&argv);
+    assert!(ok, "`{args}` failed: {stderr}");
+    assert_eq!(
+        stdout, expected_stdout,
+        "`{args}` drifted from its golden output"
+    );
+}
+
+#[test]
+fn broadcast_json_golden() {
+    assert_golden(
+        "broadcast --side 12 --k 6 --seed 1 --json",
+        "{\"process\":\"broadcast\",\"broadcast_time\":164,\"informed\":6,\"k\":6}\n",
+    );
+}
+
+#[test]
+fn broadcast_ensemble_json_golden() {
+    assert_golden(
+        "broadcast --side 12 --k 6 --seed 1 --reps 3 --threads 2 --json",
+        "{\"process\":\"broadcast\",\"reps\":3,\"mean\":303,\"median\":245,\"min\":142,\
+         \"max\":522,\"samples\":[142,522,245]}\n",
+    );
+}
+
+#[test]
+fn gossip_json_golden() {
+    assert_golden(
+        "gossip --side 12 --k 4 --seed 1 --json",
+        "{\"process\":\"gossip\",\"gossip_time\":532,\"min_rumors\":4,\"num_rumors\":4}\n",
+    );
+}
+
+#[test]
+fn infection_json_golden() {
+    assert_golden(
+        "infection --side 12 --k 4 --seed 1 --json",
+        "{\"process\":\"infection\",\"infection_time\":218,\"mean_time\":114.75,\
+         \"per_agent\":[0,67,174,218]}\n",
+    );
+}
+
+#[test]
+fn coverage_json_golden() {
+    assert_golden(
+        "coverage --side 10 --k 6 --seed 1 --json",
+        "{\"process\":\"coverage\",\"broadcast_time\":305,\"coverage_time\":349,\
+         \"covered\":100,\"num_nodes\":100}\n",
+    );
+}
+
+#[test]
+fn predator_json_golden() {
+    assert_golden(
+        "predator --side 10 --predators 4 --preys 3 --seed 1 --json",
+        "{\"process\":\"predator_prey\",\"extinction_time\":116,\"survivors\":0,\
+         \"num_preys\":3}\n",
+    );
+}
+
+const SWEEP_SPEC: &str = "[scenario]\n\
+process = \"broadcast\"\n\
+side = 10\n\
+k = 5\n\
+max_steps = 500\n\
+\n\
+[sweep]\n\
+radii = [0, 1, 3]\n\
+replicates = 2\n\
+seed = 7\n";
+
+const SWEEP_GOLDEN: &str = r#"{
+  "experiment": "scenario_sweep",
+  "process": "broadcast",
+  "metric": "time",
+  "seed": 7,
+  "replicates": 2,
+  "cells": [
+    {"side": 10, "k": 5, "r": 0, "r_c": 4.47213595499958, "mean": 238.5, "ci95": 89.17999999999998, "median": 238.5, "min": 193, "max": 284, "samples": [193,284]},
+    {"side": 10, "k": 5, "r": 1, "r_c": 4.47213595499958, "mean": 107.5, "ci95": 67.62, "median": 107.5, "min": 73, "max": 142, "samples": [73,142]},
+    {"side": 10, "k": 5, "r": 3, "r_c": 4.47213595499958, "mean": 42.5, "ci95": 0.98, "median": 42.5, "min": 42, "max": 43, "samples": [43,42]}
+  ],
+  "transitions": [
+    {"side": 10, "k": 5, "r_below": 1, "r_above": 3, "r_knee": 1.7320508075688772, "drop_ratio": 2.5294117647058822, "predicted_rc": 4.47213595499958, "band": [1.118033988749895, 17.88854381999832], "within_band": true}
+  ]
+}
+"#;
+
+#[test]
+fn sweep_json_golden() {
+    let path = std::env::temp_dir().join("sparsegossip_golden_sweep.toml");
+    std::fs::write(&path, SWEEP_SPEC).unwrap();
+    let path = path.to_str().unwrap();
+    let (stdout, stderr, ok) = run(&["sweep", "--spec", path, "--json"]);
+    assert!(ok, "sweep failed: {stderr}");
+    assert_eq!(stdout, SWEEP_GOLDEN, "sweep JSON drifted from its golden");
+}
+
+/// Schema-level assertions on top of the byte-exact goldens: the keys
+/// downstream tooling greps for, and `null` for capped runs.
+#[test]
+fn json_schema_contract() {
+    let (stdout, _, ok) = run(&[
+        "broadcast",
+        "--side",
+        "64",
+        "--k",
+        "2",
+        "--seed",
+        "1",
+        "--max-steps",
+        "1",
+        "--json",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout.contains("\"broadcast_time\":null"),
+        "capped runs must encode time as null: {stdout}"
+    );
+    for (args, keys) in [
+        (
+            vec![
+                "broadcast",
+                "--side",
+                "12",
+                "--k",
+                "6",
+                "--seed",
+                "1",
+                "--json",
+            ],
+            vec!["\"process\"", "\"broadcast_time\"", "\"informed\"", "\"k\""],
+        ),
+        (
+            vec![
+                "gossip", "--side", "12", "--k", "4", "--seed", "1", "--json",
+            ],
+            vec!["\"gossip_time\"", "\"min_rumors\"", "\"num_rumors\""],
+        ),
+        (
+            vec![
+                "infection",
+                "--side",
+                "12",
+                "--k",
+                "4",
+                "--seed",
+                "1",
+                "--json",
+            ],
+            vec!["\"infection_time\"", "\"mean_time\"", "\"per_agent\""],
+        ),
+        (
+            vec![
+                "coverage", "--side", "10", "--k", "6", "--seed", "1", "--json",
+            ],
+            vec![
+                "\"broadcast_time\"",
+                "\"coverage_time\"",
+                "\"covered\"",
+                "\"num_nodes\"",
+            ],
+        ),
+        (
+            vec![
+                "predator",
+                "--side",
+                "10",
+                "--predators",
+                "4",
+                "--preys",
+                "3",
+                "--seed",
+                "1",
+                "--json",
+            ],
+            vec!["\"extinction_time\"", "\"survivors\"", "\"num_preys\""],
+        ),
+    ] {
+        let (stdout, stderr, ok) = run(&args);
+        assert!(ok, "{args:?} failed: {stderr}");
+        for key in keys {
+            assert!(
+                stdout.contains(key),
+                "{args:?} output missing {key}: {stdout}"
+            );
+        }
+        assert_eq!(stdout.lines().count(), 1, "run commands emit one JSON line");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the percolation diagnostics and the island
+//! statistics: monotonicity of the percolation order parameter in `r`,
+//! and exact agreement between island summaries and the underlying
+//! [`components`] partition on arbitrary configurations.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_conngraph::{
+    components, estimate_threshold, giant_fraction, percolation_profile, IslandSampler, IslandStats,
+};
+use sparsegossip_grid::{Grid, Point, Topology};
+
+fn arb_layout() -> impl Strategy<Value = (Vec<Point>, u32, u32)> {
+    (2u32..32).prop_flat_map(|side| {
+        (
+            proptest::collection::vec((0..side, 0..side), 0..50)
+                .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect()),
+            0u32..40,
+            Just(side),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn giant_fraction_is_monotone_in_radius(
+        (positions, r, side) in arb_layout(),
+        step in 1u32..8,
+    ) {
+        // The order parameter of the transition can only grow when the
+        // radius grows on a fixed configuration.
+        let fine = components(&positions, r, side);
+        let coarse = components(&positions, r.saturating_add(step), side);
+        prop_assert!(giant_fraction(&coarse) >= giant_fraction(&fine) - 1e-12);
+        prop_assert!(coarse.max_size() >= fine.max_size());
+        let f = giant_fraction(&fine);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn percolation_probability_is_monotone_in_radius_same_draws(
+        side in 4u32..24,
+        k in 1usize..24,
+        r_lo in 0u32..16,
+        step in 1u32..8,
+        samples in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        // `percolation_profile` draws its placements from the RNG in a
+        // fixed order, so re-seeding gives the *same* placements at two
+        // radii: the sampled percolation probability (mean giant
+        // fraction) must then be monotone in r, sample for sample.
+        let grid = Grid::new(side).unwrap();
+        let r_hi = r_lo + step;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lo = percolation_profile(&grid, k, &[r_lo], samples, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let hi = percolation_profile(&grid, k, &[r_hi], samples, &mut rng);
+        prop_assert!(hi[0].mean_giant_fraction >= lo[0].mean_giant_fraction - 1e-12);
+        prop_assert!(hi[0].mean_max_size >= lo[0].mean_max_size - 1e-12);
+        // Output invariants: fractions in [0, 1], sizes at most k.
+        for p in lo.iter().chain(&hi) {
+            prop_assert!((0.0..=1.0).contains(&p.mean_giant_fraction));
+            prop_assert!(p.mean_max_size <= k as f64 + 1e-12);
+            prop_assert!(p.mean_max_size >= if k > 0 { 1.0 - 1e-12 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn percolation_profile_is_deterministic_and_aligned(
+        side in 4u32..24,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::new(side).unwrap();
+        let radii = [0u32, 2, 5];
+        let a = percolation_profile(&grid, k, &radii, 3, &mut SmallRng::seed_from_u64(seed));
+        let b = percolation_profile(&grid, k, &radii, 3, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b, "same seed must reproduce the profile");
+        prop_assert_eq!(a.len(), radii.len());
+        for (p, &r) in a.iter().zip(&radii) {
+            prop_assert_eq!(p.r, r);
+        }
+    }
+
+    #[test]
+    fn threshold_estimate_is_in_range_and_deterministic(
+        side in 4u32..20,
+        k in 2usize..16,
+        seed in 0u64..500,
+    ) {
+        let grid = Grid::new(side).unwrap();
+        let a = estimate_threshold(&grid, k, 0.5, 3, &mut SmallRng::seed_from_u64(seed));
+        let b = estimate_threshold(&grid, k, 0.5, 3, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b, "same seed must reproduce the threshold");
+        prop_assert!(a >= 1 && a <= grid.side());
+        // Anchor: at radius ≥ the Manhattan diameter 2(side−1) the
+        // graph is complete, so the giant fraction is exactly 1.
+        let full =
+            percolation_profile(&grid, k, &[2 * side], 2, &mut SmallRng::seed_from_u64(seed));
+        prop_assert!((full[0].mean_giant_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn island_stats_agree_with_components((positions, r, side) in arb_layout()) {
+        let c = components(&positions, r, side);
+        let s = IslandStats::from_components(&c);
+        // Count, max and singletons recomputed independently from the
+        // partition must match the summary exactly.
+        prop_assert_eq!(s.count, c.count());
+        prop_assert_eq!(s.max_size, c.max_size());
+        let singletons = (0..c.count()).filter(|&i| c.size(i) == 1).count();
+        prop_assert_eq!(s.singletons, singletons);
+        let sizes_total: usize = (0..c.count()).map(|i| c.size(i)).sum();
+        prop_assert_eq!(sizes_total, positions.len());
+        if c.count() > 0 {
+            let mean = sizes_total as f64 / c.count() as f64;
+            prop_assert!((s.mean_size - mean).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(s.mean_size, 0.0);
+        }
+    }
+
+    #[test]
+    fn island_sampler_matches_per_instant_stats(
+        (positions_a, r, side) in arb_layout(),
+        (positions_b, _r2, _s2) in arb_layout(),
+    ) {
+        // Clamp the second layout onto the first grid so both instants
+        // live on the same domain.
+        let positions_b: Vec<Point> = positions_b
+            .iter()
+            .map(|p| Point::new(p.x % side, p.y % side))
+            .collect();
+        let mut sampler = IslandSampler::new(r, side);
+        let a = sampler.observe(&positions_a);
+        let b = sampler.observe(&positions_b);
+        // Each observation equals the standalone component statistics.
+        prop_assert_eq!(a, IslandStats::from_components(&components(&positions_a, r, side)));
+        prop_assert_eq!(b, IslandStats::from_components(&components(&positions_b, r, side)));
+        // Running aggregates are exactly the max / mean of what was
+        // observed.
+        prop_assert_eq!(sampler.samples(), 2);
+        prop_assert_eq!(sampler.max_island_ever(), a.max_size.max(b.max_size));
+        let mean = (a.max_size + b.max_size) as f64 / 2.0;
+        prop_assert!((sampler.mean_max_island() - mean).abs() < 1e-12);
+    }
+}

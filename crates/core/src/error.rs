@@ -33,6 +33,15 @@ pub enum SimError {
         /// The agent count handed to the driver.
         k: usize,
     },
+    /// A scenario declared a setting its process kind does not
+    /// implement (e.g. gossip with a mobility rule): running it would
+    /// silently ignore the setting, so the spec is rejected instead.
+    UnsupportedSetting {
+        /// The process kind's spec-file name.
+        kind: &'static str,
+        /// The unsupported setting, in spec-file syntax.
+        setting: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +58,9 @@ impl fmt::Display for SimError {
             Self::ZeroStepCap => write!(f, "step cap must be positive"),
             Self::AgentCountMismatch { process, k } => {
                 write!(f, "process sized for {process} agents driven with {k}")
+            }
+            Self::UnsupportedSetting { kind, setting } => {
+                write!(f, "process {kind:?} does not support {setting}")
             }
         }
     }
@@ -90,6 +102,12 @@ mod tests {
         assert!(e.to_string().contains("at least 2"));
         assert!(e.source().is_none());
         assert!(SimError::ZeroStepCap.to_string().contains("positive"));
+        let e = SimError::UnsupportedSetting {
+            kind: "gossip",
+            setting: "exchange = \"one-hop\"",
+        };
+        assert!(e.to_string().contains("gossip"));
+        assert!(e.to_string().contains("one-hop"));
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //!   (Dimitriou et al.) with per-agent infection times;
 //! * [`baseline`] — the dense-MANET comparison model of Clementi et
 //!   al. and the (refuted) analytic bound of Wang et al.;
-//! * [`theory`] — closed-form reference curves for every bound.
+//! * [`theory`] — closed-form reference curves for every bound;
+//! * [`ScenarioSpec`] — declarative scenario specifications (process
+//!   kind + grid + agents + radius + metric as *data*, with TOML
+//!   round-tripping via [`toml`]) that instantiate any of the above
+//!   into the driver — the unit the `sparsegossip_analysis`
+//!   `ScenarioSweep` engine fans out over {side, k, r} axes.
 //!
 //! The pre-redesign per-process structs ([`BroadcastSim`],
 //! [`GossipSim`], [`InfectionSim`], [`FrogSim`], [`PredatorPreySim`])
@@ -60,7 +65,9 @@ mod observer;
 mod predator_prey;
 mod process;
 mod rumor;
+mod scenario;
 pub mod theory;
+pub mod toml;
 
 pub use broadcast::{Broadcast, BroadcastOutcome, BroadcastSim};
 pub use config::{ExchangeRule, Mobility, SimConfig, SimConfigBuilder};
@@ -76,3 +83,4 @@ pub use observer::{
 pub use predator_prey::{ExtinctionOutcome, PredatorPrey, PredatorPreySim};
 pub use process::{ExchangeCtx, Process, SimScratch, Simulation};
 pub use rumor::RumorSets;
+pub use scenario::{Metric, ProcessKind, ScenarioSpec, ScenarioSpecBuilder, SpecError};

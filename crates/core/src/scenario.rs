@@ -1,0 +1,914 @@
+//! Declarative scenario specifications: an experiment as *data*.
+//!
+//! A [`ScenarioSpec`] names one dissemination experiment — which
+//! [`Process`](crate::Process) to run, on what grid, with how many
+//! agents, at what radius, under which mobility/exchange rules, and
+//! what scalar [`Metric`] to report — and can instantiate it into the
+//! generic [`Simulation`] driver for any seed. Specs validate at build
+//! time with **exactly** the rules the `Simulation` constructors
+//! enforce (a buildable spec can always be run), plus one stricter
+//! check: a setting the chosen kind would silently ignore (e.g. gossip
+//! with a mobility rule) is rejected, so a spec always describes the
+//! run that actually happens. Specs round-trip through the
+//! TOML subset of [`crate::toml`], and are the unit the
+//! `sparsegossip_analysis::ScenarioSweep` engine fans out over the
+//! {side, k, r} axes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+//!     .radius(2)
+//!     .metric(Metric::Time)
+//!     .build()?;
+//! let t = spec.run_seed(2011);
+//! assert!(t >= 0.0 && t <= spec.config().max_steps() as f64);
+//!
+//! // Specs are data: they serialize to the TOML subset and back.
+//! let round_tripped = ScenarioSpec::from_toml_str(&spec.to_toml())?;
+//! assert_eq!(spec, round_tripped);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use core::fmt;
+use core::mem;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_grid::Grid;
+
+use crate::toml::{TomlDoc, TomlError};
+use crate::{Coverage, ExchangeRule, Mobility, SimConfig, SimError, SimScratch, Simulation};
+
+/// Which dissemination [`Process`](crate::Process) a scenario runs.
+///
+/// The Frog model is not a separate kind: it is
+/// [`Broadcast`](ProcessKind::Broadcast) with
+/// [`Mobility::InformedOnly`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProcessKind {
+    /// Single-rumor broadcast (Theorems 1 and 2).
+    #[default]
+    Broadcast,
+    /// All-to-all gossip with one distinct rumor per agent
+    /// (Corollary 2). Implements neither mobility rules nor one-hop
+    /// exchange; declaring them is a build error.
+    Gossip,
+    /// Contact infection with per-agent infection times. The process is
+    /// contact-only by definition ([`Simulation::infection`] always
+    /// runs at `r = 0`), so a nonzero radius — like one-hop exchange —
+    /// is a build error rather than a silently ignored setting.
+    Infection,
+    /// Joint broadcast + informed-agent coverage (§4).
+    Coverage,
+}
+
+impl ProcessKind {
+    /// The spec-file name of this kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Broadcast => "broadcast",
+            Self::Gossip => "gossip",
+            Self::Infection => "infection",
+            Self::Coverage => "coverage",
+        }
+    }
+
+    /// All kinds, in spec-file order.
+    pub const ALL: [Self; 4] = [
+        Self::Broadcast,
+        Self::Gossip,
+        Self::Infection,
+        Self::Coverage,
+    ];
+}
+
+impl fmt::Display for ProcessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The scalar a scenario run reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// The process's completion time in steps ( `T_B`, `T_G`, `T_I` or
+    /// `T_C` depending on the kind), or the step cap if the run did not
+    /// finish — the paper's phase-transition observable.
+    #[default]
+    Time,
+    /// The fraction of the process's goal reached when the run ended,
+    /// in `[0, 1]`: informed agents (broadcast), minimum rumor fraction
+    /// (gossip), infected agents (infection) or covered nodes
+    /// (coverage).
+    Fraction,
+}
+
+impl Metric {
+    /// The spec-file name of this metric.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Time => "time",
+            Self::Fraction => "fraction",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Errors from reading a scenario or sweep spec file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The file is not valid spec TOML.
+    Toml(TomlError),
+    /// The spec parsed but describes an invalid simulation.
+    Sim(SimError),
+    /// A key is not part of the section's schema (typo guard).
+    UnknownKey {
+        /// The section name.
+        section: String,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// An enum-valued key holds an unrecognized name.
+    UnknownName {
+        /// The offending key.
+        key: String,
+        /// The unrecognized value.
+        value: String,
+        /// The accepted names.
+        allowed: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Toml(e) => write!(f, "{e}"),
+            Self::Sim(e) => write!(f, "{e}"),
+            Self::UnknownKey { section, key } => {
+                write!(f, "spec section [{section}] has unknown key {key:?}")
+            }
+            Self::UnknownName {
+                key,
+                value,
+                allowed,
+            } => write!(
+                f,
+                "spec key {key:?} has unknown value {value:?} (one of: {allowed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Toml(e) => Some(e),
+            Self::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TomlError> for SpecError {
+    fn from(e: TomlError) -> Self {
+        Self::Toml(e)
+    }
+}
+
+impl From<SimError> for SpecError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// A validated, runnable scenario: process kind + simulation
+/// configuration + reported metric.
+///
+/// Built with [`ScenarioSpec::builder`] or parsed with
+/// [`ScenarioSpec::from_toml_str`]; validation happens once at build
+/// time (mirroring the [`Simulation`] constructors exactly), so every
+/// spec value can instantiate and run a simulation for any seed.
+///
+/// # Examples
+///
+/// A gossip scenario, run for two seeds with one recycled scratch:
+///
+/// ```
+/// use sparsegossip_core::{ProcessKind, ScenarioSpec, SimScratch};
+///
+/// let spec = ScenarioSpec::builder(ProcessKind::Gossip, 24, 8).radius(1).build()?;
+/// let mut scratch = SimScratch::new();
+/// let a = spec.run_seed_with_scratch(&mut scratch, 1);
+/// let b = spec.run_seed_with_scratch(&mut scratch, 2);
+/// // Scratch reuse never changes outcomes.
+/// assert_eq!(a, spec.run_seed(1));
+/// assert_eq!(b, spec.run_seed(2));
+/// # Ok::<(), sparsegossip_core::SimError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    kind: ProcessKind,
+    config: SimConfig,
+    metric: Metric,
+    /// Whether the step cap was given explicitly (kept so
+    /// [`with_axes`](Self::with_axes) re-derives the default cap for
+    /// resized cells instead of freezing the base spec's).
+    explicit_max_steps: bool,
+}
+
+impl ScenarioSpec {
+    /// Starts building a scenario of `kind` with `k` agents on a
+    /// `side × side` grid.
+    #[must_use]
+    pub fn builder(kind: ProcessKind, side: u32, k: usize) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            kind,
+            side,
+            k,
+            radius: 0,
+            source: 0,
+            max_steps: None,
+            mobility: Mobility::All,
+            exchange_rule: ExchangeRule::Component,
+            metric: Metric::Time,
+        }
+    }
+
+    /// The process kind.
+    #[inline]
+    #[must_use]
+    pub fn kind(&self) -> ProcessKind {
+        self.kind
+    }
+
+    /// The reported metric.
+    #[inline]
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The validated simulation configuration.
+    #[inline]
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Re-derives this spec at different axis values (grid side, agent
+    /// count, radius), re-validating: the sweep engine's way of turning
+    /// one base spec into a grid of cells. A spec built without an
+    /// explicit step cap gets the cell's own default cap; an explicit
+    /// cap is kept verbatim.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioSpecBuilder::build`] (e.g. the base source index
+    /// can be out of range for a smaller `k`).
+    pub fn with_axes(&self, side: u32, k: usize, radius: u32) -> Result<Self, SimError> {
+        let mut b = Self::builder(self.kind, side, k)
+            .radius(radius)
+            .source(self.config.source())
+            .mobility(self.config.mobility())
+            .exchange_rule(self.config.exchange_rule())
+            .metric(self.metric);
+        if self.explicit_max_steps {
+            b = b.max_steps(self.config.max_steps());
+        }
+        b.build()
+    }
+
+    /// Runs the scenario once with a fresh RNG seeded from `seed` and
+    /// returns the configured metric. Deterministic: the result is a
+    /// pure function of the spec and the seed.
+    #[must_use]
+    pub fn run_seed(&self, seed: u64) -> f64 {
+        let mut scratch = SimScratch::new();
+        self.run_seed_with_scratch(&mut scratch, seed)
+    }
+
+    /// As [`run_seed`](Self::run_seed), recycling the caller's
+    /// [`SimScratch`] across runs (one scratch per worker thread in
+    /// sweeps). Scratch contents never influence the result.
+    #[must_use]
+    pub fn run_seed_with_scratch(&self, scratch: &mut SimScratch, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = &self.config;
+        // The spec was validated with the same rules the constructors
+        // apply, so construction cannot fail here.
+        match self.kind {
+            ProcessKind::Broadcast => {
+                let mut sim = Simulation::broadcast_with_scratch(cfg, &mut rng, mem::take(scratch))
+                    .expect("validated spec");
+                let out = sim.run(&mut rng);
+                *scratch = sim.into_scratch();
+                match self.metric {
+                    Metric::Time => out.broadcast_time.unwrap_or(cfg.max_steps()) as f64,
+                    Metric::Fraction => out.informed_fraction(),
+                }
+            }
+            ProcessKind::Gossip => {
+                let mut sim = Simulation::gossip_with_scratch(cfg, &mut rng, mem::take(scratch))
+                    .expect("validated spec");
+                let out = sim.run(&mut rng);
+                *scratch = sim.into_scratch();
+                match self.metric {
+                    Metric::Time => out.gossip_time.unwrap_or(cfg.max_steps()) as f64,
+                    Metric::Fraction => out.min_rumors as f64 / out.num_rumors as f64,
+                }
+            }
+            ProcessKind::Infection => {
+                let mut sim = Simulation::infection_with_scratch(cfg, &mut rng, mem::take(scratch))
+                    .expect("validated spec");
+                let out = sim.run(&mut rng);
+                *scratch = sim.into_scratch();
+                match self.metric {
+                    Metric::Time => out.infection_time.unwrap_or(cfg.max_steps()) as f64,
+                    Metric::Fraction => {
+                        let infected = out.per_agent.iter().filter(|t| t.is_some()).count();
+                        infected as f64 / out.per_agent.len() as f64
+                    }
+                }
+            }
+            ProcessKind::Coverage => {
+                let grid = Grid::new(cfg.side()).expect("validated spec");
+                let process = Coverage::from_config(grid, cfg).expect("validated spec");
+                let mut sim = Simulation::new_with_scratch(
+                    grid,
+                    cfg.k(),
+                    cfg.radius(),
+                    cfg.max_steps(),
+                    process,
+                    &mut rng,
+                    mem::take(scratch),
+                )
+                .expect("validated spec");
+                let out = sim.run(&mut rng);
+                *scratch = sim.into_scratch();
+                match self.metric {
+                    Metric::Time => out.coverage_time.unwrap_or(cfg.max_steps()) as f64,
+                    Metric::Fraction => out.covered as f64 / out.num_nodes as f64,
+                }
+            }
+        }
+    }
+
+    /// Renders the spec as a `[scenario]` section in the TOML subset of
+    /// [`crate::toml`]. [`from_toml_str`](Self::from_toml_str) parses
+    /// it back to an equal spec.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[scenario]\n");
+        out.push_str(&format!("process = \"{}\"\n", self.kind));
+        out.push_str(&format!("side = {}\n", self.config.side()));
+        out.push_str(&format!("k = {}\n", self.config.k()));
+        out.push_str(&format!("radius = {}\n", self.config.radius()));
+        out.push_str(&format!("source = {}\n", self.config.source()));
+        let mobility = match self.config.mobility() {
+            Mobility::All => "all",
+            Mobility::InformedOnly => "informed-only",
+        };
+        out.push_str(&format!("mobility = \"{mobility}\"\n"));
+        let exchange = match self.config.exchange_rule() {
+            ExchangeRule::Component => "component",
+            ExchangeRule::OneHop => "one-hop",
+        };
+        out.push_str(&format!("exchange = \"{exchange}\"\n"));
+        if self.explicit_max_steps {
+            out.push_str(&format!("max_steps = {}\n", self.config.max_steps()));
+        }
+        out.push_str(&format!("metric = \"{}\"\n", self.metric));
+        out
+    }
+
+    /// Parses a spec from text holding a `[scenario]` section.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Toml`] on malformed text or a missing section,
+    /// [`SpecError::UnknownKey`]/[`SpecError::UnknownName`] on schema
+    /// violations, and [`SpecError::Sim`] when the described simulation
+    /// is invalid (same rules as [`ScenarioSpecBuilder::build`]).
+    pub fn from_toml_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_toml_doc(&TomlDoc::parse(text)?)
+    }
+
+    /// As [`from_toml_str`](Self::from_toml_str), reading the
+    /// `[scenario]` section of an already-parsed document (so sweep
+    /// files can carry both `[scenario]` and `[sweep]`).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_toml_str`](Self::from_toml_str).
+    pub fn from_toml_doc(doc: &TomlDoc) -> Result<Self, SpecError> {
+        let table = doc.section("scenario")?;
+        const KNOWN: [&str; 9] = [
+            "process",
+            "side",
+            "k",
+            "radius",
+            "source",
+            "mobility",
+            "exchange",
+            "max_steps",
+            "metric",
+        ];
+        for key in table.keys() {
+            if !KNOWN.contains(&key) {
+                return Err(SpecError::UnknownKey {
+                    section: "scenario".to_string(),
+                    key: key.to_string(),
+                });
+            }
+        }
+        let kind_name = table.need_str("process")?;
+        let kind = ProcessKind::ALL
+            .into_iter()
+            .find(|k| k.as_str() == kind_name)
+            .ok_or_else(|| SpecError::UnknownName {
+                key: "process".to_string(),
+                value: kind_name.to_string(),
+                allowed: "broadcast, gossip, infection, coverage",
+            })?;
+        let mut builder =
+            ScenarioSpec::builder(kind, table.need_u32("side")?, table.need_usize("k")?)
+                .radius(table.opt_u32("radius")?.unwrap_or(0))
+                .source(table.opt_usize("source")?.unwrap_or(0));
+        if let Some(cap) = table.opt_u64("max_steps")? {
+            builder = builder.max_steps(cap);
+        }
+        if let Some(name) = table.opt_str("mobility")? {
+            builder = builder.mobility(match name {
+                "all" => Mobility::All,
+                "informed-only" => Mobility::InformedOnly,
+                other => {
+                    return Err(SpecError::UnknownName {
+                        key: "mobility".to_string(),
+                        value: other.to_string(),
+                        allowed: "all, informed-only",
+                    })
+                }
+            });
+        }
+        if let Some(name) = table.opt_str("exchange")? {
+            builder = builder.exchange_rule(match name {
+                "component" => ExchangeRule::Component,
+                "one-hop" => ExchangeRule::OneHop,
+                other => {
+                    return Err(SpecError::UnknownName {
+                        key: "exchange".to_string(),
+                        value: other.to_string(),
+                        allowed: "component, one-hop",
+                    })
+                }
+            });
+        }
+        if let Some(name) = table.opt_str("metric")? {
+            builder = builder.metric(match name {
+                "time" => Metric::Time,
+                "fraction" => Metric::Fraction,
+                other => {
+                    return Err(SpecError::UnknownName {
+                        key: "metric".to_string(),
+                        value: other.to_string(),
+                        allowed: "time, fraction",
+                    })
+                }
+            });
+        }
+        Ok(builder.build()?)
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} side={} k={} r={} metric={}",
+            self.kind,
+            self.config.side(),
+            self.config.k(),
+            self.config.radius(),
+            self.metric
+        )
+    }
+}
+
+/// Builder for [`ScenarioSpec`]; validation happens at
+/// [`build`](ScenarioSpecBuilder::build).
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpecBuilder {
+    kind: ProcessKind,
+    side: u32,
+    k: usize,
+    radius: u32,
+    source: usize,
+    max_steps: Option<u64>,
+    mobility: Mobility,
+    exchange_rule: ExchangeRule,
+    metric: Metric,
+}
+
+impl ScenarioSpecBuilder {
+    /// Sets the transmission radius `r` (default 0).
+    #[must_use]
+    pub fn radius(mut self, r: u32) -> Self {
+        self.radius = r;
+        self
+    }
+
+    /// Sets the initially informed agent (default 0).
+    #[must_use]
+    pub fn source(mut self, source: usize) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Sets an explicit step cap (default
+    /// [`SimConfig::default_step_cap`], re-derived per cell by
+    /// [`ScenarioSpec::with_axes`]).
+    #[must_use]
+    pub fn max_steps(mut self, cap: u64) -> Self {
+        self.max_steps = Some(cap);
+        self
+    }
+
+    /// Sets the mobility rule (default [`Mobility::All`]; with
+    /// [`ProcessKind::Broadcast`], [`Mobility::InformedOnly`] is the
+    /// Frog model).
+    #[must_use]
+    pub fn mobility(mut self, mobility: Mobility) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Sets the exchange rule (default [`ExchangeRule::Component`];
+    /// honored by broadcast-family processes).
+    #[must_use]
+    pub fn exchange_rule(mut self, rule: ExchangeRule) -> Self {
+        self.exchange_rule = rule;
+        self
+    }
+
+    /// Sets the reported metric (default [`Metric::Time`]).
+    #[must_use]
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// The core rules are exactly [`SimConfigBuilder::build`]'s — i.e.
+    /// exactly what the [`Simulation`] constructors reject — so a spec
+    /// that builds can always instantiate its simulation (pinned by the
+    /// `scenario_proptests` suite). On top of those, a declared setting
+    /// the chosen kind would silently ignore is rejected: gossip
+    /// implements neither mobility rules nor one-hop exchange, and
+    /// infection (contact-only by definition) implements neither
+    /// one-hop exchange nor a nonzero radius — a spec must describe
+    /// the run that actually happens.
+    ///
+    /// [`SimConfigBuilder::build`]: crate::SimConfigBuilder::build
+    ///
+    /// # Errors
+    ///
+    /// As [`SimConfigBuilder::build`] ([`SimError::Grid`],
+    /// [`SimError::TooFewAgents`], [`SimError::SourceOutOfRange`],
+    /// [`SimError::ZeroStepCap`]), plus
+    /// [`SimError::UnsupportedSetting`] for kind/setting combinations
+    /// the processes do not implement.
+    pub fn build(self) -> Result<ScenarioSpec, SimError> {
+        // Constructor-equivalent validation first, so the error for an
+        // invalid configuration is identical to the Simulation path;
+        // the stricter kind/setting checks apply only to otherwise
+        // valid specs.
+        let mut cb = SimConfig::builder(self.side, self.k)
+            .radius(self.radius)
+            .source(self.source)
+            .mobility(self.mobility)
+            .exchange_rule(self.exchange_rule);
+        if let Some(cap) = self.max_steps {
+            cb = cb.max_steps(cap);
+        }
+        let config = cb.build()?;
+        let unsupported = |setting| SimError::UnsupportedSetting {
+            kind: self.kind.as_str(),
+            setting,
+        };
+        match self.kind {
+            ProcessKind::Gossip => {
+                if self.mobility != Mobility::All {
+                    return Err(unsupported("mobility = \"informed-only\""));
+                }
+                if self.exchange_rule != ExchangeRule::Component {
+                    return Err(unsupported("exchange = \"one-hop\""));
+                }
+            }
+            ProcessKind::Infection => {
+                if self.exchange_rule != ExchangeRule::Component {
+                    return Err(unsupported("exchange = \"one-hop\""));
+                }
+                if self.radius != 0 {
+                    return Err(unsupported("radius > 0 (infection is contact-only)"));
+                }
+            }
+            ProcessKind::Broadcast | ProcessKind::Coverage => {}
+        }
+        Ok(ScenarioSpec {
+            kind: self.kind,
+            config,
+            metric: self.metric,
+            explicit_max_steps: self.max_steps.is_some(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_defaults_and_validates() {
+        let spec = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 8)
+            .build()
+            .unwrap();
+        assert_eq!(spec.kind(), ProcessKind::Broadcast);
+        assert_eq!(spec.metric(), Metric::Time);
+        assert_eq!(spec.config().radius(), 0);
+        assert_eq!(
+            spec.config().max_steps(),
+            SimConfig::default_step_cap(32, 8)
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Gossip, 8, 1)
+                .build()
+                .unwrap_err(),
+            SimError::TooFewAgents { k: 1 }
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Coverage, 8, 4)
+                .source(4)
+                .build()
+                .unwrap_err(),
+            SimError::SourceOutOfRange { source: 4, k: 4 }
+        );
+    }
+
+    #[test]
+    fn settings_a_kind_cannot_honor_are_rejected() {
+        // Gossip implements neither mobility rules nor one-hop
+        // exchange; infection implements no one-hop exchange. The run
+        // would silently ignore the setting, so the build must fail.
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Gossip, 12, 6)
+                .mobility(Mobility::InformedOnly)
+                .build()
+                .unwrap_err(),
+            SimError::UnsupportedSetting {
+                kind: "gossip",
+                setting: "mobility = \"informed-only\"",
+            }
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Gossip, 12, 6)
+                .exchange_rule(ExchangeRule::OneHop)
+                .build()
+                .unwrap_err(),
+            SimError::UnsupportedSetting {
+                kind: "gossip",
+                setting: "exchange = \"one-hop\"",
+            }
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Infection, 12, 6)
+                .exchange_rule(ExchangeRule::OneHop)
+                .build()
+                .unwrap_err(),
+            SimError::UnsupportedSetting {
+                kind: "infection",
+                setting: "exchange = \"one-hop\"",
+            }
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Infection, 12, 6)
+                .radius(1)
+                .build()
+                .unwrap_err(),
+            SimError::UnsupportedSetting {
+                kind: "infection",
+                setting: "radius > 0 (infection is contact-only)",
+            }
+        );
+        // Constructor-equivalent errors take precedence over the
+        // stricter kind checks.
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::Infection, 0, 6)
+                .radius(1)
+                .build()
+                .unwrap_err(),
+            SimError::Grid(sparsegossip_grid::GridError::ZeroSide)
+        );
+        // Broadcast and coverage honor both settings.
+        for kind in [ProcessKind::Broadcast, ProcessKind::Coverage] {
+            assert!(ScenarioSpec::builder(kind, 12, 6)
+                .mobility(Mobility::InformedOnly)
+                .exchange_rule(ExchangeRule::OneHop)
+                .build()
+                .is_ok());
+        }
+        // Infection still honors the mobility rule (it delegates to
+        // the driver's mobility mask).
+        assert!(ScenarioSpec::builder(ProcessKind::Infection, 12, 6)
+            .mobility(Mobility::InformedOnly)
+            .build()
+            .is_ok());
+    }
+
+    /// The largest radius `kind` accepts on test grids (infection is
+    /// contact-only).
+    fn test_radius(kind: ProcessKind) -> u32 {
+        match kind {
+            ProcessKind::Infection => 0,
+            _ => 1,
+        }
+    }
+
+    #[test]
+    fn every_kind_runs_deterministically() {
+        for kind in ProcessKind::ALL {
+            let spec = ScenarioSpec::builder(kind, 12, 6)
+                .radius(test_radius(kind))
+                .build()
+                .unwrap();
+            let a = spec.run_seed(7);
+            let b = spec.run_seed(7);
+            assert_eq!(a, b, "{kind}: same seed must reproduce");
+            assert!(a >= 0.0, "{kind}: metric must be non-negative");
+        }
+    }
+
+    #[test]
+    fn fraction_metric_is_in_unit_interval() {
+        for kind in ProcessKind::ALL {
+            let spec = ScenarioSpec::builder(kind, 12, 6)
+                .radius(test_radius(kind))
+                .max_steps(3)
+                .metric(Metric::Fraction)
+                .build()
+                .unwrap();
+            let f = spec.run_seed(3);
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "{kind}: fraction {f} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn time_metric_is_capped_by_max_steps() {
+        // Two agents, huge grid, 5-step cap: cannot finish, so Time
+        // reports the cap.
+        let spec = ScenarioSpec::builder(ProcessKind::Broadcast, 256, 2)
+            .max_steps(5)
+            .build()
+            .unwrap();
+        assert_eq!(spec.run_seed(1), 5.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs_across_kinds() {
+        let mut scratch = SimScratch::new();
+        for kind in ProcessKind::ALL {
+            let spec = ScenarioSpec::builder(kind, 14, 7)
+                .radius(test_radius(kind))
+                .build()
+                .unwrap();
+            for seed in [1u64, 2, 3] {
+                assert_eq!(
+                    spec.run_seed_with_scratch(&mut scratch, seed),
+                    spec.run_seed(seed),
+                    "{kind} seed {seed}: recycled scratch changed the outcome"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_axes_rederives_default_cap_but_keeps_explicit() {
+        let auto = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 8)
+            .build()
+            .unwrap();
+        let resized = auto.with_axes(64, 16, 3).unwrap();
+        assert_eq!(
+            resized.config().max_steps(),
+            SimConfig::default_step_cap(64, 16)
+        );
+        assert_eq!(resized.config().radius(), 3);
+        let pinned = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 8)
+            .max_steps(777)
+            .build()
+            .unwrap();
+        assert_eq!(
+            pinned.with_axes(64, 16, 3).unwrap().config().max_steps(),
+            777
+        );
+        // Axis values re-validate: k below the base source fails.
+        let sourced = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 8)
+            .source(5)
+            .build()
+            .unwrap();
+        assert_eq!(
+            sourced.with_axes(32, 4, 0).unwrap_err(),
+            SimError::SourceOutOfRange { source: 5, k: 4 }
+        );
+    }
+
+    #[test]
+    fn toml_round_trip_is_identity() {
+        let specs = [
+            ScenarioSpec::builder(ProcessKind::Broadcast, 48, 24)
+                .radius(3)
+                .source(2)
+                .mobility(Mobility::InformedOnly)
+                .exchange_rule(ExchangeRule::OneHop)
+                .max_steps(123_456)
+                .metric(Metric::Fraction)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Infection, 20, 5)
+                .build()
+                .unwrap(),
+        ];
+        for spec in specs {
+            let text = spec.to_toml();
+            let parsed = ScenarioSpec::from_toml_str(&text).unwrap();
+            assert_eq!(spec, parsed, "round trip changed the spec:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_schema_violations() {
+        assert!(matches!(
+            ScenarioSpec::from_toml_str("[scenario]\nprocess = \"warp\"\nside = 8\nk = 4\n"),
+            Err(SpecError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str(
+                "[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 4\ntypo = 1\n"
+            ),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str("[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 1\n"),
+            Err(SpecError::Sim(SimError::TooFewAgents { k: 1 }))
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str("[other]\nx = 1\n"),
+            Err(SpecError::Toml(TomlError::MissingSection(_)))
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str(
+                "[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 4\nmetric = \"pace\"\n"
+            ),
+            Err(SpecError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str(
+                "[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 4\nmobility = \"jets\"\n"
+            ),
+            Err(SpecError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str(
+                "[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 4\nexchange = \"warp\"\n"
+            ),
+            Err(SpecError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_error_display_and_source() {
+        use std::error::Error;
+        let e = SpecError::from(SimError::ZeroStepCap);
+        assert!(e.to_string().contains("positive"));
+        assert!(e.source().is_some());
+        let e = SpecError::UnknownKey {
+            section: "scenario".into(),
+            key: "oops".into(),
+        };
+        assert!(e.to_string().contains("oops"));
+        assert!(e.source().is_none());
+    }
+}

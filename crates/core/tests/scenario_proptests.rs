@@ -1,0 +1,144 @@
+//! Property tests pinning the scenario layer's central contract: a
+//! [`ScenarioSpec`] validates with **exactly** the rules the
+//! [`Simulation`] constructors enforce — no spec can build an invalid
+//! simulation, and no input the constructors accept is rejected by the
+//! spec builder.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec, SimConfig, SimError, Simulation};
+
+fn arb_kind() -> impl Strategy<Value = ProcessKind> {
+    (0usize..ProcessKind::ALL.len()).prop_map(|i| ProcessKind::ALL[i])
+}
+
+/// An optional explicit step cap; 0 encodes "builder default" and the
+/// rest shift down so the invalid cap 0 stays reachable.
+fn arb_cap() -> impl Strategy<Value = Option<u64>> {
+    (0u64..42).prop_map(|x| if x == 0 { None } else { Some(x - 1) })
+}
+
+/// Raw, possibly-invalid scenario parameters: sides and agent counts
+/// straddle the invalid boundary (0, 1) and sources often exceed `k`.
+fn arb_params() -> impl Strategy<Value = (u32, usize, u32, usize)> {
+    (0u32..24, 0usize..10, 0u32..60, 0usize..12)
+}
+
+proptest! {
+    #[test]
+    fn spec_validation_equals_simulation_validation(
+        kind in arb_kind(),
+        (side, k, radius, source) in arb_params(),
+        cap in arb_cap(),
+    ) {
+        let mut spec_builder = ScenarioSpec::builder(kind, side, k)
+            .radius(radius)
+            .source(source);
+        let mut config_builder = SimConfig::builder(side, k).radius(radius).source(source);
+        if let Some(cap) = cap {
+            spec_builder = spec_builder.max_steps(cap);
+            config_builder = config_builder.max_steps(cap);
+        }
+        let spec = spec_builder.build();
+        let config = config_builder.build();
+        match (&spec, &config) {
+            // Spec and config reject the same inputs with the same
+            // error.
+            (Err(se), Err(ce)) => prop_assert_eq!(se, ce),
+            // The one documented stricter rule reachable from this
+            // test's parameter space: infection is contact-only, so
+            // the driver would silently force a declared r > 0 to 0 —
+            // the spec rejects it instead.
+            (Err(SimError::UnsupportedSetting { kind: k_name, .. }), Ok(_)) => {
+                prop_assert_eq!(*k_name, "infection");
+                prop_assert_eq!(kind, ProcessKind::Infection);
+                prop_assert!(radius > 0);
+            }
+            (Ok(spec), Ok(config)) => {
+                prop_assert_eq!(spec.config(), config);
+                // A buildable spec always instantiates its simulation:
+                // every constructor the spec can route to accepts it.
+                let mut rng = SmallRng::seed_from_u64(1);
+                let constructed = match kind {
+                    ProcessKind::Broadcast => {
+                        Simulation::broadcast(config, &mut rng).map(|_| ())
+                    }
+                    ProcessKind::Gossip => Simulation::gossip(config, &mut rng).map(|_| ()),
+                    ProcessKind::Infection => {
+                        Simulation::infection(config, &mut rng).map(|_| ())
+                    }
+                    ProcessKind::Coverage => Simulation::coverage(config, &mut rng).map(|_| ()),
+                };
+                prop_assert!(
+                    constructed.is_ok(),
+                    "{kind}: buildable spec rejected by the constructor: {:?}",
+                    constructed.unwrap_err()
+                );
+            }
+            (Ok(_), Err(e)) => panic!("spec accepted input the simulation rejects: {e}"),
+            (Err(e), Ok(_)) => panic!("spec rejected input the simulation accepts: {e}"),
+        }
+    }
+
+    #[test]
+    fn with_axes_revalidates_like_a_fresh_build(
+        kind in arb_kind(),
+        (side, k, radius, source) in arb_params(),
+        cap in arb_cap(),
+        (side2, k2, radius2) in (1u32..24, 1usize..10, 0u32..60),
+    ) {
+        let mut builder = ScenarioSpec::builder(kind, side, k).radius(radius).source(source);
+        if let Some(cap) = cap {
+            builder = builder.max_steps(cap);
+        }
+        // Only buildable specs can be re-derived.
+        if let Ok(spec) = builder.build() {
+            let mut fresh =
+                ScenarioSpec::builder(kind, side2, k2).radius(radius2).source(source);
+            if let Some(cap) = cap {
+                fresh = fresh.max_steps(cap);
+            }
+            match (spec.with_axes(side2, k2, radius2), fresh.build()) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "with_axes differs from a fresh build"),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("with_axes {a:?} disagrees with fresh build {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_preserves_arbitrary_valid_specs(
+        kind in arb_kind(),
+        side in 1u32..24,
+        k in 2usize..10,
+        radius in 0u32..60,
+        cap in arb_cap(),
+        fraction_metric in any::<bool>(),
+        frog in any::<bool>(),
+        one_hop in any::<bool>(),
+    ) {
+        // Infection is contact-only: nonzero radii are build errors.
+        let radius = if kind == ProcessKind::Infection { 0 } else { radius };
+        let mut builder = ScenarioSpec::builder(kind, side, k)
+            .radius(radius)
+            .source(k - 1)
+            .metric(if fraction_metric { Metric::Fraction } else { Metric::Time });
+        // Only declare settings the kind implements: gossip supports
+        // neither, infection has no one-hop exchange.
+        if frog && kind != ProcessKind::Gossip {
+            builder = builder.mobility(sparsegossip_core::Mobility::InformedOnly);
+        }
+        if one_hop && matches!(kind, ProcessKind::Broadcast | ProcessKind::Coverage) {
+            builder = builder.exchange_rule(sparsegossip_core::ExchangeRule::OneHop);
+        }
+        // Shift the cap away from the invalid 0: this test only wants
+        // valid specs.
+        if let Some(cap) = cap {
+            builder = builder.max_steps(cap + 1);
+        }
+        let spec = builder.build().expect("parameters are valid by construction");
+        let parsed = ScenarioSpec::from_toml_str(&spec.to_toml()).expect("own output parses");
+        prop_assert_eq!(spec, parsed);
+    }
+}

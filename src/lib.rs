@@ -20,8 +20,8 @@
 //! | [`grid`] | grid geometry, topologies, tessellation |
 //! | [`walks`] | lazy-walk engine and walk statistics |
 //! | [`conngraph`] | visibility graph, islands, percolation |
-//! | [`core`] | broadcast/gossip/frog/predator-prey processes |
-//! | [`analysis`] | statistics, regression, sweeps |
+//! | [`core`] | broadcast/gossip/frog/predator-prey processes, scenario specs |
+//! | [`analysis`] | statistics, regression, sweeps, the scenario sweep engine |
 //!
 //! # Quick start
 //!
@@ -56,6 +56,21 @@
 //! assert_eq!(report.summary.n(), 8);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Whole experiments are declarable as data and swept across the
+//! phase transition with the scenario layer:
+//!
+//! ```
+//! use sparsegossip::prelude::*;
+//!
+//! let base = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 8).build()?;
+//! let report = ScenarioSweep::new(base, 2011)
+//!     .r_factors(vec![0.5, 1.0, 2.0]) // radii as fractions of r_c
+//!     .replicates(2)
+//!     .run()?;
+//! assert_eq!(report.cells.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use sparsegossip_analysis as analysis;
 pub use sparsegossip_conngraph as conngraph;
@@ -65,12 +80,16 @@ pub use sparsegossip_walks as walks;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use sparsegossip_analysis::{power_law_fit, Runner, Summary, Sweep, Table};
+    pub use sparsegossip_analysis::{
+        power_law_fit, Runner, ScenarioSweep, ScenarioSweepReport, Summary, Sweep, Table,
+        TransitionEstimate,
+    };
     pub use sparsegossip_conngraph::{components, critical_radius, giant_fraction};
     pub use sparsegossip_core::{
         broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, Coverage, ExchangeRule,
-        FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim, Mobility, Observer,
-        PredatorPrey, PredatorPreySim, Process, SimConfig, SimError, SimScratch, Simulation,
+        FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim, Metric, Mobility,
+        Observer, PredatorPrey, PredatorPreySim, Process, ProcessKind, ScenarioSpec, SimConfig,
+        SimError, SimScratch, Simulation,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
     pub use sparsegossip_walks::{hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine};

@@ -6,8 +6,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use sparsegossip_conngraph::{components, components_brute, components_into, ComponentsScratch};
+use sparsegossip_conngraph::{
+    components, components_brute, components_from_seeds_into, components_from_seeds_on,
+    components_into, ComponentsScratch, SeededScratch, SpatialHash,
+};
 use sparsegossip_grid::Point;
+use sparsegossip_walks::BitSet;
 use std::hint::black_box;
 
 fn positions(k: usize, side: u32, seed: u64) -> Vec<Point> {
@@ -68,6 +72,96 @@ fn bench_scratch_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// The frontier-sparse connectivity engine, strategy by strategy: a
+/// fresh full build, the scratch-reuse full build, seed-restricted
+/// labelling (a small informed set, as in most of a sparse broadcast's
+/// lifetime), and seeded labelling over an incrementally maintained
+/// hash (`apply_moves` with a lazy-walk-sized move log — the per-step
+/// work of the `Simulation` frontier path).
+fn bench_components_seeded(c: &mut Criterion) {
+    let side = 512;
+    let mut group = c.benchmark_group("components_seeded");
+    for &k in &[256usize, 2048, 16384] {
+        let pts = positions(k, side, 7);
+        let r = (((side as f64).powi(2) / k as f64).sqrt() / 2.0) as u32;
+        // A 1/64 informed fraction (≥ 1), the sparse-informed regime.
+        let mut seeds = BitSet::new(k);
+        for s in 0..(k / 64).max(1) {
+            seeds.insert(s * 64 % k);
+        }
+        group.bench_with_input(BenchmarkId::new("fresh", k), &k, |b, _| {
+            b.iter(|| black_box(components(&pts, r, side)));
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", k), &k, |b, _| {
+            let mut scratch = ComponentsScratch::new();
+            b.iter(|| {
+                black_box(components_into(&mut scratch, &pts, r, side));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seeded", k), &k, |b, _| {
+            let mut scratch = ComponentsScratch::new();
+            b.iter(|| {
+                black_box(components_from_seeds_into(
+                    &mut scratch,
+                    &pts,
+                    &seeds,
+                    r,
+                    side,
+                ));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_hash", k), &k, |b, _| {
+            // One lazy step's worth of moves (~4/5 of the agents move
+            // one cell), applied forward then backward so the hash
+            // returns to `pts` every iteration.
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut fwd = Vec::new();
+            for (i, &p) in pts.iter().enumerate() {
+                let to = match rng.random_range(0u32..5) {
+                    0 if p.y + 1 < side => Point::new(p.x, p.y + 1),
+                    1 if p.x + 1 < side => Point::new(p.x + 1, p.y),
+                    2 if p.y > 0 => Point::new(p.x, p.y - 1),
+                    3 if p.x > 0 => Point::new(p.x - 1, p.y),
+                    _ => p,
+                };
+                if to != p {
+                    fwd.push((i as u32, p, to));
+                }
+            }
+            let rev: Vec<(u32, Point, Point)> =
+                fwd.iter().map(|&(i, from, to)| (i, to, from)).collect();
+            let moved: Vec<Point> = {
+                let mut v = pts.clone();
+                for &(i, _, to) in &fwd {
+                    v[i as usize] = to;
+                }
+                v
+            };
+            let mut hash = SpatialHash::build(&pts, r, side);
+            let mut scratch = SeededScratch::new();
+            b.iter(|| {
+                hash.apply_moves(&fwd);
+                black_box(components_from_seeds_on(
+                    &hash,
+                    &mut scratch,
+                    &moved,
+                    &seeds,
+                    r,
+                ));
+                hash.apply_moves(&rev);
+                black_box(components_from_seeds_on(
+                    &hash,
+                    &mut scratch,
+                    &pts,
+                    &seeds,
+                    r,
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_radius_sweep(c: &mut Criterion) {
     let side = 512;
     let k = 4096usize;
@@ -84,6 +178,6 @@ fn bench_radius_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_components, bench_scratch_reuse, bench_radius_sweep
+    targets = bench_components, bench_scratch_reuse, bench_components_seeded, bench_radius_sweep
 }
 criterion_main!(benches);

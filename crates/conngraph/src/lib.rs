@@ -28,6 +28,7 @@
 
 mod islands;
 mod percolation;
+mod seeded;
 mod spatial;
 mod stats;
 mod union_find;
@@ -36,6 +37,9 @@ mod visibility;
 pub use islands::{IslandSampler, IslandStats};
 pub use percolation::{
     critical_radius, estimate_threshold, giant_fraction, percolation_profile, PercolationPoint,
+};
+pub use seeded::{
+    components_from_seeds, components_from_seeds_into, components_from_seeds_on, SeededScratch,
 };
 pub use spatial::{SpatialHash, SpatialScratch};
 pub use stats::DegreeStats;

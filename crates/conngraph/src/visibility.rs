@@ -24,14 +24,15 @@ use crate::{SpatialHash, SpatialScratch, UnionFind};
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Components {
-    /// Dense component id per agent.
-    labels: Vec<u32>,
+    /// Dense component id per agent ([`Components::NO_LABEL`] for
+    /// agents a seed-restricted build did not cover).
+    pub(crate) labels: Vec<u32>,
     /// Component sizes, indexed by component id.
-    sizes: Vec<u32>,
+    pub(crate) sizes: Vec<u32>,
     /// Agent indices grouped by component id.
-    members: Vec<u32>,
+    pub(crate) members: Vec<u32>,
     /// Start offset of each component in `members`; length `count + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
 }
 
 impl Default for Components {
@@ -42,6 +43,21 @@ impl Default for Components {
 }
 
 impl Components {
+    /// The label of agents not covered by a seed-restricted build (see
+    /// [`components_from_seeds`](crate::components_from_seeds)): their
+    /// component was not labelled because it contains no seed.
+    pub const NO_LABEL: u32 = u32::MAX;
+
+    /// A shared empty partition over zero agents — the placeholder for
+    /// processes that opt out of component building. Being a `const`
+    /// reference, handing it out costs no heap allocation.
+    pub const EMPTY: &'static Components = &Components {
+        labels: Vec::new(),
+        sizes: Vec::new(),
+        members: Vec::new(),
+        offsets: Vec::new(),
+    };
+
     /// An empty partition over zero agents.
     fn empty() -> Self {
         Self {
@@ -76,6 +92,11 @@ impl Components {
         root_label.clear();
         root_label.resize(k, u32::MAX);
         out.sizes.clear();
+        // There are at most k components; a one-time reservation keeps
+        // later rebuilds allocation-free even when the component count
+        // drifts to new maxima mid-run (frozen Frog-model agents
+        // splitting off walkers do exactly that).
+        out.sizes.reserve(k);
         for (i, label) in out.labels.iter_mut().enumerate() {
             let r = uf.find(i);
             if root_label[r] == u32::MAX {
@@ -88,11 +109,13 @@ impl Components {
         }
         // Counting sort agents by label.
         out.offsets.clear();
+        out.offsets.reserve(k + 1);
         out.offsets.resize(out.sizes.len() + 1, 0);
         for c in 0..out.sizes.len() {
             out.offsets[c + 1] = out.offsets[c] + out.sizes[c];
         }
         cursor.clear();
+        cursor.reserve(k + 1);
         cursor.extend_from_slice(&out.offsets);
         out.members.clear();
         out.members.resize(k, 0);
@@ -116,7 +139,8 @@ impl Components {
         self.labels.len()
     }
 
-    /// The component id of agent `i`.
+    /// The component id of agent `i` — [`Components::NO_LABEL`] if a
+    /// seed-restricted build left the agent uncovered.
     ///
     /// # Panics
     ///
@@ -125,6 +149,19 @@ impl Components {
     #[must_use]
     pub fn label_of(&self, i: usize) -> u32 {
         self.labels[i]
+    }
+
+    /// Whether agent `i` belongs to a labelled component. Always true
+    /// for a full build; false for agents whose component a
+    /// seed-restricted build skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn is_covered(&self, i: usize) -> bool {
+        self.labels[i] != Self::NO_LABEL
     }
 
     /// The size of agent `i`'s component.
@@ -208,11 +245,14 @@ impl Components {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ComponentsScratch {
-    spatial: SpatialScratch,
+    pub(crate) spatial: SpatialScratch,
     uf: UnionFind,
     root_label: Vec<u32>,
     cursor: Vec<u32>,
     comps: Components,
+    /// Buffers for the seed-restricted labelling entry point
+    /// ([`components_from_seeds_into`](crate::components_from_seeds_into)).
+    pub(crate) seeded: crate::SeededScratch,
 }
 
 impl ComponentsScratch {
@@ -317,6 +357,7 @@ pub fn components_into<'a>(
         root_label,
         cursor,
         comps,
+        seeded: _,
     } = scratch;
     let hash = SpatialHash::build_into(spatial, positions, r, side);
     uf.reset_to(positions.len());

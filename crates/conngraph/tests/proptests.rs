@@ -1,12 +1,16 @@
 //! Property-based tests: the spatially-hashed component builder must
 //! agree exactly with the O(k²) brute-force reference on arbitrary
-//! agent layouts and radii.
+//! agent layouts and radii; the seed-restricted builder must agree
+//! with the full builder on every seed-containing component; and a
+//! hash maintained move by move must equal a fresh build.
 
 use proptest::prelude::*;
 use sparsegossip_conngraph::{
-    components, components_brute, components_into, giant_fraction, ComponentsScratch, IslandStats,
+    components, components_brute, components_from_seeds, components_into, giant_fraction,
+    Components, ComponentsScratch, IslandStats, SpatialHash,
 };
 use sparsegossip_grid::Point;
+use sparsegossip_walks::BitSet;
 
 fn arb_layout() -> impl Strategy<Value = (Vec<Point>, u32, u32)> {
     (1u32..40).prop_flat_map(|side| {
@@ -16,6 +20,63 @@ fn arb_layout() -> impl Strategy<Value = (Vec<Point>, u32, u32)> {
             0u32..50,
             Just(side),
         )
+    })
+}
+
+/// A layout plus a random seed mask over the agents and a random walk
+/// trajectory: per step, each agent draws a u8 — values 0–3 are a
+/// clamped unit move N/E/S/W, anything else holds, so an arbitrary
+/// subset of the agents moves each step.
+fn arb_layout_with_seeds_and_walk(
+) -> impl Strategy<Value = (Vec<Point>, u32, u32, Vec<bool>, Vec<Vec<u8>>)> {
+    arb_layout().prop_flat_map(|(positions, r, side)| {
+        let k = positions.len();
+        (
+            Just(positions),
+            Just(r),
+            Just(side),
+            proptest::collection::vec(any::<bool>(), k..k + 1),
+            proptest::collection::vec(proptest::collection::vec(0u8..10, k..k + 1), 0..8),
+        )
+    })
+}
+
+fn seeds_from_mask(mask: &[bool], k: usize) -> BitSet {
+    let mut seeds = BitSet::new(k);
+    for (i, &on) in mask.iter().enumerate().take(k) {
+        if on {
+            seeds.insert(i);
+        }
+    }
+    seeds
+}
+
+/// One clamped unit move: direction 0–3 is N/E/S/W, anything else holds.
+fn step_point(p: Point, dir: u8, side: u32) -> Point {
+    match dir {
+        0 if p.y + 1 < side => Point::new(p.x, p.y + 1),
+        1 if p.x + 1 < side => Point::new(p.x + 1, p.y),
+        2 if p.y > 0 => Point::new(p.x, p.y - 1),
+        3 if p.x > 0 => Point::new(p.x - 1, p.y),
+        _ => p,
+    }
+}
+
+/// Bucket-for-bucket hash equality via the mode-independent iterator:
+/// dimensions plus every bucket's agent sequence (which also pins the
+/// occupied set and the per-bucket increasing order).
+fn hashes_equal(a: &SpatialHash, b: &SpatialHash) -> bool {
+    if a.bucket_side() != b.bucket_side()
+        || a.buckets_per_side() != b.buckets_per_side()
+        || a.num_agents() != b.num_agents()
+    {
+        return false;
+    }
+    (0..a.buckets_per_side()).all(|by| {
+        (0..a.buckets_per_side()).all(|bx| {
+            a.bucket_agents_iter(bx, by)
+                .eq(b.bucket_agents_iter(bx, by))
+        })
     })
 }
 
@@ -82,6 +143,73 @@ proptest! {
             }
         }
         prop_assert!(giant_fraction(&coarse) >= giant_fraction(&fine) - 1e-12);
+    }
+
+    #[test]
+    fn seeded_labelling_matches_full_on_seed_components(
+        (positions, r, side, mask, _walk) in arb_layout_with_seeds_and_walk(),
+    ) {
+        let k = positions.len();
+        let seeds = seeds_from_mask(&mask, k);
+        let full = components(&positions, r, side);
+        let seeded = components_from_seeds(&positions, &seeds, r, side);
+        prop_assert_eq!(seeded.num_agents(), k);
+
+        // Which full components contain a seed?
+        let mut full_has_seed = vec![false; full.count()];
+        for s in seeds.iter_ones() {
+            full_has_seed[full.label_of(s) as usize] = true;
+        }
+        // The seeded view has exactly one component per seed-containing
+        // full component, with an identical member slice, and covers
+        // nothing else.
+        let covered: Vec<usize> = (0..full.count()).filter(|&c| full_has_seed[c]).collect();
+        prop_assert_eq!(seeded.count(), covered.len());
+        for (sc, &fc) in covered.iter().enumerate() {
+            // Both sides label dense ids in first-agent order, so the
+            // c-th seed-containing full component IS the c-th seeded one.
+            prop_assert_eq!(seeded.members(sc), full.members(fc));
+            prop_assert_eq!(seeded.size(sc), full.size(fc));
+            for &m in seeded.members(sc) {
+                prop_assert_eq!(seeded.label_of(m as usize) as usize, sc);
+            }
+        }
+        // Uncovered agents carry the sentinel label.
+        for i in 0..k {
+            let in_seeded = full_has_seed[full.label_of(i) as usize];
+            prop_assert_eq!(seeded.is_covered(i), in_seeded);
+            if !in_seeded {
+                prop_assert_eq!(seeded.label_of(i), Components::NO_LABEL);
+            }
+        }
+    }
+
+    #[test]
+    fn incrementally_maintained_hash_equals_fresh_build(
+        (positions, r, side, _mask, walk) in arb_layout_with_seeds_and_walk(),
+    ) {
+        // Maintain the hash move by move along a random trajectory in
+        // which an arbitrary subset of the agents moves each step; the
+        // result must equal a fresh build at every step — any moved
+        // subset, any r including 0.
+        let mut positions = positions;
+        let mut hash = SpatialHash::build(&positions, r, side);
+        for step in &walk {
+            let mut moves = Vec::new();
+            for (i, &dir) in step.iter().enumerate().take(positions.len()) {
+                let from = positions[i];
+                let to = step_point(from, dir, side);
+                if to != from {
+                    positions[i] = to;
+                    moves.push((i as u32, from, to));
+                }
+            }
+            hash.apply_moves(&moves);
+            prop_assert!(
+                hashes_equal(&hash, &SpatialHash::build(&positions, r, side)),
+                "maintained hash diverged after {} moves", moves.len()
+            );
+        }
     }
 
     #[test]

@@ -233,6 +233,20 @@ impl Process for Broadcast {
         }
     }
 
+    /// Only components containing an informed agent can change the
+    /// informed set (a component without one floods nothing), so the
+    /// driver may label from the informed frontier only. This covers
+    /// the Frog configuration too — [`Mobility::InformedOnly`] is the
+    /// same process with a mask. The one-hop ablation rule never reads
+    /// components at all (its exchange scans positions through its own
+    /// hash), so it lets the driver skip labelling outright.
+    fn components_scope(&self) -> crate::ComponentsScope<'_> {
+        match self.exchange_rule {
+            ExchangeRule::Component => crate::ComponentsScope::Seeded(&self.informed),
+            ExchangeRule::OneHop => crate::ComponentsScope::None,
+        }
+    }
+
     fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
         match self.exchange_rule {
             ExchangeRule::Component => self.exchange_components(ctx.components),

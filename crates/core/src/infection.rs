@@ -114,6 +114,13 @@ impl Process for Infection {
         self.inner.mobility_mask()
     }
 
+    /// Infection is broadcast plus bookkeeping over the informed set,
+    /// so the same frontier scope applies (the per-agent time recorder
+    /// reads only the informed bits, never the components).
+    fn components_scope(&self) -> crate::ComponentsScope<'_> {
+        self.inner.components_scope()
+    }
+
     fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
         let flow = self.inner.exchange(ctx);
         self.record(ctx.time);

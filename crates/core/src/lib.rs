@@ -81,6 +81,6 @@ pub use observer::{
     MinRumorsCurve, NullObserver, Observer, StepContext,
 };
 pub use predator_prey::{ExtinctionOutcome, PredatorPrey, PredatorPreySim};
-pub use process::{ExchangeCtx, Process, SimScratch, Simulation};
+pub use process::{ComponentsScope, ExchangeCtx, Process, SimScratch, Simulation};
 pub use rumor::RumorSets;
 pub use scenario::{Metric, ProcessKind, ScenarioSpec, ScenarioSpecBuilder, SpecError};

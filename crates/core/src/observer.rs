@@ -17,6 +17,13 @@ pub struct StepContext<'a> {
     /// Agent positions after the move.
     pub positions: &'a [Point],
     /// Connected components of the visibility graph at this step.
+    ///
+    /// The full partition, unless the observer declared that it does
+    /// not need one ([`Observer::wants_full_components`] is `false`)
+    /// *and* the process runs under a
+    /// [`Seeded`](crate::ComponentsScope::Seeded) scope — then only the
+    /// seed-containing components are labelled (identically to the full
+    /// build on those components).
     pub components: &'a Components,
     /// Informed-agent set after the exchange (empty for processes
     /// without a single-rumor informed notion, e.g. gossip).
@@ -33,6 +40,22 @@ pub struct StepContext<'a> {
 pub trait Observer {
     /// Called once per completed step, after movement and exchange.
     fn on_step(&mut self, ctx: StepContext<'_>);
+
+    /// Whether this observer reads [`StepContext::components`] and
+    /// needs it to cover the *full* partition.
+    ///
+    /// Defaults to `true`: every observer sees the complete visibility
+    /// partition, exactly as before the frontier-sparse engine existed.
+    /// Observers that never look at the components (notably
+    /// [`NullObserver`], i.e. every plain `run`) return `false`, which
+    /// lets the driver use seed-restricted labelling for processes that
+    /// declare a [`Seeded`](crate::ComponentsScope::Seeded) scope —
+    /// outcome-identical, but with per-step cost proportional to the
+    /// informed frontier instead of `k`.
+    #[inline]
+    fn wants_full_components(&self) -> bool {
+        true
+    }
 }
 
 /// The no-op observer.
@@ -42,12 +65,23 @@ pub struct NullObserver;
 impl Observer for NullObserver {
     #[inline]
     fn on_step(&mut self, _ctx: StepContext<'_>) {}
+
+    /// Reads nothing, so the driver may label from the frontier only.
+    #[inline]
+    fn wants_full_components(&self) -> bool {
+        false
+    }
 }
 
 impl<O: Observer + ?Sized> Observer for &mut O {
     #[inline]
     fn on_step(&mut self, ctx: StepContext<'_>) {
         (**self).on_step(ctx);
+    }
+
+    #[inline]
+    fn wants_full_components(&self) -> bool {
+        (**self).wants_full_components()
     }
 }
 
@@ -56,6 +90,11 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_step(&mut self, ctx: StepContext<'_>) {
         self.0.on_step(ctx);
         self.1.on_step(ctx);
+    }
+
+    #[inline]
+    fn wants_full_components(&self) -> bool {
+        self.0.wants_full_components() || self.1.wants_full_components()
     }
 }
 
@@ -107,6 +146,12 @@ impl InformedCurve {
 impl Observer for InformedCurve {
     fn on_step(&mut self, ctx: StepContext<'_>) {
         self.counts.push(ctx.informed.count_ones() as u32);
+    }
+
+    /// Reads only the informed set, so frontier-sparse labelling stays
+    /// available.
+    fn wants_full_components(&self) -> bool {
+        false
     }
 }
 
@@ -166,6 +211,12 @@ impl Observer for MinRumorsCurve {
             self.counts.push(rumors.min_count() as u32);
         }
     }
+
+    /// Reads only the rumor sets, so frontier-sparse labelling stays
+    /// available.
+    fn wants_full_components(&self) -> bool {
+        false
+    }
 }
 
 /// Tracks the rightmost x-coordinate ever touched by an informed agent —
@@ -204,6 +255,12 @@ impl Observer for FrontierTracker {
             self.rightmost = self.rightmost.max(ctx.positions[i].x);
         }
         self.frontier.push(self.rightmost);
+    }
+
+    /// Reads only the informed set and positions, so frontier-sparse
+    /// labelling stays available.
+    fn wants_full_components(&self) -> bool {
+        false
     }
 }
 
@@ -285,6 +342,12 @@ impl Observer for InfectionTimes {
             }
         }
     }
+
+    /// Reads only the informed set, so frontier-sparse labelling stays
+    /// available.
+    fn wants_full_components(&self) -> bool {
+        false
+    }
 }
 
 /// Records, per tessellation cell, the first step at which an informed
@@ -352,6 +415,12 @@ impl Observer for CellReachTimes {
         if self.unreached == 0 {
             self.all_reached_at = Some(ctx.time);
         }
+    }
+
+    /// Reads only the informed set and positions, so frontier-sparse
+    /// labelling stays available.
+    fn wants_full_components(&self) -> bool {
+        false
     }
 }
 

@@ -31,7 +31,10 @@
 use core::ops::ControlFlow;
 
 use rand::RngExt;
-use sparsegossip_conngraph::{components, components_into, Components, ComponentsScratch};
+use sparsegossip_conngraph::{
+    components, components_from_seeds_on, components_into, Components, ComponentsScratch,
+    SeededScratch, SpatialHash,
+};
 use sparsegossip_grid::{Point, Topology};
 use sparsegossip_walks::{BitSet, WalkEngine};
 
@@ -69,7 +72,23 @@ use crate::{Observer, RumorSets, SimError, StepContext};
 /// regression suite and the conngraph property tests pin this).
 #[derive(Clone, Debug, Default)]
 pub struct SimScratch {
+    /// Full-partition labelling buffers (spatial hash, union–find,
+    /// grouped components).
     comps: ComponentsScratch,
+    /// Seed-restricted labelling buffers (the frontier-sparse path).
+    /// Deliberately separate from `comps` (whose internals are private
+    /// to `conngraph`): the full and frontier paths warm disjoint
+    /// buffers, which the scratch-reuse allocation tests rely on.
+    seeded: SeededScratch,
+    /// The incrementally maintained spatial hash of the frontier-sparse
+    /// path, relocated bucket by bucket from the engine's move log.
+    hash: SpatialHash,
+    /// Per-step move log filled by the tracking walk steps.
+    moves: Vec<(u32, Point, Point)>,
+    /// Whether `hash` currently mirrors the engine's positions. Cleared
+    /// whenever positions change without a move log (full-path steps,
+    /// re-placement, scratch recycling into a new simulation).
+    hash_live: bool,
 }
 
 impl SimScratch {
@@ -78,6 +97,41 @@ impl SimScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// How much of the visibility partition a [`Process::exchange`]
+/// actually consumes — the declaration that lets [`Simulation::step`]
+/// pick a work-proportional labelling strategy.
+///
+/// Declaring anything but `Full` is a promise: the exchange (and
+/// [`on_placement`](Process::on_placement)) outcome must depend only on
+/// the components of `G_t(r)` that contain a set bit of the `Seeded`
+/// seed set — or on no components at all for `None`. For
+/// broadcast-style processes the `Seeded` promise holds by
+/// construction — a component without an informed agent cannot change
+/// the informed set — so [`Broadcast`](crate::Broadcast) and
+/// [`Infection`](crate::Infection) (and therefore the Frog
+/// configuration) declare `Seeded(informed)` under the component
+/// exchange rule and `None` under the one-hop ablation rule (whose
+/// exchange scans the positions directly); [`Gossip`](crate::Gossip)
+/// (every rumor set matters), [`Coverage`](crate::Coverage) and
+/// [`PredatorPrey`](crate::PredatorPrey) keep `Full`.
+///
+/// The scope is consulted only when the observer does not demand the
+/// full partition ([`Observer::wants_full_components`]); an observer
+/// that reads [`StepContext::components`](crate::StepContext) always
+/// sees the complete labelling.
+#[derive(Clone, Copy, Debug)]
+pub enum ComponentsScope<'a> {
+    /// The exchange consumes the entire partition.
+    Full,
+    /// The exchange only reads components containing a set bit of the
+    /// given seed set (typically the informed agents).
+    Seeded(&'a BitSet),
+    /// The exchange reads no components at all in its current
+    /// configuration (e.g. the one-hop rule); the driver may skip
+    /// labelling entirely and hand out [`Components::EMPTY`].
+    None,
 }
 
 /// The per-step snapshot handed to [`Process::exchange`].
@@ -96,8 +150,11 @@ pub struct ExchangeCtx<'a> {
     pub radius: u32,
     /// Agent positions after the move.
     pub positions: &'a [Point],
-    /// Connected components of `G_t(r)` at these positions (empty when
-    /// the process opts out via [`Process::NEEDS_COMPONENTS`]).
+    /// Connected components of `G_t(r)` at these positions. Empty when
+    /// the process opts out via [`Process::NEEDS_COMPONENTS`] or
+    /// declares [`ComponentsScope::None`]; restricted to the
+    /// seed-containing components under an active
+    /// [`ComponentsScope::Seeded`] scope.
     pub components: &'a Components,
 }
 
@@ -187,6 +244,19 @@ pub trait Process {
         None
     }
 
+    /// How much of the visibility partition
+    /// [`exchange`](Process::exchange) consumes (see
+    /// [`ComponentsScope`]). Defaults to [`ComponentsScope::Full`] —
+    /// always correct. Processes whose exchange provably ignores
+    /// components without a seed declare
+    /// [`Seeded`](ComponentsScope::Seeded) and get frontier-
+    /// proportional per-step labelling whenever the observer does not
+    /// demand the full partition
+    /// ([`Observer::wants_full_components`]).
+    fn components_scope(&self) -> ComponentsScope<'_> {
+        ComponentsScope::Full
+    }
+
     /// Hook between the engine step and the component rebuild, for
     /// auxiliary random state (e.g. mobile preys walking). Draws must
     /// come from `rng` so runs stay seed-reproducible.
@@ -245,9 +315,9 @@ pub struct Simulation<P: Process, T> {
     /// Persistent hot-path buffers: the per-step component rebuild
     /// clears and refills these instead of allocating.
     scratch: SimScratch,
-    /// Reused empty structures for processes without components or an
-    /// informed set, so `StepContext` can always hand out references.
-    empty_components: Components,
+    /// Reused empty informed set for processes without one, so
+    /// `StepContext` can always hand out references (a zero-capacity
+    /// bitset holds no heap allocation).
     empty_informed: BitSet,
 }
 
@@ -308,15 +378,36 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         max_steps: u64,
         process: P,
     ) -> Result<Self, SimError> {
-        Self::validate(&process, positions.len(), max_steps)?;
-        let engine = WalkEngine::from_positions(topo, positions)?;
-        Ok(Self::on_engine(
-            engine,
+        Self::from_positions_with_scratch(
+            topo,
+            positions,
             radius,
             max_steps,
             process,
             SimScratch::new(),
-        ))
+        )
+    }
+
+    /// As [`Simulation::from_positions`], reusing the hot-path buffers
+    /// of a previous simulation. With a warmed-up scratch (and the
+    /// caller-provided position buffer and process state), construction
+    /// performs **no heap allocation at all** — the property the
+    /// scratch-reuse regression suite pins with a counting allocator.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::from_positions`].
+    pub fn from_positions_with_scratch(
+        topo: T,
+        positions: Vec<Point>,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+        scratch: SimScratch,
+    ) -> Result<Self, SimError> {
+        Self::validate(&process, positions.len(), max_steps)?;
+        let engine = WalkEngine::from_positions(topo, positions)?;
+        Ok(Self::on_engine(engine, radius, max_steps, process, scratch))
     }
 
     fn validate(process: &P, k: usize, max_steps: u64) -> Result<(), SimError> {
@@ -339,12 +430,11 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         radius: u32,
         max_steps: u64,
         process: P,
-        scratch: SimScratch,
+        mut scratch: SimScratch,
     ) -> Self {
-        // Built on a 1-node domain: the empty partition is identical for
-        // every grid, and this avoids sizing a real bucket array (O(n)
-        // at r = 0) just for a placeholder.
-        let empty_components = components(&[], 0, 1);
+        // A recycled scratch may carry another simulation's maintained
+        // hash; it does not mirror this engine's positions.
+        scratch.hash_live = false;
         let mut sim = Self {
             engine,
             radius,
@@ -352,7 +442,6 @@ impl<P: Process, T: Topology> Simulation<P, T> {
             process,
             complete: false,
             scratch,
-            empty_components,
             empty_informed: BitSet::new(0),
         };
         sim.placement_exchange();
@@ -361,17 +450,38 @@ impl<P: Process, T: Topology> Simulation<P, T> {
 
     /// Runs the paper's step-0 exchange on `G_0(r)` — the placement
     /// already forms a visibility graph — and records completion.
+    ///
+    /// Processes with a [`Seeded`](ComponentsScope::Seeded) scope get
+    /// seed-restricted labelling here too (the freshly built hash then
+    /// seeds the incremental maintenance of subsequent steps), and a
+    /// [`None`](ComponentsScope::None) scope skips labelling outright.
     fn placement_exchange(&mut self) {
         let side = self.engine.topology().side();
-        let comps: &Components = if P::NEEDS_COMPONENTS {
-            components_into(
-                &mut self.scratch.comps,
-                self.engine.positions(),
-                self.radius,
-                side,
-            )
+        let comps: &Components = if !P::NEEDS_COMPONENTS {
+            Components::EMPTY
         } else {
-            &self.empty_components
+            match self.process.components_scope() {
+                ComponentsScope::None => Components::EMPTY,
+                ComponentsScope::Seeded(seeds) => {
+                    self.scratch
+                        .hash
+                        .rebuild(self.engine.positions(), self.radius, side);
+                    self.scratch.hash_live = true;
+                    components_from_seeds_on(
+                        &self.scratch.hash,
+                        &mut self.scratch.seeded,
+                        self.engine.positions(),
+                        seeds,
+                        self.radius,
+                    )
+                }
+                ComponentsScope::Full => components_into(
+                    &mut self.scratch.comps,
+                    self.engine.positions(),
+                    self.radius,
+                    side,
+                ),
+            }
         };
         let flow = self.process.on_placement(ExchangeCtx {
             time: 0,
@@ -490,6 +600,9 @@ impl<P: Process, T: Topology> Simulation<P, T> {
     pub fn reset<R: RngExt>(&mut self, process: P, rng: &mut R) -> Result<(), SimError> {
         Self::validate(&process, self.engine.len(), self.max_steps)?;
         self.engine.reset_uniform(rng);
+        // Re-placement is untracked movement; the maintained hash is
+        // stale until the placement exchange rebuilds it.
+        self.scratch.hash_live = false;
         self.process = process;
         self.placement_exchange();
         Ok(())
@@ -506,10 +619,20 @@ impl<P: Process, T: Topology> Simulation<P, T> {
     }
 
     /// Advances one step of the shared pipeline: mobility rule →
-    /// engine step → [`Process::post_move`] → component rebuild (into
+    /// engine step → [`Process::post_move`] → component labelling (into
     /// the owned [`SimScratch`], allocation-free at steady state) →
     /// [`Process::exchange`] → observer. Returns
     /// [`ControlFlow::Break`] once the process completes.
+    ///
+    /// The labelling strategy is picked from the process's
+    /// [`ComponentsScope`]: under a [`Seeded`](ComponentsScope::Seeded)
+    /// scope — and an observer content without the full partition
+    /// ([`Observer::wants_full_components`]) — the engine reports its
+    /// move log, the spatial hash is maintained incrementally
+    /// ([`SpatialHash::apply_moves`]) instead of rebuilt, and only the
+    /// components containing a seed are labelled. Outcomes are
+    /// draw-for-draw identical either way; per-step cost scales with
+    /// the moved set and the informed frontier instead of `k`.
     ///
     /// # Examples
     ///
@@ -547,21 +670,71 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         rng: &mut R,
         observer: &mut O,
     ) -> ControlFlow<()> {
-        match self.process.mobility_mask() {
-            None => self.engine.step_all(rng),
-            Some(mask) => self.engine.step_masked(mask, rng),
+        // The observer gate: a scope below Full applies only when the
+        // observer does not demand the complete partition.
+        let scope_sparse = P::NEEDS_COMPONENTS && !observer.wants_full_components();
+        let frontier_sparse =
+            scope_sparse && matches!(self.process.components_scope(), ComponentsScope::Seeded(_));
+        let skip_components =
+            scope_sparse && matches!(self.process.components_scope(), ComponentsScope::None);
+        if frontier_sparse {
+            // Track the moves so the maintained hash can relocate only
+            // the agents whose bucket changed.
+            match self.process.mobility_mask() {
+                None => self.engine.step_all_into(rng, &mut self.scratch.moves),
+                Some(mask) => self
+                    .engine
+                    .step_masked_into(mask, rng, &mut self.scratch.moves),
+            }
+        } else {
+            match self.process.mobility_mask() {
+                None => self.engine.step_all(rng),
+                Some(mask) => self.engine.step_masked(mask, rng),
+            }
+            // Positions changed without a move log: the maintained hash
+            // no longer mirrors them.
+            self.scratch.hash_live = false;
         }
         self.process.post_move(self.engine.topology(), rng);
         let side = self.engine.topology().side();
-        let comps: &Components = if P::NEEDS_COMPONENTS {
+        let comps: &Components = if !P::NEEDS_COMPONENTS || skip_components {
+            Components::EMPTY
+        } else if frontier_sparse {
+            if let ComponentsScope::Seeded(seeds) = self.process.components_scope() {
+                if self.scratch.hash_live {
+                    self.scratch.hash.apply_moves(&self.scratch.moves);
+                } else {
+                    self.scratch
+                        .hash
+                        .rebuild(self.engine.positions(), self.radius, side);
+                    self.scratch.hash_live = true;
+                }
+                components_from_seeds_on(
+                    &self.scratch.hash,
+                    &mut self.scratch.seeded,
+                    self.engine.positions(),
+                    seeds,
+                    self.radius,
+                )
+            } else {
+                // A custom process switched scope between the move and
+                // the labelling (no built-in process does): fall back to
+                // the always-correct full build.
+                self.scratch.hash_live = false;
+                components_into(
+                    &mut self.scratch.comps,
+                    self.engine.positions(),
+                    self.radius,
+                    side,
+                )
+            }
+        } else {
             components_into(
                 &mut self.scratch.comps,
                 self.engine.positions(),
                 self.radius,
                 side,
             )
-        } else {
-            &self.empty_components
         };
         let flow = self.process.exchange(ExchangeCtx {
             time: self.engine.time(),

@@ -145,6 +145,30 @@ impl<T: Topology> WalkEngine<T> {
         self.time += 1;
     }
 
+    /// As [`step_all`](WalkEngine::step_all), additionally recording
+    /// every agent that changed position as an `(agent, from, to)`
+    /// triple in `moves` (cleared first). Lazy holds are not reported.
+    ///
+    /// Draw-for-draw identical to [`step_all`](WalkEngine::step_all):
+    /// the same RNG draws in the same order. The move log is what feeds
+    /// incremental spatial-hash maintenance
+    /// (`SpatialHash::apply_moves`) — per-step work proportional to the
+    /// agents that moved, not to `k`.
+    pub fn step_all_into<R: RngExt>(&mut self, rng: &mut R, moves: &mut Vec<(u32, Point, Point)>) {
+        moves.clear();
+        // At most k entries; a one-time reservation keeps every later
+        // step allocation-free however many agents happen to move.
+        moves.reserve(self.positions.len());
+        for (i, p) in self.positions.iter_mut().enumerate() {
+            let from = *p;
+            *p = lazy_step(&self.topo, from, rng);
+            if *p != from {
+                moves.push((i as u32, from, *p));
+            }
+        }
+        self.time += 1;
+    }
+
     /// Advances only the agents whose bit is set in `mask` (Frog-model
     /// dynamics: only informed agents move). Time still advances by one.
     ///
@@ -155,6 +179,37 @@ impl<T: Topology> WalkEngine<T> {
         assert_eq!(mask.len(), self.positions.len(), "mask capacity mismatch");
         for i in mask.iter_ones() {
             self.positions[i] = lazy_step(&self.topo, self.positions[i], rng);
+        }
+        self.time += 1;
+    }
+
+    /// As [`step_masked`](WalkEngine::step_masked), additionally
+    /// recording every agent that changed position as an
+    /// `(agent, from, to)` triple in `moves` (cleared first). Under a
+    /// sparse mask — the Frog model's whole point — the log stays tiny.
+    ///
+    /// Draw-for-draw identical to
+    /// [`step_masked`](WalkEngine::step_masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.len()`.
+    pub fn step_masked_into<R: RngExt>(
+        &mut self,
+        mask: &BitSet,
+        rng: &mut R,
+        moves: &mut Vec<(u32, Point, Point)>,
+    ) {
+        assert_eq!(mask.len(), self.positions.len(), "mask capacity mismatch");
+        moves.clear();
+        moves.reserve(self.positions.len());
+        for i in mask.iter_ones() {
+            let from = self.positions[i];
+            let to = lazy_step(&self.topo, from, rng);
+            if to != from {
+                self.positions[i] = to;
+                moves.push((i as u32, from, to));
+            }
         }
         self.time += 1;
     }
@@ -252,6 +307,52 @@ mod tests {
             }
         }
         assert_eq!(e.time(), 100);
+    }
+
+    #[test]
+    fn step_all_into_matches_step_all_and_logs_moves() {
+        let g = Grid::new(16).unwrap();
+        let mut r1 = rng(21);
+        let mut plain = WalkEngine::uniform(g, 25, &mut r1).unwrap();
+        let mut r2 = rng(21);
+        let mut tracked = WalkEngine::uniform(g, 25, &mut r2).unwrap();
+        let mut moves = Vec::new();
+        for _ in 0..100 {
+            let before = tracked.positions().to_vec();
+            plain.step_all(&mut r1);
+            tracked.step_all_into(&mut r2, &mut moves);
+            assert_eq!(plain.positions(), tracked.positions());
+            // The log holds exactly the agents whose position changed.
+            for (i, (b, a)) in before.iter().zip(tracked.positions()).enumerate() {
+                let logged = moves.iter().find(|m| m.0 as usize == i);
+                if b == a {
+                    assert!(logged.is_none(), "held agent {i} logged");
+                } else {
+                    assert_eq!(logged, Some(&(i as u32, *b, *a)));
+                }
+            }
+        }
+        assert_eq!(plain.time(), tracked.time());
+    }
+
+    #[test]
+    fn step_masked_into_matches_step_masked() {
+        let g = Grid::new(16).unwrap();
+        let mut mask = BitSet::new(12);
+        mask.insert(2);
+        mask.insert(9);
+        let mut r1 = rng(22);
+        let mut plain = WalkEngine::uniform(g, 12, &mut r1).unwrap();
+        let mut r2 = rng(22);
+        let mut tracked = WalkEngine::uniform(g, 12, &mut r2).unwrap();
+        let mut moves = Vec::new();
+        for _ in 0..100 {
+            plain.step_masked(&mask, &mut r1);
+            tracked.step_masked_into(&mask, &mut r2, &mut moves);
+            assert_eq!(plain.positions(), tracked.positions());
+            assert!(moves.iter().all(|m| mask.contains(m.0 as usize)));
+            assert!(moves.iter().all(|m| m.1 != m.2));
+        }
     }
 
     #[test]

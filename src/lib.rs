@@ -84,12 +84,14 @@ pub mod prelude {
         power_law_fit, Runner, ScenarioSweep, ScenarioSweepReport, Summary, Sweep, Table,
         TransitionEstimate,
     };
-    pub use sparsegossip_conngraph::{components, critical_radius, giant_fraction};
+    pub use sparsegossip_conngraph::{
+        components, components_from_seeds, critical_radius, giant_fraction,
+    };
     pub use sparsegossip_core::{
-        broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, Coverage, ExchangeRule,
-        FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim, Metric, Mobility,
-        Observer, PredatorPrey, PredatorPreySim, Process, ProcessKind, ScenarioSpec, SimConfig,
-        SimError, SimScratch, Simulation,
+        broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, ComponentsScope,
+        Coverage, ExchangeRule, FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim,
+        Metric, Mobility, Observer, PredatorPrey, PredatorPreySim, Process, ProcessKind,
+        ScenarioSpec, SimConfig, SimError, SimScratch, Simulation,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
     pub use sparsegossip_walks::{hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine};

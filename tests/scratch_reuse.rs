@@ -2,14 +2,58 @@
 //! scratch buffers and in-place `Simulation::reset` must be
 //! observationally invisible — every run is draw-for-draw identical to
 //! a fresh construction, whether driven in one `run` call or step by
-//! step.
+//! step — and the allocation-freedom claims are machine-checked here
+//! with a counting allocator (per-thread, so the parallel test harness
+//! does not pollute the counts).
 
 use core::ops::ControlFlow;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip::core::SimScratch;
+use sparsegossip::grid::Point;
 use sparsegossip::prelude::*;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts this thread's heap allocations; `try_with` so allocations
+/// during thread teardown (after TLS destruction) stay safe.
+struct ThreadCountingAlloc;
+
+unsafe impl GlobalAlloc for ThreadCountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: ThreadCountingAlloc = ThreadCountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// A do-nothing observer that still demands the full visibility
+/// partition, forcing the driver onto the classic rebuild path.
+struct FullView;
+
+impl sparsegossip::core::Observer for FullView {
+    fn on_step(&mut self, _ctx: sparsegossip::core::StepContext<'_>) {}
+}
 
 fn config(side: u32, k: usize, r: u32) -> SimConfig {
     SimConfig::builder(side, k).radius(r).build().unwrap()
@@ -148,6 +192,178 @@ fn runner_with_state_matches_stateless_runner() {
             );
         assert_eq!(reused, stateless, "threads={threads}");
     }
+}
+
+#[test]
+fn warm_construction_is_allocation_free() {
+    // With a warmed-up scratch, a caller-provided position buffer and a
+    // pre-built process, `from_positions_with_scratch` must not touch
+    // the heap at all — in particular, the driver's empty-partition
+    // placeholder is a shared const, not a per-construction allocation.
+    let pts: Vec<Point> = (0..12)
+        .map(|i| Point::new((i * 5) % 20, (i * 3) % 20))
+        .collect();
+    let grid = Grid::new(20).unwrap();
+    // Warm-up at identical positions, so every buffer reaches its final
+    // shape: Broadcast warms the seeded placement path, Gossip the
+    // full-partition path, sharing one scratch.
+    let warm =
+        Simulation::from_positions(grid, pts.clone(), 2, 1_000, Broadcast::new(12, 0).unwrap())
+            .unwrap();
+    let warm = Simulation::from_positions_with_scratch(
+        grid,
+        pts.clone(),
+        2,
+        1_000,
+        Gossip::distinct(12).unwrap(),
+        warm.into_scratch(),
+    )
+    .unwrap();
+    let mut scratch = warm.into_scratch();
+
+    for _ in 0..2 {
+        let process = Broadcast::new(12, 0).unwrap();
+        let pts2 = pts.clone();
+        let before = thread_allocs();
+        let sim = Simulation::from_positions_with_scratch(grid, pts2, 2, 1_000, process, scratch)
+            .unwrap();
+        assert_eq!(
+            thread_allocs() - before,
+            0,
+            "broadcast construction allocated"
+        );
+
+        let process = Gossip::distinct(12).unwrap();
+        let pts2 = pts.clone();
+        let before = thread_allocs();
+        let sim = Simulation::from_positions_with_scratch(
+            grid,
+            pts2,
+            2,
+            1_000,
+            process,
+            sim.into_scratch(),
+        )
+        .unwrap();
+        assert_eq!(thread_allocs() - before, 0, "gossip construction allocated");
+        scratch = sim.into_scratch();
+    }
+}
+
+#[test]
+fn steady_state_steps_are_allocation_free() {
+    // The PR-3 invariant, machine-enforced in `cargo test`: after
+    // warm-up, a step allocates nothing — on the frontier-sparse path
+    // (broadcast under NullObserver), on the full-partition path (an
+    // observer that wants complete components), and under a Frog
+    // mobility mask.
+    let cfg = config(48, 24, 2);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+    let mut full = FullView;
+    for _ in 0..60 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+        let _ = sim.step(&mut rng, &mut full);
+    }
+    let before = thread_allocs();
+    for _ in 0..100 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+    }
+    assert_eq!(
+        thread_allocs() - before,
+        0,
+        "frontier-sparse step allocated"
+    );
+    let before = thread_allocs();
+    for _ in 0..100 {
+        let _ = sim.step(&mut rng, &mut full);
+    }
+    assert_eq!(thread_allocs() - before, 0, "full-partition step allocated");
+
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut sim = Simulation::frog(&cfg, &mut rng).unwrap();
+    for _ in 0..60 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+    }
+    let before = thread_allocs();
+    for _ in 0..100 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+    }
+    assert_eq!(
+        thread_allocs() - before,
+        0,
+        "masked-mobility step allocated"
+    );
+}
+
+#[test]
+fn frontier_sparse_path_matches_full_path_outcomes() {
+    // Running the same seeds under NullObserver (frontier-sparse
+    // labelling + incremental hash) and under a full-components
+    // observer (classic rebuild path) must produce identical outcomes —
+    // the engine switch is draw-for-draw invisible.
+    for seed in 0..8u64 {
+        let cfg = config(28, 14, 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        let sparse = sim.run(&mut rng);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        let full = sim.run_with(&mut rng, &mut FullView);
+        assert_eq!(sparse, full, "broadcast seed={seed}");
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::frog(&cfg, &mut rng).unwrap();
+        let sparse = sim.run(&mut rng);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::frog(&cfg, &mut rng).unwrap();
+        let full = sim.run_with(&mut rng, &mut FullView);
+        assert_eq!(sparse, full, "frog seed={seed}");
+
+        // The one-hop ablation declares ComponentsScope::None, so the
+        // plain run skips labelling entirely; a full-components
+        // observer must still see identical outcomes.
+        let one_hop = SimConfig::builder(28, 14)
+            .radius(1)
+            .exchange_rule(ExchangeRule::OneHop)
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&one_hop, &mut rng).unwrap();
+        let skipped = sim.run(&mut rng);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&one_hop, &mut rng).unwrap();
+        let full = sim.run_with(&mut rng, &mut FullView);
+        assert_eq!(skipped, full, "one-hop seed={seed}");
+
+        // Alternating observers mid-run (hash invalidation and rebuild
+        // on every switch) must also stay on the golden trajectory.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = Simulation::broadcast(&cfg, &mut rng).unwrap();
+        let mut flip = 0u32;
+        while !sim.is_complete() && sim.time() < cfg.max_steps() {
+            let flow = if flip.is_multiple_of(2) {
+                sim.step(&mut rng, &mut sparsegossip::core::NullObserver)
+            } else {
+                sim.step(&mut rng, &mut FullView)
+            };
+            flip += 1;
+            if flow == ControlFlow::Break(()) {
+                break;
+            }
+        }
+        assert_eq!(
+            sim.outcome(),
+            full_outcome_for(seed, &cfg),
+            "alternating seed={seed}"
+        );
+    }
+}
+
+fn full_outcome_for(seed: u64, cfg: &SimConfig) -> BroadcastOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sim = Simulation::broadcast(cfg, &mut rng).unwrap();
+    sim.run(&mut rng)
 }
 
 #[test]

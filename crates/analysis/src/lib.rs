@@ -36,7 +36,6 @@ mod parallel;
 mod regression;
 mod runner;
 mod scenario_sweep;
-mod seeds;
 mod stats;
 mod sweep;
 mod table;
@@ -46,9 +45,12 @@ pub use parallel::{parallel_map, parallel_map_with};
 pub use regression::{linear_fit, power_law_fit, Fit};
 pub use runner::{Runner, RunnerReport};
 pub use scenario_sweep::{
-    RadiusAxis, ScenarioCell, ScenarioSweep, ScenarioSweepReport, SweepCell, TransitionEstimate,
+    NetworkAxis, RadiusAxis, ScenarioCell, ScenarioSweep, ScenarioSweepReport, SweepCell,
+    TransitionEstimate,
 };
-pub use seeds::{derive_seed, SeedSequence};
+// Seed derivation moved down-stack to `sparsegossip_walks` so the
+// protocol twin can share it; re-exported here for API stability.
+pub use sparsegossip_walks::{derive_seed, SeedSequence};
 pub use stats::Summary;
 pub use sweep::{Sweep, SweepPoint};
 pub use table::Table;

@@ -37,7 +37,9 @@
 
 use sparsegossip_core::theory;
 use sparsegossip_core::toml::{TomlDoc, TomlError};
-use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError};
+use sparsegossip_core::{
+    Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError,
+};
 
 use crate::{derive_seed, parallel_map_with, Summary, Table};
 
@@ -93,6 +95,89 @@ impl RadiusAxis {
     }
 }
 
+/// A network fault axis for protocol-twin sweeps: one
+/// [`NetworkConfig`] knob varied across a list of values while the
+/// base spec pins the others. Only
+/// [`ProcessKind::ProtocolBroadcast`] specs accept non-ideal
+/// networks, so a network axis on any other kind fails cell
+/// validation with [`SimError::UnsupportedSetting`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetworkAxis {
+    /// Per-message loss probabilities (each finite, in `[0, 1]`).
+    DropProbs(Vec<f64>),
+    /// `StartGossip` timer periods in ticks (each `≥ 1`).
+    GossipIntervals(Vec<u64>),
+    /// Per-tick payload send caps (`0` = unlimited).
+    SendCaps(Vec<u32>),
+}
+
+impl NetworkAxis {
+    /// The spec-file key of the varied knob.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::DropProbs(_) => "drop_prob",
+            Self::GossipIntervals(_) => "gossip_interval",
+            Self::SendCaps(_) => "send_cap",
+        }
+    }
+
+    /// Number of axis points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::DropProbs(v) => v.len(),
+            Self::GossipIntervals(v) => v.len(),
+            Self::SendCaps(v) => v.len(),
+        }
+    }
+
+    /// Whether the axis has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(key, value)` label and full [`NetworkConfig`] of each axis
+    /// point, substituting the varied knob into `base`.
+    #[must_use]
+    pub fn resolve(&self, base: &NetworkConfig) -> Vec<((&'static str, f64), NetworkConfig)> {
+        // Axis values are validated by the builders / the TOML parser,
+        // so rebuilding the config cannot fail.
+        let build = |drop, delay, cap, interval| {
+            NetworkConfig::new(drop, delay, cap, interval).expect("validated axis value")
+        };
+        match self {
+            Self::DropProbs(probs) => probs
+                .iter()
+                .map(|&p| {
+                    let net = build(p, base.delay_max(), base.send_cap(), base.gossip_interval());
+                    (("drop_prob", p), net)
+                })
+                .collect(),
+            Self::GossipIntervals(intervals) => intervals
+                .iter()
+                .map(|&iv| {
+                    let net = build(base.drop_prob(), base.delay_max(), base.send_cap(), iv);
+                    (("gossip_interval", iv as f64), net)
+                })
+                .collect(),
+            Self::SendCaps(caps) => caps
+                .iter()
+                .map(|&c| {
+                    let net = build(
+                        base.drop_prob(),
+                        base.delay_max(),
+                        c,
+                        base.gossip_interval(),
+                    );
+                    (("send_cap", f64::from(c)), net)
+                })
+                .collect(),
+        }
+    }
+}
+
 /// One cell of the expanded sweep grid: its axis coordinates and the
 /// re-validated spec that runs there.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,16 +188,20 @@ pub struct ScenarioCell {
     pub k: usize,
     /// Transmission radius of this cell (resolved from the axis).
     pub radius: u32,
+    /// The network-axis point of this cell as a `(key, value)` label,
+    /// or `None` when the sweep has no network axis.
+    pub net: Option<(&'static str, f64)>,
     /// The runnable spec for this cell.
     pub spec: ScenarioSpec,
 }
 
 /// A multi-axis sweep of one [`ScenarioSpec`] over {side, k, r}.
 ///
-/// Cells are ordered side-major, then k, then radius; the seed of
-/// replicate `j` of cell `i` is `derive_seed(master, i · R + j)` —
-/// fixed by the spec alone, so results never depend on the thread
-/// count (pinned by the `scenario_sweep_regression` suite).
+/// Cells are ordered network-axis-major (when one is set), then
+/// side, then k, then radius; the seed of replicate `j` of cell `i`
+/// is `derive_seed(master, i · R + j)` — fixed by the spec alone, so
+/// results never depend on the thread count (pinned by the
+/// `scenario_sweep_regression` suite).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSweep {
     base: ScenarioSpec,
@@ -120,6 +209,7 @@ pub struct ScenarioSweep {
     sides: Vec<u32>,
     ks: Vec<usize>,
     radii: RadiusAxis,
+    network_axis: Option<NetworkAxis>,
     replicates: u32,
     threads: usize,
 }
@@ -135,6 +225,7 @@ impl ScenarioSweep {
             sides: vec![base.config().side()],
             ks: vec![base.config().k()],
             radii: RadiusAxis::Absolute(vec![base.config().radius()]),
+            network_axis: None,
             replicates: 8,
             threads: 1,
             base,
@@ -195,6 +286,63 @@ impl ScenarioSweep {
         self
     }
 
+    /// Sets the network axis to per-message drop probabilities
+    /// (protocol-twin sweeps only; other kinds fail cell validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or contains a non-finite value or
+    /// one outside `[0, 1]`.
+    #[must_use]
+    pub fn drop_probs(mut self, probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "at least one drop probability required");
+        assert!(
+            probs
+                .iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "drop probabilities must be finite and within [0, 1]"
+        );
+        self.network_axis = Some(NetworkAxis::DropProbs(probs));
+        self
+    }
+
+    /// Sets the network axis to `StartGossip` timer periods
+    /// (protocol-twin sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty or contains a zero.
+    #[must_use]
+    pub fn gossip_intervals(mut self, intervals: Vec<u64>) -> Self {
+        assert!(!intervals.is_empty(), "at least one interval required");
+        assert!(
+            intervals.iter().all(|iv| *iv >= 1),
+            "gossip intervals must be at least 1 tick"
+        );
+        self.network_axis = Some(NetworkAxis::GossipIntervals(intervals));
+        self
+    }
+
+    /// Sets the network axis to per-tick payload send caps
+    /// (protocol-twin sweeps only; `0` means unlimited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` is empty.
+    #[must_use]
+    pub fn send_caps(mut self, caps: Vec<u32>) -> Self {
+        assert!(!caps.is_empty(), "at least one send cap required");
+        self.network_axis = Some(NetworkAxis::SendCaps(caps));
+        self
+    }
+
+    /// The network axis, if one is set.
+    #[inline]
+    #[must_use]
+    pub fn network_axis(&self) -> Option<&NetworkAxis> {
+        self.network_axis.as_ref()
+    }
+
     /// Sets the number of replicates per cell.
     ///
     /// # Panics
@@ -251,16 +399,33 @@ impl ScenarioSweep {
     /// The first [`SimError`] any cell's validation produces (e.g. the
     /// base source index is out of range for a smaller `k`).
     pub fn cells(&self) -> Result<Vec<ScenarioCell>, SimError> {
-        let mut cells = Vec::with_capacity(self.sides.len() * self.ks.len() * self.radii.len());
-        for &side in &self.sides {
-            for &k in &self.ks {
-                for radius in self.radii.resolve(side, k) {
-                    cells.push(ScenarioCell {
-                        side,
-                        k,
-                        radius,
-                        spec: self.base.with_axes(side, k, radius)?,
-                    });
+        // One (labelled) base spec per network-axis point; a single
+        // unlabelled base when no network axis is set, so existing
+        // sweeps keep their exact cell grid and seeds.
+        let bases: Vec<(Option<(&'static str, f64)>, ScenarioSpec)> = match &self.network_axis {
+            None => vec![(None, self.base)],
+            Some(axis) => {
+                let mut bases = Vec::with_capacity(axis.len());
+                for (label, net) in axis.resolve(self.base.network()) {
+                    bases.push((Some(label), self.base.with_network(net)?));
+                }
+                bases
+            }
+        };
+        let mut cells =
+            Vec::with_capacity(bases.len() * self.sides.len() * self.ks.len() * self.radii.len());
+        for (net, base) in &bases {
+            for &side in &self.sides {
+                for &k in &self.ks {
+                    for radius in self.radii.resolve(side, k) {
+                        cells.push(ScenarioCell {
+                            side,
+                            k,
+                            radius,
+                            net: *net,
+                            spec: base.with_axes(side, k, radius)?,
+                        });
+                    }
                 }
             }
         }
@@ -296,6 +461,7 @@ impl ScenarioSweep {
                     side: cell.side,
                     k: cell.k,
                     radius: cell.radius,
+                    net: cell.net,
                     critical_radius: theory::critical_radius(n, cell.k as f64),
                     summary: Summary::from_slice(&samples),
                     samples,
@@ -313,8 +479,9 @@ impl ScenarioSweep {
 
     /// Parses a sweep from text holding a `[scenario]` section and an
     /// optional `[sweep]` section with keys `sides`, `ks`, `radii` *or*
-    /// `r_factors`, `replicates`, `seed` and `threads` (axes default to
-    /// the scenario's own values).
+    /// `r_factors`, at most one network axis (`drop_probs`,
+    /// `gossip_intervals` or `send_caps`), `replicates`, `seed` and
+    /// `threads` (axes default to the scenario's own values).
     ///
     /// # Errors
     ///
@@ -327,7 +494,17 @@ impl ScenarioSweep {
         let Some(table) = doc.opt_section("sweep") else {
             return Ok(sweep);
         };
-        const KNOWN: [&str; 6] = ["sides", "ks", "radii", "r_factors", "replicates", "seed"];
+        const KNOWN: [&str; 9] = [
+            "sides",
+            "ks",
+            "radii",
+            "r_factors",
+            "drop_probs",
+            "gossip_intervals",
+            "send_caps",
+            "replicates",
+            "seed",
+        ];
         const KNOWN_EXEC: [&str; 1] = ["threads"];
         for key in table.keys() {
             if !KNOWN.contains(&key) && !KNOWN_EXEC.contains(&key) {
@@ -382,6 +559,46 @@ impl ScenarioSweep {
             }
             (None, None) => {}
         }
+        let drop_probs = table.opt_f64_array("drop_probs")?;
+        let intervals = table.opt_u32_array("gossip_intervals")?;
+        let caps = table.opt_u32_array("send_caps")?;
+        let network_axes = usize::from(drop_probs.is_some())
+            + usize::from(intervals.is_some())
+            + usize::from(caps.is_some());
+        if network_axes > 1 {
+            return Err(bad(
+                "drop_probs".to_string(),
+                "single network axis (one of `drop_probs`, `gossip_intervals`, `send_caps`)",
+            ));
+        }
+        if let Some(probs) = drop_probs {
+            if probs.is_empty()
+                || probs
+                    .iter()
+                    .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
+            {
+                return Err(bad(
+                    "drop_probs".to_string(),
+                    "non-empty array of finite numbers in [0, 1]",
+                ));
+            }
+            sweep = sweep.drop_probs(probs);
+        }
+        if let Some(intervals) = intervals {
+            if intervals.is_empty() || intervals.contains(&0) {
+                return Err(bad(
+                    "gossip_intervals".to_string(),
+                    "non-empty array of integers >= 1",
+                ));
+            }
+            sweep = sweep.gossip_intervals(intervals.into_iter().map(u64::from).collect());
+        }
+        if let Some(caps) = caps {
+            if caps.is_empty() {
+                return Err(bad("send_caps".to_string(), "non-empty array"));
+            }
+            sweep = sweep.send_caps(caps);
+        }
         if let Some(reps) = table.opt_u32("replicates")? {
             if reps == 0 {
                 return Err(bad("replicates".to_string(), "positive integer"));
@@ -418,6 +635,22 @@ impl ScenarioSweep {
                 out.push_str(&format!("r_factors = [{}]\n", rendered.join(", ")));
             }
         }
+        match &self.network_axis {
+            None => {}
+            Some(NetworkAxis::DropProbs(probs)) => {
+                let rendered: Vec<String> = probs.iter().map(|p| format_toml_f64(*p)).collect();
+                out.push_str(&format!("drop_probs = [{}]\n", rendered.join(", ")));
+            }
+            Some(NetworkAxis::GossipIntervals(intervals)) => {
+                out.push_str(&format!(
+                    "gossip_intervals = [{}]\n",
+                    join_with(intervals.iter(), ", ")
+                ));
+            }
+            Some(NetworkAxis::SendCaps(caps)) => {
+                out.push_str(&format!("send_caps = [{}]\n", join_with(caps.iter(), ", ")));
+            }
+        }
         out.push_str(&format!("replicates = {}\n", self.replicates));
         out.push_str(&format!("seed = {}\n", self.master_seed));
         out.push_str(&format!("threads = {}\n", self.threads));
@@ -449,6 +682,9 @@ pub struct SweepCell {
     pub k: usize,
     /// Transmission radius.
     pub radius: u32,
+    /// The network-axis point as a `(key, value)` label, if the sweep
+    /// has a network axis.
+    pub net: Option<(&'static str, f64)>,
     /// The predicted percolation radius `r_c = √(n/k)` at these axes.
     pub critical_radius: f64,
     /// Summary over replicates.
@@ -466,6 +702,8 @@ pub struct TransitionEstimate {
     pub side: u32,
     /// Agent count of the curve.
     pub k: usize,
+    /// The curve's network-axis point, if the sweep has one.
+    pub net: Option<(&'static str, f64)>,
     /// Radius on the slow side of the knee.
     pub r_below: u32,
     /// Radius on the fast side of the knee.
@@ -520,9 +758,9 @@ impl ScenarioSweepReport {
     /// `r_c`, comfortably above replicate noise on a flat curve.
     pub const MIN_DROP_RATIO: f64 = 2.0;
 
-    /// Locates the knee of every (side, k) radius curve with at least
-    /// three distinct radii: the adjacent radius pair with the largest
-    /// drop in mean metric (at least
+    /// Locates the knee of every (side, k, network-point) radius curve
+    /// with at least three distinct radii: the adjacent radius pair
+    /// with the largest drop in mean metric (at least
     /// [`MIN_DROP_RATIO`](Self::MIN_DROP_RATIO) — a flat curve reports
     /// no transition), its knee at their geometric midpoint.
     ///
@@ -531,18 +769,19 @@ impl ScenarioSweepReport {
     /// are typically below 1, so no transition is reported.
     #[must_use]
     pub fn transitions(&self) -> Vec<TransitionEstimate> {
+        type CurveKey = (u32, usize, Option<(&'static str, f64)>);
         let mut out = Vec::new();
-        let mut groups: Vec<(u32, usize)> = Vec::new();
+        let mut groups: Vec<CurveKey> = Vec::new();
         for cell in &self.cells {
-            if !groups.contains(&(cell.side, cell.k)) {
-                groups.push((cell.side, cell.k));
+            if !groups.contains(&(cell.side, cell.k, cell.net)) {
+                groups.push((cell.side, cell.k, cell.net));
             }
         }
-        for (side, k) in groups {
+        for (side, k, net) in groups {
             let mut curve: Vec<(u32, f64, f64)> = self
                 .cells
                 .iter()
-                .filter(|c| c.side == side && c.k == k)
+                .filter(|c| c.side == side && c.k == k && c.net == net)
                 .map(|c| (c.radius, c.summary.mean(), c.critical_radius))
                 .collect();
             curve.sort_by_key(|&(r, _, _)| r);
@@ -580,6 +819,7 @@ impl ScenarioSweepReport {
             out.push(TransitionEstimate {
                 side,
                 k,
+                net,
                 r_below,
                 r_above,
                 r_knee,
@@ -590,28 +830,38 @@ impl ScenarioSweepReport {
         out
     }
 
-    /// Renders the per-cell summaries as an aligned table.
+    /// Renders the per-cell summaries as an aligned table (with a
+    /// `net` column only when the sweep has a network axis, so
+    /// existing renderings stay byte-identical).
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::new(vec![
-            "side".into(),
-            "k".into(),
-            "r".into(),
-            "r/r_c".into(),
+        let has_net = self.cells.iter().any(|c| c.net.is_some());
+        let mut header = vec!["side".to_string(), "k".into(), "r".into()];
+        if has_net {
+            header.push("net".into());
+        }
+        header.extend([
+            "r/r_c".to_string(),
             format!("mean {}", self.metric),
             "ci95".into(),
             "median".into(),
         ]);
+        let mut t = Table::new(header);
         for c in &self.cells {
-            t.push_row(vec![
-                c.side.to_string(),
-                c.k.to_string(),
-                c.radius.to_string(),
+            let mut row = vec![c.side.to_string(), c.k.to_string(), c.radius.to_string()];
+            if has_net {
+                row.push(match c.net {
+                    Some((key, value)) => format!("{key}={value}"),
+                    None => "-".to_string(),
+                });
+            }
+            row.extend([
                 format!("{:.2}", f64::from(c.radius) / c.critical_radius),
                 format!("{:.1}", c.summary.mean()),
                 format!("{:.1}", c.summary.ci95_half_width()),
                 format!("{:.1}", c.summary.median()),
             ]);
+            t.push_row(row);
         }
         t
     }
@@ -630,12 +880,19 @@ impl ScenarioSweepReport {
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let samples: Vec<String> = c.samples.iter().map(|s| format!("{s}")).collect();
+            // Network-axis labels appear only when the sweep has the
+            // axis, so pre-network JSON output stays byte-identical.
+            let net = match c.net {
+                Some((key, value)) => format!("\"net_key\": \"{key}\", \"net_value\": {value}, "),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "    {{\"side\": {}, \"k\": {}, \"r\": {}, \"r_c\": {}, \"mean\": {}, \
+                "    {{\"side\": {}, \"k\": {}, \"r\": {}, {}\"r_c\": {}, \"mean\": {}, \
                  \"ci95\": {}, \"median\": {}, \"min\": {}, \"max\": {}, \"samples\": [{}]}}{}\n",
                 c.side,
                 c.k,
                 c.radius,
+                net,
                 c.critical_radius,
                 c.summary.mean(),
                 c.summary.ci95_half_width(),
@@ -651,12 +908,17 @@ impl ScenarioSweepReport {
         let transitions = self.transitions();
         for (i, t) in transitions.iter().enumerate() {
             let (lo, hi) = t.band();
+            let net = match t.net {
+                Some((key, value)) => format!("\"net_key\": \"{key}\", \"net_value\": {value}, "),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "    {{\"side\": {}, \"k\": {}, \"r_below\": {}, \"r_above\": {}, \
+                "    {{\"side\": {}, \"k\": {}, {}\"r_below\": {}, \"r_above\": {}, \
                  \"r_knee\": {}, \"drop_ratio\": {}, \"predicted_rc\": {}, \
                  \"band\": [{}, {}], \"within_band\": {}}}{}\n",
                 t.side,
                 t.k,
+                net,
                 t.r_below,
                 t.r_above,
                 t.r_knee,
@@ -760,6 +1022,7 @@ mod tests {
             side: 32,
             k: 16,
             radius,
+            net: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -786,6 +1049,7 @@ mod tests {
             side: 16,
             k: 8,
             radius,
+            net: None,
             critical_radius: 5.65,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -810,6 +1074,7 @@ mod tests {
             side: 32,
             k: 16,
             radius,
+            net: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -851,6 +1116,7 @@ mod tests {
             side: 16,
             k: 8,
             radius,
+            net: None,
             critical_radius: 5.65,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -905,6 +1171,95 @@ mod tests {
             ScenarioSweep::from_toml_str(&with("radii = [1]\nr_factors = [1.0]\n")).is_err(),
             "both radius axes at once must be rejected"
         );
+    }
+
+    fn twin_base() -> ScenarioSpec {
+        ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+            .radius(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn network_axis_expands_cells_network_major() {
+        let sweep = ScenarioSweep::new(twin_base(), 1)
+            .radii(vec![0, 2])
+            .drop_probs(vec![0.0, 0.5]);
+        let cells = sweep.cells().unwrap();
+        assert_eq!(cells.len(), 4);
+        let coords: Vec<(Option<(&str, f64)>, u32)> =
+            cells.iter().map(|c| (c.net, c.radius)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (Some(("drop_prob", 0.0)), 0),
+                (Some(("drop_prob", 0.0)), 2),
+                (Some(("drop_prob", 0.5)), 0),
+                (Some(("drop_prob", 0.5)), 2),
+            ]
+        );
+        assert_eq!(cells[2].spec.network().drop_prob(), 0.5);
+        // The un-swept knobs stay at the base spec's values.
+        assert_eq!(cells[2].spec.network().gossip_interval(), 1);
+    }
+
+    #[test]
+    fn network_axis_on_non_twin_kind_fails_cell_validation() {
+        let err = ScenarioSweep::new(tiny_base(), 1)
+            .drop_probs(vec![0.5])
+            .cells()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedSetting { .. }));
+    }
+
+    #[test]
+    fn network_axis_round_trips_through_toml() {
+        for sweep in [
+            ScenarioSweep::new(twin_base(), 4).drop_probs(vec![0.0, 0.25, 0.5]),
+            ScenarioSweep::new(twin_base(), 4).gossip_intervals(vec![1, 2, 4]),
+            ScenarioSweep::new(twin_base(), 4).send_caps(vec![0, 1, 2]),
+        ] {
+            let text = sweep.to_toml();
+            let parsed = ScenarioSweep::from_toml_str(&text).unwrap();
+            assert_eq!(sweep, parsed, "round trip changed the sweep:\n{text}");
+        }
+    }
+
+    #[test]
+    fn toml_rejects_bad_network_axes() {
+        let twin_only = "[scenario]\nprocess = \"protocol-broadcast\"\nside = 12\nk = 6\n";
+        let with = |extra: &str| format!("{twin_only}\n[sweep]\n{extra}");
+        assert!(ScenarioSweep::from_toml_str(&with("drop_probs = []\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("drop_probs = [1.5]\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("gossip_intervals = [0]\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("send_caps = []\n")).is_err());
+        assert!(
+            ScenarioSweep::from_toml_str(&with("drop_probs = [0.5]\nsend_caps = [1]\n")).is_err(),
+            "two network axes at once must be rejected"
+        );
+        assert!(ScenarioSweep::from_toml_str(&with("drop_probs = [0.0, 0.5]\n")).is_ok());
+    }
+
+    #[test]
+    fn network_axis_report_labels_cells_and_transitions() {
+        let report = ScenarioSweep::new(twin_base(), 9)
+            .radii(vec![0, 1, 2])
+            .drop_probs(vec![0.0, 0.5])
+            .replicates(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.net.is_some()));
+        // Transitions group per network point, never across them.
+        for t in report.transitions() {
+            assert!(t.net.is_some());
+        }
+        let table = format!("{}", report.table());
+        assert!(table.contains("net"), "table must carry the net column");
+        assert!(table.contains("drop_prob=0.5"), "{table}");
+        let json = report.to_json();
+        assert!(json.contains("\"net_key\": \"drop_prob\""), "{json}");
+        assert!(json.contains("\"net_value\": 0.5"), "{json}");
     }
 
     #[test]

@@ -13,7 +13,8 @@ use sparsegossip_analysis::{Runner, ScenarioSweep, Table};
 use sparsegossip_conngraph::{critical_radius, percolation_profile};
 use sparsegossip_core::{
     BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, Gossip, GossipOutcome,
-    InfectionOutcome, Mobility, PredatorPrey, SimConfig, Simulation, SpecError,
+    InfectionOutcome, Mobility, NetworkConfig, NetworkError, PredatorPrey, ProtocolBroadcast,
+    ProtocolOutcome, SimConfig, Simulation, SpecError,
 };
 use sparsegossip_grid::{Grid, Topology};
 use sparsegossip_walks::multi_cover;
@@ -40,6 +41,10 @@ COMMANDS:
                --side N --k K --seed S --max-steps M
   coverage     broadcast + informed-agent coverage times
                --side N --k K --radius R --seed S
+  protocol     message-passing protocol twin of broadcast
+               --side N --k K --radius R --seed S --max-steps M
+               --drop P --delay D --cap C --interval I (network faults)
+               --workers W (scheduler threads; never changes results)
   percolation  giant-component fraction around r_c = sqrt(n/k)
                --side N --k K --samples S --seed S
   cover        cover time of k independent walks
@@ -132,6 +137,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "gossip" => gossip(args),
         "infection" => infection(args),
         "coverage" => coverage(args),
+        "protocol" => protocol(args),
         "percolation" => percolation(args),
         "cover" => cover(args),
         "predator" => predator(args),
@@ -362,6 +368,79 @@ fn coverage(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+fn protocol_json(out: &ProtocolOutcome) -> String {
+    // The log hash is a full u64; rendered as hex text so JSON
+    // consumers never round it through a double.
+    format!(
+        "{{\"process\":\"protocol\",\"completion_time\":{},\"informed\":{},\"k\":{},\
+         \"sent\":{},\"delivered\":{},\"dropped\":{},\"timers\":{},\"log_hash\":\"{:016x}\"}}",
+        json_opt(out.completion_time),
+        out.informed,
+        out.k,
+        out.stats.sent,
+        out.stats.delivered,
+        out.stats.dropped,
+        out.stats.timers,
+        out.log_hash
+    )
+}
+
+/// Runs the message-passing protocol twin over the same seeded
+/// trajectory the `broadcast` command would use.
+fn protocol(args: &ParsedArgs) -> Result<(), CliError> {
+    let c = common(args)?;
+    let max_steps = args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
+    let drop: f64 = args.get("drop", 0.0f64)?;
+    let delay: u64 = args.get("delay", 0u64)?;
+    let cap: u32 = args.get("cap", 0u32)?;
+    let interval: u64 = args.get("interval", 1u64)?;
+    let workers: usize = args.get("workers", 1usize)?;
+    let net = NetworkConfig::new(drop, delay, cap, interval).map_err(|e| {
+        let (key, value) = match e {
+            NetworkError::DropProbOutOfRange => ("drop", drop.to_string()),
+            NetworkError::ZeroGossipInterval => ("interval", interval.to_string()),
+        };
+        CliError::Args(ArgError::BadValue {
+            key: key.to_string(),
+            value,
+        })
+    })?;
+    let config = SimConfig::builder(c.side, c.k)
+        .radius(c.radius)
+        .max_steps(max_steps)
+        .build()?;
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let process = ProtocolBroadcast::from_config(&config, net, c.seed)?.workers(workers);
+    let mut sim = Simulation::new(
+        Grid::new(c.side)?,
+        config.k(),
+        config.radius(),
+        config.max_steps(),
+        process,
+        &mut rng,
+    )?;
+    let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", protocol_json(&out));
+        return Ok(());
+    }
+    println!(
+        "n = {}, k = {}, r = {} (r_c = {:.1}), seed = {}, drop = {drop}, \
+         delay <= {delay}, cap = {cap}, interval = {interval}",
+        config.n(),
+        config.k(),
+        config.radius(),
+        config.critical_radius(),
+        c.seed
+    );
+    println!("{out}");
+    println!(
+        "messages: {} sent, {} delivered, {} dropped; {} timer firings; log hash {:016x}",
+        out.stats.sent, out.stats.delivered, out.stats.dropped, out.stats.timers, out.log_hash
+    );
+    Ok(())
+}
+
 fn percolation(args: &ParsedArgs) -> Result<(), CliError> {
     let c = common(args)?;
     if args.has_option("radius") {
@@ -525,6 +604,10 @@ mod tests {
             "infection --side 12 --k 4 --seed 1 --json",
             "coverage --side 10 --k 6 --seed 1",
             "coverage --side 10 --k 6 --seed 1 --json",
+            "protocol --side 12 --k 6 --radius 2 --seed 1",
+            "protocol --side 12 --k 6 --radius 2 --seed 1 --json",
+            "protocol --side 12 --k 6 --radius 2 --drop 0.3 --delay 1 --cap 2 --interval 2 \
+             --workers 2 --seed 1",
             "percolation --side 16 --k 8 --samples 3 --seed 1",
             "cover --side 8 --k 4 --seed 1",
             "predator --side 10 --predators 4 --preys 3 --seed 1",
@@ -599,6 +682,10 @@ mod tests {
         assert!(e.to_string().contains("agents"));
         let e = dispatch(&parsed("predator --side 8 --predators 0 --preys 2")).unwrap_err();
         assert!(e.to_string().contains("agents"));
+        let e = dispatch(&parsed("protocol --side 8 --k 4 --drop 1.5")).unwrap_err();
+        assert!(matches!(e, CliError::Args(ArgError::BadValue { .. })));
+        let e = dispatch(&parsed("protocol --side 8 --k 4 --interval 0")).unwrap_err();
+        assert!(matches!(e, CliError::Args(ArgError::BadValue { .. })));
     }
 
     #[test]
@@ -646,6 +733,24 @@ mod tests {
             num_rumors: 4,
         };
         assert!(gossip_json(&g).contains("\"gossip_time\":null"));
+        let p = ProtocolOutcome {
+            completion_time: Some(7),
+            informed: 4,
+            k: 4,
+            stats: sparsegossip_core::RuntimeStats {
+                sent: 10,
+                delivered: 8,
+                dropped: 2,
+                timers: 5,
+            },
+            log_hash: 0xAB,
+        };
+        assert_eq!(
+            protocol_json(&p),
+            "{\"process\":\"protocol\",\"completion_time\":7,\"informed\":4,\"k\":4,\
+             \"sent\":10,\"delivered\":8,\"dropped\":2,\"timers\":5,\
+             \"log_hash\":\"00000000000000ab\"}"
+        );
     }
 
     #[test]
@@ -655,6 +760,7 @@ mod tests {
             "gossip",
             "infection",
             "coverage",
+            "protocol",
             "percolation",
             "cover",
             "predator",

@@ -83,6 +83,66 @@ fn predator_json_golden() {
     );
 }
 
+#[test]
+fn protocol_json_golden() {
+    // Ideal network: the twin's completion tick equals the analytic
+    // broadcast's T_B for the same seed (see `broadcast --side 12 --k 6
+    // --seed 1` completing at 164 with radius 0; radius 2 here).
+    assert_golden(
+        "protocol --side 12 --k 6 --radius 2 --seed 1 --json",
+        "{\"process\":\"protocol\",\"completion_time\":50,\"informed\":6,\"k\":6,\
+         \"sent\":14,\"delivered\":14,\"dropped\":0,\"timers\":175,\
+         \"log_hash\":\"e50ff5335a1b1ed4\"}\n",
+    );
+    // Lossy network: same trajectory, protocol-level drops change the
+    // message counters and the event-log hash but stay deterministic.
+    assert_golden(
+        "protocol --side 12 --k 6 --radius 2 --seed 1 --drop 0.5 --json",
+        "{\"process\":\"protocol\",\"completion_time\":50,\"informed\":6,\"k\":6,\
+         \"sent\":43,\"delivered\":16,\"dropped\":27,\"timers\":130,\
+         \"log_hash\":\"1c8d037cd923332b\"}\n",
+    );
+}
+
+#[test]
+fn protocol_twin_matches_broadcast_golden() {
+    // The twin and the analytic broadcast share the seeded trajectory:
+    // identical completion time at identical (side, k, r, seed).
+    assert_golden(
+        "broadcast --side 12 --k 6 --radius 2 --seed 1 --json",
+        "{\"process\":\"broadcast\",\"broadcast_time\":50,\"informed\":6,\"k\":6}\n",
+    );
+}
+
+#[test]
+fn protocol_worker_count_never_changes_output() {
+    let reference = run(&[
+        "protocol", "--side", "12", "--k", "6", "--radius", "2", "--seed", "3", "--drop", "0.25",
+        "--json",
+    ]);
+    assert!(reference.2, "reference run failed: {}", reference.1);
+    for workers in ["2", "8"] {
+        let out = run(&[
+            "protocol",
+            "--side",
+            "12",
+            "--k",
+            "6",
+            "--radius",
+            "2",
+            "--seed",
+            "3",
+            "--drop",
+            "0.25",
+            "--workers",
+            workers,
+            "--json",
+        ]);
+        assert!(out.2, "workers={workers} run failed: {}", out.1);
+        assert_eq!(out.0, reference.0, "workers={workers} changed the output");
+    }
+}
+
 const SWEEP_SPEC: &str = "[scenario]\n\
 process = \"broadcast\"\n\
 side = 10\n\

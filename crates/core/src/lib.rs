@@ -23,6 +23,11 @@
 //! * [`PredatorPrey`] — the predator–prey extinction process (§4);
 //! * [`Infection`] — the `r = 0` infection-time framing
 //!   (Dimitriou et al.) with per-agent infection times;
+//! * [`ProtocolBroadcast`] — the *protocol twin*: the same broadcast
+//!   run as real `Gossip`/`GossipAck` message passing over the same
+//!   seeded trajectory (the `sparsegossip_protocol` node runtime),
+//!   with [`NetworkConfig`] fault injection — loss, delay, send caps,
+//!   gossip intervals;
 //! * [`baseline`] — the dense-MANET comparison model of Clementi et
 //!   al. and the (refuted) analytic bound of Wang et al.;
 //! * [`theory`] — closed-form reference curves for every bound;
@@ -64,6 +69,7 @@ mod infection;
 mod observer;
 mod predator_prey;
 mod process;
+mod protocol_broadcast;
 mod rumor;
 mod scenario;
 pub mod theory;
@@ -82,5 +88,9 @@ pub use observer::{
 };
 pub use predator_prey::{ExtinctionOutcome, PredatorPrey, PredatorPreySim};
 pub use process::{ComponentsScope, ExchangeCtx, Process, SimScratch, Simulation};
+pub use protocol_broadcast::{ProtocolBroadcast, ProtocolOutcome};
 pub use rumor::RumorSets;
+// Re-exported so spec-level consumers need not depend on the protocol
+// crate directly.
 pub use scenario::{Metric, ProcessKind, ScenarioSpec, ScenarioSpecBuilder, SpecError};
+pub use sparsegossip_protocol::{NetworkConfig, NetworkError, RuntimeStats};

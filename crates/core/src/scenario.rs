@@ -40,7 +40,10 @@ use rand::SeedableRng;
 use sparsegossip_grid::Grid;
 
 use crate::toml::{TomlDoc, TomlError};
-use crate::{Coverage, ExchangeRule, Mobility, SimConfig, SimError, SimScratch, Simulation};
+use crate::{
+    Coverage, ExchangeRule, Mobility, NetworkConfig, NetworkError, SimConfig, SimError, SimScratch,
+    Simulation,
+};
 
 /// Which dissemination [`Process`](crate::Process) a scenario runs.
 ///
@@ -63,6 +66,13 @@ pub enum ProcessKind {
     Infection,
     /// Joint broadcast + informed-agent coverage (§4).
     Coverage,
+    /// The protocol twin: broadcast run as real message passing
+    /// ([`ProtocolBroadcast`](crate::ProtocolBroadcast)) over the same
+    /// seeded trajectory, with
+    /// [`NetworkConfig`](crate::NetworkConfig) fault injection. The
+    /// twin defines its own network semantics, so mobility rules and
+    /// one-hop exchange are build errors.
+    ProtocolBroadcast,
 }
 
 impl ProcessKind {
@@ -74,15 +84,17 @@ impl ProcessKind {
             Self::Gossip => "gossip",
             Self::Infection => "infection",
             Self::Coverage => "coverage",
+            Self::ProtocolBroadcast => "protocol-broadcast",
         }
     }
 
     /// All kinds, in spec-file order.
-    pub const ALL: [Self; 4] = [
+    pub const ALL: [Self; 5] = [
         Self::Broadcast,
         Self::Gossip,
         Self::Infection,
         Self::Coverage,
+        Self::ProtocolBroadcast,
     ];
 }
 
@@ -220,6 +232,9 @@ pub struct ScenarioSpec {
     kind: ProcessKind,
     config: SimConfig,
     metric: Metric,
+    /// Network fault axes, honored by the protocol twin (other kinds
+    /// require the default ideal network).
+    network: NetworkConfig,
     /// Whether the step cap was given explicitly (kept so
     /// [`with_axes`](Self::with_axes) re-derives the default cap for
     /// resized cells instead of freezing the base spec's).
@@ -241,6 +256,7 @@ impl ScenarioSpec {
             mobility: Mobility::All,
             exchange_rule: ExchangeRule::Component,
             metric: Metric::Time,
+            network: NetworkConfig::IDEAL,
         }
     }
 
@@ -265,6 +281,37 @@ impl ScenarioSpec {
         &self.config
     }
 
+    /// The network fault configuration (the ideal network unless the
+    /// spec set any of the `drop_prob`/`delay_max`/`send_cap`/
+    /// `gossip_interval` axes).
+    #[inline]
+    #[must_use]
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// Re-derives this spec with a different network configuration,
+    /// re-validating: the sweep engine's way of expanding a network
+    /// axis.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioSpecBuilder::build`] (non-twin kinds reject any
+    /// non-ideal network).
+    pub fn with_network(&self, network: NetworkConfig) -> Result<Self, SimError> {
+        let mut b = Self::builder(self.kind, self.config.side(), self.config.k())
+            .radius(self.config.radius())
+            .source(self.config.source())
+            .mobility(self.config.mobility())
+            .exchange_rule(self.config.exchange_rule())
+            .metric(self.metric)
+            .network(network);
+        if self.explicit_max_steps {
+            b = b.max_steps(self.config.max_steps());
+        }
+        b.build()
+    }
+
     /// Re-derives this spec at different axis values (grid side, agent
     /// count, radius), re-validating: the sweep engine's way of turning
     /// one base spec into a grid of cells. A spec built without an
@@ -281,7 +328,8 @@ impl ScenarioSpec {
             .source(self.config.source())
             .mobility(self.config.mobility())
             .exchange_rule(self.config.exchange_rule())
-            .metric(self.metric);
+            .metric(self.metric)
+            .network(self.network);
         if self.explicit_max_steps {
             b = b.max_steps(self.config.max_steps());
         }
@@ -340,6 +388,22 @@ impl ScenarioSpec {
                     }
                 }
             }
+            ProcessKind::ProtocolBroadcast => {
+                let mut sim = Simulation::protocol_broadcast_with_scratch(
+                    cfg,
+                    self.network,
+                    seed,
+                    &mut rng,
+                    mem::take(scratch),
+                )
+                .expect("validated spec");
+                let out = sim.run(&mut rng);
+                *scratch = sim.into_scratch();
+                match self.metric {
+                    Metric::Time => out.completion_time.unwrap_or(cfg.max_steps()) as f64,
+                    Metric::Fraction => out.informed_fraction(),
+                }
+            }
             ProcessKind::Coverage => {
                 let grid = Grid::new(cfg.side()).expect("validated spec");
                 let process = Coverage::from_config(grid, cfg).expect("validated spec");
@@ -388,6 +452,24 @@ impl ScenarioSpec {
         if self.explicit_max_steps {
             out.push_str(&format!("max_steps = {}\n", self.config.max_steps()));
         }
+        if self.network.drop_prob() != 0.0 {
+            out.push_str(&format!(
+                "drop_prob = {}\n",
+                format_toml_f64(self.network.drop_prob())
+            ));
+        }
+        if self.network.delay_max() != 0 {
+            out.push_str(&format!("delay_max = {}\n", self.network.delay_max()));
+        }
+        if self.network.send_cap() != 0 {
+            out.push_str(&format!("send_cap = {}\n", self.network.send_cap()));
+        }
+        if self.network.gossip_interval() != 1 {
+            out.push_str(&format!(
+                "gossip_interval = {}\n",
+                self.network.gossip_interval()
+            ));
+        }
         out.push_str(&format!("metric = \"{}\"\n", self.metric));
         out
     }
@@ -413,7 +495,7 @@ impl ScenarioSpec {
     /// As [`from_toml_str`](Self::from_toml_str).
     pub fn from_toml_doc(doc: &TomlDoc) -> Result<Self, SpecError> {
         let table = doc.section("scenario")?;
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 13] = [
             "process",
             "side",
             "k",
@@ -422,6 +504,10 @@ impl ScenarioSpec {
             "mobility",
             "exchange",
             "max_steps",
+            "drop_prob",
+            "delay_max",
+            "send_cap",
+            "gossip_interval",
             "metric",
         ];
         for key in table.keys() {
@@ -439,7 +525,7 @@ impl ScenarioSpec {
             .ok_or_else(|| SpecError::UnknownName {
                 key: "process".to_string(),
                 value: kind_name.to_string(),
-                allowed: "broadcast, gossip, infection, coverage",
+                allowed: "broadcast, gossip, infection, coverage, protocol-broadcast",
             })?;
         let mut builder =
             ScenarioSpec::builder(kind, table.need_u32("side")?, table.need_usize("k")?)
@@ -448,6 +534,14 @@ impl ScenarioSpec {
         if let Some(cap) = table.opt_u64("max_steps")? {
             builder = builder.max_steps(cap);
         }
+        let network = NetworkConfig::new(
+            table.opt_f64("drop_prob")?.unwrap_or(0.0),
+            table.opt_u64("delay_max")?.unwrap_or(0),
+            table.opt_u32("send_cap")?.unwrap_or(0),
+            table.opt_u64("gossip_interval")?.unwrap_or(1),
+        )
+        .map_err(bad_network_value)?;
+        builder = builder.network(network);
         if let Some(name) = table.opt_str("mobility")? {
             builder = builder.mobility(match name {
                 "all" => Mobility::All,
@@ -491,6 +585,31 @@ impl ScenarioSpec {
     }
 }
 
+/// Maps a [`NetworkError`] from spec parsing onto the TOML error for
+/// the offending key, so the report points at the right line of the
+/// schema rather than inventing a new error variant.
+fn bad_network_value(e: NetworkError) -> SpecError {
+    let (key, expected) = match e {
+        NetworkError::DropProbOutOfRange => ("drop_prob", "finite number in [0, 1]"),
+        NetworkError::ZeroGossipInterval => ("gossip_interval", "integer >= 1"),
+    };
+    SpecError::Toml(TomlError::BadValue {
+        section: "scenario".to_string(),
+        key: key.to_string(),
+        expected,
+    })
+}
+
+/// Renders an `f64` so the TOML subset parses it back as a float
+/// (integral values keep a trailing `.0`).
+fn format_toml_f64(x: f64) -> String {
+    if x == x.trunc() && x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
 impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -518,6 +637,7 @@ pub struct ScenarioSpecBuilder {
     mobility: Mobility,
     exchange_rule: ExchangeRule,
     metric: Metric,
+    network: NetworkConfig,
 }
 
 impl ScenarioSpecBuilder {
@@ -565,6 +685,16 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// Sets the network fault configuration (default
+    /// [`NetworkConfig::IDEAL`]; honored only by
+    /// [`ProcessKind::ProtocolBroadcast`] — any other kind rejects a
+    /// non-ideal network at build time).
+    #[must_use]
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
         self
     }
 
@@ -624,12 +754,28 @@ impl ScenarioSpecBuilder {
                     return Err(unsupported("radius > 0 (infection is contact-only)"));
                 }
             }
+            ProcessKind::ProtocolBroadcast => {
+                if self.mobility != Mobility::All {
+                    return Err(unsupported("mobility = \"informed-only\""));
+                }
+                if self.exchange_rule != ExchangeRule::Component {
+                    return Err(unsupported("exchange = \"one-hop\""));
+                }
+            }
             ProcessKind::Broadcast | ProcessKind::Coverage => {}
+        }
+        // Only the protocol twin implements network faults; any other
+        // kind would silently ignore them.
+        if self.kind != ProcessKind::ProtocolBroadcast && !self.network.is_ideal() {
+            return Err(unsupported(
+                "network settings (drop_prob / delay_max / send_cap / gossip_interval)",
+            ));
         }
         Ok(ScenarioSpec {
             kind: self.kind,
             config,
             metric: self.metric,
+            network: self.network,
             explicit_max_steps: self.max_steps.is_some(),
         })
     }
@@ -833,6 +979,131 @@ mod tests {
             sourced.with_axes(32, 4, 0).unwrap_err(),
             SimError::SourceOutOfRange { source: 5, k: 4 }
         );
+    }
+
+    #[test]
+    fn protocol_twin_validates_like_its_process() {
+        // The twin defines its own network semantics: mobility rules
+        // and one-hop exchange are build errors, as for gossip.
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+                .mobility(Mobility::InformedOnly)
+                .build()
+                .unwrap_err(),
+            SimError::UnsupportedSetting {
+                kind: "protocol-broadcast",
+                setting: "mobility = \"informed-only\"",
+            }
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+                .exchange_rule(ExchangeRule::OneHop)
+                .build()
+                .unwrap_err(),
+            SimError::UnsupportedSetting {
+                kind: "protocol-broadcast",
+                setting: "exchange = \"one-hop\"",
+            }
+        );
+        // Network faults are the twin's alone: every other kind would
+        // silently ignore them, so declaring them is a build error.
+        let lossy = NetworkConfig::new(0.5, 0, 0, 1).unwrap();
+        for kind in [
+            ProcessKind::Broadcast,
+            ProcessKind::Gossip,
+            ProcessKind::Infection,
+            ProcessKind::Coverage,
+        ] {
+            assert!(
+                matches!(
+                    ScenarioSpec::builder(kind, 12, 6)
+                        .network(lossy)
+                        .build()
+                        .unwrap_err(),
+                    SimError::UnsupportedSetting { .. }
+                ),
+                "{kind} accepted a non-ideal network"
+            );
+        }
+        let spec = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+            .radius(1)
+            .network(lossy)
+            .build()
+            .unwrap();
+        assert_eq!(spec.network(), &lossy);
+    }
+
+    #[test]
+    fn protocol_twin_time_matches_analytic_broadcast_per_seed() {
+        // On the ideal network the spec-level twin reproduces the
+        // analytic broadcast's T_B seed for seed.
+        let twin = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 16, 6)
+            .radius(2)
+            .build()
+            .unwrap();
+        let sim = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 6)
+            .radius(2)
+            .build()
+            .unwrap();
+        for seed in [2u64, 4, 8] {
+            assert_eq!(twin.run_seed(seed), sim.run_seed(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn with_network_rederives_and_revalidates() {
+        let base = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 16, 6)
+            .radius(1)
+            .build()
+            .unwrap();
+        let lossy = NetworkConfig::new(0.25, 1, 2, 3).unwrap();
+        let derived = base.with_network(lossy).unwrap();
+        assert_eq!(derived.network(), &lossy);
+        assert_eq!(derived.config(), base.config());
+        let analytic = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 6)
+            .radius(1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            analytic.with_network(lossy).unwrap_err(),
+            SimError::UnsupportedSetting { .. }
+        ));
+    }
+
+    #[test]
+    fn network_keys_round_trip_and_stay_out_of_default_toml() {
+        let ideal = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 16, 6)
+            .radius(1)
+            .build()
+            .unwrap();
+        // Default network values never appear in the rendering, so
+        // pre-network spec files stay byte-identical.
+        let text = ideal.to_toml();
+        for key in ["drop_prob", "delay_max", "send_cap", "gossip_interval"] {
+            assert!(!text.contains(key), "ideal spec rendered {key}:\n{text}");
+        }
+        let lossy = ideal
+            .with_network(NetworkConfig::new(0.25, 2, 3, 4).unwrap())
+            .unwrap();
+        let text = lossy.to_toml();
+        assert!(text.contains("drop_prob = 0.25\n"), "{text}");
+        assert!(text.contains("delay_max = 2\n"), "{text}");
+        assert!(text.contains("send_cap = 3\n"), "{text}");
+        assert!(text.contains("gossip_interval = 4\n"), "{text}");
+        assert_eq!(ScenarioSpec::from_toml_str(&text).unwrap(), lossy);
+    }
+
+    #[test]
+    fn parse_rejects_bad_network_values() {
+        let base = "[scenario]\nprocess = \"protocol-broadcast\"\nside = 8\nk = 4\n";
+        assert!(matches!(
+            ScenarioSpec::from_toml_str(&format!("{base}drop_prob = 1.5\n")),
+            Err(SpecError::Toml(TomlError::BadValue { ref key, .. })) if key == "drop_prob"
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_toml_str(&format!("{base}gossip_interval = 0\n")),
+            Err(SpecError::Toml(TomlError::BadValue { ref key, .. })) if key == "gossip_interval"
+        ));
     }
 
     #[test]

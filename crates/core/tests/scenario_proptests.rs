@@ -7,7 +7,9 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec, SimConfig, SimError, Simulation};
+use sparsegossip_core::{
+    Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimConfig, SimError, Simulation,
+};
 
 fn arb_kind() -> impl Strategy<Value = ProcessKind> {
     (0usize..ProcessKind::ALL.len()).prop_map(|i| ProcessKind::ALL[i])
@@ -69,6 +71,10 @@ proptest! {
                         Simulation::infection(config, &mut rng).map(|_| ())
                     }
                     ProcessKind::Coverage => Simulation::coverage(config, &mut rng).map(|_| ()),
+                    ProcessKind::ProtocolBroadcast => {
+                        Simulation::protocol_broadcast(config, NetworkConfig::IDEAL, 1, &mut rng)
+                            .map(|_| ())
+                    }
                 };
                 prop_assert!(
                     constructed.is_ok(),
@@ -117,6 +123,7 @@ proptest! {
         fraction_metric in any::<bool>(),
         frog in any::<bool>(),
         one_hop in any::<bool>(),
+        lossy in any::<bool>(),
     ) {
         // Infection is contact-only: nonzero radii are build errors.
         let radius = if kind == ProcessKind::Infection { 0 } else { radius };
@@ -124,10 +131,14 @@ proptest! {
             .radius(radius)
             .source(k - 1)
             .metric(if fraction_metric { Metric::Fraction } else { Metric::Time });
-        // Only declare settings the kind implements: gossip supports
-        // neither, infection has no one-hop exchange.
-        if frog && kind != ProcessKind::Gossip {
+        // Only declare settings the kind implements: gossip and the
+        // protocol twin support neither, infection has no one-hop
+        // exchange, and only the twin takes network faults.
+        if frog && !matches!(kind, ProcessKind::Gossip | ProcessKind::ProtocolBroadcast) {
             builder = builder.mobility(sparsegossip_core::Mobility::InformedOnly);
+        }
+        if lossy && kind == ProcessKind::ProtocolBroadcast {
+            builder = builder.network(NetworkConfig::new(0.25, 2, 3, 4).expect("valid network"));
         }
         if one_hop && matches!(kind, ProcessKind::Broadcast | ProcessKind::Coverage) {
             builder = builder.exchange_rule(sparsegossip_core::ExchangeRule::OneHop);

@@ -1,0 +1,180 @@
+use core::fmt;
+
+/// Fault-injection and pacing knobs for the protocol twin's network.
+///
+/// The default configuration — see [`NetworkConfig::IDEAL`] — is the
+/// lossless, zero-latency, uncapped, every-tick-gossiping network on
+/// which the twin is provably draw-for-draw equivalent to the
+/// simulator's component-flooding broadcast. Every field departs from
+/// that ideal along one axis:
+///
+/// * `drop_prob` — each message (payload *and* ack) is lost
+///   independently with this probability;
+/// * `delay_max` — each delivered message is delayed by a uniform
+///   number of ticks in `0..=delay_max` (drawn at send time; a delayed
+///   message arrives even if the two nodes have since walked apart);
+/// * `send_cap` — at most this many `Gossip` payloads leave a node per
+///   tick (`0` means unlimited; acks are control traffic and exempt);
+/// * `gossip_interval` — the `StartGossip` timer fires only on ticks
+///   divisible by this interval (`1` = every tick).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_protocol::NetworkConfig;
+///
+/// let net = NetworkConfig::new(0.25, 2, 4, 1)?;
+/// assert_eq!(net.drop_prob(), 0.25);
+/// assert!(!net.is_ideal());
+/// assert!(NetworkConfig::default().is_ideal());
+/// # Ok::<(), sparsegossip_protocol::NetworkError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    drop_prob: f64,
+    delay_max: u64,
+    send_cap: u32,
+    gossip_interval: u64,
+}
+
+impl NetworkConfig {
+    /// The lossless, zero-latency, uncapped, every-tick network.
+    pub const IDEAL: Self = Self {
+        drop_prob: 0.0,
+        delay_max: 0,
+        send_cap: 0,
+        gossip_interval: 1,
+    };
+
+    /// Builds a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::DropProbOutOfRange`] unless `drop_prob` is
+    /// finite and within `[0, 1]`;
+    /// [`NetworkError::ZeroGossipInterval`] if `gossip_interval == 0`.
+    pub fn new(
+        drop_prob: f64,
+        delay_max: u64,
+        send_cap: u32,
+        gossip_interval: u64,
+    ) -> Result<Self, NetworkError> {
+        if !drop_prob.is_finite() || !(0.0..=1.0).contains(&drop_prob) {
+            return Err(NetworkError::DropProbOutOfRange);
+        }
+        if gossip_interval == 0 {
+            return Err(NetworkError::ZeroGossipInterval);
+        }
+        Ok(Self {
+            drop_prob,
+            delay_max,
+            send_cap,
+            gossip_interval,
+        })
+    }
+
+    /// Probability that any single message is lost in transit.
+    #[must_use]
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Upper bound (inclusive) of the uniform per-message delay, in ticks.
+    #[must_use]
+    pub fn delay_max(&self) -> u64 {
+        self.delay_max
+    }
+
+    /// Maximum `Gossip` payloads a node may send per tick; `0` = unlimited.
+    #[must_use]
+    pub fn send_cap(&self) -> u32 {
+        self.send_cap
+    }
+
+    /// The `StartGossip` timer period, in ticks (`≥ 1`).
+    #[must_use]
+    pub fn gossip_interval(&self) -> u64 {
+        self.gossip_interval
+    }
+
+    /// Whether this is exactly [`NetworkConfig::IDEAL`].
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        *self == Self::IDEAL
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::IDEAL
+    }
+}
+
+/// Why a [`NetworkConfig`] could not be built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// `drop_prob` was NaN, infinite, or outside `[0, 1]`.
+    DropProbOutOfRange,
+    /// `gossip_interval` was zero (the timer would never fire).
+    ZeroGossipInterval,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DropProbOutOfRange => {
+                write!(f, "drop probability must be a finite number in [0, 1]")
+            }
+            Self::ZeroGossipInterval => write!(f, "gossip interval must be at least 1 tick"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ideal() {
+        assert_eq!(NetworkConfig::default(), NetworkConfig::IDEAL);
+        assert!(NetworkConfig::IDEAL.is_ideal());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert_eq!(
+            NetworkConfig::new(-0.1, 0, 0, 1),
+            Err(NetworkError::DropProbOutOfRange)
+        );
+        assert_eq!(
+            NetworkConfig::new(1.1, 0, 0, 1),
+            Err(NetworkError::DropProbOutOfRange)
+        );
+        assert_eq!(
+            NetworkConfig::new(f64::NAN, 0, 0, 1),
+            Err(NetworkError::DropProbOutOfRange)
+        );
+        assert_eq!(
+            NetworkConfig::new(0.0, 0, 0, 0),
+            Err(NetworkError::ZeroGossipInterval)
+        );
+    }
+
+    #[test]
+    fn boundary_probabilities_are_accepted() {
+        assert!(NetworkConfig::new(0.0, 0, 0, 1).is_ok());
+        assert!(NetworkConfig::new(1.0, u64::MAX, u32::MAX, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(NetworkError::DropProbOutOfRange
+            .to_string()
+            .contains("[0, 1]"));
+        assert!(NetworkError::ZeroGossipInterval
+            .to_string()
+            .contains("1 tick"));
+    }
+}

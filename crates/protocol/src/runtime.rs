@@ -1,0 +1,691 @@
+use core::mem;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sparsegossip_conngraph::SpatialHash;
+use sparsegossip_grid::Point;
+use sparsegossip_walks::{derive_seed, BitSet};
+
+use crate::message::{Envelope, Event, EventLog, Payload};
+use crate::network::NetworkConfig;
+
+/// Salt XORed into the master seed before deriving per-node streams, so
+/// node 0's RNG is decorrelated from a mobility generator seeded with
+/// the same master (`derive_seed(m, 0)` is exactly SplitMix64's first
+/// output from state `m`, which is how `SmallRng::seed_from_u64` seeds
+/// xoshiro). The constant is ASCII `"protocol"`.
+pub const NODE_STREAM_SALT: u64 = 0x7072_6F74_6F63_6F6C;
+
+/// Message counters accumulated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Messages sent (payloads and acks, including later-dropped ones).
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages lost in transit.
+    pub dropped: u64,
+    /// `StartGossip` timer firings.
+    pub timers: u64,
+}
+
+/// Everything one node owns: its RNG stream and its protocol state.
+#[derive(Clone, Debug)]
+struct NodeState {
+    rng: SmallRng,
+    informed: bool,
+    informed_at: Option<u64>,
+    /// Peers this node has *evidence* know the rumor (received a
+    /// `Gossip` or `GossipAck` from them) — never re-offer to these.
+    peers_known: BitSet,
+    /// Peers offered the rumor this tick (resend suppression within a
+    /// tick; cleared when the tick ends).
+    sent_to: BitSet,
+    sent_this_tick: u32,
+}
+
+/// One computed (not yet applied) send, produced by a node's send phase.
+#[derive(Clone, Copy, Debug)]
+struct SendAction {
+    env: Envelope,
+    dropped: bool,
+}
+
+/// The deterministic message-passing runtime the protocol twin runs on.
+///
+/// Each agent of the mobility model is a node; per logical tick the
+/// caller hands the runtime the walkers' current positions, and the
+/// runtime floods `Gossip` messages along the visibility graph those
+/// positions induce (Manhattan distance ≤ `radius`, found through the
+/// same [`SpatialHash`] the simulator uses). All scheduling is by
+/// logical (tick, round) order with canonical within-round sorting, and
+/// all randomness comes from per-node [`SmallRng`] streams derived via
+/// [`derive_seed`] — runs are byte-reproducible and independent of the
+/// configured worker-thread count.
+///
+/// A tick proceeds in *rounds*: messages sent with zero delay are
+/// delivered in the next round of the same tick, so on an ideal network
+/// the rumor floods an entire connected component within one tick —
+/// exactly the simulator's radio-faster-than-movement regime.
+#[derive(Clone, Debug)]
+pub struct NodeRuntime {
+    net: NetworkConfig,
+    workers: usize,
+    nodes: Vec<NodeState>,
+    /// Mirror of the per-node `informed` flags, for cheap iteration.
+    informed: BitSet,
+    informed_count: usize,
+    completed_at: Option<u64>,
+    /// Messages in flight to a later tick.
+    future: Vec<Envelope>,
+    /// Messages delivered in the current round.
+    pending: Vec<Envelope>,
+    /// Messages scheduled for the next round of the current tick.
+    next_pending: Vec<Envelope>,
+    /// Nodes informed during the current round (they flood next).
+    fresh: Vec<u32>,
+    actions: Vec<SendAction>,
+    hash: SpatialHash,
+    /// CSR adjacency of the current tick's visibility graph.
+    neighbors: Vec<u32>,
+    offsets: Vec<usize>,
+    log: EventLog,
+    stats: RuntimeStats,
+}
+
+impl NodeRuntime {
+    /// Creates a runtime of `k` nodes with `source` initially informed.
+    ///
+    /// `seed` roots every node's private RNG stream
+    /// (`derive_seed(seed ^ NODE_STREAM_SALT, node)`); it may safely
+    /// equal the mobility seed. `workers` is the scheduler thread
+    /// count — it never affects results, only wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= k` (callers validate agent counts).
+    #[must_use]
+    pub fn new(k: usize, source: usize, net: NetworkConfig, seed: u64, workers: usize) -> Self {
+        assert!(source < k, "source {source} out of range for k = {k}");
+        let nodes = (0..k)
+            .map(|i| NodeState {
+                rng: SmallRng::seed_from_u64(derive_seed(seed ^ NODE_STREAM_SALT, i as u64)),
+                informed: i == source,
+                informed_at: (i == source).then_some(0),
+                peers_known: BitSet::new(k),
+                sent_to: BitSet::new(k),
+                sent_this_tick: 0,
+            })
+            .collect();
+        let mut informed = BitSet::new(k);
+        informed.insert(source);
+        Self {
+            net,
+            workers: workers.max(1),
+            nodes,
+            informed,
+            informed_count: 1,
+            completed_at: None,
+            future: Vec::new(),
+            pending: Vec::new(),
+            next_pending: Vec::new(),
+            fresh: Vec::new(),
+            actions: Vec::new(),
+            hash: SpatialHash::default(),
+            neighbors: Vec::new(),
+            offsets: Vec::new(),
+            log: EventLog::new(false),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// Sets the scheduler worker-thread count (`≥ 1`; results are
+    /// identical for every value).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enables or disables full event-record keeping (the rolling log
+    /// hash is always maintained).
+    pub fn set_recording(&mut self, on: bool) {
+        self.log.set_recording(on);
+    }
+
+    /// The event log (hash always valid; records only when recording).
+    #[must_use]
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Message counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The network configuration this runtime was built with.
+    #[must_use]
+    pub fn net(&self) -> &NetworkConfig {
+        &self.net
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the runtime has zero nodes (never true — `k ≥ 1`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The set of informed nodes.
+    #[must_use]
+    pub fn informed(&self) -> &BitSet {
+        &self.informed
+    }
+
+    /// Number of informed nodes.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Tick on which `node` first learned the rumor, if it has.
+    #[must_use]
+    pub fn informed_at(&self, node: usize) -> Option<u64> {
+        self.nodes[node].informed_at
+    }
+
+    /// Tick on which the last node learned the rumor, if the broadcast
+    /// has completed.
+    #[must_use]
+    pub fn completed_at(&self) -> Option<u64> {
+        self.completed_at
+    }
+
+    /// Whether every node is informed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Advances the protocol by one logical tick at time `time`, with
+    /// the walkers at `positions` and visibility radius `radius` on a
+    /// `side × side` grid. Returns whether the broadcast is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len()` differs from the node count.
+    pub fn tick(&mut self, time: u64, positions: &[Point], radius: u32, side: u32) -> bool {
+        assert_eq!(
+            positions.len(),
+            self.nodes.len(),
+            "position count must match node count"
+        );
+        if self.completed_at.is_some() {
+            return true;
+        }
+        self.rebuild_adjacency(positions, radius, side);
+        let gossip_tick = time.is_multiple_of(self.net.gossip_interval());
+
+        // Arrivals scheduled by earlier ticks, in canonical order.
+        self.pending.clear();
+        let mut i = 0;
+        while i < self.future.len() {
+            if self.future[i].deliver_at == time {
+                self.pending.push(self.future.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.pending.sort_unstable_by_key(Envelope::canonical_key);
+
+        // Timers fire at tick start, for nodes informed before the tick.
+        if gossip_tick {
+            for node in self.informed.iter_ones() {
+                self.log.push(Event::StartGossip {
+                    tick: time,
+                    node: node as u32,
+                });
+                self.stats.timers += 1;
+            }
+        }
+
+        let mut round: u32 = 0;
+        loop {
+            // Deliver this round's messages.
+            self.fresh.clear();
+            for idx in 0..self.pending.len() {
+                let env = self.pending[idx];
+                self.stats.delivered += 1;
+                self.log.push(Event::Deliver {
+                    tick: time,
+                    round,
+                    env,
+                });
+                self.deliver(env, time, round);
+            }
+            self.pending.clear();
+
+            // Send phase: round 0 floods from every informed node;
+            // later rounds only from nodes informed this round (the
+            // others' eligible peer sets can only have shrunk).
+            if gossip_tick {
+                if round == 0 {
+                    self.send_phase_all(time);
+                } else {
+                    self.send_phase_fresh(time);
+                }
+                self.apply_actions(time, round);
+            }
+
+            if self.next_pending.is_empty() {
+                break;
+            }
+            mem::swap(&mut self.pending, &mut self.next_pending);
+            self.pending.sort_unstable_by_key(Envelope::canonical_key);
+            round += 1;
+        }
+
+        // Per-tick send bookkeeping resets when the tick ends.
+        for node in &mut self.nodes {
+            if node.sent_this_tick > 0 {
+                node.sent_to.clear();
+                node.sent_this_tick = 0;
+            }
+        }
+
+        if self.informed_count == self.nodes.len() {
+            self.completed_at = Some(time);
+        }
+        self.completed_at.is_some()
+    }
+
+    /// Rebuilds the CSR adjacency of the visibility graph at the
+    /// current positions, with per-node neighbor lists sorted ascending.
+    fn rebuild_adjacency(&mut self, positions: &[Point], radius: u32, side: u32) {
+        self.hash.rebuild(positions, radius, side);
+        self.neighbors.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        for (i, &p) in positions.iter().enumerate() {
+            let start = self.neighbors.len();
+            for j in self.hash.candidates(p) {
+                if j as usize != i && positions[j as usize].manhattan(p) <= radius {
+                    self.neighbors.push(j);
+                }
+            }
+            self.neighbors[start..].sort_unstable();
+            self.offsets.push(self.neighbors.len());
+        }
+    }
+
+    /// Processes one delivered envelope: learn, maybe become informed,
+    /// and acknowledge gossip.
+    fn deliver(&mut self, env: Envelope, time: u64, round: u32) {
+        let dst = env.dst as usize;
+        match env.payload {
+            Payload::Gossip { rumor } => {
+                self.nodes[dst].peers_known.insert(env.src as usize);
+                if !self.nodes[dst].informed {
+                    self.nodes[dst].informed = true;
+                    self.nodes[dst].informed_at = Some(time);
+                    self.informed.insert(dst);
+                    self.informed_count += 1;
+                    self.fresh.push(env.dst);
+                }
+                // Ack so the sender stops re-offering. Control traffic:
+                // subject to loss and delay, exempt from the send cap.
+                let net = self.net;
+                let node = &mut self.nodes[dst];
+                let dropped = node.rng.random_bool(net.drop_prob());
+                let delay = if !dropped && net.delay_max() > 0 {
+                    node.rng.random_range(0..=net.delay_max())
+                } else {
+                    0
+                };
+                let ack = Envelope {
+                    src: env.dst,
+                    dst: env.src,
+                    payload: Payload::GossipAck { rumor },
+                    sent_at: time,
+                    deliver_at: time.saturating_add(delay),
+                };
+                self.stats.sent += 1;
+                self.log.push(Event::Send {
+                    tick: time,
+                    round,
+                    env: ack,
+                });
+                if dropped {
+                    self.stats.dropped += 1;
+                    self.log.push(Event::Drop {
+                        tick: time,
+                        round,
+                        env: ack,
+                    });
+                } else if delay == 0 {
+                    self.next_pending.push(ack);
+                } else {
+                    self.future.push(ack);
+                }
+            }
+            Payload::GossipAck { .. } => {
+                self.nodes[dst].peers_known.insert(env.src as usize);
+            }
+        }
+    }
+
+    /// Round-0 send phase: every informed node offers the rumor to its
+    /// eligible neighbors. This is the only phase that fans out across
+    /// worker threads — each node's sends depend only on its own state
+    /// and RNG plus the shared read-only adjacency, and the per-chunk
+    /// results are concatenated in node order, so the outcome is
+    /// identical for every worker count.
+    fn send_phase_all(&mut self, time: u64) {
+        self.actions.clear();
+        let net = self.net;
+        let neighbors = &self.neighbors;
+        let offsets = &self.offsets;
+        let workers = self.workers.min(self.nodes.len()).max(1);
+        if workers == 1 {
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if node.informed {
+                    let nb = &neighbors[offsets[i]..offsets[i + 1]];
+                    node_sends(node, i as u32, nb, net, time, &mut self.actions);
+                }
+            }
+            return;
+        }
+        let chunk = self.nodes.len().div_ceil(workers);
+        let chunk_results: Vec<Vec<SendAction>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, nodes)| {
+                    scope.spawn(move || {
+                        let base = ci * chunk;
+                        let mut out = Vec::new();
+                        for (off, node) in nodes.iter_mut().enumerate() {
+                            if node.informed {
+                                let i = base + off;
+                                let nb = &neighbors[offsets[i]..offsets[i + 1]];
+                                node_sends(node, i as u32, nb, net, time, &mut out);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("send-phase worker panicked"))
+                .collect()
+        });
+        for mut part in chunk_results {
+            self.actions.append(&mut part);
+        }
+    }
+
+    /// Later-round send phase: only nodes informed during the round
+    /// just delivered flood further (sequential — `fresh` is tiny).
+    fn send_phase_fresh(&mut self, time: u64) {
+        let net = self.net;
+        let neighbors = &self.neighbors;
+        let offsets = &self.offsets;
+        for idx in 0..self.fresh.len() {
+            let i = self.fresh[idx] as usize;
+            let nb = &neighbors[offsets[i]..offsets[i + 1]];
+            node_sends(
+                &mut self.nodes[i],
+                i as u32,
+                nb,
+                net,
+                time,
+                &mut self.actions,
+            );
+        }
+    }
+
+    /// Commits computed sends in node order: logs them, routes each to
+    /// the next round (zero delay), a future tick, or the drop counter.
+    fn apply_actions(&mut self, time: u64, round: u32) {
+        let mut actions = mem::take(&mut self.actions);
+        for a in &actions {
+            self.stats.sent += 1;
+            self.log.push(Event::Send {
+                tick: time,
+                round,
+                env: a.env,
+            });
+            if a.dropped {
+                self.stats.dropped += 1;
+                self.log.push(Event::Drop {
+                    tick: time,
+                    round,
+                    env: a.env,
+                });
+            } else if a.env.deliver_at == time {
+                self.next_pending.push(a.env);
+            } else {
+                self.future.push(a.env);
+            }
+        }
+        actions.clear();
+        self.actions = actions;
+    }
+}
+
+/// One node's send computation: offer the rumor to every neighbor not
+/// yet known informed and not yet offered this tick, up to the per-tick
+/// cap, drawing loss and delay from the node's private RNG.
+fn node_sends(
+    node: &mut NodeState,
+    i: u32,
+    neighbors: &[u32],
+    net: NetworkConfig,
+    time: u64,
+    out: &mut Vec<SendAction>,
+) {
+    for &j in neighbors {
+        if net.send_cap() != 0 && node.sent_this_tick >= net.send_cap() {
+            break;
+        }
+        if node.peers_known.contains(j as usize) || node.sent_to.contains(j as usize) {
+            continue;
+        }
+        node.sent_to.insert(j as usize);
+        node.sent_this_tick += 1;
+        let dropped = node.rng.random_bool(net.drop_prob());
+        let delay = if !dropped && net.delay_max() > 0 {
+            node.rng.random_range(0..=net.delay_max())
+        } else {
+            0
+        };
+        out.push(SendAction {
+            env: Envelope {
+                src: i,
+                dst: j,
+                payload: Payload::Gossip { rumor: 0 },
+                sent_at: time,
+                deliver_at: time.saturating_add(delay),
+            },
+            dropped,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(k: usize, spacing: u32) -> Vec<Point> {
+        (0..k).map(|i| Point::new(i as u32 * spacing, 0)).collect()
+    }
+
+    /// Drives the runtime over static positions until completion or
+    /// `max_ticks`.
+    fn run_static(
+        rt: &mut NodeRuntime,
+        positions: &[Point],
+        radius: u32,
+        side: u32,
+        max_ticks: u64,
+    ) -> Option<u64> {
+        for t in 0..max_ticks {
+            if rt.tick(t, positions, radius, side) {
+                return rt.completed_at();
+            }
+        }
+        rt.completed_at()
+    }
+
+    #[test]
+    fn ideal_network_floods_a_component_in_one_tick() {
+        let positions = line(5, 1);
+        let mut rt = NodeRuntime::new(5, 0, NetworkConfig::IDEAL, 7, 1);
+        let done = run_static(&mut rt, &positions, 1, 16, 10);
+        assert_eq!(done, Some(0), "a connected line floods at placement");
+        assert_eq!(rt.informed_count(), 5);
+        assert_eq!(rt.stats().dropped, 0);
+        // 4 gossip hops, each acked.
+        assert_eq!(rt.stats().sent, 8);
+        assert_eq!(rt.stats().delivered, 8);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_uninformed() {
+        let positions = line(3, 10);
+        let mut rt = NodeRuntime::new(3, 1, NetworkConfig::IDEAL, 7, 1);
+        let done = run_static(&mut rt, &positions, 1, 64, 5);
+        assert_eq!(done, None);
+        assert_eq!(rt.informed_count(), 1);
+        assert_eq!(rt.informed_at(1), Some(0));
+        assert_eq!(rt.informed_at(0), None);
+    }
+
+    #[test]
+    fn total_loss_never_informs_anyone() {
+        let positions = line(4, 1);
+        let net = NetworkConfig::new(1.0, 0, 0, 1).unwrap();
+        let mut rt = NodeRuntime::new(4, 0, net, 7, 1);
+        let done = run_static(&mut rt, &positions, 1, 16, 20);
+        assert_eq!(done, None);
+        assert_eq!(rt.informed_count(), 1);
+        assert!(rt.stats().dropped > 0);
+        assert_eq!(rt.stats().delivered, 0);
+    }
+
+    #[test]
+    fn delay_defers_delivery_by_whole_ticks() {
+        // Exactly-one-tick delay: the neighbor learns on tick 1, not 0.
+        let positions = line(2, 1);
+        let net = NetworkConfig::new(0.0, 1, 0, 1).unwrap();
+        // Hunt for a seed whose first delay draw is 1 (not 0) so the
+        // test pins the deferred path deterministically.
+        let seed = (0..64)
+            .find(|&s| {
+                let mut rt = NodeRuntime::new(2, 0, net, s, 1);
+                rt.tick(0, &positions, 1, 8);
+                rt.informed_count() == 1
+            })
+            .expect("some seed draws delay 1 first");
+        let mut rt = NodeRuntime::new(2, 0, net, seed, 1);
+        assert!(!rt.tick(0, &positions, 1, 8));
+        assert!(rt.tick(1, &positions, 1, 8));
+        assert_eq!(rt.informed_at(1), Some(1));
+    }
+
+    #[test]
+    fn send_cap_throttles_fanout_per_tick() {
+        // A star: node 0 sees 4 peers; cap 1 informs one peer per tick.
+        let positions = vec![
+            Point::new(1, 1),
+            Point::new(0, 1),
+            Point::new(2, 1),
+            Point::new(1, 0),
+            Point::new(1, 2),
+        ];
+        let net = NetworkConfig::new(0.0, 0, 1, 1).unwrap();
+        let mut rt = NodeRuntime::new(5, 0, net, 7, 1);
+        rt.tick(0, &positions, 1, 8);
+        // Peers of node 0 can also relay among themselves only if
+        // adjacent; in this star they are not (pairwise distance 2),
+        // so exactly one new node learns per tick.
+        assert_eq!(rt.informed_count(), 2);
+        rt.tick(1, &positions, 1, 8);
+        assert_eq!(rt.informed_count(), 3);
+    }
+
+    #[test]
+    fn gossip_interval_pauses_flooding_between_firings() {
+        let positions = line(2, 1);
+        let net = NetworkConfig::new(0.0, 0, 0, 3).unwrap();
+        let mut rt = NodeRuntime::new(2, 0, net, 7, 1);
+        // Tick 0 is divisible by every interval: floods immediately.
+        assert!(rt.tick(0, &positions, 1, 8));
+        assert_eq!(rt.completed_at(), Some(0));
+
+        // With the source informed only *after* tick 0 (source = 1 and
+        // nodes apart at t=0), nothing can happen on ticks 1..3.
+        let apart = line(2, 5);
+        let mut rt = NodeRuntime::new(2, 0, net, 7, 1);
+        assert!(!rt.tick(0, &apart, 1, 16));
+        assert!(!rt.tick(1, &positions, 1, 16));
+        assert!(!rt.tick(2, &positions, 1, 16));
+        assert!(rt.tick(3, &positions, 1, 16));
+        assert_eq!(rt.completed_at(), Some(3));
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_the_log_hash() {
+        let positions: Vec<Point> = (0..32)
+            .map(|i| Point::new((i % 8) * 2, (i / 8) * 2))
+            .collect();
+        let net = NetworkConfig::new(0.2, 2, 2, 1).unwrap();
+        let mut reference = None;
+        for workers in [1usize, 2, 8] {
+            let mut rt = NodeRuntime::new(32, 0, net, 99, workers);
+            for t in 0..50 {
+                if rt.tick(t, &positions, 3, 32) {
+                    break;
+                }
+            }
+            let signature = (rt.log().hash(), rt.completed_at(), *rt.stats());
+            match &reference {
+                None => reference = Some(signature),
+                Some(r) => assert_eq!(*r, signature, "workers={workers} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn recording_captures_the_event_sequence() {
+        let positions = line(2, 1);
+        let mut rt = NodeRuntime::new(2, 0, NetworkConfig::IDEAL, 7, 1);
+        rt.set_recording(true);
+        rt.tick(0, &positions, 1, 8);
+        let lines: Vec<String> = rt.log().records().iter().map(Event::to_string).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "t=0 timer node=0",
+                "t=0 r=0 send 0->1 gossip rumor=0 deliver=0",
+                "t=0 r=1 deliver 0->1 gossip rumor=0 sent=0",
+                "t=0 r=1 send 1->0 ack rumor=0 deliver=0",
+                "t=0 r=2 deliver 1->0 ack rumor=0 sent=0",
+            ]
+        );
+        assert_eq!(rt.log().len(), 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Fault-injection regressions: the network knobs must degrade the
+//! protocol in the physically sensible direction, deterministically.
+//!
+//! * total loss (`drop_prob = 1.0`) never informs anyone — the run
+//!   always hits its step cap with only the source informed;
+//! * at a fixed seed ensemble, the median completion tick is monotone
+//!   non-decreasing in the drop probability;
+//! * the delay bound's edge cases: `delay_max = 0` is *exactly* the
+//!   ideal network (same completion, same event-log hash), and
+//!   `delay_max = u64::MAX` schedules messages so far out that the run
+//!   behaves like total loss without panicking on overflow.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_core::{NetworkConfig, ProtocolOutcome, SimConfig, Simulation};
+
+/// Runs the twin once at (side 12, k 6, r 5 — super-critical, r_c ≈
+/// 4.9) with the given network and seed.
+fn run_twin(net: NetworkConfig, seed: u64, max_steps: u64) -> ProtocolOutcome {
+    let config = SimConfig::builder(12, 6)
+        .radius(5)
+        .max_steps(max_steps)
+        .build()
+        .expect("valid test configuration");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sim = Simulation::protocol_broadcast(&config, net, seed, &mut rng).expect("valid twin");
+    sim.run(&mut rng)
+}
+
+#[test]
+fn total_loss_always_hits_the_step_cap_with_one_informed() {
+    let net = NetworkConfig::new(1.0, 0, 0, 1).expect("valid network");
+    for seed in [1u64, 2, 3, 17, 2011] {
+        let out = run_twin(net, seed, 64);
+        assert_eq!(out.completion_time, None, "seed {seed} completed");
+        assert_eq!(out.informed, 1, "seed {seed} informed someone");
+        assert_eq!(out.stats.delivered, 0, "seed {seed} delivered a message");
+        assert_eq!(
+            out.stats.dropped, out.stats.sent,
+            "seed {seed}: every sent message must be dropped"
+        );
+    }
+}
+
+#[test]
+fn median_completion_tick_is_monotone_in_drop_probability() {
+    let seeds: Vec<u64> = (1..=11).collect();
+    let median_for = |drop: f64| -> f64 {
+        let net = NetworkConfig::new(drop, 0, 0, 1).expect("valid network");
+        let mut ticks: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let out = run_twin(net, s, 4000);
+                out.completion_time.unwrap_or(4000) as f64
+            })
+            .collect();
+        ticks.sort_by(f64::total_cmp);
+        ticks[ticks.len() / 2]
+    };
+    let medians: Vec<f64> = [0.0, 0.3, 0.6, 0.9].map(median_for).to_vec();
+    for pair in medians.windows(2) {
+        assert!(
+            pair[0] <= pair[1],
+            "median completion must not speed up with more loss: {medians:?}"
+        );
+    }
+    assert!(
+        medians[0] < medians[3],
+        "90% loss must be measurably slower than lossless: {medians:?}"
+    );
+}
+
+#[test]
+fn zero_delay_bound_is_exactly_the_ideal_network() {
+    let zero_delay = NetworkConfig::new(0.0, 0, 0, 1).expect("valid network");
+    assert!(zero_delay.is_ideal());
+    for seed in [5u64, 9, 13] {
+        let ideal = run_twin(NetworkConfig::IDEAL, seed, 500);
+        let zeroed = run_twin(zero_delay, seed, 500);
+        assert_eq!(zeroed, ideal, "seed {seed}");
+    }
+}
+
+#[test]
+fn maximal_delay_bound_defers_everything_past_the_cap() {
+    // Every delivered message draws a delay uniform in 0..=u64::MAX;
+    // the chance of landing within a 64-tick run is negligible, and
+    // `deliver_at` must saturate rather than overflow.
+    let net = NetworkConfig::new(0.0, u64::MAX, 0, 1).expect("valid network");
+    let out = run_twin(net, 1, 64);
+    assert_eq!(out.completion_time, None);
+    assert_eq!(out.informed, 1);
+    assert_eq!(out.stats.delivered, 0);
+    assert!(out.stats.sent > 0, "messages must still be sent");
+    assert_eq!(out.stats.dropped, 0, "delay is not loss");
+}
+
+#[test]
+fn small_delay_bound_slows_but_does_not_stop_completion() {
+    for seed in [2u64, 4, 6] {
+        let ideal = run_twin(NetworkConfig::IDEAL, seed, 4000);
+        let delayed = run_twin(
+            NetworkConfig::new(0.0, 3, 0, 1).expect("valid network"),
+            seed,
+            4000,
+        );
+        let t_ideal = ideal.completion_time.expect("ideal run completes");
+        let t_delayed = delayed.completion_time.expect("delayed run completes");
+        assert!(
+            t_delayed >= t_ideal,
+            "seed {seed}: delay {t_delayed} finished before ideal {t_ideal}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Differential property test: on the ideal network the protocol twin
+//! is *draw-for-draw* equivalent to the simulator's component-flooding
+//! broadcast — same seed, same trajectory, same completion tick.
+//!
+//! This is the twin's central contract (see `sparsegossip_protocol`'s
+//! crate docs): `ProtocolBroadcast` opts out of component labelling
+//! and consumes no driver RNG of its own, so placement and every
+//! lazy-walk step replay the analytic broadcast's draws exactly, and
+//! with lossless zero-latency messaging the per-tick subround flooding
+//! reaches precisely the rumor's connected component. The test crate
+//! depends on `sparsegossip_core` as a dev-dependency (the runtime
+//! itself sits *below* core in the layering).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sparsegossip_core::{NetworkConfig, SimConfig, Simulation};
+
+/// Runs both sides at the same (side, k, r, cap, seed) and returns
+/// `(simulator T_B, twin completion tick)`.
+fn both_sides(side: u32, k: usize, radius: u32, cap: u64, seed: u64) -> (Option<u64>, Option<u64>) {
+    let config = SimConfig::builder(side, k)
+        .radius(radius)
+        .max_steps(cap)
+        .build()
+        .expect("valid test configuration");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sim_time = Simulation::broadcast(&config, &mut rng)
+        .expect("valid broadcast")
+        .run(&mut rng)
+        .broadcast_time;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut twin = Simulation::protocol_broadcast(&config, NetworkConfig::IDEAL, seed, &mut rng)
+        .expect("valid twin");
+    let twin_time = twin.run(&mut rng).completion_time;
+    (sim_time, twin_time)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The twin's completion tick equals the simulator's `T_B` for
+    /// random (side, k, r) configurations and seeds — including capped
+    /// runs, where both sides must agree the broadcast is incomplete.
+    #[test]
+    fn ideal_twin_completion_equals_simulator_t_b(
+        side in 6u32..=24,
+        k in 2usize..=10,
+        radius in 0u32..=5,
+        seed in any::<u64>(),
+    ) {
+        let cap = 300;
+        let (sim_time, twin_time) = both_sides(side, k, radius, cap, seed);
+        prop_assert_eq!(
+            twin_time, sim_time,
+            "side={} k={} r={} seed={}", side, k, radius, seed
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_across_the_critical_radius() {
+    // Deterministic spot checks bracketing r_c = √(n/k) on one grid:
+    // sub-critical, near-critical and super-critical radii all agree.
+    let side = 16;
+    let k = 8; // r_c = √(256/8) ≈ 5.7
+    for radius in [0u32, 2, 6, 12] {
+        for seed in [1u64, 7, 42] {
+            let (sim_time, twin_time) = both_sides(side, k, radius, 400, seed);
+            assert_eq!(twin_time, sim_time, "r={radius} seed={seed}");
+        }
+    }
+}

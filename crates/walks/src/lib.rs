@@ -23,6 +23,10 @@
 //! * [`msd_curve`] — mean-squared-displacement curves, the diffusive
 //!   time scale behind every `d²` horizon in the paper.
 //!
+//! It also hosts [`derive_seed`]/[`SeedSequence`], the SplitMix64 child
+//! seed derivation every deterministic consumer (the analysis sweep
+//! harness, the protocol twin's per-node RNG streams) shares.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,6 +55,7 @@ mod hitting;
 mod lazy;
 mod meeting;
 mod range;
+mod seeds;
 
 pub use bitset::{BitSet, Ones};
 pub use cover::{multi_cover, CoverRun, CoverTracker};
@@ -62,3 +67,4 @@ pub use hitting::{hit_within, hitting_probability};
 pub use lazy::{lazy_step, Walk, HOLD_DENOMINATOR};
 pub use meeting::{first_meeting_time, meeting_within, MeetingTrial};
 pub use range::RangeTracker;
+pub use seeds::{derive_seed, SeedSequence};

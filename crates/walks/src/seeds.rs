@@ -3,12 +3,14 @@
 ///
 /// The experiment harness gives every replicate of every sweep point a
 /// distinct, reproducible RNG seed:
-/// `derive_seed(master, point_index · R + replicate)`.
+/// `derive_seed(master, point_index · R + replicate)`; the protocol
+/// twin's node runtime uses the same function to give every node its
+/// own message-level RNG stream.
 ///
 /// # Examples
 ///
 /// ```
-/// use sparsegossip_analysis::derive_seed;
+/// use sparsegossip_walks::derive_seed;
 ///
 /// let a = derive_seed(42, 0);
 /// let b = derive_seed(42, 1);
@@ -30,7 +32,7 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
 /// # Examples
 ///
 /// ```
-/// use sparsegossip_analysis::SeedSequence;
+/// use sparsegossip_walks::SeedSequence;
 ///
 /// let seeds: Vec<u64> = SeedSequence::new(7).take(3).collect();
 /// assert_eq!(seeds.len(), 3);

@@ -20,7 +20,8 @@
 //! | [`grid`] | grid geometry, topologies, tessellation |
 //! | [`walks`] | lazy-walk engine and walk statistics |
 //! | [`conngraph`] | visibility graph, islands, percolation |
-//! | [`core`] | broadcast/gossip/frog/predator-prey processes, scenario specs |
+//! | [`protocol`] | deterministic message-passing node runtime (the protocol twin) |
+//! | [`core`] | broadcast/gossip/frog/predator-prey processes, the protocol twin, scenario specs |
 //! | [`analysis`] | statistics, regression, sweeps, the scenario sweep engine |
 //!
 //! # Quick start
@@ -71,18 +72,36 @@
 //! assert_eq!(report.cells.len(), 3);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! And the [`protocol`] twin replays the same seeded trajectory with
+//! real `Gossip`/`GossipAck` messages instead of component flooding —
+//! on an ideal network it completes on exactly the simulator's `T_B`:
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use sparsegossip::prelude::*;
+//!
+//! let config = SimConfig::builder(16, 4).radius(2).build()?;
+//! let mut rng = SmallRng::seed_from_u64(2011);
+//! let mut twin = Simulation::protocol_broadcast(&config, NetworkConfig::IDEAL, 2011, &mut rng)?;
+//! let outcome = twin.run(&mut rng);
+//! assert!(outcome.completed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use sparsegossip_analysis as analysis;
 pub use sparsegossip_conngraph as conngraph;
 pub use sparsegossip_core as core;
 pub use sparsegossip_grid as grid;
+pub use sparsegossip_protocol as protocol;
 pub use sparsegossip_walks as walks;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use sparsegossip_analysis::{
-        power_law_fit, Runner, ScenarioSweep, ScenarioSweepReport, Summary, Sweep, Table,
-        TransitionEstimate,
+        power_law_fit, NetworkAxis, Runner, ScenarioSweep, ScenarioSweepReport, Summary, Sweep,
+        Table, TransitionEstimate,
     };
     pub use sparsegossip_conngraph::{
         components, components_from_seeds, critical_radius, giant_fraction,
@@ -90,10 +109,12 @@ pub mod prelude {
     pub use sparsegossip_core::{
         broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, ComponentsScope,
         Coverage, ExchangeRule, FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim,
-        Metric, Mobility, Observer, PredatorPrey, PredatorPreySim, Process, ProcessKind,
-        ScenarioSpec, SimConfig, SimError, SimScratch, Simulation,
+        Metric, Mobility, NetworkConfig, Observer, PredatorPrey, PredatorPreySim, Process,
+        ProcessKind, ProtocolBroadcast, ProtocolOutcome, ScenarioSpec, SimConfig, SimError,
+        SimScratch, Simulation,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
+    pub use sparsegossip_protocol::NodeRuntime;
     pub use sparsegossip_walks::{hit_within, lazy_step, multi_cover, BitSet, Walk, WalkEngine};
 }
 

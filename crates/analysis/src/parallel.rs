@@ -92,7 +92,7 @@ where
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| m.into_inner().expect("every slot filled")) // detlint: allow(panic, scoped threads fill every slot before joining)
         .collect()
 }
 

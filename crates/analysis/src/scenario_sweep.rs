@@ -145,6 +145,7 @@ impl NetworkAxis {
         // Axis values are validated by the builders / the TOML parser,
         // so rebuilding the config cannot fail.
         let build = |drop, delay, cap, interval| {
+            // detlint: allow(panic, axis values were validated by the builders)
             NetworkConfig::new(drop, delay, cap, interval).expect("validated axis value")
         };
         match self {

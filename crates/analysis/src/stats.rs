@@ -47,7 +47,7 @@ impl Summary {
             0.0
         };
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare")); // detlint: allow(panic, finiteness asserted on entry above)
         Self {
             n,
             mean,

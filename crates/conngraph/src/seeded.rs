@@ -104,6 +104,7 @@ impl SeededScratch {
 ///
 /// Panics if `seeds.len() != positions.len()` or if the hash holds a
 /// different number of agents than `positions`.
+// detlint: hot
 pub fn components_from_seeds_on<'a>(
     hash: &SpatialHash,
     scratch: &'a mut SeededScratch,

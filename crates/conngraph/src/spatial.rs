@@ -172,6 +172,7 @@ impl SpatialHash {
     /// # Panics
     ///
     /// As [`SpatialHash::build`].
+    // detlint: hot
     pub fn rebuild(&mut self, positions: &[Point], r: u32, side: u32) {
         assert!(side > 0, "grid side must be positive");
         assert!(positions.len() <= u32::MAX as usize, "too many agents");
@@ -269,6 +270,7 @@ impl SpatialHash {
     /// Panics if a `from` position is not where the hash last saw that
     /// agent, or if a `to` position lies outside the grid — either
     /// means the move log does not match the maintained state.
+    // detlint: hot
     pub fn apply_moves(&mut self, moves: &[(u32, Point, Point)]) {
         if !self.linked {
             self.enter_linked_mode();

@@ -177,6 +177,7 @@ impl Broadcast {
     ///
     /// Both the spatial hash and the start-of-step snapshot refill
     /// persistent buffers, so the step allocates nothing.
+    // detlint: hot
     fn exchange_one_hop(&mut self, positions: &[Point], radius: u32, side: u32) -> usize {
         let hash = SpatialHash::build_into(&mut self.one_hop_spatial, positions, radius, side);
         self.one_hop_snapshot.copy_from(&self.informed);
@@ -199,6 +200,7 @@ impl Broadcast {
 
     /// Floods every component containing an informed agent; returns the
     /// number of newly informed agents.
+    // detlint: hot
     fn exchange_components(&mut self, comps: &Components) -> usize {
         let mut fresh = 0;
         for c in 0..comps.count() {

@@ -127,6 +127,7 @@ impl Process for Gossip {
         Some(self.rumors.k())
     }
 
+    // detlint: hot
     fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
         self.rumors.exchange(ctx.components);
         if self.rumors.all_complete() {

@@ -121,6 +121,7 @@ impl Process for Infection {
         self.inner.components_scope()
     }
 
+    // detlint: hot
     fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
         let flow = self.inner.exchange(ctx);
         self.record(ctx.time);

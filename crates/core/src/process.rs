@@ -665,6 +665,7 @@ impl<P: Process, T: Topology> Simulation<P, T> {
     /// assert!(obs.0 >= 1);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    // detlint: hot
     pub fn step<R: RngExt, O: Observer>(
         &mut self,
         rng: &mut R,

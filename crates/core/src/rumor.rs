@@ -132,6 +132,7 @@ impl RumorSets {
     ///
     /// Allocation-free: the union accumulator is a persistent scratch
     /// and member sets are overwritten in place.
+    // detlint: hot
     pub fn exchange(&mut self, comps: &Components) {
         let union = &mut self.union_scratch;
         for c in 0..comps.count() {

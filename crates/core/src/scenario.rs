@@ -357,7 +357,7 @@ impl ScenarioSpec {
         match self.kind {
             ProcessKind::Broadcast => {
                 let mut sim = Simulation::broadcast_with_scratch(cfg, &mut rng, mem::take(scratch))
-                    .expect("validated spec");
+                    .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
                 let out = sim.run(&mut rng);
                 *scratch = sim.into_scratch();
                 match self.metric {
@@ -367,7 +367,7 @@ impl ScenarioSpec {
             }
             ProcessKind::Gossip => {
                 let mut sim = Simulation::gossip_with_scratch(cfg, &mut rng, mem::take(scratch))
-                    .expect("validated spec");
+                    .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
                 let out = sim.run(&mut rng);
                 *scratch = sim.into_scratch();
                 match self.metric {
@@ -377,7 +377,7 @@ impl ScenarioSpec {
             }
             ProcessKind::Infection => {
                 let mut sim = Simulation::infection_with_scratch(cfg, &mut rng, mem::take(scratch))
-                    .expect("validated spec");
+                    .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
                 let out = sim.run(&mut rng);
                 *scratch = sim.into_scratch();
                 match self.metric {
@@ -396,7 +396,7 @@ impl ScenarioSpec {
                     &mut rng,
                     mem::take(scratch),
                 )
-                .expect("validated spec");
+                .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
                 let out = sim.run(&mut rng);
                 *scratch = sim.into_scratch();
                 match self.metric {
@@ -405,8 +405,8 @@ impl ScenarioSpec {
                 }
             }
             ProcessKind::Coverage => {
-                let grid = Grid::new(cfg.side()).expect("validated spec");
-                let process = Coverage::from_config(grid, cfg).expect("validated spec");
+                let grid = Grid::new(cfg.side()).expect("validated spec"); // detlint: allow(panic, spec validation checked side >= 1)
+                let process = Coverage::from_config(grid, cfg).expect("validated spec"); // detlint: allow(panic, spec validation mirrors Coverage::from_config)
                 let mut sim = Simulation::new_with_scratch(
                     grid,
                     cfg.k(),
@@ -416,7 +416,7 @@ impl ScenarioSpec {
                     &mut rng,
                     mem::take(scratch),
                 )
-                .expect("validated spec");
+                .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
                 let out = sim.run(&mut rng);
                 *scratch = sim.into_scratch();
                 match self.metric {

@@ -290,6 +290,27 @@ impl TomlTable {
         self.typed_int_array(key, "array of non-negative integers")
     }
 
+    /// Reads `key` as an array of strings, if present.
+    ///
+    /// # Errors
+    ///
+    /// [`TomlError::BadValue`] if present but not an array of strings.
+    pub fn opt_str_array(&self, key: &str) -> Result<Option<Vec<String>>, TomlError> {
+        self.entries
+            .get(key)
+            .map(|v| match v {
+                TomlValue::Array(items) => items
+                    .iter()
+                    .map(|item| match item {
+                        TomlValue::Str(s) => Ok(s.clone()),
+                        _ => Err(self.bad(key, "array of strings")),
+                    })
+                    .collect(),
+                _ => Err(self.bad(key, "array of strings")),
+            })
+            .transpose()
+    }
+
     fn typed_int_array<T: TryFrom<i64>>(
         &self,
         key: &str,
@@ -597,6 +618,15 @@ mod tests {
                 TomlValue::Str("a".into()),
                 TomlValue::Str("b".into())
             ]))
+        );
+        assert_eq!(
+            w.opt_str_array("names").unwrap(),
+            Some(vec!["a".to_string(), "b".to_string()])
+        );
+        assert_eq!(w.opt_str_array("absent").unwrap(), None);
+        assert!(
+            w.opt_str_array("sides").is_err(),
+            "integers are not strings"
         );
         assert_eq!(doc.sections().count(), 2);
     }

@@ -1,0 +1,238 @@
+//! `detlint.toml`: scan excludes plus the committed finding baseline.
+//!
+//! The file uses the same self-contained TOML subset as the scenario
+//! specs ([`sparsegossip_core::toml`]): sections, scalars and
+//! single-line arrays. A missing file means "defaults + empty
+//! baseline", so detlint works out of the box on fixture trees.
+//!
+//! The baseline is count-based: each entry tolerates up to `count`
+//! findings of one lint in one file. Count-based entries survive
+//! unrelated edits (line-number baselines go stale on every reflow)
+//! while still failing the moment a *new* finding of that class lands
+//! in that file. Stale entries (fewer findings than tolerated) are
+//! reported so the baseline can only shrink over time.
+
+use std::fmt;
+use std::path::Path;
+
+use sparsegossip_core::toml::{TomlDoc, TomlError};
+
+use crate::lints::LintId;
+
+/// A parsed `detlint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Workspace-relative path prefixes never scanned.
+    pub exclude: Vec<String>,
+    /// Tolerated pre-existing findings: (lint, file, count).
+    pub baseline: Vec<BaselineEntry>,
+}
+
+/// One tolerated finding group from the `[baseline]` section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The tolerated lint.
+    pub lint: LintId,
+    /// Workspace-relative file (forward slashes).
+    pub file: String,
+    /// Number of findings of `lint` tolerated in `file`.
+    pub count: usize,
+}
+
+impl fmt::Display for BaselineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lint.as_str(), self.file, self.count)
+    }
+}
+
+/// Errors loading or parsing a config file.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The file exists but could not be read.
+    Io(std::io::Error),
+    /// The TOML subset parser rejected the file.
+    Toml(TomlError),
+    /// A `[baseline] entries` element is not `"<lint> <file> <count>"`.
+    BadEntry(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read config: {e}"),
+            Self::Toml(e) => write!(f, "bad config: {e}"),
+            Self::BadEntry(s) => write!(
+                f,
+                "bad baseline entry {s:?}: expected \"<lint> <file> <count>\""
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// The excludes every scan starts from, even with no config file:
+    /// VCS metadata, build output, vendored third-party code (not ours
+    /// to lint) and detlint's own deliberately-violating test fixtures.
+    #[must_use]
+    pub fn default_excludes() -> Vec<String> {
+        [".git", "target", "vendor", "crates/detlint/tests/fixtures"]
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// The fallback configuration when no `detlint.toml` exists.
+    #[must_use]
+    pub fn fallback() -> Self {
+        Self {
+            exclude: Self::default_excludes(),
+            baseline: Vec::new(),
+        }
+    }
+
+    /// Loads `path` if it exists, else returns [`Config::fallback`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the file exists but cannot be read or parsed.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        if !path.exists() {
+            return Ok(Self::fallback());
+        }
+        let text = std::fs::read_to_string(path).map_err(ConfigError::Io)?;
+        Self::parse(&text)
+    }
+
+    /// Parses a config document.
+    ///
+    /// # Errors
+    ///
+    /// As [`Config::load`].
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let doc = TomlDoc::parse(text).map_err(ConfigError::Toml)?;
+        let exclude = match doc.opt_section("scan") {
+            Some(s) => s
+                .opt_str_array("exclude")
+                .map_err(ConfigError::Toml)?
+                .unwrap_or_else(Self::default_excludes),
+            None => Self::default_excludes(),
+        };
+        let mut baseline = Vec::new();
+        if let Some(s) = doc.opt_section("baseline") {
+            for raw in s
+                .opt_str_array("entries")
+                .map_err(ConfigError::Toml)?
+                .unwrap_or_default()
+            {
+                baseline.push(parse_entry(&raw)?);
+            }
+        }
+        Ok(Self { exclude, baseline })
+    }
+
+    /// Renders the config back to TOML, with `baseline` replaced by the
+    /// given entries (the `--write-baseline` output).
+    #[must_use]
+    pub fn render(&self, baseline: &[BaselineEntry]) -> String {
+        let mut out = String::new();
+        out.push_str("# detlint — static determinism / zero-alloc / panic-surface checker.\n");
+        out.push_str("# Run:      cargo run -p detlint --release\n");
+        out.push_str("# Baseline: cargo run -p detlint --release -- --write-baseline\n");
+        out.push_str("# Entries are \"<lint> <file> <count>\"; new findings exit nonzero.\n\n");
+        out.push_str("[scan]\n");
+        out.push_str(&format!("exclude = [{}]\n", quote_all(&self.exclude)));
+        out.push_str("\n[baseline]\n");
+        let rendered: Vec<String> = baseline.iter().map(BaselineEntry::to_string).collect();
+        out.push_str(&format!("entries = [{}]\n", quote_all(&rendered)));
+        out
+    }
+
+    /// The tolerated count for findings of `lint` in `file`.
+    #[must_use]
+    pub fn allowance(&self, lint: LintId, file: &str) -> usize {
+        self.baseline
+            .iter()
+            .filter(|b| b.lint == lint && b.file == file)
+            .map(|b| b.count)
+            .sum()
+    }
+}
+
+fn parse_entry(raw: &str) -> Result<BaselineEntry, ConfigError> {
+    let mut it = raw.split_whitespace();
+    let (Some(lint), Some(file), Some(count), None) = (it.next(), it.next(), it.next(), it.next())
+    else {
+        return Err(ConfigError::BadEntry(raw.to_string()));
+    };
+    let lint = LintId::parse(lint).ok_or_else(|| ConfigError::BadEntry(raw.to_string()))?;
+    let count: usize = count
+        .parse()
+        .map_err(|_| ConfigError::BadEntry(raw.to_string()))?;
+    Ok(BaselineEntry {
+        lint,
+        file: file.to_string(),
+        count,
+    })
+}
+
+fn quote_all(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("{s:?}")).collect();
+    quoted.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_excludes_and_baseline() {
+        let cfg = Config::parse(
+            "[scan]\nexclude = [\"vendor\", \"target\"]\n\n\
+             [baseline]\nentries = [\"panic crates/core/src/x.rs 2\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, vec!["vendor", "target"]);
+        assert_eq!(cfg.baseline.len(), 1);
+        assert_eq!(cfg.allowance(LintId::Panic, "crates/core/src/x.rs"), 2);
+        assert_eq!(cfg.allowance(LintId::HotAlloc, "crates/core/src/x.rs"), 0);
+    }
+
+    #[test]
+    fn missing_sections_fall_back_to_defaults() {
+        let cfg = Config::parse("").unwrap();
+        assert_eq!(cfg.exclude, Config::default_excludes());
+        assert!(cfg.baseline.is_empty());
+    }
+
+    #[test]
+    fn bad_entries_are_rejected() {
+        for bad in [
+            "panic only-two",
+            "panic a.rs x",
+            "nope a.rs 1",
+            "panic a.rs 1 extra",
+        ] {
+            let text = format!("[baseline]\nentries = [{bad:?}]\n");
+            assert!(
+                matches!(Config::parse(&text), Err(ConfigError::BadEntry(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let cfg = Config::fallback();
+        let entries = vec![BaselineEntry {
+            lint: LintId::Panic,
+            file: "crates/core/src/x.rs".to_string(),
+            count: 1,
+        }];
+        let rendered = cfg.render(&entries);
+        let back = Config::parse(&rendered).unwrap();
+        assert_eq!(back.exclude, cfg.exclude);
+        assert_eq!(back.baseline, entries);
+    }
+}

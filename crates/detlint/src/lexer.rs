@@ -1,0 +1,283 @@
+//! A deliberately small Rust lexer: enough to tell code from comments,
+//! string/char literals and lifetimes, line by line — so lint patterns
+//! never fire on `"HashMap"` in a string or `// HashMap` in a comment —
+//! without pulling in `syn` (the workspace vendors no crates.io deps).
+//!
+//! The lexer makes no attempt to parse Rust. It classifies every byte
+//! of a file as code, comment or literal, blanks everything that is not
+//! code, and tokenizes the remainder into identifiers and single-byte
+//! punctuation. That is exactly the granularity the lint patterns need
+//! (`Instant :: now`, `.` `unwrap`, `vec` `!`, …) and it is trivially
+//! robust: no macro, generics or edition subtleties can confuse it into
+//! *missing* the forbidden identifiers, because those always lex as
+//! identifiers.
+
+/// One token of blanked line code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `fn`, …).
+    Ident(String),
+    /// Any other non-whitespace byte (`.`, `:`, `!`, `{`, …).
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier token.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+}
+
+/// One source line, split into its code tokens and its line comments.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// The raw line, exactly as read (for rendering findings).
+    pub raw: String,
+    /// Tokens of the line with comments and literals blanked out.
+    pub toks: Vec<Tok>,
+    /// Text of every `//` comment on the line (without the slashes);
+    /// block-comment text is dropped — annotations must use `//`.
+    pub comments: Vec<String>,
+}
+
+impl Line {
+    /// Whether the line carries any code at all (blank or comment-only
+    /// lines do not).
+    #[must_use]
+    pub fn has_code(&self) -> bool {
+        !self.toks.is_empty()
+    }
+}
+
+/// Lexer state that survives line breaks (multi-line literals and
+/// block comments).
+enum Carry {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Splits `text` into classified [`Line`]s.
+#[must_use]
+pub fn lex(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut carry = Carry::Code;
+    for raw in text.lines() {
+        let mut line = Line {
+            raw: raw.to_string(),
+            ..Line::default()
+        };
+        let mut code = String::new();
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < b.len() {
+            match carry {
+                Carry::BlockComment(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        carry = if depth == 1 {
+                            Carry::Code
+                        } else {
+                            Carry::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        carry = Carry::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Carry::Str => {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '"' {
+                        carry = Carry::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Carry::RawStr(hashes) => {
+                    // `"` followed by exactly `hashes` hash marks closes
+                    // the raw string; raw strings have no escapes.
+                    if b[i] == '"' && (1..=hashes as usize).all(|h| b.get(i + h) == Some(&'#')) {
+                        carry = Carry::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Carry::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        line.comments.push(b[i + 2..].iter().collect());
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        carry = Carry::BlockComment(1);
+                        i += 2;
+                    } else if c == '"' {
+                        carry = Carry::Str;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+                        // Possible raw/byte string prefix: r"", r#""#,
+                        // br"", b"".
+                        let mut j = i + 1;
+                        if c == 'b' && b.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&'"') && (c == 'r' || j > i + 1 || hashes > 0) {
+                            carry = if c == 'r' || b.get(i + 1) == Some(&'r') {
+                                Carry::RawStr(hashes)
+                            } else {
+                                Carry::Str
+                            };
+                            i = j + 1;
+                        } else if c == 'b' && b.get(i + 1) == Some(&'"') {
+                            carry = Carry::Str;
+                            i += 2;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal or lifetime. `'x'` / `'\n'` are
+                        // literals; `'a` followed by anything but a
+                        // closing quote is a lifetime label.
+                        if b.get(i + 1) == Some(&'\\') {
+                            i += 2; // skip the escape lead-in
+                            while i < b.len() && b[i] != '\'' {
+                                i += 1;
+                            }
+                            i += 1;
+                        } else if b.get(i + 2) == Some(&'\'')
+                            && b.get(i + 1).is_some_and(|&n| n != '\'')
+                        {
+                            i += 3;
+                        } else {
+                            // Lifetime: drop the quote, keep lexing.
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        line.toks = tokenize(&code);
+        out.push(line);
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+fn tokenize(code: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut chars = code.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_alphabetic() || c == '_' {
+            let mut id = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_alphanumeric() || d == '_' {
+                    id.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Ident(id));
+        } else if c.is_numeric() {
+            // Numbers (incl. suffixed like 1u32) are irrelevant to every
+            // pattern; consume the whole literal so its suffix does not
+            // surface as an identifier.
+            while let Some(&d) = chars.peek() {
+                if d.is_alphanumeric() || d == '_' || d == '.' {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            toks.push(Tok::Punct(c));
+            chars.next();
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(line: &Line) -> Vec<&str> {
+        line.toks.iter().filter_map(Tok::ident).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = lex("let x = \"HashMap\"; // HashMap here\nuse std::collections::HashMap;\n");
+        assert!(!idents(&lines[0]).contains(&"HashMap"));
+        assert_eq!(lines[0].comments, vec![" HashMap here".to_string()]);
+        assert!(idents(&lines[1]).contains(&"HashMap"));
+    }
+
+    #[test]
+    fn raw_and_multiline_strings_are_blanked() {
+        let text = "let a = r#\"Instant::now() \" quote\"#;\nlet b = \"multi\nline HashSet\";\nlet c = HashSet::new();\n";
+        let lines = lex(text);
+        assert!(idents(&lines[0]).is_empty() || !idents(&lines[0]).contains(&"Instant"));
+        assert!(!idents(&lines[2]).contains(&"HashSet"), "{:?}", lines[2]);
+        assert!(idents(&lines[3]).contains(&"HashSet"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex(
+            "/* outer /* inner HashMap */ still out */ let x = 1;\n/* spans\nHashMap\n*/ vec![]\n",
+        );
+        assert!(!idents(&lines[0]).contains(&"HashMap"));
+        assert!(idents(&lines[0]).contains(&"let"));
+        assert!(idents(&lines[2]).is_empty());
+        assert!(idents(&lines[3]).contains(&"vec"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = lex("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; s.unwrap() }\n");
+        let ids = idents(&lines[0]);
+        assert!(ids.contains(&"a"), "lifetime label still lexes: {ids:?}");
+        assert!(ids.contains(&"unwrap"), "code after char literals kept");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lines = lex("/// let x = map.unwrap();\n//! HashMap in crate docs\nlet y = 1;\n");
+        assert!(!lines[0].has_code());
+        assert!(!lines[1].has_code());
+        assert!(lines[2].has_code());
+    }
+
+    #[test]
+    fn numeric_suffixes_do_not_become_idents() {
+        let lines = lex("let x = 1u32 + 0xff_usize;\n");
+        let ids = idents(&lines[0]);
+        assert!(!ids.contains(&"u32"));
+        assert!(ids.contains(&"let"));
+    }
+}

@@ -1,0 +1,49 @@
+//! detlint — workspace-native static analysis for sparsegossip's
+//! determinism, zero-allocation and panic-surface contracts.
+//!
+//! The simulator's headline guarantees — byte-reproducible seeded runs,
+//! thread-count-independent sweeps, 0 allocations per step on the hot
+//! paths, and a `SimError`-only failure surface in library code — are
+//! enforced at runtime only by *sampling*: one seed, one allocator
+//! counter, one replay hash at a time. detlint closes the gap statically
+//! by scanning every workspace source for the constructs that violate
+//! those contracts:
+//!
+//! | id            | contract                                              |
+//! |---------------|-------------------------------------------------------|
+//! | `nondet-map`  | no `HashMap`/`HashSet` in the deterministic crates    |
+//! | `wall-clock`  | no `Instant::now`/`SystemTime` outside bench/cli      |
+//! | `unseeded-rng`| no `thread_rng`/`from_entropy`/`rand::random` anywhere|
+//! | `hot-alloc`   | no allocating constructs in `// detlint: hot` regions |
+//! | `panic`       | no `unwrap`/`expect`/`panic!` in non-test library code|
+//! | `annotation`  | the escape hatch polices itself                       |
+//!
+//! Violations are suppressed either by a justified annotation on the
+//! offending line —
+//!
+//! ```text
+//! // detlint: allow(nondet-map, uniqueness counting only; order never observed)
+//! ```
+//!
+//! — or by a count-based entry in the committed `detlint.toml` baseline.
+//! Anything beyond the baseline exits nonzero, so CI fails the moment a
+//! *new* violation lands while the pre-existing, triaged surface stays
+//! green.
+//!
+//! The tool is fully self-contained: a ~200-line lexer
+//! ([`lexer`]) classifies bytes as code / comment / literal (so
+//! `"HashMap"` in a string never fires), [`lints`] matches token
+//! patterns under path scopes, [`scan`] tracks `#[cfg(test)]` and
+//! `// detlint: hot` brace regions, and [`report`] renders an aligned
+//! table or byte-stable JSON. No `syn`, no new dependencies.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scan;
+
+pub use config::{BaselineEntry, Config, ConfigError};
+pub use lints::LintId;
+pub use report::{render_json, render_table};
+pub use scan::{scan_workspace, Finding, HotRegion, ScanResult};

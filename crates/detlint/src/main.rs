@@ -1,0 +1,119 @@
+//! The detlint CLI.
+//!
+//! ```text
+//! detlint [--root <dir>] [--config <file>] [--json] [--out <file>]
+//!         [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` — no findings beyond the baseline; `1` — new
+//! findings; `2` — usage, I/O or config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{render_json, render_table, scan_workspace, Config};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+const USAGE: &str = "usage: detlint [--root <dir>] [--config <file>] [--json] \
+                     [--out <file>] [--write-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        out: None,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = take(&mut it, "--root")?.into(),
+            "--config" => args.config = Some(take(&mut it, "--config")?.into()),
+            "--out" => args.out = Some(take(&mut it, "--out")?.into()),
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn take(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("detlint.toml"));
+    let config = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("detlint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match scan_workspace(&args.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let rendered = config.render(&result.as_baseline());
+        if let Err(e) = std::fs::write(&config_path, rendered) {
+            eprintln!("detlint: cannot write {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "detlint: wrote baseline ({} entr{}) to {}",
+            result.as_baseline().len(),
+            if result.as_baseline().len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            config_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let rendered = if args.json {
+        render_json(&result)
+    } else {
+        render_table(&result)
+    };
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("detlint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{rendered}");
+    }
+    if result.new_findings().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

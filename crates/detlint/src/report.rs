@@ -1,0 +1,236 @@
+//! Rendering: an aligned human-readable table and a stable JSON form
+//! (hand-rolled — the workspace vendors no serde), both derived from the
+//! same sorted [`ScanResult`] so the two views never disagree.
+
+use std::fmt::Write as _;
+
+use crate::lints::LintId;
+use crate::scan::ScanResult;
+
+/// Renders the human-readable report: one aligned row per finding
+/// (new findings marked `NEW`), then stale-baseline warnings and a
+/// one-line summary.
+#[must_use]
+pub fn render_table(result: &ScanResult) -> String {
+    let mut out = String::new();
+    if !result.findings.is_empty() {
+        let loc_w = result
+            .findings
+            .iter()
+            .map(|f| f.file.len() + 1 + digits(f.line))
+            .max()
+            .unwrap_or(0);
+        let lint_w = result
+            .findings
+            .iter()
+            .map(|f| f.lint.as_str().len())
+            .max()
+            .unwrap_or(0);
+        let what_w = result
+            .findings
+            .iter()
+            .map(|f| f.what.len())
+            .max()
+            .unwrap_or(0);
+        for f in &result.findings {
+            let loc = format!("{}:{}", f.file, f.line);
+            let tag = if f.is_new { "NEW " } else { "     " };
+            let _ = writeln!(
+                out,
+                "{tag}{loc:<loc_w$}  {lint:<lint_w$}  {what:<what_w$}  | {src}",
+                lint = f.lint.as_str(),
+                what = f.what,
+                src = f.source,
+            );
+        }
+        out.push('\n');
+    }
+    for s in &result.stale {
+        let _ = writeln!(out, "warning: {s}");
+    }
+    let new = result.new_findings().len();
+    let _ = writeln!(
+        out,
+        "detlint: {} file(s), {} finding(s), {} new, {} stale baseline entr{}",
+        result.files_scanned,
+        result.findings.len(),
+        new,
+        result.stale.len(),
+        if result.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if new > 0 {
+        out.push('\n');
+        for lint in LintId::ALL {
+            if result.findings.iter().any(|f| f.is_new && f.lint == lint) {
+                let _ = writeln!(out, "{}: {}", lint.as_str(), lint.contract());
+            }
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report. Key order and finding order are
+/// fixed, so the output is byte-stable for a given tree — CI diffs and
+/// golden tests can compare it directly.
+#[must_use]
+pub fn render_json(result: &ScanResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", result.files_scanned);
+    let _ = writeln!(out, "  \"new_findings\": {},", result.new_findings().len());
+    out.push_str("  \"findings\": [");
+    for (i, f) in result.findings.iter().enumerate() {
+        let sep = if i + 1 < result.findings.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"what\": {}, \"new\": {}, \"source\": {}}}{sep}",
+            json_str(f.lint.as_str()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.what),
+            f.is_new,
+            json_str(&f.source),
+        );
+    }
+    if result.findings.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"hot_regions\": [");
+    for (i, h) in result.hot_regions.iter().enumerate() {
+        let sep = if i + 1 < result.hot_regions.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"file\": {}, \"line\": {}}}{sep}",
+            json_str(&h.file),
+            h.line
+        );
+    }
+    if result.hot_regions.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"stale_baseline\": [");
+    for (i, s) in result.stale.iter().enumerate() {
+        let sep = if i + 1 < result.stale.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{\"entry\": {}, \"found\": {}}}{sep}",
+            json_str(&s.entry.to_string()),
+            s.found
+        );
+    }
+    if result.stale.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn digits(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Escapes a string for JSON output (quotes, backslashes, control
+/// bytes — source lines can contain anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{Finding, HotRegion};
+
+    fn sample() -> ScanResult {
+        ScanResult {
+            files_scanned: 2,
+            findings: vec![
+                Finding {
+                    lint: LintId::Panic,
+                    file: "crates/core/src/x.rs".to_string(),
+                    line: 7,
+                    what: ".unwrap()".to_string(),
+                    source: "let v = \"quote\\\"\".unwrap();".to_string(),
+                    is_new: true,
+                },
+                Finding {
+                    lint: LintId::NondetMap,
+                    file: "crates/walks/src/y.rs".to_string(),
+                    line: 120,
+                    what: "HashMap".to_string(),
+                    source: "use std::collections::HashMap;".to_string(),
+                    is_new: false,
+                },
+            ],
+            hot_regions: vec![HotRegion {
+                file: "crates/core/src/process.rs".to_string(),
+                line: 670,
+            }],
+            stale: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_marks_new_findings_and_aligns_columns() {
+        let t = render_table(&sample());
+        assert!(t.contains("NEW crates/core/src/x.rs:7"));
+        assert!(t.contains("     crates/walks/src/y.rs:120"));
+        assert!(t.contains("2 finding(s), 1 new"));
+        assert!(t.contains("panic: "), "contract shown for new findings");
+        assert!(
+            !t.contains("nondet-map: std"),
+            "no contract for baselined lints"
+        );
+    }
+
+    #[test]
+    fn json_is_escaped_and_stable() {
+        let j = render_json(&sample());
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"new_findings\": 1"));
+        assert!(j.contains("quote\\\\\\\"")); // backslash + quote escaped
+        assert!(j.contains("\"hot_regions\""));
+        assert_eq!(j, render_json(&sample()), "byte-stable");
+    }
+
+    #[test]
+    fn empty_result_renders_valid_json() {
+        let j = render_json(&ScanResult::default());
+        assert!(j.contains("\"findings\": [],"));
+        assert!(j.contains("\"stale_baseline\": []"));
+    }
+}

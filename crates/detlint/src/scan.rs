@@ -1,0 +1,563 @@
+//! The scanner: walks a source tree deterministically, applies the
+//! lint rules with their region conditions (`#[cfg(test)]`,
+//! `// detlint: hot`), honors `// detlint: allow(...)` annotations and
+//! the committed baseline, and produces a sorted finding list.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::config::{BaselineEntry, Config};
+use crate::lexer::{lex, Line, Tok};
+use crate::lints::{matches_at, LintId, RULES};
+
+/// One lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The violated lint.
+    pub lint: LintId,
+    /// Workspace-relative file (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The matched construct (`HashMap`, `.unwrap()`, …) or, for
+    /// annotation findings, what is wrong with the annotation.
+    pub what: String,
+    /// The trimmed source line, for rendering.
+    pub source: String,
+    /// Whether the finding exceeds the committed baseline.
+    pub is_new: bool,
+}
+
+/// A region opened by `// detlint: hot` (recorded so the self-scan can
+/// pin that the contracted hot paths actually carry their markers).
+#[derive(Clone, Debug)]
+pub struct HotRegion {
+    /// Workspace-relative file (forward slashes).
+    pub file: String,
+    /// 1-based line of the region's opening brace.
+    pub line: usize,
+}
+
+/// A baseline entry tolerating more findings than the tree contains —
+/// the allowance should be tightened.
+#[derive(Clone, Debug)]
+pub struct StaleEntry {
+    /// The over-generous entry.
+    pub entry: BaselineEntry,
+    /// How many findings actually exist.
+    pub found: usize,
+}
+
+impl fmt::Display for StaleEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "baseline entry \"{}\" is stale: only {} finding(s) remain",
+            self.entry, self.found
+        )
+    }
+}
+
+/// Everything one scan produced.
+#[derive(Clone, Debug, Default)]
+pub struct ScanResult {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings (baselined and new), sorted by file, line, lint.
+    pub findings: Vec<Finding>,
+    /// Every `// detlint: hot` region in the tree.
+    pub hot_regions: Vec<HotRegion>,
+    /// Baseline entries tolerating more than the tree contains.
+    pub stale: Vec<StaleEntry>,
+}
+
+impl ScanResult {
+    /// Findings not covered by the baseline — the CI-failing set.
+    #[must_use]
+    pub fn new_findings(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.is_new).collect()
+    }
+
+    /// The exact baseline that would make the current tree green
+    /// (the `--write-baseline` payload).
+    #[must_use]
+    pub fn as_baseline(&self) -> Vec<BaselineEntry> {
+        let mut groups: BTreeMap<(LintId, &str), usize> = BTreeMap::new();
+        for f in &self.findings {
+            *groups.entry((f.lint, f.file.as_str())).or_default() += 1;
+        }
+        groups
+            .into_iter()
+            .map(|((lint, file), count)| BaselineEntry {
+                lint,
+                file: file.to_string(),
+                count,
+            })
+            .collect()
+    }
+
+    /// Hot regions recorded for `file`.
+    #[must_use]
+    pub fn hot_regions_in(&self, file: &str) -> usize {
+        self.hot_regions.iter().filter(|h| h.file == file).count()
+    }
+}
+
+/// Scans every `.rs` file under `root` (minus the config's excludes)
+/// and applies `config`'s baseline.
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<ScanResult> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &config.exclude, &mut files)?;
+    files.sort();
+    let mut result = ScanResult {
+        files_scanned: files.len(),
+        ..ScanResult::default()
+    };
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))?;
+        scan_file(rel, &text, &mut result);
+    }
+    result.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.what).cmp(&(&b.file, b.line, b.lint, &b.what))
+    });
+    apply_baseline(config, &mut result);
+    Ok(result)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    // Byte-wise name order: the scan (and so every report) is
+    // independent of readdir order — detlint obeys its own contract.
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .expect("walked paths live under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if exclude
+            .iter()
+            .any(|ex| rel == *ex || rel.starts_with(&format!("{ex}/")))
+        {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, exclude, out)?;
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// What a `detlint:` comment asks for.
+enum Directive {
+    /// `detlint: hot` — the next brace block is a zero-alloc region.
+    Hot,
+    /// `detlint: allow(<lint>, <reason>)`.
+    Allow { lint: LintId },
+    /// Recognized `detlint:` marker but unparseable payload; `what`
+    /// says why.
+    Bad { what: String },
+}
+
+fn parse_directive(comment: &str) -> Option<Directive> {
+    // Directives are plain `//` comments whose text *starts* with
+    // `detlint:`. Doc comments (`///` — text begins with `/`; `//!` —
+    // begins with `!`) are prose: mentioning `detlint: hot` there must
+    // not create a region or a finding.
+    if comment.starts_with('/') || comment.starts_with('!') {
+        return None;
+    }
+    let rest = comment.trim_start().strip_prefix("detlint:")?.trim();
+    if rest == "hot" {
+        return Some(Directive::Hot);
+    }
+    let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Some(Directive::Bad {
+            what: format!("unrecognized directive {rest:?}"),
+        });
+    };
+    let (id, reason) = match inner.split_once(',') {
+        Some((id, reason)) => (id.trim(), reason.trim()),
+        None => (inner.trim(), ""),
+    };
+    let Some(lint) = LintId::parse(id) else {
+        return Some(Directive::Bad {
+            what: format!("unknown lint {id:?} in allow"),
+        });
+    };
+    if reason.is_empty() {
+        return Some(Directive::Bad {
+            what: format!("allow({id}) without a reason"),
+        });
+    }
+    Some(Directive::Allow { lint })
+}
+
+/// A granted allowance: suppresses `lint` findings on `target_line`.
+struct Allow {
+    lint: LintId,
+    /// 0-based line the allowance applies to.
+    target_line: usize,
+    /// 0-based line the annotation sits on (for unused-allow reports).
+    ann_line: usize,
+    used: bool,
+}
+
+/// Region kinds a `{` can open.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Region {
+    Plain,
+    Test,
+    Hot,
+}
+
+fn scan_file(rel: &str, text: &str, result: &mut ScanResult) {
+    let lines = lex(text);
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut hot_marked = vec![false; lines.len()];
+    for (li, line) in lines.iter().enumerate() {
+        for comment in &line.comments {
+            match parse_directive(comment) {
+                None => {}
+                Some(Directive::Hot) => hot_marked[li] = true,
+                Some(Directive::Allow { lint }) => {
+                    // A trailing annotation covers its own line; a
+                    // standalone comment line covers the next line
+                    // that carries code.
+                    let target = if line.has_code() {
+                        Some(li)
+                    } else {
+                        (li + 1..lines.len()).find(|&j| lines[j].has_code())
+                    };
+                    if let Some(target_line) = target {
+                        allows.push(Allow {
+                            lint,
+                            target_line,
+                            ann_line: li,
+                            used: false,
+                        });
+                    } else {
+                        push_annotation_finding(result, rel, li, line, "allow at end of file");
+                    }
+                }
+                Some(Directive::Bad { what }) => {
+                    push_annotation_finding(result, rel, li, line, &what);
+                }
+            }
+        }
+    }
+
+    // Token walk: maintain the brace-region stack, record hot regions,
+    // and match every rule with its region condition.
+    let mut stack: Vec<Region> = Vec::new();
+    let mut pending: Option<Region> = None;
+    for (li, line) in lines.iter().enumerate() {
+        if hot_marked[li] {
+            pending = Some(Region::Hot);
+        }
+        if has_cfg_test_attr(&line.toks) {
+            pending = Some(Region::Test);
+        }
+        for (ti, tok) in line.toks.iter().enumerate() {
+            match tok {
+                Tok::Punct('{') => {
+                    let region = pending.take().unwrap_or(Region::Plain);
+                    if region == Region::Hot {
+                        result.hot_regions.push(HotRegion {
+                            file: rel.to_string(),
+                            line: li + 1,
+                        });
+                    }
+                    stack.push(region);
+                }
+                Tok::Punct('}') => {
+                    stack.pop();
+                }
+                Tok::Punct(';') if pending.is_some() => {
+                    // Statement ended before any block opened: the
+                    // pending marker applied to a braceless item.
+                    pending = None;
+                }
+                _ => {}
+            }
+            let in_test = stack.contains(&Region::Test);
+            let in_hot = stack.contains(&Region::Hot);
+            for rule in RULES {
+                if !rule.lint.in_scope(rel) {
+                    continue;
+                }
+                match rule.lint {
+                    LintId::HotAlloc if !in_hot => continue,
+                    LintId::Panic if in_test => continue,
+                    _ => {}
+                }
+                if !matches_at(rule, &line.toks).contains(&ti) {
+                    continue;
+                }
+                if let Some(a) = allows
+                    .iter_mut()
+                    .find(|a| a.target_line == li && a.lint == rule.lint)
+                {
+                    a.used = true;
+                    continue;
+                }
+                result.findings.push(Finding {
+                    lint: rule.lint,
+                    file: rel.to_string(),
+                    line: li + 1,
+                    what: rule.what.to_string(),
+                    source: line.raw.trim().to_string(),
+                    is_new: true,
+                });
+            }
+        }
+    }
+
+    for a in &allows {
+        if !a.used {
+            push_annotation_finding(
+                result,
+                rel,
+                a.ann_line,
+                &lines[a.ann_line],
+                &format!("unused allow({})", a.lint.as_str()),
+            );
+        }
+    }
+}
+
+fn push_annotation_finding(result: &mut ScanResult, rel: &str, li: usize, line: &Line, what: &str) {
+    result.findings.push(Finding {
+        lint: LintId::Annotation,
+        file: rel.to_string(),
+        line: li + 1,
+        what: what.to_string(),
+        source: line.raw.trim().to_string(),
+        is_new: true,
+    });
+}
+
+/// Whether the line carries a `#[cfg(test)]`-style attribute (any
+/// `cfg(...)` attribute mentioning the `test` predicate).
+fn has_cfg_test_attr(toks: &[Tok]) -> bool {
+    toks.windows(4).enumerate().any(|(i, w)| {
+        matches!(
+            (&w[0], &w[1], &w[2], &w[3]),
+            (Tok::Punct('#'), Tok::Punct('['), Tok::Ident(id), Tok::Punct('(')) if id == "cfg"
+        ) && toks[i + 4..]
+            .iter()
+            .any(|t| matches!(t, Tok::Ident(id) if id == "test"))
+    })
+}
+
+fn apply_baseline(config: &Config, result: &mut ScanResult) {
+    let mut groups: BTreeMap<(LintId, String), usize> = BTreeMap::new();
+    for f in &result.findings {
+        *groups.entry((f.lint, f.file.clone())).or_default() += 1;
+    }
+    for f in &mut result.findings {
+        let found = groups[&(f.lint, f.file.clone())];
+        f.is_new = found > config.allowance(f.lint, &f.file);
+    }
+    for entry in &config.baseline {
+        let found = groups
+            .get(&(entry.lint, entry.file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if found < entry.count {
+            result.stale.push(StaleEntry {
+                entry: entry.clone(),
+                found,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(rel: &str, text: &str) -> ScanResult {
+        let mut r = ScanResult::default();
+        scan_file(rel, text, &mut r);
+        r.findings
+            .sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+        r
+    }
+
+    const CORE: &str = "crates/core/src/x.rs";
+
+    #[test]
+    fn panic_in_test_module_is_not_a_finding() {
+        let r = scan_str(
+            CORE,
+            "fn lib() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn hot_alloc_fires_only_inside_hot_regions() {
+        let r = scan_str(
+            CORE,
+            "fn cold() { let v = vec![1]; }\n\
+             // detlint: hot\nfn hot() {\n    let v = vec![1];\n    x.collect();\n}\n\
+             fn cold2() { let b = Box::new(1); }\n",
+        );
+        let lints: Vec<&str> = r.findings.iter().map(|f| f.lint.as_str()).collect();
+        assert_eq!(lints, vec!["hot-alloc", "hot-alloc"]);
+        assert_eq!(r.findings[0].line, 4);
+        assert_eq!(r.findings[1].line, 5);
+        assert_eq!(r.hot_regions_in(CORE), 1);
+        assert_eq!(r.hot_regions[0].line, 3);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let r = scan_str(
+            CORE,
+            "use std::collections::HashMap; // detlint: allow(nondet-map, keyed output sorted before use)\n\
+             // detlint: allow(nondet-map, uniqueness check only)\n\
+             let m: HashMap<u32, u32> = x;\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn reasonless_unknown_and_unused_allows_are_findings() {
+        let r = scan_str(
+            CORE,
+            "x.unwrap(); // detlint: allow(panic)\n\
+             y.foo(); // detlint: allow(bogus-lint, why)\n\
+             z.bar(); // detlint: allow(wall-clock, nothing here uses clocks)\n",
+        );
+        let whats: Vec<&str> = r.findings.iter().map(|f| f.what.as_str()).collect();
+        assert!(
+            whats.contains(&".unwrap()"),
+            "reason-less allow must not suppress"
+        );
+        assert!(whats.iter().any(|w| w.contains("without a reason")));
+        assert!(whats.iter().any(|w| w.contains("unknown lint")));
+        assert!(whats.iter().any(|w| w.contains("unused allow(wall-clock)")));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let r = scan_str(
+            CORE,
+            "let s = \"HashMap and Instant::now and .unwrap()\";\n\
+             // HashMap in a comment, thread_rng too\n\
+             /* SystemTime in a block comment */\n\
+             /// let x = map.unwrap();\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn scopes_gate_by_path() {
+        let wallclock = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            scan_str("crates/cli/src/main.rs", wallclock).findings.len(),
+            0
+        );
+        assert_eq!(
+            scan_str("crates/core/src/x.rs", wallclock).findings.len(),
+            1
+        );
+        let map = "use std::collections::HashMap;\n";
+        assert_eq!(scan_str("crates/grid/src/grid.rs", map).findings.len(), 0);
+        assert_eq!(scan_str("crates/walks/src/seeds.rs", map).findings.len(), 1);
+    }
+
+    #[test]
+    fn unseeded_rng_fires_everywhere() {
+        for p in ["crates/cli/src/main.rs", "examples/e.rs", "src/bin/exp.rs"] {
+            let r = scan_str(p, "let mut rng = thread_rng();\n");
+            assert_eq!(r.findings.len(), 1, "{p} should flag thread_rng");
+        }
+    }
+
+    #[test]
+    fn doc_comments_and_prose_mentions_are_not_directives() {
+        let r = scan_str(
+            CORE,
+            "/// Regions marked `// detlint: hot` are special.\n\
+             //! detlint: allow(panic, doc prose)\n\
+             // see detlint: hot for details\n\
+             fn f() { let v = vec![1]; }\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.hot_regions.is_empty(), "prose must not open hot regions");
+    }
+
+    #[test]
+    fn pending_marker_cancelled_by_statement_end() {
+        // The attribute applied to a braceless item; the next block is
+        // NOT a test region.
+        let r = scan_str(
+            CORE,
+            "#[cfg(test)]\nuse foo::bar;\nfn lib() { x.unwrap(); }\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn baseline_tolerates_exact_count_and_flags_growth() {
+        let text = "fn a() { x.unwrap(); }\nfn b() { y.unwrap(); }\n";
+        let config =
+            Config::parse(&format!("[baseline]\nentries = [\"panic {CORE} 2\"]\n")).unwrap();
+        let mut r = scan_str(CORE, text);
+        apply_baseline(&config, &mut r);
+        assert_eq!(r.new_findings().len(), 0);
+        assert!(r.stale.is_empty());
+
+        let mut r = scan_str(CORE, "fn a() { x.unwrap(); }\n");
+        apply_baseline(&config, &mut r);
+        assert_eq!(r.new_findings().len(), 0);
+        assert_eq!(r.stale.len(), 1, "shrunk count is reported stale");
+
+        let grown = format!("{text}fn c() {{ z.unwrap(); }}\n");
+        let mut r = scan_str(CORE, &grown);
+        apply_baseline(&config, &mut r);
+        assert_eq!(
+            r.new_findings().len(),
+            3,
+            "whole group reported once it grows"
+        );
+    }
+
+    #[test]
+    fn as_baseline_reproduces_the_tree() {
+        let r = scan_str(
+            CORE,
+            "fn a() { x.unwrap(); }\nuse std::collections::HashSet;\n",
+        );
+        let entries = r.as_baseline();
+        assert_eq!(entries.len(), 2);
+        let rendered: Vec<String> = entries.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec![format!("nondet-map {CORE} 1"), format!("panic {CORE} 1"),]
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Clean fixture: every line here looks suspicious but must produce
+//! zero findings — annotated escape hatches, literals, comments, test
+//! modules and lookalike identifiers.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet; // detlint: allow(nondet-map, membership probe; iteration order never observed)
+
+pub fn strings_and_comments() -> &'static str {
+    // HashMap, Instant::now and thread_rng in a comment are fine.
+    /* So is SystemTime in a block comment. */
+    "HashMap Instant::now thread_rng .unwrap() vec![panic!]"
+}
+
+pub fn raw_literal() -> &'static str {
+    r#"rand::random() and from_entropy() stay inert in raw strings"#
+}
+
+pub fn lookalikes(x: Option<u64>) -> u64 {
+    // unwrap_or / expect_err are not the panicking forms.
+    let v: Result<u64, u64> = Err(0);
+    x.unwrap_or(0) + v.expect_err("always err")
+}
+
+// detlint: hot
+pub fn hot_but_clean(acc: &mut Vec<u64>, xs: &[u64]) {
+    acc.clear();
+    acc.extend_from_slice(xs);
+}
+
+pub fn cold_allocates(xs: &[u64]) -> Vec<u64> {
+    // Allocation outside a hot region is fine.
+    xs.to_vec()
+}
+
+pub fn annotated_panic(xs: &[u64]) -> u64 {
+    // detlint: allow(panic, fixture invariant: index 0 exists by construction)
+    xs.first().copied().unwrap()
+}
+
+pub fn probe(xs: &[u64]) -> bool {
+    let seen: HashSet<u64> = xs.iter().copied().collect(); // detlint: allow(nondet-map, membership probe; iteration order never observed)
+    seen.len() == xs.len()
+}
+
+pub fn ordered() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let x: Option<u64> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let v: Result<u64, &str> = Ok(2);
+        v.expect("test expectations are fine");
+    }
+}

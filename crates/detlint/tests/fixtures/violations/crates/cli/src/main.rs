@@ -1,0 +1,12 @@
+//! Scope fixture: wall-clock and panics are legal in the CLI tier, but
+//! unseeded RNG is forbidden everywhere.
+
+pub fn timed() -> u64 {
+    let t = std::time::Instant::now();
+    let x: u64 = rand::random();
+    t.elapsed().as_nanos() as u64 + x
+}
+
+pub fn cli_panic(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

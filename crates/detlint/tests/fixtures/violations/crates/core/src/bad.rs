@@ -1,0 +1,29 @@
+//! Deliberately violating fixture: one hit per lint class. The
+//! workspace config excludes this tree; integration tests scan it
+//! directly and pin the exact finding set.
+
+use std::collections::HashMap;
+
+pub fn wall() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+// detlint: hot
+pub fn hot_path(xs: &[u64]) -> Vec<u64> {
+    let v = vec![0u64];
+    drop(v);
+    xs.iter().copied().collect()
+}
+
+pub fn lib_panic(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn keyed() -> HashMap<u64, u64> {
+    HashMap::new() // detlint: allow(nondet-map)
+}

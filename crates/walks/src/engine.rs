@@ -138,6 +138,7 @@ impl<T: Topology> WalkEngine<T> {
     }
 
     /// Advances every agent by one lazy step.
+    // detlint: hot
     pub fn step_all<R: RngExt>(&mut self, rng: &mut R) {
         for p in &mut self.positions {
             *p = lazy_step(&self.topo, *p, rng);
@@ -154,6 +155,7 @@ impl<T: Topology> WalkEngine<T> {
     /// incremental spatial-hash maintenance
     /// (`SpatialHash::apply_moves`) — per-step work proportional to the
     /// agents that moved, not to `k`.
+    // detlint: hot
     pub fn step_all_into<R: RngExt>(&mut self, rng: &mut R, moves: &mut Vec<(u32, Point, Point)>) {
         moves.clear();
         // At most k entries; a one-time reservation keeps every later
@@ -175,6 +177,7 @@ impl<T: Topology> WalkEngine<T> {
     /// # Panics
     ///
     /// Panics if `mask.len() != self.len()`.
+    // detlint: hot
     pub fn step_masked<R: RngExt>(&mut self, mask: &BitSet, rng: &mut R) {
         assert_eq!(mask.len(), self.positions.len(), "mask capacity mismatch");
         for i in mask.iter_ones() {
@@ -194,6 +197,7 @@ impl<T: Topology> WalkEngine<T> {
     /// # Panics
     ///
     /// Panics if `mask.len() != self.len()`.
+    // detlint: hot
     pub fn step_masked_into<R: RngExt>(
         &mut self,
         mask: &BitSet,

@@ -38,7 +38,7 @@
 use sparsegossip_core::theory;
 use sparsegossip_core::toml::{TomlDoc, TomlError};
 use sparsegossip_core::{
-    Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError,
+    Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError, WorldConfig,
 };
 
 use crate::{derive_seed, parallel_map_with, Summary, Table};
@@ -179,6 +179,70 @@ impl NetworkAxis {
     }
 }
 
+/// A world-model axis for broadcast sweeps: one [`WorldConfig`] knob
+/// varied across a list of values while the base spec pins the others.
+/// Only [`ProcessKind::Broadcast`] specs accept active world axes, so
+/// a world axis on any other kind fails cell validation with
+/// [`SimError::UnsupportedSetting`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorldAxis {
+    /// City-block wall densities (each finite, in `[0, 1]`).
+    BarrierDensities(Vec<f64>),
+    /// Per-agent per-step replacement probabilities (each finite, in
+    /// `[0, 1]`).
+    ChurnRates(Vec<f64>),
+    /// Heterogeneous-class fractions (each finite, in `[0, 1]`); the
+    /// base spec's `hetero_factor` supplies the radius multiplier.
+    RadiusMixes(Vec<f64>),
+}
+
+impl WorldAxis {
+    /// The spec-file key of the varied knob.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::BarrierDensities(_) => "barrier_density",
+            Self::ChurnRates(_) => "churn_rate",
+            Self::RadiusMixes(_) => "hetero_fraction",
+        }
+    }
+
+    /// Number of axis points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::BarrierDensities(v) | Self::ChurnRates(v) | Self::RadiusMixes(v) => v.len(),
+        }
+    }
+
+    /// Whether the axis has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(key, value)` label and full [`WorldConfig`] of each axis
+    /// point, substituting the varied knob into `base`.
+    #[must_use]
+    pub fn resolve(&self, base: &WorldConfig) -> Vec<((&'static str, f64), WorldConfig)> {
+        let values = match self {
+            Self::BarrierDensities(v) | Self::ChurnRates(v) | Self::RadiusMixes(v) => v,
+        };
+        values
+            .iter()
+            .map(|&x| {
+                let mut world = *base;
+                match self {
+                    Self::BarrierDensities(_) => world.barrier_density = x,
+                    Self::ChurnRates(_) => world.churn_rate = x,
+                    Self::RadiusMixes(_) => world.hetero_fraction = x,
+                }
+                ((self.key(), x), world)
+            })
+            .collect()
+    }
+}
+
 /// One cell of the expanded sweep grid: its axis coordinates and the
 /// re-validated spec that runs there.
 #[derive(Clone, Debug, PartialEq)]
@@ -192,6 +256,9 @@ pub struct ScenarioCell {
     /// The network-axis point of this cell as a `(key, value)` label,
     /// or `None` when the sweep has no network axis.
     pub net: Option<(&'static str, f64)>,
+    /// The world-axis point of this cell as a `(key, value)` label, or
+    /// `None` when the sweep has no world axis.
+    pub world: Option<(&'static str, f64)>,
     /// The runnable spec for this cell.
     pub spec: ScenarioSpec,
 }
@@ -211,6 +278,7 @@ pub struct ScenarioSweep {
     ks: Vec<usize>,
     radii: RadiusAxis,
     network_axis: Option<NetworkAxis>,
+    world_axis: Option<WorldAxis>,
     replicates: u32,
     threads: usize,
 }
@@ -227,6 +295,7 @@ impl ScenarioSweep {
             ks: vec![base.config().k()],
             radii: RadiusAxis::Absolute(vec![base.config().radius()]),
             network_axis: None,
+            world_axis: None,
             replicates: 8,
             threads: 1,
             base,
@@ -344,6 +413,74 @@ impl ScenarioSweep {
         self.network_axis.as_ref()
     }
 
+    /// Sets the world axis to city-block wall densities (broadcast
+    /// sweeps only; other kinds fail cell validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `densities` is empty or contains a non-finite value or
+    /// one outside `[0, 1]`.
+    #[must_use]
+    pub fn barrier_densities(mut self, densities: Vec<f64>) -> Self {
+        assert!(!densities.is_empty(), "at least one density required");
+        assert!(
+            densities
+                .iter()
+                .all(|d| d.is_finite() && (0.0..=1.0).contains(d)),
+            "barrier densities must be finite and within [0, 1]"
+        );
+        self.world_axis = Some(WorldAxis::BarrierDensities(densities));
+        self
+    }
+
+    /// Sets the world axis to per-agent per-step replacement
+    /// probabilities (broadcast sweeps only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or contains a non-finite value or one
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn churn_rates(mut self, rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "at least one churn rate required");
+        assert!(
+            rates
+                .iter()
+                .all(|r| r.is_finite() && (0.0..=1.0).contains(r)),
+            "churn rates must be finite and within [0, 1]"
+        );
+        self.world_axis = Some(WorldAxis::ChurnRates(rates));
+        self
+    }
+
+    /// Sets the world axis to heterogeneous-class fractions (the base
+    /// spec's `hetero_factor` supplies the multiplier; broadcast sweeps
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mixes` is empty or contains a non-finite value or one
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn radius_mixes(mut self, mixes: Vec<f64>) -> Self {
+        assert!(!mixes.is_empty(), "at least one radius mix required");
+        assert!(
+            mixes
+                .iter()
+                .all(|m| m.is_finite() && (0.0..=1.0).contains(m)),
+            "radius mixes must be finite and within [0, 1]"
+        );
+        self.world_axis = Some(WorldAxis::RadiusMixes(mixes));
+        self
+    }
+
+    /// The world axis, if one is set.
+    #[inline]
+    #[must_use]
+    pub fn world_axis(&self) -> Option<&WorldAxis> {
+        self.world_axis.as_ref()
+    }
+
     /// Sets the number of replicates per cell.
     ///
     /// # Panics
@@ -403,7 +540,7 @@ impl ScenarioSweep {
         // One (labelled) base spec per network-axis point; a single
         // unlabelled base when no network axis is set, so existing
         // sweeps keep their exact cell grid and seeds.
-        let bases: Vec<(Option<(&'static str, f64)>, ScenarioSpec)> = match &self.network_axis {
+        let net_bases: Vec<(Option<(&'static str, f64)>, ScenarioSpec)> = match &self.network_axis {
             None => vec![(None, self.base)],
             Some(axis) => {
                 let mut bases = Vec::with_capacity(axis.len());
@@ -413,9 +550,23 @@ impl ScenarioSweep {
                 bases
             }
         };
+        // World-axis expansion nests inside the network axis, same
+        // backward-compatible shape: no world axis, no extra cells.
+        type Labels = (Option<(&'static str, f64)>, Option<(&'static str, f64)>);
+        let mut bases: Vec<(Labels, ScenarioSpec)> = Vec::new();
+        for (net, base) in net_bases {
+            match &self.world_axis {
+                None => bases.push(((net, None), base)),
+                Some(axis) => {
+                    for (label, world) in axis.resolve(base.world()) {
+                        bases.push(((net, Some(label)), base.with_world(world)?));
+                    }
+                }
+            }
+        }
         let mut cells =
             Vec::with_capacity(bases.len() * self.sides.len() * self.ks.len() * self.radii.len());
-        for (net, base) in &bases {
+        for ((net, world), base) in &bases {
             for &side in &self.sides {
                 for &k in &self.ks {
                     for radius in self.radii.resolve(side, k) {
@@ -424,6 +575,7 @@ impl ScenarioSweep {
                             k,
                             radius,
                             net: *net,
+                            world: *world,
                             spec: base.with_axes(side, k, radius)?,
                         });
                     }
@@ -463,6 +615,7 @@ impl ScenarioSweep {
                     k: cell.k,
                     radius: cell.radius,
                     net: cell.net,
+                    world: cell.world,
                     critical_radius: theory::critical_radius(n, cell.k as f64),
                     summary: Summary::from_slice(&samples),
                     samples,
@@ -495,7 +648,7 @@ impl ScenarioSweep {
         let Some(table) = doc.opt_section("sweep") else {
             return Ok(sweep);
         };
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 12] = [
             "sides",
             "ks",
             "radii",
@@ -503,6 +656,9 @@ impl ScenarioSweep {
             "drop_probs",
             "gossip_intervals",
             "send_caps",
+            "barrier_densities",
+            "churn_rates",
+            "radius_mixes",
             "replicates",
             "seed",
         ];
@@ -600,6 +756,44 @@ impl ScenarioSweep {
             }
             sweep = sweep.send_caps(caps);
         }
+        let densities = table.opt_f64_array("barrier_densities")?;
+        let rates = table.opt_f64_array("churn_rates")?;
+        let mixes = table.opt_f64_array("radius_mixes")?;
+        let world_axes = usize::from(densities.is_some())
+            + usize::from(rates.is_some())
+            + usize::from(mixes.is_some());
+        if world_axes > 1 {
+            return Err(bad(
+                "barrier_densities".to_string(),
+                "single world axis (one of `barrier_densities`, `churn_rates`, `radius_mixes`)",
+            ));
+        }
+        let unit_array = |key: &str, values: &[f64]| {
+            if values.is_empty()
+                || values
+                    .iter()
+                    .any(|x| !x.is_finite() || !(0.0..=1.0).contains(x))
+            {
+                Err(bad(
+                    key.to_string(),
+                    "non-empty array of finite numbers in [0, 1]",
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        if let Some(densities) = densities {
+            unit_array("barrier_densities", &densities)?;
+            sweep = sweep.barrier_densities(densities);
+        }
+        if let Some(rates) = rates {
+            unit_array("churn_rates", &rates)?;
+            sweep = sweep.churn_rates(rates);
+        }
+        if let Some(mixes) = mixes {
+            unit_array("radius_mixes", &mixes)?;
+            sweep = sweep.radius_mixes(mixes);
+        }
         if let Some(reps) = table.opt_u32("replicates")? {
             if reps == 0 {
                 return Err(bad("replicates".to_string(), "positive integer"));
@@ -652,6 +846,21 @@ impl ScenarioSweep {
                 out.push_str(&format!("send_caps = [{}]\n", join_with(caps.iter(), ", ")));
             }
         }
+        match &self.world_axis {
+            None => {}
+            Some(axis) => {
+                let key = match axis {
+                    WorldAxis::BarrierDensities(_) => "barrier_densities",
+                    WorldAxis::ChurnRates(_) => "churn_rates",
+                    WorldAxis::RadiusMixes(_) => "radius_mixes",
+                };
+                let (WorldAxis::BarrierDensities(values)
+                | WorldAxis::ChurnRates(values)
+                | WorldAxis::RadiusMixes(values)) = axis;
+                let rendered: Vec<String> = values.iter().map(|x| format_toml_f64(*x)).collect();
+                out.push_str(&format!("{key} = [{}]\n", rendered.join(", ")));
+            }
+        }
         out.push_str(&format!("replicates = {}\n", self.replicates));
         out.push_str(&format!("seed = {}\n", self.master_seed));
         out.push_str(&format!("threads = {}\n", self.threads));
@@ -686,6 +895,9 @@ pub struct SweepCell {
     /// The network-axis point as a `(key, value)` label, if the sweep
     /// has a network axis.
     pub net: Option<(&'static str, f64)>,
+    /// The world-axis point as a `(key, value)` label, if the sweep has
+    /// a world axis.
+    pub world: Option<(&'static str, f64)>,
     /// The predicted percolation radius `r_c = √(n/k)` at these axes.
     pub critical_radius: f64,
     /// Summary over replicates.
@@ -705,6 +917,8 @@ pub struct TransitionEstimate {
     pub k: usize,
     /// The curve's network-axis point, if the sweep has one.
     pub net: Option<(&'static str, f64)>,
+    /// The curve's world-axis point, if the sweep has one.
+    pub world: Option<(&'static str, f64)>,
     /// Radius on the slow side of the knee.
     pub r_below: u32,
     /// Radius on the fast side of the knee.
@@ -770,19 +984,20 @@ impl ScenarioSweepReport {
     /// are typically below 1, so no transition is reported.
     #[must_use]
     pub fn transitions(&self) -> Vec<TransitionEstimate> {
-        type CurveKey = (u32, usize, Option<(&'static str, f64)>);
+        type Label = Option<(&'static str, f64)>;
+        type CurveKey = (u32, usize, Label, Label);
         let mut out = Vec::new();
         let mut groups: Vec<CurveKey> = Vec::new();
         for cell in &self.cells {
-            if !groups.contains(&(cell.side, cell.k, cell.net)) {
-                groups.push((cell.side, cell.k, cell.net));
+            if !groups.contains(&(cell.side, cell.k, cell.net, cell.world)) {
+                groups.push((cell.side, cell.k, cell.net, cell.world));
             }
         }
-        for (side, k, net) in groups {
+        for (side, k, net, world) in groups {
             let mut curve: Vec<(u32, f64, f64)> = self
                 .cells
                 .iter()
-                .filter(|c| c.side == side && c.k == k && c.net == net)
+                .filter(|c| c.side == side && c.k == k && c.net == net && c.world == world)
                 .map(|c| (c.radius, c.summary.mean(), c.critical_radius))
                 .collect();
             curve.sort_by_key(|&(r, _, _)| r);
@@ -821,6 +1036,7 @@ impl ScenarioSweepReport {
                 side,
                 k,
                 net,
+                world,
                 r_below,
                 r_above,
                 r_knee,
@@ -837,9 +1053,13 @@ impl ScenarioSweepReport {
     #[must_use]
     pub fn table(&self) -> Table {
         let has_net = self.cells.iter().any(|c| c.net.is_some());
+        let has_world = self.cells.iter().any(|c| c.world.is_some());
         let mut header = vec!["side".to_string(), "k".into(), "r".into()];
         if has_net {
             header.push("net".into());
+        }
+        if has_world {
+            header.push("world".into());
         }
         header.extend([
             "r/r_c".to_string(),
@@ -852,6 +1072,12 @@ impl ScenarioSweepReport {
             let mut row = vec![c.side.to_string(), c.k.to_string(), c.radius.to_string()];
             if has_net {
                 row.push(match c.net {
+                    Some((key, value)) => format!("{key}={value}"),
+                    None => "-".to_string(),
+                });
+            }
+            if has_world {
+                row.push(match c.world {
                     Some((key, value)) => format!("{key}={value}"),
                     None => "-".to_string(),
                 });
@@ -883,10 +1109,15 @@ impl ScenarioSweepReport {
             let samples: Vec<String> = c.samples.iter().map(|s| format!("{s}")).collect();
             // Network-axis labels appear only when the sweep has the
             // axis, so pre-network JSON output stays byte-identical.
-            let net = match c.net {
+            let mut net = match c.net {
                 Some((key, value)) => format!("\"net_key\": \"{key}\", \"net_value\": {value}, "),
                 None => String::new(),
             };
+            if let Some((key, value)) = c.world {
+                net.push_str(&format!(
+                    "\"world_key\": \"{key}\", \"world_value\": {value}, "
+                ));
+            }
             out.push_str(&format!(
                 "    {{\"side\": {}, \"k\": {}, \"r\": {}, {}\"r_c\": {}, \"mean\": {}, \
                  \"ci95\": {}, \"median\": {}, \"min\": {}, \"max\": {}, \"samples\": [{}]}}{}\n",
@@ -909,10 +1140,15 @@ impl ScenarioSweepReport {
         let transitions = self.transitions();
         for (i, t) in transitions.iter().enumerate() {
             let (lo, hi) = t.band();
-            let net = match t.net {
+            let mut net = match t.net {
                 Some((key, value)) => format!("\"net_key\": \"{key}\", \"net_value\": {value}, "),
                 None => String::new(),
             };
+            if let Some((key, value)) = t.world {
+                net.push_str(&format!(
+                    "\"world_key\": \"{key}\", \"world_value\": {value}, "
+                ));
+            }
             out.push_str(&format!(
                 "    {{\"side\": {}, \"k\": {}, {}\"r_below\": {}, \"r_above\": {}, \
                  \"r_knee\": {}, \"drop_ratio\": {}, \"predicted_rc\": {}, \
@@ -1024,6 +1260,7 @@ mod tests {
             k: 16,
             radius,
             net: None,
+            world: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1051,6 +1288,7 @@ mod tests {
             k: 8,
             radius,
             net: None,
+            world: None,
             critical_radius: 5.65,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1076,6 +1314,7 @@ mod tests {
             k: 16,
             radius,
             net: None,
+            world: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1118,6 +1357,7 @@ mod tests {
             k: 8,
             radius,
             net: None,
+            world: None,
             critical_radius: 5.65,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1261,6 +1501,106 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"net_key\": \"drop_prob\""), "{json}");
         assert!(json.contains("\"net_value\": 0.5"), "{json}");
+    }
+
+    #[test]
+    fn world_axis_expands_cells_world_major_inside_network() {
+        let sweep = ScenarioSweep::new(tiny_base(), 1)
+            .radii(vec![0, 2])
+            .churn_rates(vec![0.0, 0.05]);
+        let cells = sweep.cells().unwrap();
+        assert_eq!(cells.len(), 4);
+        let coords: Vec<(Option<(&str, f64)>, u32)> =
+            cells.iter().map(|c| (c.world, c.radius)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (Some(("churn_rate", 0.0)), 0),
+                (Some(("churn_rate", 0.0)), 2),
+                (Some(("churn_rate", 0.05)), 0),
+                (Some(("churn_rate", 0.05)), 2),
+            ]
+        );
+        assert_eq!(cells[2].spec.world().churn_rate, 0.05);
+        // The un-swept world knobs stay at the base spec's values.
+        assert_eq!(cells[2].spec.world().barrier_density, 0.0);
+    }
+
+    #[test]
+    fn world_axis_on_non_broadcast_kind_fails_cell_validation() {
+        let base = ScenarioSpec::builder(ProcessKind::Gossip, 12, 6)
+            .build()
+            .unwrap();
+        let err = ScenarioSweep::new(base, 1)
+            .barrier_densities(vec![0.5])
+            .cells()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedSetting { .. }));
+    }
+
+    #[test]
+    fn radius_mix_axis_substitutes_the_base_factor() {
+        let base = ScenarioSpec::builder(ProcessKind::Broadcast, 12, 6)
+            .radius(1)
+            .hetero_factor(2.0)
+            .build()
+            .unwrap();
+        let cells = ScenarioSweep::new(base, 1)
+            .radius_mixes(vec![0.0, 0.5])
+            .cells()
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].spec.world().hetero_fraction, 0.5);
+        assert_eq!(cells[1].spec.world().hetero_factor, 2.0);
+    }
+
+    #[test]
+    fn world_axis_round_trips_through_toml() {
+        for sweep in [
+            ScenarioSweep::new(tiny_base(), 4).barrier_densities(vec![0.0, 0.5, 1.0]),
+            ScenarioSweep::new(tiny_base(), 4).churn_rates(vec![0.0, 0.01, 0.1]),
+            ScenarioSweep::new(tiny_base(), 4).radius_mixes(vec![0.0, 0.25]),
+        ] {
+            let text = sweep.to_toml();
+            let parsed = ScenarioSweep::from_toml_str(&text).unwrap();
+            assert_eq!(sweep, parsed, "round trip changed the sweep:\n{text}");
+        }
+    }
+
+    #[test]
+    fn toml_rejects_bad_world_axes() {
+        let spec_only = "[scenario]\nprocess = \"broadcast\"\nside = 12\nk = 6\n";
+        let with = |extra: &str| format!("{spec_only}\n[sweep]\n{extra}");
+        assert!(ScenarioSweep::from_toml_str(&with("barrier_densities = []\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("churn_rates = [1.5]\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("radius_mixes = [-0.1]\n")).is_err());
+        assert!(
+            ScenarioSweep::from_toml_str(&with("churn_rates = [0.1]\nradius_mixes = [0.5]\n"))
+                .is_err(),
+            "two world axes at once must be rejected"
+        );
+        assert!(ScenarioSweep::from_toml_str(&with("churn_rates = [0.0, 0.05]\n")).is_ok());
+    }
+
+    #[test]
+    fn world_axis_report_labels_cells_and_transitions() {
+        let report = ScenarioSweep::new(tiny_base(), 9)
+            .radii(vec![0, 1, 2])
+            .churn_rates(vec![0.0, 0.02])
+            .replicates(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.world.is_some()));
+        for t in report.transitions() {
+            assert!(t.world.is_some());
+        }
+        let table = format!("{}", report.table());
+        assert!(table.contains("world"), "table must carry the world column");
+        assert!(table.contains("churn_rate=0.02"), "{table}");
+        let json = report.to_json();
+        assert!(json.contains("\"world_key\": \"churn_rate\""), "{json}");
+        assert!(json.contains("\"world_value\": 0.02"), "{json}");
     }
 
     #[test]

@@ -13,10 +13,11 @@ use sparsegossip_analysis::{Runner, ScenarioSweep, Table};
 use sparsegossip_conngraph::{critical_radius, percolation_profile};
 use sparsegossip_core::{
     BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, Gossip, GossipOutcome,
-    InfectionOutcome, Mobility, NetworkConfig, NetworkError, PredatorPrey, ProtocolBroadcast,
-    ProtocolOutcome, SimConfig, Simulation, SpecError,
+    Infection, InfectionOutcome, Mobility, NetworkConfig, NetworkError, PredatorPrey, ProcessKind,
+    ProtocolBroadcast, ProtocolOutcome, ScenarioSpec, SimConfig, Simulation, SpecError,
+    WorldConfig, WorldSim,
 };
-use sparsegossip_grid::{Grid, Topology};
+use sparsegossip_grid::{Grid, Point, Topology};
 use sparsegossip_walks::multi_cover;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -35,10 +36,15 @@ COMMANDS:
                --frog (only informed agents move)
                --one-hop (one hop per step instead of component flooding)
                --reps R --threads T (multi-seed ensemble via the Runner)
+               --barrier-density P --churn-rate P (walled / churning worlds)
+               --hetero-fraction P --hetero-factor F (mixed contact radii)
+               --speed-fraction P --speed-factor S (fast-mover class)
+               --sources N --adversarial (multi-source placement)
   gossip       all rumors to all agents
                --side N --k K --radius R --seed S --rumors M
   infection    contact infection (r = 0) with per-agent infection times
                --side N --k K --seed S --max-steps M
+               --sources N --adversarial (multi-source placement)
   coverage     broadcast + informed-agent coverage times
                --side N --k K --radius R --seed S
   protocol     message-passing protocol twin of broadcast
@@ -55,6 +61,8 @@ COMMANDS:
   sweep        multi-axis {side, k, r} scenario sweep from a TOML spec,
                with phase-transition detection against r_c = sqrt(n/k)
                --spec file.toml [--replicates R --threads T --seed S]
+               --barrier-densities A,B | --churn-rates A,B |
+               --radius-mixes A,B (world axis override; at most one)
   help         this text
 
 All run commands accept --json for machine-readable outcome output.
@@ -164,6 +172,79 @@ fn common(args: &ParsedArgs) -> Result<Common, CliError> {
     })
 }
 
+fn bad(key: &str, value: impl ToString) -> CliError {
+    CliError::Args(ArgError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    })
+}
+
+/// Parses the eight world options shared by the run commands into a
+/// [`WorldConfig`]. Range and combination validation is left to the
+/// [`ScenarioSpec`] builder, which applies the same rules to TOML
+/// specs.
+fn world_config(args: &ParsedArgs) -> Result<WorldConfig, CliError> {
+    Ok(WorldConfig {
+        barrier_density: args.get("barrier-density", 0.0f64)?,
+        churn_rate: args.get("churn-rate", 0.0f64)?,
+        hetero_fraction: args.get("hetero-fraction", 0.0f64)?,
+        hetero_factor: args.get("hetero-factor", 1.0f64)?,
+        speed_fraction: args.get("speed-fraction", 0.0f64)?,
+        speed_factor: args.get("speed-factor", 1u32)?,
+        num_sources: args.get("sources", 1usize)?,
+        adversarial_sources: args.flag("adversarial"),
+    })
+}
+
+/// One-line human summary of the active world axes.
+fn world_summary(w: &WorldConfig) -> String {
+    let mut parts = Vec::new();
+    if w.has_barriers() {
+        parts.push(format!("barriers {:.2}", w.barrier_density));
+    }
+    if w.has_churn() {
+        parts.push(format!("churn {:.3}", w.churn_rate));
+    }
+    if w.has_hetero_radii() {
+        parts.push(format!(
+            "radii {:.2} at {:.1}x",
+            w.hetero_fraction, w.hetero_factor
+        ));
+    }
+    if w.has_speed_classes() {
+        parts.push(format!(
+            "speeds {:.2} at {}x",
+            w.speed_fraction, w.speed_factor
+        ));
+    }
+    if w.num_sources > 1 {
+        parts.push(format!("{} sources", w.num_sources));
+    }
+    if w.adversarial_sources {
+        parts.push("adversarial".to_string());
+    }
+    parts.join(", ")
+}
+
+/// Parses a comma-separated `--name a,b,c` option into unit-interval
+/// floats, rejecting bad values here so the sweep builder's asserts
+/// can never fire on user input.
+fn unit_list(args: &ParsedArgs, name: &'static str) -> Result<Option<Vec<f64>>, CliError> {
+    if !args.has_option(name) {
+        return Ok(None);
+    }
+    let raw: String = args.get(name, String::new())?;
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let v: f64 = part.trim().parse().map_err(|_| bad(name, &raw))?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(bad(name, &raw));
+        }
+        out.push(v);
+    }
+    Ok(Some(out))
+}
+
 /// Renders `Option<u64>` as JSON (`null` when absent).
 fn json_opt(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |t| t.to_string())
@@ -223,6 +304,10 @@ fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
     let max_steps = args.get("max-steps", SimConfig::default_step_cap(c.side, c.k))?;
     let reps: u32 = args.get("reps", 1u32)?;
     let threads: usize = args.get("threads", 1usize)?;
+    let world = world_config(args)?;
+    if !world.is_trivial() {
+        return broadcast_world(args, &c, world, max_steps, reps, threads);
+    }
     let mut builder = SimConfig::builder(c.side, c.k)
         .radius(c.radius)
         .max_steps(max_steps);
@@ -252,6 +337,97 @@ fn broadcast(args: &ParsedArgs) -> Result<(), CliError> {
         c.seed
     );
     println!("{out}");
+    Ok(())
+}
+
+/// Broadcast in a non-trivial world (barriers, churn, heterogeneous
+/// radii or speeds, multiple or adversarial sources): the options are
+/// packed into a validated [`ScenarioSpec`] and run through the
+/// [`WorldSim`] driver, so CLI runs and sweep cells share one code
+/// path — and one set of rejection rules.
+fn broadcast_world(
+    args: &ParsedArgs,
+    c: &Common,
+    world: WorldConfig,
+    max_steps: u64,
+    reps: u32,
+    threads: usize,
+) -> Result<(), CliError> {
+    let mut builder = ScenarioSpec::builder(ProcessKind::Broadcast, c.side, c.k)
+        .radius(c.radius)
+        .max_steps(max_steps)
+        .world(world);
+    if args.flag("one-hop") {
+        builder = builder.exchange_rule(ExchangeRule::OneHop);
+    }
+    if args.flag("frog") {
+        builder = builder.mobility(Mobility::InformedOnly);
+    }
+    let spec = builder.build()?;
+    if reps > 1 {
+        return broadcast_world_ensemble(&spec, c, reps, threads);
+    }
+    let mut rng = SmallRng::seed_from_u64(c.seed);
+    let mut sim = WorldSim::from_spec(&spec, &mut rng)?;
+    let out = sim.run(&mut rng);
+    if c.json {
+        println!("{}", broadcast_json(&out));
+        return Ok(());
+    }
+    let cfg = spec.config();
+    println!(
+        "n = {}, k = {}, r = {} (r_c = {:.1}), seed = {}, world: {}",
+        cfg.n(),
+        cfg.k(),
+        cfg.radius(),
+        cfg.critical_radius(),
+        c.seed,
+        world_summary(spec.world()),
+    );
+    println!("{out}");
+    Ok(())
+}
+
+/// Multi-seed world-broadcast ensemble: every seed's metric goes
+/// through [`ScenarioSpec::run_seed`], the same entry the sweep engine
+/// uses.
+fn broadcast_world_ensemble(
+    spec: &ScenarioSpec,
+    c: &Common,
+    reps: u32,
+    threads: usize,
+) -> Result<(), CliError> {
+    let runner = Runner::new(c.seed).repetitions(reps).threads(threads);
+    let report = runner.measure(|s| spec.run_seed(s));
+    if c.json {
+        let samples: Vec<String> = report.samples.iter().map(|s| format!("{s}")).collect();
+        println!(
+            "{{\"process\":\"broadcast\",\"reps\":{reps},\"mean\":{},\"median\":{},\"min\":{},\"max\":{},\"samples\":[{}]}}",
+            report.summary.mean(),
+            report.summary.median(),
+            report.summary.min(),
+            report.summary.max(),
+            samples.join(",")
+        );
+        return Ok(());
+    }
+    let cfg = spec.config();
+    println!(
+        "n = {}, k = {}, r = {} (r_c = {:.1}), master seed = {}, {reps} seeds, world: {}",
+        cfg.n(),
+        cfg.k(),
+        cfg.radius(),
+        cfg.critical_radius(),
+        c.seed,
+        world_summary(spec.world()),
+    );
+    println!(
+        "T_B: mean {:.1}, median {:.1}, min {:.0}, max {:.0}",
+        report.summary.mean(),
+        report.summary.median(),
+        report.summary.min(),
+        report.summary.max()
+    );
     Ok(())
 }
 
@@ -330,12 +506,35 @@ fn infection(args: &ParsedArgs) -> Result<(), CliError> {
     if args.has_option("radius") {
         eprintln!("note: --radius is ignored; infection is contact-only (r = 0)");
     }
-    let config = SimConfig::builder(c.side, c.k)
-        .max_steps(max_steps)
-        .build()?;
+    let world = world_config(args)?;
     let mut rng = SmallRng::seed_from_u64(c.seed);
-    let mut sim = Simulation::infection(&config, &mut rng)?;
-    let out = sim.run(&mut rng);
+    let out = if world.is_trivial() {
+        let config = SimConfig::builder(c.side, c.k)
+            .max_steps(max_steps)
+            .build()?;
+        let mut sim = Simulation::infection(&config, &mut rng)?;
+        sim.run(&mut rng)
+    } else {
+        // Validate through the spec builder so the CLI rejects exactly
+        // the combinations TOML specs reject: infection supports only
+        // the source axes.
+        ScenarioSpec::builder(ProcessKind::Infection, c.side, c.k)
+            .max_steps(max_steps)
+            .world(world)
+            .build()?;
+        let grid = Grid::new(c.side)?;
+        let process = Infection::with_sources(c.k, world.num_sources)?;
+        let mut sim = if world.adversarial_sources {
+            let mut positions: Vec<Point> = (0..c.k).map(|_| grid.random_point(&mut rng)).collect();
+            for p in positions.iter_mut().take(world.num_sources) {
+                *p = Point::new(0, 0);
+            }
+            Simulation::from_positions(grid, positions, 0, max_steps, process)?
+        } else {
+            Simulation::new(grid, c.k, 0, max_steps, process, &mut rng)?
+        };
+        sim.run(&mut rng)
+    };
     if c.json {
         println!("{}", infection_json(&out));
         return Ok(());
@@ -539,6 +738,27 @@ fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     if args.has_option("seed") {
         sweep = sweep.seed(args.get("seed", 2011u64)?);
     }
+    let barriers = unit_list(args, "barrier-densities")?;
+    let churns = unit_list(args, "churn-rates")?;
+    let mixes = unit_list(args, "radius-mixes")?;
+    let axes_given = usize::from(barriers.is_some())
+        + usize::from(churns.is_some())
+        + usize::from(mixes.is_some());
+    if axes_given > 1 {
+        return Err(bad(
+            "barrier-densities",
+            "at most one world axis (--barrier-densities, --churn-rates, --radius-mixes)",
+        ));
+    }
+    if let Some(v) = barriers {
+        sweep = sweep.barrier_densities(v);
+    }
+    if let Some(v) = churns {
+        sweep = sweep.churn_rates(v);
+    }
+    if let Some(v) = mixes {
+        sweep = sweep.radius_mixes(v);
+    }
     let report = sweep.run()?;
     if args.flag("json") {
         print!("{}", report.to_json());
@@ -597,11 +817,23 @@ mod tests {
             "broadcast --side 12 --k 6 --one-hop --radius 1 --seed 1",
             "broadcast --side 12 --k 6 --seed 1 --reps 4 --threads 2",
             "broadcast --side 12 --k 6 --seed 1 --json",
+            "broadcast --side 12 --k 6 --radius 2 --barrier-density 0.2 --seed 1",
+            "broadcast --side 12 --k 6 --churn-rate 0.05 --seed 1",
+            "broadcast --side 12 --k 6 --radius 2 --hetero-fraction 0.5 --hetero-factor 2 \
+             --seed 1",
+            "broadcast --side 12 --k 6 --speed-fraction 0.5 --speed-factor 3 --seed 1",
+            "broadcast --side 12 --k 6 --sources 3 --adversarial --seed 1",
+            "broadcast --side 12 --k 6 --churn-rate 0.05 --seed 1 --json",
+            "broadcast --side 12 --k 6 --churn-rate 0.05 --seed 1 --reps 3 --threads 2",
+            "broadcast --side 12 --k 6 --speed-fraction 0.5 --speed-factor 2 --one-hop \
+             --radius 1 --seed 1",
             "gossip --side 12 --k 4 --seed 1",
             "gossip --side 12 --k 4 --rumors 2 --seed 1",
             "gossip --side 12 --k 4 --seed 1 --json",
             "infection --side 12 --k 4 --seed 1",
             "infection --side 12 --k 4 --seed 1 --json",
+            "infection --side 12 --k 4 --sources 2 --seed 1",
+            "infection --side 12 --k 4 --sources 2 --adversarial --seed 1 --json",
             "coverage --side 10 --k 6 --seed 1",
             "coverage --side 10 --k 6 --seed 1 --json",
             "protocol --side 12 --k 6 --radius 2 --seed 1",
@@ -662,6 +894,70 @@ mod tests {
         let good = good.to_str().unwrap();
         assert!(matches!(
             dispatch(&parsed(&format!("sweep --spec {good} --replicates 0"))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn world_options_reject_invalid_combinations() {
+        // Out-of-range axis values surface as spec validation errors.
+        let e = dispatch(&parsed("broadcast --side 12 --k 6 --barrier-density 1.5")).unwrap_err();
+        assert!(e.to_string().contains("barrier_density"), "{e}");
+        // One-hop exchange is build-gated against the world axes.
+        let e = dispatch(&parsed(
+            "broadcast --side 12 --k 6 --churn-rate 0.1 --one-hop --radius 1",
+        ))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Sim(_)), "{e}");
+        // Infection takes only the source axes.
+        let e = dispatch(&parsed("infection --side 12 --k 4 --churn-rate 0.1")).unwrap_err();
+        assert!(matches!(e, CliError::Sim(_)), "{e}");
+        // More sources than agents.
+        let e = dispatch(&parsed("broadcast --side 12 --k 4 --sources 9")).unwrap_err();
+        assert!(matches!(e, CliError::Sim(_)), "{e}");
+    }
+
+    #[test]
+    fn sweep_world_axis_overrides() {
+        let path = std::env::temp_dir().join("sparsegossip_cli_sweep_world.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nprocess = \"broadcast\"\nside = 10\nk = 5\n\n\
+             [sweep]\nradii = [0, 2]\nreplicates = 1\nseed = 7\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {path} --churn-rates 0.0,0.1"
+        )))
+        .unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {path} --barrier-densities 0.0,0.2 --json"
+        )))
+        .unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {path} --radius-mixes 0.0,0.5"
+        )))
+        .unwrap();
+        // At most one world axis per invocation.
+        assert!(matches!(
+            dispatch(&parsed(&format!(
+                "sweep --spec {path} --churn-rates 0.1 --radius-mixes 0.5"
+            ))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        // Malformed or out-of-range lists are argument errors, not
+        // panics.
+        assert!(matches!(
+            dispatch(&parsed(&format!(
+                "sweep --spec {path} --churn-rates 0.1,zap"
+            ))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        assert!(matches!(
+            dispatch(&parsed(&format!(
+                "sweep --spec {path} --barrier-densities 1.5"
+            ))),
             Err(CliError::Args(ArgError::BadValue { .. }))
         ));
     }

@@ -26,6 +26,7 @@
 //! assert_eq!(comps.size_of_agent(2), 1);
 //! ```
 
+mod contact;
 mod islands;
 mod percolation;
 mod seeded;
@@ -34,16 +35,19 @@ mod stats;
 mod union_find;
 mod visibility;
 
+pub use contact::{Contact, RadiiContact, UniformContact};
 pub use islands::{IslandSampler, IslandStats};
 pub use percolation::{
     critical_radius, estimate_threshold, giant_fraction, percolation_profile, PercolationPoint,
 };
 pub use seeded::{
-    components_from_seeds, components_from_seeds_into, components_from_seeds_on, SeededScratch,
+    components_from_seeds, components_from_seeds_into, components_from_seeds_on,
+    components_from_seeds_on_by, SeededScratch,
 };
 pub use spatial::{SpatialHash, SpatialScratch};
 pub use stats::DegreeStats;
 pub use union_find::UnionFind;
 pub use visibility::{
-    components, components_brute, components_into, Components, ComponentsScratch,
+    components, components_brute, components_brute_by, components_into, components_into_by,
+    components_on_by, Components, ComponentsScratch,
 };

@@ -22,7 +22,7 @@
 use sparsegossip_grid::Point;
 use sparsegossip_walks::BitSet;
 
-use crate::{Components, ComponentsScratch, SpatialHash};
+use crate::{Components, ComponentsScratch, Contact, SpatialHash, UniformContact};
 
 /// Reusable buffers for seed-restricted labelling: the BFS queue, the
 /// list of touched agents, the label remap table, the counting-sort
@@ -112,6 +112,31 @@ pub fn components_from_seeds_on<'a>(
     seeds: &BitSet,
     r: u32,
 ) -> &'a Components {
+    components_from_seeds_on_by(hash, scratch, positions, seeds, &UniformContact(r))
+}
+
+/// Computes the seed-containing components of the contact graph over an
+/// already-built `hash`, under an arbitrary [`Contact`] model — the
+/// heterogeneous counterpart of [`components_from_seeds_on`] (which is
+/// this function at [`UniformContact`]).
+///
+/// The hash's bucket radius must bound the contact model's reach, so
+/// the 3×3 candidate scan remains a superset of every accepted pair.
+/// The equivalence contract is unchanged: on covered components the
+/// result matches the full partition under the same contact model
+/// (e.g. [`components_brute_by`](crate::components_brute_by)).
+///
+/// # Panics
+///
+/// As [`components_from_seeds_on`].
+// detlint: hot
+pub fn components_from_seeds_on_by<'a, C: Contact>(
+    hash: &SpatialHash,
+    scratch: &'a mut SeededScratch,
+    positions: &[Point],
+    seeds: &BitSet,
+    contact: &C,
+) -> &'a Components {
     let k = positions.len();
     assert_eq!(seeds.len(), k, "seed set capacity mismatch");
     assert_eq!(hash.num_agents(), k, "hash agent count mismatch");
@@ -158,7 +183,7 @@ pub fn components_from_seeds_on<'a>(
             let pa = positions[a as usize];
             for b in hash.candidates(pa) {
                 if comps.labels[b as usize] == Components::NO_LABEL
-                    && positions[b as usize].manhattan(pa) <= r
+                    && contact.in_contact(a as usize, b as usize, pa, positions[b as usize])
                 {
                     comps.labels[b as usize] = tmp;
                     scratch.touched.push(b);

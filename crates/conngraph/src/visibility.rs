@@ -1,6 +1,6 @@
 use sparsegossip_grid::Point;
 
-use crate::{SpatialHash, SpatialScratch, UnionFind};
+use crate::{Contact, SpatialHash, SpatialScratch, UniformContact, UnionFind};
 
 /// The connected components of a visibility graph `G_t(r)`.
 ///
@@ -269,15 +269,25 @@ impl ComponentsScratch {
     }
 }
 
-/// Unions every pair of agents at Manhattan distance ≤ `r`, scanning
+/// Unions every pair of agents the contact model accepts, scanning
 /// each *occupied* bucket pair of the hash exactly once — O(k) bucket
 /// work even when the grid has `n ≫ k` buckets (the `r = 0`
 /// contact-only regime), where a full-grid sweep would cost O(n).
 ///
+/// The hash's bucket radius must bound the contact model's reach (see
+/// the [`Contact`] contract); the homogeneous path monomorphizes to
+/// the plain Manhattan test via [`UniformContact`].
+///
 /// The scan order differs from a row-major sweep, but the union–find
 /// partition — and therefore the canonical [`Components`] labelling
 /// (dense ids in first-agent order) — is order-independent.
-fn union_visible(hash: &SpatialHash, positions: &[Point], r: u32, uf: &mut UnionFind) {
+// detlint: hot
+fn union_visible_by<C: Contact>(
+    hash: &SpatialHash,
+    positions: &[Point],
+    contact: &C,
+    uf: &mut UnionFind,
+) {
     let bps = hash.buckets_per_side();
     // Half-neighbourhood scan so each bucket pair is examined once:
     // within-bucket pairs, then (E, N, NE, NW) neighbour buckets.
@@ -288,7 +298,12 @@ fn union_visible(hash: &SpatialHash, positions: &[Point], r: u32, uf: &mut Union
         let here = hash.bucket_agents(bx, by);
         for (idx, &a) in here.iter().enumerate() {
             for &b in &here[idx + 1..] {
-                if positions[a as usize].manhattan(positions[b as usize]) <= r {
+                if contact.in_contact(
+                    a as usize,
+                    b as usize,
+                    positions[a as usize],
+                    positions[b as usize],
+                ) {
                     uf.union(a as usize, b as usize);
                 }
             }
@@ -302,7 +317,12 @@ fn union_visible(hash: &SpatialHash, positions: &[Point], r: u32, uf: &mut Union
             let there = hash.bucket_agents(nx as u32, ny as u32);
             for &a in here {
                 for &b in there {
-                    if positions[a as usize].manhattan(positions[b as usize]) <= r {
+                    if contact.in_contact(
+                        a as usize,
+                        b as usize,
+                        positions[a as usize],
+                        positions[b as usize],
+                    ) {
                         uf.union(a as usize, b as usize);
                     }
                 }
@@ -351,6 +371,29 @@ pub fn components_into<'a>(
     r: u32,
     side: u32,
 ) -> &'a Components {
+    components_into_by(scratch, positions, &UniformContact(r), r, side)
+}
+
+/// Computes the connected components of the contact graph inside
+/// `scratch`, under an arbitrary [`Contact`] model — the heterogeneous
+/// counterpart of [`components_into`].
+///
+/// `bucket_radius` sizes the spatial-hash buckets and must bound the
+/// contact model's reach (the maximum per-agent radius under the
+/// `min(r_i, r_j)` rule); `contact` then filters the 3×3 candidate
+/// superset pair by pair. With `UniformContact(r)` and
+/// `bucket_radius = r` this is exactly [`components_into`].
+///
+/// # Panics
+///
+/// As [`components`].
+pub fn components_into_by<'a, C: Contact>(
+    scratch: &'a mut ComponentsScratch,
+    positions: &[Point],
+    contact: &C,
+    bucket_radius: u32,
+    side: u32,
+) -> &'a Components {
     let ComponentsScratch {
         spatial,
         uf,
@@ -359,9 +402,47 @@ pub fn components_into<'a>(
         comps,
         seeded: _,
     } = scratch;
-    let hash = SpatialHash::build_into(spatial, positions, r, side);
+    let hash = SpatialHash::build_into(spatial, positions, bucket_radius, side);
     uf.reset_to(positions.len());
-    union_visible(hash, positions, r, uf);
+    union_visible_by(hash, positions, contact, uf);
+    Components::rebuild(comps, uf, root_label, cursor);
+    &*comps
+}
+
+/// Computes the connected components over an already-built (or
+/// incrementally maintained) `hash` under an arbitrary [`Contact`]
+/// model — the full-partition counterpart of
+/// [`components_from_seeds_on_by`](crate::components_from_seeds_on_by).
+///
+/// The `hash` must describe exactly `positions` and its bucket radius
+/// must bound the contact model's reach.
+///
+/// # Panics
+///
+/// Panics if the hash holds a different number of agents than
+/// `positions`.
+// detlint: hot
+pub fn components_on_by<'a, C: Contact>(
+    hash: &SpatialHash,
+    scratch: &'a mut ComponentsScratch,
+    positions: &[Point],
+    contact: &C,
+) -> &'a Components {
+    assert_eq!(
+        hash.num_agents(),
+        positions.len(),
+        "hash agent count mismatch"
+    );
+    let ComponentsScratch {
+        spatial: _,
+        uf,
+        root_label,
+        cursor,
+        comps,
+        seeded: _,
+    } = scratch;
+    uf.reset_to(positions.len());
+    union_visible_by(hash, positions, contact, uf);
     Components::rebuild(comps, uf, root_label, cursor);
     &*comps
 }
@@ -376,6 +457,17 @@ pub fn components_into<'a>(
 ///
 /// Panics if any position lies outside the grid.
 pub fn components_brute(positions: &[Point], r: u32, side: u32) -> Components {
+    components_brute_by(positions, &UniformContact(r), side)
+}
+
+/// Reference implementation of the contact-graph partition by O(k²)
+/// pairwise checks under an arbitrary [`Contact`] model — the
+/// heterogeneous counterpart of [`components_brute`].
+///
+/// # Panics
+///
+/// Panics if any position lies outside the grid.
+pub fn components_brute_by<C: Contact>(positions: &[Point], contact: &C, side: u32) -> Components {
     for p in positions {
         assert!(
             p.x < side && p.y < side,
@@ -385,7 +477,7 @@ pub fn components_brute(positions: &[Point], r: u32, side: u32) -> Components {
     let mut uf = UnionFind::new(positions.len());
     for i in 0..positions.len() {
         for j in i + 1..positions.len() {
-            if positions[i].manhattan(positions[j]) <= r {
+            if contact.in_contact(i, j, positions[i], positions[j]) {
                 uf.union(i, j);
             }
         }

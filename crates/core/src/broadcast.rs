@@ -113,6 +113,38 @@ impl Broadcast {
         })
     }
 
+    /// Creates the process state for `k` agents with the first
+    /// `sources` agents informed (multi-source broadcast).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooFewAgents`] if `k < 2`;
+    /// * [`SimError::SourceOutOfRange`] if `sources == 0` or
+    ///   `sources > k`.
+    pub fn with_sources(k: usize, sources: usize) -> Result<Self, SimError> {
+        if k < 2 {
+            return Err(SimError::TooFewAgents { k });
+        }
+        if sources == 0 || sources > k {
+            return Err(SimError::SourceOutOfRange {
+                source: sources.saturating_sub(1),
+                k,
+            });
+        }
+        let mut informed = BitSet::new(k);
+        for s in 0..sources {
+            informed.insert(s);
+        }
+        Ok(Self {
+            mobility: Mobility::All,
+            exchange_rule: ExchangeRule::Component,
+            informed,
+            informed_count: sources,
+            one_hop_spatial: SpatialScratch::new(),
+            one_hop_snapshot: BitSet::new(k),
+        })
+    }
+
     /// Creates the process described by `config` (mobility, exchange
     /// rule, source).
     ///
@@ -232,6 +264,14 @@ impl Process for Broadcast {
         match self.mobility {
             Mobility::All => None,
             Mobility::InformedOnly => Some(&self.informed),
+        }
+    }
+
+    /// A churned-out agent is replaced by a fresh arrival that has not
+    /// heard the rumor: its informed bit is dropped.
+    fn reset_agent(&mut self, i: usize) {
+        if self.informed.remove(i) {
+            self.informed_count -= 1;
         }
     }
 

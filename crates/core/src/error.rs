@@ -42,6 +42,14 @@ pub enum SimError {
         /// The unsupported setting, in spec-file syntax.
         setting: &'static str,
     },
+    /// A world-model setting ([`WorldConfig`](crate::WorldConfig))
+    /// holds an out-of-range value, e.g. a churn rate above 1.
+    InvalidWorldSetting {
+        /// The offending setting, in spec-file syntax.
+        key: &'static str,
+        /// What the setting accepts.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +69,9 @@ impl fmt::Display for SimError {
             }
             Self::UnsupportedSetting { kind, setting } => {
                 write!(f, "process {kind:?} does not support {setting}")
+            }
+            Self::InvalidWorldSetting { key, expected } => {
+                write!(f, "world setting {key:?} must be {expected}")
             }
         }
     }
@@ -108,6 +119,13 @@ mod tests {
         };
         assert!(e.to_string().contains("gossip"));
         assert!(e.to_string().contains("one-hop"));
+        let e = SimError::InvalidWorldSetting {
+            key: "churn_rate",
+            expected: "finite number in [0, 1]",
+        };
+        assert!(e.to_string().contains("churn_rate"));
+        assert!(e.to_string().contains("[0, 1]"));
+        assert!(e.source().is_none());
     }
 
     #[test]

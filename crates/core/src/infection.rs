@@ -72,6 +72,19 @@ impl Infection {
         })
     }
 
+    /// Creates the process state for `k` agents with the first
+    /// `sources` agents infected.
+    ///
+    /// # Errors
+    ///
+    /// As [`Broadcast::with_sources`](crate::Broadcast::with_sources).
+    pub fn with_sources(k: usize, sources: usize) -> Result<Self, SimError> {
+        Ok(Self {
+            inner: Broadcast::with_sources(k, sources)?,
+            times: vec![None; k],
+        })
+    }
+
     /// Sets the mobility rule of the underlying broadcast (default
     /// [`Mobility`](crate::Mobility)`::All`; `InformedOnly` gives
     /// Frog-style infection where only carriers walk).
@@ -112,6 +125,13 @@ impl Process for Infection {
 
     fn mobility_mask(&self) -> Option<&BitSet> {
         self.inner.mobility_mask()
+    }
+
+    /// The replacement arrival is uninfected and carries no recorded
+    /// infection time.
+    fn reset_agent(&mut self, i: usize) {
+        self.inner.reset_agent(i);
+        self.times[i] = None;
     }
 
     /// Infection is broadcast plus bookkeeping over the informed set,

@@ -74,6 +74,7 @@ mod rumor;
 mod scenario;
 pub mod theory;
 pub mod toml;
+mod world;
 
 pub use broadcast::{Broadcast, BroadcastOutcome, BroadcastSim};
 pub use config::{ExchangeRule, Mobility, SimConfig, SimConfigBuilder};
@@ -94,3 +95,4 @@ pub use rumor::RumorSets;
 // crate directly.
 pub use scenario::{Metric, ProcessKind, ScenarioSpec, ScenarioSpecBuilder, SpecError};
 pub use sparsegossip_protocol::{NetworkConfig, NetworkError, RuntimeStats};
+pub use world::{WorldConfig, WorldContact, WorldSim};

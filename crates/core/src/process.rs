@@ -32,13 +32,13 @@ use core::ops::ControlFlow;
 
 use rand::RngExt;
 use sparsegossip_conngraph::{
-    components, components_from_seeds_on, components_into, Components, ComponentsScratch,
-    SeededScratch, SpatialHash,
+    components, components_brute_by, components_from_seeds_on_by, components_into_by, Components,
+    ComponentsScratch, SeededScratch, SpatialHash,
 };
-use sparsegossip_grid::{Point, Topology};
+use sparsegossip_grid::{BarrierGrid, Point, Topology};
 use sparsegossip_walks::{BitSet, WalkEngine};
 
-use crate::{Observer, RumorSets, SimError, StepContext};
+use crate::{Observer, RumorSets, SimError, StepContext, WorldConfig, WorldContact};
 
 /// Reusable hot-path buffers for a [`Simulation`]: the spatial hash,
 /// union–find and component arrays behind the per-step visibility
@@ -262,6 +262,13 @@ pub trait Process {
     /// come from `rng` so runs stay seed-reproducible.
     fn post_move<T: Topology, R: RngExt>(&mut self, _topo: &T, _rng: &mut R) {}
 
+    /// Called when agent `i` churns out of the system and is replaced
+    /// by a fresh arrival at a new position: the process must clear any
+    /// state the departed agent carried (informed bit, rumor set, …).
+    /// The default keeps state — correct only for processes never
+    /// driven with churn.
+    fn reset_agent(&mut self, _i: usize) {}
+
     /// Exchanges state across the visibility graph; returns
     /// [`ControlFlow::Break`] once the process has reached its
     /// completion condition.
@@ -319,6 +326,61 @@ pub struct Simulation<P: Process, T> {
     /// `StepContext` can always hand out references (a zero-capacity
     /// bitset holds no heap allocation).
     empty_informed: BitSet,
+    /// World-model state (per-agent radii/speeds, churn, walls);
+    /// trivial for every plain constructor.
+    world: WorldState,
+}
+
+/// Derived per-simulation world state, resolved once at construction
+/// from a [`WorldConfig`] so the step loop never re-derives anything.
+#[derive(Clone, Debug, Default)]
+struct WorldState {
+    /// Per-agent radii under the `min(r_i, r_j)` contact rule; empty
+    /// means homogeneous (use the global radius).
+    radii: Vec<u32>,
+    /// Per-agent lazy sub-steps per time step; empty means unit speeds.
+    speeds: Vec<u32>,
+    /// Spatial-hash bucket radius: the maximum effective radius, so the
+    /// 3×3 candidate scan covers every acceptable pair.
+    bucket_radius: u32,
+    /// Per-agent, per-step replacement probability (0 disables churn).
+    churn_rate: f64,
+    /// Agents `0..immortal` never churn (the rumor sources).
+    immortal: usize,
+    /// Wall map obstructing radio contact (mobility obstruction comes
+    /// from running on the matching [`BarrierGrid`] topology).
+    walls: Option<BarrierGrid>,
+}
+
+impl WorldState {
+    /// The trivial world: homogeneous radius, unit speeds, no churn, no
+    /// walls — byte-for-byte the pre-world driver behavior.
+    fn trivial(radius: u32) -> Self {
+        Self {
+            bucket_radius: radius,
+            ..Self::default()
+        }
+    }
+
+    /// Resolves a validated [`WorldConfig`] into per-agent state.
+    fn resolve(world: &WorldConfig, k: usize, radius: u32, walls: Option<BarrierGrid>) -> Self {
+        let radii = world.radii(k, radius).unwrap_or_default();
+        let bucket_radius = radii.iter().copied().max().unwrap_or(radius);
+        Self {
+            radii,
+            speeds: world.speeds(k).unwrap_or_default(),
+            bucket_radius,
+            churn_rate: world.churn_rate,
+            immortal: world.num_sources,
+            walls,
+        }
+    }
+
+    /// The per-agent radius slice, if heterogeneous.
+    #[inline]
+    fn radii_opt(&self) -> Option<&[u32]> {
+        (!self.radii.is_empty()).then_some(self.radii.as_slice())
+    }
 }
 
 impl<P: Process, T: Topology> Simulation<P, T> {
@@ -410,6 +472,81 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         Ok(Self::on_engine(engine, radius, max_steps, process, scratch))
     }
 
+    /// As [`Simulation::new_with_scratch`], additionally installing the
+    /// world-model axes of `world`: per-agent heterogeneous radii and
+    /// speed classes, churn, and wall-aware radio contact. When the
+    /// world declares barriers, `topo` should be the matching
+    /// [`BarrierGrid::city_blocks`] map so mobility respects the same
+    /// walls as contact (the [`WorldSim`](crate::WorldSim) front door
+    /// guarantees this).
+    ///
+    /// A [trivial](WorldConfig::is_trivial) world reproduces the plain
+    /// constructor draw for draw.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::new_with_scratch`], plus
+    /// [`SimError::InvalidWorldSetting`] for out-of-range axes and
+    /// [`SimError::Grid`] if the barrier layout is invalid.
+    #[allow(clippy::too_many_arguments)] // the full constructor axis set; WorldSim is the ergonomic front door
+    pub fn new_in_world_with_scratch<R: RngExt>(
+        topo: T,
+        k: usize,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+        world: &WorldConfig,
+        rng: &mut R,
+        scratch: SimScratch,
+    ) -> Result<Self, SimError> {
+        world.validate()?;
+        Self::validate(&process, k, max_steps)?;
+        let walls = world.build_barriers(topo.side())?;
+        let engine = WalkEngine::uniform(topo, k, rng)?;
+        Ok(Self::on_engine_world(
+            engine,
+            radius,
+            max_steps,
+            process,
+            scratch,
+            WorldState::resolve(world, k, radius, walls),
+        ))
+    }
+
+    /// As [`Simulation::from_positions_with_scratch`], additionally
+    /// installing the world-model axes of `world` (see
+    /// [`Simulation::new_in_world_with_scratch`]); the explicit
+    /// placement serves adversarial source layouts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::from_positions_with_scratch`], plus
+    /// [`SimError::InvalidWorldSetting`] for out-of-range axes and
+    /// [`SimError::Grid`] if the barrier layout is invalid.
+    pub fn from_positions_in_world_with_scratch(
+        topo: T,
+        positions: Vec<Point>,
+        radius: u32,
+        max_steps: u64,
+        process: P,
+        world: &WorldConfig,
+        scratch: SimScratch,
+    ) -> Result<Self, SimError> {
+        world.validate()?;
+        Self::validate(&process, positions.len(), max_steps)?;
+        let walls = world.build_barriers(topo.side())?;
+        let k = positions.len();
+        let engine = WalkEngine::from_positions(topo, positions)?;
+        Ok(Self::on_engine_world(
+            engine,
+            radius,
+            max_steps,
+            process,
+            scratch,
+            WorldState::resolve(world, k, radius, walls),
+        ))
+    }
+
     fn validate(process: &P, k: usize, max_steps: u64) -> Result<(), SimError> {
         if max_steps == 0 {
             return Err(SimError::ZeroStepCap);
@@ -430,7 +567,19 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         radius: u32,
         max_steps: u64,
         process: P,
+        scratch: SimScratch,
+    ) -> Self {
+        let world = WorldState::trivial(radius);
+        Self::on_engine_world(engine, radius, max_steps, process, scratch, world)
+    }
+
+    fn on_engine_world(
+        engine: WalkEngine<T>,
+        radius: u32,
+        max_steps: u64,
+        process: P,
         mut scratch: SimScratch,
+        world: WorldState,
     ) -> Self {
         // A recycled scratch may carry another simulation's maintained
         // hash; it does not mirror this engine's positions.
@@ -443,6 +592,7 @@ impl<P: Process, T: Topology> Simulation<P, T> {
             complete: false,
             scratch,
             empty_informed: BitSet::new(0),
+            world,
         };
         sim.placement_exchange();
         sim
@@ -457,28 +607,36 @@ impl<P: Process, T: Topology> Simulation<P, T> {
     /// [`None`](ComponentsScope::None) scope skips labelling outright.
     fn placement_exchange(&mut self) {
         let side = self.engine.topology().side();
+        let contact = WorldContact::new(
+            self.radius,
+            self.world.radii_opt(),
+            self.world.walls.as_ref(),
+        );
         let comps: &Components = if !P::NEEDS_COMPONENTS {
             Components::EMPTY
         } else {
             match self.process.components_scope() {
                 ComponentsScope::None => Components::EMPTY,
                 ComponentsScope::Seeded(seeds) => {
-                    self.scratch
-                        .hash
-                        .rebuild(self.engine.positions(), self.radius, side);
+                    self.scratch.hash.rebuild(
+                        self.engine.positions(),
+                        self.world.bucket_radius,
+                        side,
+                    );
                     self.scratch.hash_live = true;
-                    components_from_seeds_on(
+                    components_from_seeds_on_by(
                         &self.scratch.hash,
                         &mut self.scratch.seeded,
                         self.engine.positions(),
                         seeds,
-                        self.radius,
+                        &contact,
                     )
                 }
-                ComponentsScope::Full => components_into(
+                ComponentsScope::Full => components_into_by(
                     &mut self.scratch.comps,
                     self.engine.positions(),
-                    self.radius,
+                    &contact,
+                    self.world.bucket_radius,
                     side,
                 ),
             }
@@ -608,14 +766,22 @@ impl<P: Process, T: Topology> Simulation<P, T> {
         Ok(())
     }
 
-    /// The visibility-graph components at the current positions.
+    /// The visibility-graph components at the current positions, under
+    /// the world's contact model (heterogeneous radii and walls
+    /// included). A diagnostic accessor — it allocates.
     #[must_use]
     pub fn current_components(&self) -> Components {
-        components(
-            self.engine.positions(),
-            self.radius,
-            self.engine.topology().side(),
-        )
+        let side = self.engine.topology().side();
+        if self.world.radii.is_empty() && self.world.walls.is_none() {
+            components(self.engine.positions(), self.radius, side)
+        } else {
+            let contact = WorldContact::new(
+                self.radius,
+                self.world.radii_opt(),
+                self.world.walls.as_ref(),
+            );
+            components_brute_by(self.engine.positions(), &contact, side)
+        }
     }
 
     /// Advances one step of the shared pipeline: mobility rule →
@@ -678,26 +844,58 @@ impl<P: Process, T: Topology> Simulation<P, T> {
             scope_sparse && matches!(self.process.components_scope(), ComponentsScope::Seeded(_));
         let skip_components =
             scope_sparse && matches!(self.process.components_scope(), ComponentsScope::None);
+        let speeds_active = !self.world.speeds.is_empty();
         if frontier_sparse {
             // Track the moves so the maintained hash can relocate only
             // the agents whose bucket changed.
-            match self.process.mobility_mask() {
-                None => self.engine.step_all_into(rng, &mut self.scratch.moves),
-                Some(mask) => self
-                    .engine
-                    .step_masked_into(mask, rng, &mut self.scratch.moves),
+            match (speeds_active, self.process.mobility_mask()) {
+                (false, None) => self.engine.step_all_into(rng, &mut self.scratch.moves),
+                (false, Some(mask)) => {
+                    self.engine
+                        .step_masked_into(mask, rng, &mut self.scratch.moves)
+                }
+                (true, None) => {
+                    self.engine
+                        .step_speeds_into(&self.world.speeds, rng, &mut self.scratch.moves)
+                }
+                (true, Some(mask)) => self.engine.step_speeds_masked_into(
+                    &self.world.speeds,
+                    mask,
+                    rng,
+                    &mut self.scratch.moves,
+                ),
             }
         } else {
-            match self.process.mobility_mask() {
-                None => self.engine.step_all(rng),
-                Some(mask) => self.engine.step_masked(mask, rng),
+            match (speeds_active, self.process.mobility_mask()) {
+                (false, None) => self.engine.step_all(rng),
+                (false, Some(mask)) => self.engine.step_masked(mask, rng),
+                // The speeds steppers log moves; the full path simply
+                // ignores the log.
+                (true, None) => {
+                    self.engine
+                        .step_speeds_into(&self.world.speeds, rng, &mut self.scratch.moves)
+                }
+                (true, Some(mask)) => self.engine.step_speeds_masked_into(
+                    &self.world.speeds,
+                    mask,
+                    rng,
+                    &mut self.scratch.moves,
+                ),
             }
-            // Positions changed without a move log: the maintained hash
-            // no longer mirrors them.
+            // Positions changed without a usable move log: the
+            // maintained hash no longer mirrors them.
             self.scratch.hash_live = false;
         }
         self.process.post_move(self.engine.topology(), rng);
+        if self.world.churn_rate > 0.0 {
+            self.churn_agents(rng);
+        }
         let side = self.engine.topology().side();
+        let contact = WorldContact::new(
+            self.radius,
+            self.world.radii_opt(),
+            self.world.walls.as_ref(),
+        );
         let comps: &Components = if !P::NEEDS_COMPONENTS || skip_components {
             Components::EMPTY
         } else if frontier_sparse {
@@ -705,35 +903,39 @@ impl<P: Process, T: Topology> Simulation<P, T> {
                 if self.scratch.hash_live {
                     self.scratch.hash.apply_moves(&self.scratch.moves);
                 } else {
-                    self.scratch
-                        .hash
-                        .rebuild(self.engine.positions(), self.radius, side);
+                    self.scratch.hash.rebuild(
+                        self.engine.positions(),
+                        self.world.bucket_radius,
+                        side,
+                    );
                     self.scratch.hash_live = true;
                 }
-                components_from_seeds_on(
+                components_from_seeds_on_by(
                     &self.scratch.hash,
                     &mut self.scratch.seeded,
                     self.engine.positions(),
                     seeds,
-                    self.radius,
+                    &contact,
                 )
             } else {
                 // A custom process switched scope between the move and
                 // the labelling (no built-in process does): fall back to
                 // the always-correct full build.
                 self.scratch.hash_live = false;
-                components_into(
+                components_into_by(
                     &mut self.scratch.comps,
                     self.engine.positions(),
-                    self.radius,
+                    &contact,
+                    self.world.bucket_radius,
                     side,
                 )
             }
         } else {
-            components_into(
+            components_into_by(
                 &mut self.scratch.comps,
                 self.engine.positions(),
-                self.radius,
+                &contact,
+                self.world.bucket_radius,
                 side,
             )
         };
@@ -756,6 +958,32 @@ impl<P: Process, T: Topology> Simulation<P, T> {
             rumors: self.process.rumors(),
         });
         flow
+    }
+
+    /// The churn phase: each agent independently departs with
+    /// probability `churn_rate` and is replaced by a fresh uninformed
+    /// arrival at a uniform node, keeping the population at `k`. The
+    /// first [`WorldState::immortal`] agents (the sources) draw but
+    /// never depart, so the per-step draw layout is one Bernoulli per
+    /// agent regardless of the source count.
+    // detlint: hot
+    fn churn_agents<R: RngExt>(&mut self, rng: &mut R) {
+        let rate = self.world.churn_rate;
+        for i in 0..self.engine.len() {
+            let hit = rng.random_bool(rate);
+            if !hit || i < self.world.immortal {
+                continue;
+            }
+            let from = self.engine.positions()[i];
+            let to = self.engine.topology().random_point(rng);
+            if to != from {
+                self.engine.set_position(i, to);
+                // Log the teleport alongside the walk moves so the
+                // maintained hash relocates the replacement too.
+                self.scratch.moves.push((i as u32, from, to));
+            }
+            self.process.reset_agent(i);
+        }
     }
 
     /// Runs to completion or the step cap; equivalent to

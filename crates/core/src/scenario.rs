@@ -37,12 +37,12 @@ use core::mem;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_grid::Grid;
+use sparsegossip_grid::{Grid, Point, Topology};
 
 use crate::toml::{TomlDoc, TomlError};
 use crate::{
-    Coverage, ExchangeRule, Mobility, NetworkConfig, NetworkError, SimConfig, SimError, SimScratch,
-    Simulation,
+    Coverage, ExchangeRule, Infection, Mobility, NetworkConfig, NetworkError, SimConfig, SimError,
+    SimScratch, Simulation, WorldConfig, WorldSim,
 };
 
 /// Which dissemination [`Process`](crate::Process) a scenario runs.
@@ -235,6 +235,9 @@ pub struct ScenarioSpec {
     /// Network fault axes, honored by the protocol twin (other kinds
     /// require the default ideal network).
     network: NetworkConfig,
+    /// World-model axes (barriers, churn, heterogeneity, sources);
+    /// the default reproduces the paper's world exactly.
+    world: WorldConfig,
     /// Whether the step cap was given explicitly (kept so
     /// [`with_axes`](Self::with_axes) re-derives the default cap for
     /// resized cells instead of freezing the base spec's).
@@ -257,6 +260,7 @@ impl ScenarioSpec {
             exchange_rule: ExchangeRule::Component,
             metric: Metric::Time,
             network: NetworkConfig::IDEAL,
+            world: WorldConfig::DEFAULT,
         }
     }
 
@@ -290,6 +294,14 @@ impl ScenarioSpec {
         &self.network
     }
 
+    /// The world-model axes ([`WorldConfig::DEFAULT`] unless the spec
+    /// set any barrier/churn/heterogeneity/source key).
+    #[inline]
+    #[must_use]
+    pub fn world(&self) -> &WorldConfig {
+        &self.world
+    }
+
     /// Re-derives this spec with a different network configuration,
     /// re-validating: the sweep engine's way of expanding a network
     /// axis.
@@ -305,7 +317,31 @@ impl ScenarioSpec {
             .mobility(self.config.mobility())
             .exchange_rule(self.config.exchange_rule())
             .metric(self.metric)
-            .network(network);
+            .network(network)
+            .world(self.world);
+        if self.explicit_max_steps {
+            b = b.max_steps(self.config.max_steps());
+        }
+        b.build()
+    }
+
+    /// Re-derives this spec with different world-model axes,
+    /// re-validating: the sweep engine's way of expanding a world axis
+    /// (barrier densities, churn rates, radius mixes).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioSpecBuilder::build`] (kinds other than broadcast —
+    /// and infection, for the source axes — reject active world axes).
+    pub fn with_world(&self, world: WorldConfig) -> Result<Self, SimError> {
+        let mut b = Self::builder(self.kind, self.config.side(), self.config.k())
+            .radius(self.config.radius())
+            .source(self.config.source())
+            .mobility(self.config.mobility())
+            .exchange_rule(self.config.exchange_rule())
+            .metric(self.metric)
+            .network(self.network)
+            .world(world);
         if self.explicit_max_steps {
             b = b.max_steps(self.config.max_steps());
         }
@@ -329,7 +365,8 @@ impl ScenarioSpec {
             .mobility(self.config.mobility())
             .exchange_rule(self.config.exchange_rule())
             .metric(self.metric)
-            .network(self.network);
+            .network(self.network)
+            .world(self.world);
         if self.explicit_max_steps {
             b = b.max_steps(self.config.max_steps());
         }
@@ -356,10 +393,21 @@ impl ScenarioSpec {
         // apply, so construction cannot fail here.
         match self.kind {
             ProcessKind::Broadcast => {
-                let mut sim = Simulation::broadcast_with_scratch(cfg, &mut rng, mem::take(scratch))
-                    .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
-                let out = sim.run(&mut rng);
-                *scratch = sim.into_scratch();
+                let out = if self.world.is_trivial() {
+                    let mut sim =
+                        Simulation::broadcast_with_scratch(cfg, &mut rng, mem::take(scratch))
+                            .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
+                    let out = sim.run(&mut rng);
+                    *scratch = sim.into_scratch();
+                    out
+                } else {
+                    let mut sim =
+                        WorldSim::from_spec_with_scratch(self, &mut rng, mem::take(scratch))
+                            .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
+                    let out = sim.run(&mut rng);
+                    *scratch = sim.into_scratch();
+                    out
+                };
                 match self.metric {
                     Metric::Time => out.broadcast_time.unwrap_or(cfg.max_steps()) as f64,
                     Metric::Fraction => out.informed_fraction(),
@@ -376,10 +424,53 @@ impl ScenarioSpec {
                 }
             }
             ProcessKind::Infection => {
-                let mut sim = Simulation::infection_with_scratch(cfg, &mut rng, mem::take(scratch))
+                let out = if self.world.is_trivial() {
+                    let mut sim =
+                        Simulation::infection_with_scratch(cfg, &mut rng, mem::take(scratch))
+                            .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
+                    let out = sim.run(&mut rng);
+                    *scratch = sim.into_scratch();
+                    out
+                } else {
+                    // Infection honors only the source axes (the build
+                    // gate rejects every other world axis for it):
+                    // multi-source and adversarial placement, inline
+                    // because infection is contact-only (`r = 0`) and
+                    // needs no topology dispatch.
+                    let grid = Grid::new(cfg.side()).expect("validated spec"); // detlint: allow(panic, spec validation checked side >= 1)
+                    let process = Infection::with_sources(cfg.k(), self.world.num_sources)
+                        .expect("validated spec") // detlint: allow(panic, spec validation mirrors Infection::with_sources)
+                        .mobility(cfg.mobility());
+                    let mut sim = if self.world.adversarial_sources {
+                        let mut positions: Vec<Point> =
+                            (0..cfg.k()).map(|_| grid.random_point(&mut rng)).collect();
+                        for p in positions.iter_mut().take(self.world.num_sources) {
+                            *p = Point::new(0, 0);
+                        }
+                        Simulation::from_positions_with_scratch(
+                            grid,
+                            positions,
+                            0,
+                            cfg.max_steps(),
+                            process,
+                            mem::take(scratch),
+                        )
+                    } else {
+                        Simulation::new_with_scratch(
+                            grid,
+                            cfg.k(),
+                            0,
+                            cfg.max_steps(),
+                            process,
+                            &mut rng,
+                            mem::take(scratch),
+                        )
+                    }
                     .expect("validated spec"); // detlint: allow(panic, spec was validated with the constructor's own rules)
-                let out = sim.run(&mut rng);
-                *scratch = sim.into_scratch();
+                    let out = sim.run(&mut rng);
+                    *scratch = sim.into_scratch();
+                    out
+                };
                 match self.metric {
                     Metric::Time => out.infection_time.unwrap_or(cfg.max_steps()) as f64,
                     Metric::Fraction => {
@@ -470,6 +561,45 @@ impl ScenarioSpec {
                 self.network.gossip_interval()
             ));
         }
+        // World axes, non-default values only, so pre-world spec files
+        // stay byte-identical.
+        let w = &self.world;
+        if w.barrier_density != 0.0 {
+            out.push_str(&format!(
+                "barrier_density = {}\n",
+                format_toml_f64(w.barrier_density)
+            ));
+        }
+        if w.churn_rate != 0.0 {
+            out.push_str(&format!("churn_rate = {}\n", format_toml_f64(w.churn_rate)));
+        }
+        if w.hetero_fraction != 0.0 {
+            out.push_str(&format!(
+                "hetero_fraction = {}\n",
+                format_toml_f64(w.hetero_fraction)
+            ));
+        }
+        if w.hetero_factor != 1.0 {
+            out.push_str(&format!(
+                "hetero_factor = {}\n",
+                format_toml_f64(w.hetero_factor)
+            ));
+        }
+        if w.speed_fraction != 0.0 {
+            out.push_str(&format!(
+                "speed_fraction = {}\n",
+                format_toml_f64(w.speed_fraction)
+            ));
+        }
+        if w.speed_factor != 1 {
+            out.push_str(&format!("speed_factor = {}\n", w.speed_factor));
+        }
+        if w.num_sources != 1 {
+            out.push_str(&format!("num_sources = {}\n", w.num_sources));
+        }
+        if w.adversarial_sources {
+            out.push_str("adversarial_sources = true\n");
+        }
         out.push_str(&format!("metric = \"{}\"\n", self.metric));
         out
     }
@@ -495,7 +625,7 @@ impl ScenarioSpec {
     /// As [`from_toml_str`](Self::from_toml_str).
     pub fn from_toml_doc(doc: &TomlDoc) -> Result<Self, SpecError> {
         let table = doc.section("scenario")?;
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 21] = [
             "process",
             "side",
             "k",
@@ -508,6 +638,14 @@ impl ScenarioSpec {
             "delay_max",
             "send_cap",
             "gossip_interval",
+            "barrier_density",
+            "churn_rate",
+            "hetero_fraction",
+            "hetero_factor",
+            "speed_fraction",
+            "speed_factor",
+            "num_sources",
+            "adversarial_sources",
             "metric",
         ];
         for key in table.keys() {
@@ -542,6 +680,17 @@ impl ScenarioSpec {
         )
         .map_err(bad_network_value)?;
         builder = builder.network(network);
+        let world = WorldConfig {
+            barrier_density: table.opt_f64("barrier_density")?.unwrap_or(0.0),
+            churn_rate: table.opt_f64("churn_rate")?.unwrap_or(0.0),
+            hetero_fraction: table.opt_f64("hetero_fraction")?.unwrap_or(0.0),
+            hetero_factor: table.opt_f64("hetero_factor")?.unwrap_or(1.0),
+            speed_fraction: table.opt_f64("speed_fraction")?.unwrap_or(0.0),
+            speed_factor: table.opt_u32("speed_factor")?.unwrap_or(1),
+            num_sources: table.opt_usize("num_sources")?.unwrap_or(1),
+            adversarial_sources: table.opt_bool("adversarial_sources")?.unwrap_or(false),
+        };
+        builder = builder.world(world);
         if let Some(name) = table.opt_str("mobility")? {
             builder = builder.mobility(match name {
                 "all" => Mobility::All,
@@ -638,6 +787,7 @@ pub struct ScenarioSpecBuilder {
     exchange_rule: ExchangeRule,
     metric: Metric,
     network: NetworkConfig,
+    world: WorldConfig,
 }
 
 impl ScenarioSpecBuilder {
@@ -698,6 +848,76 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Sets every world-model axis at once (default
+    /// [`WorldConfig::DEFAULT`]).
+    #[must_use]
+    pub fn world(mut self, world: WorldConfig) -> Self {
+        self.world = world;
+        self
+    }
+
+    /// Sets the city-block wall density (default 0, the open grid;
+    /// broadcast only).
+    #[must_use]
+    pub fn barrier_density(mut self, density: f64) -> Self {
+        self.world.barrier_density = density;
+        self
+    }
+
+    /// Sets the per-agent per-step replacement probability (default 0,
+    /// no churn; broadcast only).
+    #[must_use]
+    pub fn churn_rate(mut self, rate: f64) -> Self {
+        self.world.churn_rate = rate;
+        self
+    }
+
+    /// Sets the fraction of agents in the scaled-radius class
+    /// (default 0; broadcast only).
+    #[must_use]
+    pub fn hetero_fraction(mut self, fraction: f64) -> Self {
+        self.world.hetero_fraction = fraction;
+        self
+    }
+
+    /// Sets the radius multiplier of the heterogeneous class
+    /// (default 1; broadcast only).
+    #[must_use]
+    pub fn hetero_factor(mut self, factor: f64) -> Self {
+        self.world.hetero_factor = factor;
+        self
+    }
+
+    /// Sets the fraction of agents in the fast class (default 0).
+    #[must_use]
+    pub fn speed_fraction(mut self, fraction: f64) -> Self {
+        self.world.speed_fraction = fraction;
+        self
+    }
+
+    /// Sets the lazy sub-steps per step of the fast class (default 1).
+    #[must_use]
+    pub fn speed_factor(mut self, factor: u32) -> Self {
+        self.world.speed_factor = factor;
+        self
+    }
+
+    /// Sets the number of initially informed agents — the prefix
+    /// `0..num_sources` (default 1; broadcast and infection).
+    #[must_use]
+    pub fn num_sources(mut self, sources: usize) -> Self {
+        self.world.num_sources = sources;
+        self
+    }
+
+    /// Anchors every source at the worst-case corner node instead of a
+    /// uniform draw (default false; broadcast and infection).
+    #[must_use]
+    pub fn adversarial_sources(mut self, adversarial: bool) -> Self {
+        self.world.adversarial_sources = adversarial;
+        self
+    }
+
     /// Validates and produces the spec.
     ///
     /// The core rules are exactly [`SimConfigBuilder::build`]'s — i.e.
@@ -718,7 +938,10 @@ impl ScenarioSpecBuilder {
     /// [`SimError::TooFewAgents`], [`SimError::SourceOutOfRange`],
     /// [`SimError::ZeroStepCap`]), plus
     /// [`SimError::UnsupportedSetting`] for kind/setting combinations
-    /// the processes do not implement.
+    /// the processes do not implement,
+    /// [`SimError::InvalidWorldSetting`] for out-of-range world axes,
+    /// and [`SimError::Grid`] when a declared barrier density cannot
+    /// produce a connected map on this grid.
     pub fn build(self) -> Result<ScenarioSpec, SimError> {
         // Constructor-equivalent validation first, so the error for an
         // invalid configuration is identical to the Simulation path;
@@ -771,11 +994,60 @@ impl ScenarioSpecBuilder {
                 "network settings (drop_prob / delay_max / send_cap / gossip_interval)",
             ));
         }
+        // World axes: range checks mirror the world-aware constructors
+        // exactly, then combination checks reject every axis the chosen
+        // kind (or exchange rule) would silently ignore or mishandle.
+        let w = &self.world;
+        w.validate()?;
+        let world_axes_active =
+            w.has_barriers() || w.has_churn() || w.has_hetero_radii() || w.has_speed_classes();
+        if world_axes_active && self.kind != ProcessKind::Broadcast {
+            return Err(unsupported(
+                "world axes (barrier_density / churn_rate / hetero_* / speed_*)",
+            ));
+        }
+        if (w.num_sources > 1 || w.adversarial_sources)
+            && !matches!(self.kind, ProcessKind::Broadcast | ProcessKind::Infection)
+        {
+            return Err(unsupported(
+                "source axes (num_sources / adversarial_sources)",
+            ));
+        }
+        // The one-hop exchange scans positions with a uniform radius
+        // through its own unobstructed hash and never resets agents, so
+        // it cannot honor walls, per-agent radii or churn.
+        if self.exchange_rule == ExchangeRule::OneHop
+            && (w.has_barriers() || w.has_churn() || w.has_hetero_radii())
+        {
+            return Err(unsupported(
+                "exchange = \"one-hop\" with barrier/churn/hetero world axes",
+            ));
+        }
+        // Sources live on the agent prefix: a non-zero source index
+        // would either churn out (losing immortality) or contradict
+        // the multi-source prefix.
+        if self.source != 0 && (w.has_churn() || w.num_sources > 1) {
+            return Err(unsupported(
+                "source != 0 with churn_rate > 0 or num_sources > 1",
+            ));
+        }
+        // Constructor-equivalent with Broadcast::with_sources.
+        if w.num_sources > self.k {
+            return Err(SimError::SourceOutOfRange {
+                source: w.num_sources - 1,
+                k: self.k,
+            });
+        }
+        // The wall layout is part of validity: a density that closes
+        // every door (or a grid too small for blocks) must fail at
+        // build time, with the same GridError the constructors raise.
+        w.build_barriers(self.side)?;
         Ok(ScenarioSpec {
             kind: self.kind,
             config,
             metric: self.metric,
             network: self.network,
+            world: self.world,
             explicit_max_steps: self.max_steps.is_some(),
         })
     }
@@ -1126,6 +1398,81 @@ mod tests {
             let text = spec.to_toml();
             let parsed = ScenarioSpec::from_toml_str(&text).unwrap();
             assert_eq!(spec, parsed, "round trip changed the spec:\n{text}");
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_preserves_every_world_key() {
+        // Each world axis alone, then all eight keys at once: the
+        // emitted TOML must parse back to the identical spec.
+        let specs = [
+            ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+                .barrier_density(0.25)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+                .churn_rate(0.05)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+                .hetero_fraction(0.5)
+                .hetero_factor(2.0)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+                .speed_fraction(0.25)
+                .speed_factor(3)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+                .num_sources(4)
+                .adversarial_sources(true)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+                .radius(2)
+                .barrier_density(0.1)
+                .churn_rate(0.02)
+                .hetero_fraction(0.5)
+                .hetero_factor(1.5)
+                .speed_fraction(0.3)
+                .speed_factor(2)
+                .num_sources(2)
+                .adversarial_sources(true)
+                .build()
+                .unwrap(),
+            ScenarioSpec::builder(ProcessKind::Infection, 20, 5)
+                .num_sources(3)
+                .build()
+                .unwrap(),
+        ];
+        for spec in specs {
+            let text = spec.to_toml();
+            let parsed = ScenarioSpec::from_toml_str(&text).unwrap();
+            assert_eq!(spec, parsed, "round trip changed the spec:\n{text}");
+        }
+    }
+
+    #[test]
+    fn default_world_emits_no_world_keys() {
+        // A trivial world must keep the emitted TOML byte-identical to
+        // the pre-world format: none of the eight keys appear.
+        let spec = ScenarioSpec::builder(ProcessKind::Broadcast, 32, 16)
+            .radius(2)
+            .build()
+            .unwrap();
+        let text = spec.to_toml();
+        for key in [
+            "barrier_density",
+            "churn_rate",
+            "hetero_fraction",
+            "hetero_factor",
+            "speed_fraction",
+            "speed_factor",
+            "num_sources",
+            "adversarial_sources",
+        ] {
+            assert!(!text.contains(key), "default world leaked {key}:\n{text}");
         }
     }
 

@@ -1,0 +1,647 @@
+//! Richer world models beyond the paper's homogeneous open grid:
+//! obstructed (city-block) maps, heterogeneous radio and speed classes,
+//! agent churn, and multi-source / adversarial source placement.
+//!
+//! A [`WorldConfig`] declares the axes; a [`ScenarioSpec`] carries one
+//! and gates invalid combinations at build time; the [`Simulation`]
+//! driver's `*_in_world_*` constructors install the derived per-agent
+//! state; and [`WorldSim`] packages the broadcast run over either
+//! topology so sweeps and experiments can stay topology-agnostic.
+//!
+//! The axes deform the model of Pettarin, Pietracaprina, Pucci and
+//! Upfal in ways the theory does not cover — the point is to measure
+//! how far the `r_c = √(n/k)` phase transition survives:
+//!
+//! * **Barriers** ([`barrier_density`](WorldConfig::barrier_density)):
+//!   agents walk a [`BarrierGrid::city_blocks`] map and two agents hear
+//!   each other only if some axis-aligned L-path between them is fully
+//!   open (walls block radio as well as motion).
+//! * **Heterogeneous radii**
+//!   ([`hetero_fraction`](WorldConfig::hetero_fraction) /
+//!   [`hetero_factor`](WorldConfig::hetero_factor)): a leading class of
+//!   agents has its radius scaled; contact follows the symmetric
+//!   `min(r_i, r_j)` rule of [`WorldContact`].
+//! * **Speed classes** ([`speed_fraction`](WorldConfig::speed_fraction)
+//!   / [`speed_factor`](WorldConfig::speed_factor)): fast agents take
+//!   several lazy sub-steps per time step.
+//! * **Churn** ([`churn_rate`](WorldConfig::churn_rate)): each
+//!   non-source agent is replaced by a fresh uninformed arrival at a
+//!   uniform position with this per-step probability.
+//! * **Sources** ([`num_sources`](WorldConfig::num_sources) /
+//!   [`adversarial_sources`](WorldConfig::adversarial_sources)): the
+//!   rumor starts on the agent prefix `0..num_sources`, optionally all
+//!   anchored at the worst-case corner node.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparsegossip_core::{ProcessKind, ScenarioSpec, WorldSim};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let spec = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 8)
+//!     .radius(1)
+//!     .barrier_density(0.5)
+//!     .churn_rate(0.02)
+//!     .build()?;
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut sim = WorldSim::from_spec(&spec, &mut rng)?;
+//! let out = sim.run(&mut rng);
+//! assert_eq!(out.k, 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use core::ops::ControlFlow;
+
+use rand::RngExt;
+use sparsegossip_conngraph::Contact;
+use sparsegossip_grid::{BarrierGrid, Grid, Point, Topology};
+
+use crate::{
+    Broadcast, BroadcastOutcome, Observer, ProcessKind, ScenarioSpec, SimError, SimScratch,
+    Simulation,
+};
+
+/// Declarative world-model axes of a scenario; all defaults reproduce
+/// the paper's homogeneous open-grid model exactly.
+///
+/// `Copy` on purpose: a world rides inside every [`ScenarioSpec`] and
+/// sweep cell. Multi-source broadcast is therefore a *count* (the
+/// sources are the agent prefix `0..num_sources`), not a position list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorldConfig {
+    /// Fraction of each city-block wall that is closed, in `[0, 1]`
+    /// (0 = fully open grid; see [`BarrierGrid::city_blocks`]). Walls
+    /// obstruct both mobility and radio contact.
+    pub barrier_density: f64,
+    /// Per-agent, per-step probability of being replaced by a fresh
+    /// uninformed arrival at a uniform position, in `[0, 1]`. Sources
+    /// (`0..num_sources`) are immortal so the rumor cannot die out.
+    pub churn_rate: f64,
+    /// Fraction of agents (the leading `⌈f·k⌉`) whose radius is scaled
+    /// by [`hetero_factor`](Self::hetero_factor), in `[0, 1]`.
+    pub hetero_fraction: f64,
+    /// Radius multiplier for the heterogeneous class (`0` makes them
+    /// contact-only; must be finite and non-negative).
+    pub hetero_factor: f64,
+    /// Fraction of agents (the leading `⌈f·k⌉`) taking
+    /// [`speed_factor`](Self::speed_factor) lazy sub-steps per step,
+    /// in `[0, 1]`.
+    pub speed_fraction: f64,
+    /// Lazy sub-steps per time step for the fast class (≥ 1).
+    pub speed_factor: u32,
+    /// Number of initially informed agents — the prefix
+    /// `0..num_sources` (≥ 1).
+    pub num_sources: usize,
+    /// Place every source at the worst-case anchor (the first open node
+    /// in row-major order) instead of uniformly at random.
+    pub adversarial_sources: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl WorldConfig {
+    /// The paper's world: open grid, homogeneous radii, unit speeds, no
+    /// churn, one uniformly placed source.
+    pub const DEFAULT: Self = Self {
+        barrier_density: 0.0,
+        churn_rate: 0.0,
+        hetero_fraction: 0.0,
+        hetero_factor: 1.0,
+        speed_fraction: 0.0,
+        speed_factor: 1,
+        num_sources: 1,
+        adversarial_sources: false,
+    };
+
+    /// Whether this world is field-for-field the paper's default.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == Self::DEFAULT
+    }
+
+    /// Whether every axis is semantically inactive (e.g. a declared
+    /// hetero class with factor 1 changes nothing), so the driver can
+    /// keep the plain homogeneous run path.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        !(self.has_barriers()
+            || self.has_churn()
+            || self.has_hetero_radii()
+            || self.has_speed_classes()
+            || self.num_sources > 1
+            || self.adversarial_sources)
+    }
+
+    /// Whether the barrier axis is active.
+    #[must_use]
+    pub fn has_barriers(&self) -> bool {
+        self.barrier_density > 0.0
+    }
+
+    /// Whether the churn axis is active.
+    #[must_use]
+    pub fn has_churn(&self) -> bool {
+        self.churn_rate > 0.0
+    }
+
+    /// Whether the heterogeneous-radius axis changes any radius.
+    #[must_use]
+    pub fn has_hetero_radii(&self) -> bool {
+        self.hetero_fraction > 0.0 && self.hetero_factor != 1.0
+    }
+
+    /// Whether the speed axis changes any agent's stepping.
+    #[must_use]
+    pub fn has_speed_classes(&self) -> bool {
+        self.speed_fraction > 0.0 && self.speed_factor > 1
+    }
+
+    /// Range-checks every axis.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidWorldSetting`] naming the offending key.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let unit = |key, x: f64| {
+            if x.is_finite() && (0.0..=1.0).contains(&x) {
+                Ok(())
+            } else {
+                Err(SimError::InvalidWorldSetting {
+                    key,
+                    expected: "finite number in [0, 1]",
+                })
+            }
+        };
+        unit("barrier_density", self.barrier_density)?;
+        unit("churn_rate", self.churn_rate)?;
+        unit("hetero_fraction", self.hetero_fraction)?;
+        unit("speed_fraction", self.speed_fraction)?;
+        if !(self.hetero_factor.is_finite() && self.hetero_factor >= 0.0) {
+            return Err(SimError::InvalidWorldSetting {
+                key: "hetero_factor",
+                expected: "finite non-negative number",
+            });
+        }
+        if self.speed_factor < 1 {
+            return Err(SimError::InvalidWorldSetting {
+                key: "speed_factor",
+                expected: "integer >= 1",
+            });
+        }
+        if self.num_sources < 1 {
+            return Err(SimError::InvalidWorldSetting {
+                key: "num_sources",
+                expected: "integer >= 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// The size of the leading class selected by fraction `f` among `k`
+    /// agents: `⌈f·k⌉`, clamped to `k`.
+    #[must_use]
+    pub fn class_size(f: f64, k: usize) -> usize {
+        ((f * k as f64).ceil() as usize).min(k)
+    }
+
+    /// The per-agent radii under the heterogeneous axis, or `None` when
+    /// the axis is inactive. The leading `⌈hetero_fraction·k⌉` agents
+    /// get `round(hetero_factor · radius)`, the rest keep `radius`.
+    #[must_use]
+    pub fn radii(&self, k: usize, radius: u32) -> Option<Vec<u32>> {
+        if !self.has_hetero_radii() {
+            return None;
+        }
+        let m = Self::class_size(self.hetero_fraction, k);
+        let scaled = (self.hetero_factor * f64::from(radius)).round() as u32;
+        let mut radii = vec![radius; k];
+        radii[..m].fill(scaled);
+        Some(radii)
+    }
+
+    /// The per-agent sub-step counts under the speed axis, or `None`
+    /// when the axis is inactive.
+    #[must_use]
+    pub fn speeds(&self, k: usize) -> Option<Vec<u32>> {
+        if !self.has_speed_classes() {
+            return None;
+        }
+        let m = Self::class_size(self.speed_fraction, k);
+        let mut speeds = vec![1u32; k];
+        speeds[..m].fill(self.speed_factor);
+        Some(speeds)
+    }
+
+    /// Builds the city-block wall map for this world on a `side × side`
+    /// grid, or `None` when the barrier axis is inactive.
+    ///
+    /// # Errors
+    ///
+    /// As [`BarrierGrid::city_blocks`].
+    pub fn build_barriers(&self, side: u32) -> Result<Option<BarrierGrid>, SimError> {
+        if !self.has_barriers() {
+            return Ok(None);
+        }
+        Ok(Some(BarrierGrid::city_blocks(side, self.barrier_density)?))
+    }
+}
+
+/// The world-aware contact model: the symmetric `min(r_i, r_j)` rule
+/// over optional per-agent radii, with optional wall-aware
+/// line-of-sight (an axis-aligned L-path must be fully open, see
+/// [`BarrierGrid::l_path_open`]).
+///
+/// With neither radii nor walls this is exactly the paper's uniform
+/// Manhattan-ball contact, so the driver uses it unconditionally. Build
+/// the spatial hash with the **maximum** per-agent radius so the 3×3
+/// candidate scan stays a superset of every acceptable pair.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldContact<'a> {
+    radius: u32,
+    radii: Option<&'a [u32]>,
+    walls: Option<&'a BarrierGrid>,
+}
+
+impl<'a> WorldContact<'a> {
+    /// A contact model with global `radius`, overridden per agent by
+    /// `radii` when present, obstructed by `walls` when present.
+    #[must_use]
+    pub fn new(radius: u32, radii: Option<&'a [u32]>, walls: Option<&'a BarrierGrid>) -> Self {
+        Self {
+            radius,
+            radii,
+            walls,
+        }
+    }
+}
+
+impl Contact for WorldContact<'_> {
+    // detlint: hot
+    #[inline]
+    fn in_contact(&self, a: usize, b: usize, pa: Point, pb: Point) -> bool {
+        let r = match self.radii {
+            Some(radii) => radii[a].min(radii[b]),
+            None => self.radius,
+        };
+        if pa.manhattan(pb) > r {
+            return false;
+        }
+        match self.walls {
+            Some(walls) => walls.l_path_open(pa, pb),
+            None => true,
+        }
+    }
+}
+
+/// A broadcast simulation in a declared world, over whichever topology
+/// the world requires: the open [`Grid`] or a city-block
+/// [`BarrierGrid`]. Built from a validated [`ScenarioSpec`] of kind
+/// [`ProcessKind::Broadcast`]; used by the sweep engine, the
+/// `exp_worlds` experiment and the churn regression tests so callers
+/// never branch on the topology type themselves.
+#[derive(Clone, Debug)]
+pub enum WorldSim {
+    /// The world has no barriers: agents walk the open grid.
+    Open(Simulation<Broadcast, Grid>),
+    /// The world has city-block walls obstructing motion and contact.
+    Walled(Simulation<Broadcast, BarrierGrid>),
+}
+
+impl WorldSim {
+    /// As [`WorldSim::from_spec`], with a fresh scratch.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorldSim::from_spec_with_scratch`].
+    pub fn from_spec<R: RngExt>(spec: &ScenarioSpec, rng: &mut R) -> Result<Self, SimError> {
+        Self::from_spec_with_scratch(spec, rng, SimScratch::new())
+    }
+
+    /// Instantiates the broadcast run a spec describes — topology,
+    /// placement, process and world axes — for one seed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedSetting`] if the spec's kind is not
+    /// [`ProcessKind::Broadcast`]; otherwise as the world-aware
+    /// [`Simulation`] constructors (a validated spec cannot fail them).
+    pub fn from_spec_with_scratch<R: RngExt>(
+        spec: &ScenarioSpec,
+        rng: &mut R,
+        scratch: SimScratch,
+    ) -> Result<Self, SimError> {
+        if spec.kind() != ProcessKind::Broadcast {
+            return Err(SimError::UnsupportedSetting {
+                kind: spec.kind().as_str(),
+                setting: "WorldSim (broadcast only)",
+            });
+        }
+        let cfg = spec.config();
+        let world = spec.world();
+        let process = if world.num_sources > 1 {
+            Broadcast::with_sources(cfg.k(), world.num_sources)?
+        } else {
+            Broadcast::new(cfg.k(), cfg.source())?
+        }
+        .mobility(cfg.mobility())
+        .exchange_rule(cfg.exchange_rule());
+        if world.has_barriers() {
+            let topo = BarrierGrid::city_blocks(cfg.side(), world.barrier_density)?;
+            let anchor = topo.first_open().expect("city_blocks maps keep open nodes"); // detlint: allow(panic, NoOpenNodes is rejected at construction)
+            build_world_sim(topo, cfg, world, process, anchor, rng, scratch).map(Self::Walled)
+        } else {
+            let topo = Grid::new(cfg.side())?;
+            let anchor = Point::new(0, 0);
+            build_world_sim(topo, cfg, world, process, anchor, rng, scratch).map(Self::Open)
+        }
+    }
+
+    /// Advances one step; see [`Simulation::step`].
+    pub fn step<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> ControlFlow<()> {
+        match self {
+            Self::Open(sim) => sim.step(rng, observer),
+            Self::Walled(sim) => sim.step(rng, observer),
+        }
+    }
+
+    /// Runs to completion or the step cap; see [`Simulation::run`].
+    pub fn run<R: RngExt>(&mut self, rng: &mut R) -> BroadcastOutcome {
+        match self {
+            Self::Open(sim) => sim.run(rng),
+            Self::Walled(sim) => sim.run(rng),
+        }
+    }
+
+    /// Runs with an observer; see [`Simulation::run_with`].
+    pub fn run_with<R: RngExt, O: Observer>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> BroadcastOutcome {
+        match self {
+            Self::Open(sim) => sim.run_with(rng, observer),
+            Self::Walled(sim) => sim.run_with(rng, observer),
+        }
+    }
+
+    /// The outcome at the current state.
+    pub fn outcome(&self) -> BroadcastOutcome {
+        match self {
+            Self::Open(sim) => sim.outcome(),
+            Self::Walled(sim) => sim.outcome(),
+        }
+    }
+
+    /// Whether every agent is informed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        match self {
+            Self::Open(sim) => sim.is_complete(),
+            Self::Walled(sim) => sim.is_complete(),
+        }
+    }
+
+    /// Steps taken so far.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        match self {
+            Self::Open(sim) => sim.time(),
+            Self::Walled(sim) => sim.time(),
+        }
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        match self {
+            Self::Open(sim) => sim.k(),
+            Self::Walled(sim) => sim.k(),
+        }
+    }
+
+    /// Current agent positions.
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        match self {
+            Self::Open(sim) => sim.positions(),
+            Self::Walled(sim) => sim.positions(),
+        }
+    }
+
+    /// The broadcast process state.
+    #[must_use]
+    pub fn process(&self) -> &Broadcast {
+        match self {
+            Self::Open(sim) => sim.process(),
+            Self::Walled(sim) => sim.process(),
+        }
+    }
+
+    /// Consumes the simulation, yielding its warmed-up buffers.
+    #[must_use]
+    pub fn into_scratch(self) -> SimScratch {
+        match self {
+            Self::Open(sim) => sim.into_scratch(),
+            Self::Walled(sim) => sim.into_scratch(),
+        }
+    }
+}
+
+/// Shared topology-generic tail of [`WorldSim`] construction: uniform
+/// or adversarial placement, then the world-aware constructor.
+fn build_world_sim<T: Topology, R: RngExt>(
+    topo: T,
+    cfg: &crate::SimConfig,
+    world: &WorldConfig,
+    process: Broadcast,
+    anchor: Point,
+    rng: &mut R,
+    scratch: SimScratch,
+) -> Result<Simulation<Broadcast, T>, SimError> {
+    if world.adversarial_sources {
+        // Worst-case placement: draw the usual uniform positions (so
+        // the non-source draws match the uniform run), then pin every
+        // source to the anchor corner.
+        let mut positions: Vec<Point> = (0..cfg.k()).map(|_| topo.random_point(rng)).collect();
+        for p in positions.iter_mut().take(world.num_sources) {
+            *p = anchor;
+        }
+        Simulation::from_positions_in_world_with_scratch(
+            topo,
+            positions,
+            cfg.radius(),
+            cfg.max_steps(),
+            process,
+            world,
+            scratch,
+        )
+    } else {
+        Simulation::new_in_world_with_scratch(
+            topo,
+            cfg.k(),
+            cfg.radius(),
+            cfg.max_steps(),
+            process,
+            world,
+            rng,
+            scratch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_world_is_trivial_and_valid() {
+        let w = WorldConfig::DEFAULT;
+        assert!(w.is_default());
+        assert!(w.is_trivial());
+        w.validate().unwrap();
+        assert_eq!(w.radii(8, 3), None);
+        assert_eq!(w.speeds(8), None);
+        assert!(w.build_barriers(16).unwrap().is_none());
+    }
+
+    #[test]
+    fn inactive_axes_stay_trivial_but_not_default() {
+        // A declared hetero class with factor 1 changes no radius.
+        let w = WorldConfig {
+            hetero_fraction: 0.5,
+            ..WorldConfig::DEFAULT
+        };
+        assert!(!w.is_default());
+        assert!(w.is_trivial());
+        assert_eq!(w.radii(8, 3), None);
+        let w = WorldConfig {
+            speed_fraction: 0.5,
+            ..WorldConfig::DEFAULT
+        };
+        assert!(w.is_trivial());
+        assert_eq!(w.speeds(8), None);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_axes() {
+        let cases = [
+            (
+                WorldConfig {
+                    barrier_density: 1.5,
+                    ..WorldConfig::DEFAULT
+                },
+                "barrier_density",
+            ),
+            (
+                WorldConfig {
+                    churn_rate: -0.1,
+                    ..WorldConfig::DEFAULT
+                },
+                "churn_rate",
+            ),
+            (
+                WorldConfig {
+                    hetero_fraction: f64::NAN,
+                    ..WorldConfig::DEFAULT
+                },
+                "hetero_fraction",
+            ),
+            (
+                WorldConfig {
+                    hetero_factor: f64::INFINITY,
+                    ..WorldConfig::DEFAULT
+                },
+                "hetero_factor",
+            ),
+            (
+                WorldConfig {
+                    speed_fraction: 2.0,
+                    ..WorldConfig::DEFAULT
+                },
+                "speed_fraction",
+            ),
+            (
+                WorldConfig {
+                    speed_factor: 0,
+                    ..WorldConfig::DEFAULT
+                },
+                "speed_factor",
+            ),
+            (
+                WorldConfig {
+                    num_sources: 0,
+                    ..WorldConfig::DEFAULT
+                },
+                "num_sources",
+            ),
+        ];
+        for (w, key) in cases {
+            match w.validate().unwrap_err() {
+                SimError::InvalidWorldSetting { key: k, .. } => assert_eq!(k, key),
+                other => panic!("expected InvalidWorldSetting, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn derived_classes_cover_the_leading_prefix() {
+        let w = WorldConfig {
+            hetero_fraction: 0.5,
+            hetero_factor: 2.0,
+            speed_fraction: 0.25,
+            speed_factor: 3,
+            ..WorldConfig::DEFAULT
+        };
+        assert_eq!(w.radii(4, 3), Some(vec![6, 6, 3, 3]));
+        assert_eq!(w.speeds(4), Some(vec![3, 1, 1, 1]));
+        // Ceiling: a fraction just above zero still selects one agent.
+        let w = WorldConfig {
+            hetero_fraction: 0.01,
+            hetero_factor: 0.0,
+            ..WorldConfig::DEFAULT
+        };
+        assert_eq!(w.radii(3, 5), Some(vec![0, 5, 5]));
+    }
+
+    #[test]
+    fn world_contact_reduces_to_uniform_and_respects_walls() {
+        let c = WorldContact::new(2, None, None);
+        assert!(c.in_contact(0, 1, Point::new(0, 0), Point::new(1, 1)));
+        assert!(!c.in_contact(0, 1, Point::new(0, 0), Point::new(2, 1)));
+        let radii = [3u32, 0];
+        let c = WorldContact::new(2, Some(&radii), None);
+        assert!(!c.in_contact(0, 1, Point::new(0, 0), Point::new(0, 1)));
+        let walls = BarrierGrid::city_blocks(16, 1.0).unwrap();
+        let c = WorldContact::new(16, None, Some(&walls));
+        // Find a closed wall node; its open neighbors on either side
+        // cannot hear each other through it unless an L-path opens.
+        let blocked = Point::new(4, 3); // wall column at x = 4, door at offset 1
+        assert!(!walls.is_open(blocked));
+        assert!(!c.in_contact(0, 1, Point::new(3, 3), blocked));
+        // The door row (offset 1 within each block) stays open.
+        assert!(c.in_contact(0, 1, Point::new(3, 1), Point::new(5, 1)));
+    }
+
+    #[test]
+    fn world_sim_rejects_non_broadcast_kinds() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let spec = ScenarioSpec::builder(ProcessKind::Gossip, 12, 6)
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            WorldSim::from_spec(&spec, &mut rng),
+            Err(SimError::UnsupportedSetting { .. })
+        ));
+    }
+}

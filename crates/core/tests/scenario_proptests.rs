@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sparsegossip_core::{
-    Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimConfig, SimError, Simulation,
+    Broadcast, ExchangeRule, Infection, Metric, NetworkConfig, ProcessKind, ScenarioSpec,
+    SimConfig, SimError, Simulation, WorldConfig, WorldSim,
 };
 
 fn arb_kind() -> impl Strategy<Value = ProcessKind> {
@@ -25,6 +26,143 @@ fn arb_cap() -> impl Strategy<Value = Option<u64>> {
 /// straddle the invalid boundary (0, 1) and sources often exceed `k`.
 fn arb_params() -> impl Strategy<Value = (u32, usize, u32, usize)> {
     (0u32..24, 0usize..10, 0u32..60, 0usize..12)
+}
+
+/// Raw, possibly-invalid world settings: every numeric axis straddles
+/// its valid range (unit intervals overshoot both ends, factors go
+/// negative, counts reach 0) so invalid combinations are common.
+fn arb_world() -> impl Strategy<Value = WorldConfig> {
+    (
+        0u32..21,
+        0u32..21,
+        0u32..21,
+        0u32..26,
+        0u32..21,
+        0u32..4,
+        0usize..8,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(bd, cr, hf, hx, sf, speed_factor, num_sources, adversarial_sources)| {
+                WorldConfig {
+                    // Tenth-steps spanning [-0.5, 1.5]: both sides of the
+                    // unit interval, hitting 0.0 and 1.0 exactly.
+                    barrier_density: f64::from(bd).mul_add(0.1, -0.5),
+                    churn_rate: f64::from(cr).mul_add(0.1, -0.5),
+                    hetero_fraction: f64::from(hf).mul_add(0.1, -0.5),
+                    // Fifth-steps spanning [-1.0, 4.0].
+                    hetero_factor: f64::from(hx).mul_add(0.2, -1.0),
+                    speed_fraction: f64::from(sf).mul_add(0.1, -0.5),
+                    speed_factor,
+                    num_sources,
+                    adversarial_sources,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Pinned both directions, like the axis test below: every world
+    /// spec the builder accepts must instantiate through the
+    /// constructors, and every rejection must be either the
+    /// constructor's own error verbatim or one of the documented
+    /// spec-stricter combination gates.
+    #[test]
+    fn world_spec_validation_equals_constructor_validation(
+        kind in arb_kind(),
+        side in 4u32..24,
+        k in 2usize..10,
+        world in arb_world(),
+        one_hop in any::<bool>(),
+    ) {
+        let mut builder = ScenarioSpec::builder(kind, side, k).world(world);
+        let one_hop = one_hop && matches!(kind, ProcessKind::Broadcast | ProcessKind::Coverage);
+        if one_hop {
+            builder = builder.exchange_rule(ExchangeRule::OneHop);
+        }
+        let axes_active = world.has_barriers()
+            || world.has_churn()
+            || world.has_hetero_radii()
+            || world.has_speed_classes();
+        match builder.build() {
+            Ok(spec) => {
+                // Accepted -> the constructor path accepts it too.
+                let mut rng = SmallRng::seed_from_u64(1);
+                match kind {
+                    ProcessKind::Broadcast => {
+                        let built = WorldSim::from_spec(&spec, &mut rng).map(|_| ());
+                        prop_assert!(
+                            built.is_ok(),
+                            "buildable world spec rejected by WorldSim: {:?}",
+                            built.unwrap_err()
+                        );
+                    }
+                    ProcessKind::Infection => {
+                        prop_assert!(Infection::with_sources(k, world.num_sources).is_ok());
+                        prop_assert!(!axes_active, "infection spec accepted world axes");
+                    }
+                    // Every other kind supports only the trivial world.
+                    _ => prop_assert!(spec.world().is_trivial()),
+                }
+            }
+            Err(e) => {
+                if let Err(range) = world.validate() {
+                    // Range violations are constructor-equivalent:
+                    // identical to WorldConfig::validate's own error.
+                    prop_assert_eq!(e, range);
+                } else {
+                    match &e {
+                    SimError::SourceOutOfRange { .. } => {
+                        // Constructor-equivalent with with_sources.
+                        let ctor = match kind {
+                            ProcessKind::Broadcast => {
+                                Broadcast::with_sources(k, world.num_sources).map(|_| ())
+                            }
+                            ProcessKind::Infection => {
+                                Infection::with_sources(k, world.num_sources).map(|_| ())
+                            }
+                            other => panic!("source error leaked past {other}'s gate"),
+                        };
+                        prop_assert_eq!(&e, &ctor.unwrap_err());
+                    }
+                    SimError::UnsupportedSetting { setting, .. } => {
+                        // The documented stricter gates, each reachable
+                        // only from its own precondition.
+                        // The one-hop gate's message mentions world
+                        // axes too — match it first.
+                        if setting.contains("one-hop") {
+                            prop_assert!(one_hop && kind == ProcessKind::Broadcast);
+                            prop_assert!(
+                                world.has_barriers()
+                                    || world.has_churn()
+                                    || world.has_hetero_radii()
+                            );
+                        } else if setting.contains("world axes") {
+                            prop_assert!(kind != ProcessKind::Broadcast && axes_active);
+                        } else if setting.contains("source axes") {
+                            prop_assert!(!matches!(
+                                kind,
+                                ProcessKind::Broadcast | ProcessKind::Infection
+                            ));
+                            prop_assert!(world.num_sources > 1 || world.adversarial_sources);
+                        } else {
+                            panic!("unexpected unsupported-setting rejection: {e}");
+                        }
+                    }
+                    // A wall density that closes the map: identical to
+                    // the constructor's own barrier error.
+                    SimError::Grid(_) => {
+                        prop_assert_eq!(
+                            &e,
+                            &world.build_barriers(side).map(|_| ()).unwrap_err()
+                        );
+                    }
+                    other => panic!("unexpected world rejection: {other}"),
+                    }
+                }
+            }
+        }
+    }
 }
 
 proptest! {

@@ -110,6 +110,76 @@ fn syntax_errors_carry_the_offending_line_number() {
     }
 }
 
+/// Every world key rejects type mismatches by key name, out-of-range
+/// values through spec validation, and malformed lines with the exact
+/// 1-based line number.
+#[test]
+fn world_keys_report_bad_values_ranges_and_line_numbers() {
+    let spec = |tail: &str| format!("[scenario]\nprocess = \"broadcast\"\nside = 8\nk = 4\n{tail}");
+    // Type mismatches name the offending world key.
+    for key in [
+        "barrier_density",
+        "churn_rate",
+        "hetero_fraction",
+        "hetero_factor",
+        "speed_fraction",
+    ] {
+        let err = ScenarioSpec::from_toml_str(&spec(&format!("{key} = \"lots\"\n"))).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecError::Toml(TomlError::BadValue { key: ref k, .. }) if k == key
+            ),
+            "{key}: {err:?}"
+        );
+    }
+    for (key, bad) in [
+        ("speed_factor", "2.5"),
+        ("num_sources", "-1"),
+        ("adversarial_sources", "1"),
+    ] {
+        let err = ScenarioSpec::from_toml_str(&spec(&format!("{key} = {bad}\n"))).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecError::Toml(TomlError::BadValue { key: ref k, .. }) if k == key
+            ),
+            "{key}: {err:?}"
+        );
+    }
+    // Out-of-range values surface as validation errors naming the key.
+    for (tail, key) in [
+        ("barrier_density = 1.5\n", "barrier_density"),
+        ("churn_rate = -0.1\n", "churn_rate"),
+        ("hetero_fraction = 2.0\n", "hetero_fraction"),
+        ("hetero_factor = -1.0\n", "hetero_factor"),
+        ("speed_factor = 0\n", "speed_factor"),
+        ("num_sources = 0\n", "num_sources"),
+    ] {
+        let err = ScenarioSpec::from_toml_str(&spec(tail)).unwrap_err();
+        assert!(err.to_string().contains(key), "{tail}: {err}");
+    }
+    // A sweep-only axis key in [scenario] is an unknown key.
+    let err = ScenarioSpec::from_toml_str(&spec("churn_rates = [0.1]\n")).unwrap_err();
+    assert!(
+        matches!(err, SpecError::UnknownKey { ref key, .. } if key == "churn_rates"),
+        "{err:?}"
+    );
+    // Malformed barrier/churn lines keep the 1-based line number.
+    for (tail, line) in [
+        ("barrier_density = [0.1,\n", 5),
+        ("churn_rate =\n", 5),
+        ("barrier_density = 0.1\nchurn_rate = \"unterminated\n", 6),
+    ] {
+        match ScenarioSpec::from_toml_str(&spec(tail)) {
+            Err(SpecError::Toml(TomlError::Syntax { line: got, .. })) => {
+                assert_eq!(got, line, "{tail:?}");
+            }
+            other => panic!("{tail:?} should be a syntax error, got {other:?}"),
+        }
+    }
+}
+
 /// The scenario layer surfaces parser errors verbatim, so the line
 /// number survives up to the user-facing message.
 #[test]

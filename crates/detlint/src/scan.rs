@@ -398,8 +398,7 @@ mod tests {
     fn scan_str(rel: &str, text: &str) -> ScanResult {
         let mut r = ScanResult::default();
         scan_file(rel, text, &mut r);
-        r.findings
-            .sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+        r.findings.sort_by_key(|a| (a.line, a.lint));
         r
     }
 

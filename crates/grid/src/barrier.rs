@@ -7,10 +7,12 @@ use crate::{Direction, GridError, Point, Topology};
 ///
 /// This implements the extension sketched in §4 of the paper ("more
 /// complex planar domains that include both communication and mobility
-/// barriers"). Barriers block *movement*; the visibility graph still
-/// uses plain Manhattan distance (radio propagates over walls) — the
-/// communication-barrier variant is a straightforward composition with
-/// a custom component builder and is left to the experiments.
+/// barriers"). Barriers always block *movement*; by default the
+/// visibility graph still uses plain Manhattan distance (radio
+/// propagates over walls). Communication barriers are an opt-in
+/// composition: the scenario layer's world contact model pairs the
+/// Manhattan test with [`BarrierGrid::l_path_open`], so walls also
+/// shadow radio when a spec asks for it.
 ///
 /// Walks on a `BarrierGrid` remain lazy walks: a step into a blocked
 /// node simply does not exist, so the holding probability grows exactly
@@ -97,6 +99,89 @@ impl BarrierGrid {
         Ok(g)
     }
 
+    /// Creates a deterministic **city-block** layout: a lattice of
+    /// straight walls every `block` steps (`block = max(2, side / 4)`)
+    /// with door bands whose width shrinks as `density` grows, so the
+    /// same `(side, density)` pair always yields the same map and a
+    /// sweepable `barrier_densities` axis stays a pure function of the
+    /// spec.
+    ///
+    /// `density` is clamped to `[0, 1]`; `0` yields a fully open grid,
+    /// values toward `1` narrow every door to a single node. The open
+    /// region is verified connected.
+    ///
+    /// # Errors
+    ///
+    /// As [`BarrierGrid::new`], plus [`GridError::DisconnectedBarriers`]
+    /// if the layout disconnects the open region (only reachable for
+    /// degenerate sides).
+    pub fn city_blocks(side: u32, density: f64) -> Result<Self, GridError> {
+        let mut g = Self::new(side)?;
+        let density = density.clamp(0.0, 1.0);
+        if density == 0.0 || side < 4 {
+            return Ok(g);
+        }
+        let block = (side / 4).max(2);
+        // Door band width in nodes: wide doors at low density, a single
+        // node as density -> 1. Doors sit at offsets 1..=door within
+        // each block, so wall intersections stay closed and every door
+        // opens into the interior of the two cells it joins.
+        let door = (((1.0 - density) * f64::from(block - 1)).round() as u32).clamp(1, block - 1);
+        let in_door = |offset: u32| (1..=door).contains(&offset);
+        for wall in (block..side).step_by(block as usize) {
+            for t in 0..side {
+                if !in_door(t % block) {
+                    // Vertical wall column `wall`, horizontal wall row
+                    // `wall`.
+                    g.block(Point::new(wall, t));
+                    g.block(Point::new(t, wall));
+                }
+            }
+        }
+        if g.open_count == 0 {
+            return Err(GridError::NoOpenNodes);
+        }
+        if !g.is_connected() {
+            return Err(GridError::DisconnectedBarriers);
+        }
+        Ok(g)
+    }
+
+    /// Whether some axis-aligned L-shaped path from `a` to `b` (via
+    /// either corner) runs entirely through open nodes. The world
+    /// contact model uses this as its line-of-sight test: radio that
+    /// must round at most one corner, never pass through a wall.
+    ///
+    /// Points outside the open region never have an open path.
+    #[must_use]
+    pub fn l_path_open(&self, a: Point, b: Point) -> bool {
+        if !self.is_open(a) || !self.is_open(b) {
+            return false;
+        }
+        let corner1 = Point::new(b.x, a.y);
+        let corner2 = Point::new(a.x, b.y);
+        (self.span_open_x(a.y, a.x, b.x)
+            && self.span_open_y(b.x, a.y, b.y)
+            && self.is_open(corner1))
+            || (self.span_open_y(a.x, a.y, b.y)
+                && self.span_open_x(b.y, a.x, b.x)
+                && self.is_open(corner2))
+    }
+
+    /// Whether every node of the horizontal span `[x0, x1] × {y}` is
+    /// open.
+    fn span_open_x(&self, y: u32, x0: u32, x1: u32) -> bool {
+        let (lo, hi) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+        (lo..=hi).all(|x| self.is_open(Point::new(x, y)))
+    }
+
+    /// Whether every node of the vertical span `{x} × [y0, y1]` is
+    /// open.
+    fn span_open_y(&self, x: u32, y0: u32, y1: u32) -> bool {
+        let (lo, hi) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        (lo..=hi).all(|y| self.is_open(Point::new(x, y)))
+    }
+
     /// Blocks a single node (idempotent).
     ///
     /// # Panics
@@ -163,8 +248,11 @@ impl BarrierGrid {
         reached == self.open_count
     }
 
-    /// The first open node in row-major order, if any.
-    fn first_open(&self) -> Option<Point> {
+    /// The first open node in row-major order, if any — the
+    /// deterministic anchor adversarial source placement pins rumor
+    /// sources to.
+    #[must_use]
+    pub fn first_open(&self) -> Option<Point> {
         for (w, &word) in self.open.iter().enumerate() {
             if word != 0 {
                 let id = w as u64 * 64 + u64::from(word.trailing_zeros());
@@ -313,6 +401,76 @@ mod tests {
         g.block(Point::new(1, 1));
         g.block(Point::new(1, 1));
         assert_eq!(g.num_nodes(), 15);
+    }
+
+    #[test]
+    fn city_blocks_zero_density_is_fully_open() {
+        let g = BarrierGrid::city_blocks(16, 0.0).unwrap();
+        assert_eq!(g.num_nodes(), 256);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn city_blocks_is_deterministic_blocked_and_connected() {
+        for side in [8u32, 12, 16, 31, 64] {
+            for density in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+                let g = BarrierGrid::city_blocks(side, density).unwrap();
+                let again = BarrierGrid::city_blocks(side, density).unwrap();
+                assert_eq!(g, again, "side {side} density {density} not deterministic");
+                assert!(
+                    g.open_count() < u64::from(side) * u64::from(side),
+                    "side {side} density {density} blocked nothing"
+                );
+                assert!(
+                    g.is_connected(),
+                    "side {side} density {density} disconnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn city_blocks_density_monotonically_closes_nodes() {
+        let side = 32;
+        let mut last = u64::MAX;
+        for density in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let open = BarrierGrid::city_blocks(side, density)
+                .unwrap()
+                .open_count();
+            assert!(
+                open <= last,
+                "density {density} opened nodes ({open} > {last})"
+            );
+            last = open;
+        }
+    }
+
+    #[test]
+    fn l_path_respects_walls() {
+        // One vertical wall with a gap at the top.
+        let g = BarrierGrid::with_barriers(8, &[(Point::new(3, 0), Point::new(3, 6))]).unwrap();
+        // Straight shot through the wall: blocked both ways.
+        assert!(!g.l_path_open(Point::new(1, 2), Point::new(6, 2)));
+        // Around the top gap: an L through (1, 7) -> (6, 7) is open
+        // only when an endpoint shares the gap row.
+        assert!(g.l_path_open(Point::new(1, 7), Point::new(6, 2)));
+        assert!(g.l_path_open(Point::new(1, 2), Point::new(6, 7)));
+        // Same side of the wall: trivially open.
+        assert!(g.l_path_open(Point::new(0, 0), Point::new(2, 5)));
+        // Endpoints on a wall are never connected.
+        assert!(!g.l_path_open(Point::new(3, 2), Point::new(1, 2)));
+        // Degenerate single-point path.
+        assert!(g.l_path_open(Point::new(5, 5), Point::new(5, 5)));
+    }
+
+    #[test]
+    fn first_open_is_row_major() {
+        let g = BarrierGrid::with_barriers(4, &[(Point::new(0, 0), Point::new(3, 0))]).unwrap();
+        assert_eq!(g.first_open(), Some(Point::new(0, 1)));
+        assert_eq!(
+            BarrierGrid::new(4).unwrap().first_open(),
+            Some(Point::new(0, 0))
+        );
     }
 
     #[test]

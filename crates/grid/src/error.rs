@@ -32,6 +32,9 @@ pub enum GridError {
     },
     /// The requested barriers block every node of the grid.
     NoOpenNodes,
+    /// The requested barrier layout disconnects the open region, so a
+    /// rumor could never cross the mobility domain at `r = 0`.
+    DisconnectedBarriers,
 }
 
 impl fmt::Display for GridError {
@@ -51,6 +54,9 @@ impl fmt::Display for GridError {
                 "barrier rectangle {min}..{max} invalid on a side-{side} grid"
             ),
             Self::NoOpenNodes => write!(f, "barriers block every node of the grid"),
+            Self::DisconnectedBarriers => {
+                write!(f, "barriers disconnect the open region of the grid")
+            }
         }
     }
 }
@@ -71,6 +77,7 @@ mod tests {
                 cell_side: 9,
                 side: 8,
             },
+            GridError::DisconnectedBarriers,
         ];
         for v in variants {
             let msg = v.to_string();

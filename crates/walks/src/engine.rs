@@ -218,6 +218,72 @@ impl<T: Topology> WalkEngine<T> {
         self.time += 1;
     }
 
+    /// Advances agent `i` by `speeds[i]` consecutive lazy steps (its
+    /// *speed class*), recording each agent whose **net** position
+    /// changed as an `(agent, from, to)` triple in `moves` (cleared
+    /// first). With all speeds 1 this is draw-for-draw identical to
+    /// [`step_all_into`](WalkEngine::step_all_into): one `lazy_step`
+    /// draw per agent, in agent order. A speed-0 agent is stationary
+    /// and draws nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds.len() != self.len()`.
+    // detlint: hot
+    pub fn step_speeds_into<R: RngExt>(
+        &mut self,
+        speeds: &[u32],
+        rng: &mut R,
+        moves: &mut Vec<(u32, Point, Point)>,
+    ) {
+        assert_eq!(speeds.len(), self.positions.len(), "speeds length mismatch");
+        moves.clear();
+        moves.reserve(self.positions.len());
+        for (i, p) in self.positions.iter_mut().enumerate() {
+            let from = *p;
+            for _ in 0..speeds[i] {
+                *p = lazy_step(&self.topo, *p, rng);
+            }
+            if *p != from {
+                moves.push((i as u32, from, *p));
+            }
+        }
+        self.time += 1;
+    }
+
+    /// As [`step_speeds_into`](WalkEngine::step_speeds_into), advancing
+    /// only the agents whose bit is set in `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.len()` or
+    /// `speeds.len() != self.len()`.
+    // detlint: hot
+    pub fn step_speeds_masked_into<R: RngExt>(
+        &mut self,
+        speeds: &[u32],
+        mask: &BitSet,
+        rng: &mut R,
+        moves: &mut Vec<(u32, Point, Point)>,
+    ) {
+        assert_eq!(mask.len(), self.positions.len(), "mask capacity mismatch");
+        assert_eq!(speeds.len(), self.positions.len(), "speeds length mismatch");
+        moves.clear();
+        moves.reserve(self.positions.len());
+        for i in mask.iter_ones() {
+            let from = self.positions[i];
+            let mut to = from;
+            for _ in 0..speeds[i] {
+                to = lazy_step(&self.topo, to, rng);
+            }
+            if to != from {
+                self.positions[i] = to;
+                moves.push((i as u32, from, to));
+            }
+        }
+        self.time += 1;
+    }
+
     /// Teleports agent `i` to `p` (used by baseline models with jumps).
     ///
     /// # Panics
@@ -356,6 +422,80 @@ mod tests {
             assert_eq!(plain.positions(), tracked.positions());
             assert!(moves.iter().all(|m| mask.contains(m.0 as usize)));
             assert!(moves.iter().all(|m| m.1 != m.2));
+        }
+    }
+
+    #[test]
+    fn unit_speeds_match_step_all_into_draw_for_draw() {
+        let g = Grid::new(16).unwrap();
+        let mut r1 = rng(31);
+        let mut plain = WalkEngine::uniform(g, 15, &mut r1).unwrap();
+        let mut r2 = rng(31);
+        let mut fast = WalkEngine::uniform(g, 15, &mut r2).unwrap();
+        let speeds = vec![1u32; 15];
+        let (mut m1, mut m2) = (Vec::new(), Vec::new());
+        for _ in 0..100 {
+            plain.step_all_into(&mut r1, &mut m1);
+            fast.step_speeds_into(&speeds, &mut r2, &mut m2);
+            assert_eq!(plain.positions(), fast.positions());
+            assert_eq!(m1, m2);
+        }
+    }
+
+    #[test]
+    fn speed_classes_bound_displacement_and_freeze_speed_zero() {
+        let g = Grid::new(32).unwrap();
+        let mut r = rng(32);
+        let mut e = WalkEngine::uniform(g, 12, &mut r).unwrap();
+        let speeds: Vec<u32> = (0..12).map(|i| (i % 4) as u32).collect();
+        let mut moves = Vec::new();
+        for _ in 0..100 {
+            let before = e.positions().to_vec();
+            e.step_speeds_into(&speeds, &mut r, &mut moves);
+            for (i, (b, a)) in before.iter().zip(e.positions()).enumerate() {
+                assert!(
+                    b.manhattan(*a) <= speeds[i],
+                    "agent {i} jumped {} > speed {}",
+                    b.manhattan(*a),
+                    speeds[i]
+                );
+                if speeds[i] == 0 {
+                    assert_eq!(b, a, "speed-0 agent {i} moved");
+                }
+            }
+            assert!(moves.iter().all(|m| m.1 != m.2));
+        }
+    }
+
+    #[test]
+    fn speed_masked_freezes_unmasked_and_matches_unmasked_on_full_mask() {
+        let g = Grid::new(16).unwrap();
+        let speeds: Vec<u32> = (0..10).map(|i| 1 + (i % 3) as u32).collect();
+        let mut full = BitSet::new(10);
+        for i in 0..10 {
+            full.insert(i);
+        }
+        let mut r1 = rng(33);
+        let mut a = WalkEngine::uniform(g, 10, &mut r1).unwrap();
+        let mut r2 = rng(33);
+        let mut b = WalkEngine::uniform(g, 10, &mut r2).unwrap();
+        let (mut m1, mut m2) = (Vec::new(), Vec::new());
+        for _ in 0..50 {
+            a.step_speeds_into(&speeds, &mut r1, &mut m1);
+            b.step_speeds_masked_into(&speeds, &full, &mut r2, &mut m2);
+            assert_eq!(a.positions(), b.positions());
+            assert_eq!(m1, m2);
+        }
+        let mut sparse = BitSet::new(10);
+        sparse.insert(3);
+        let before = b.positions().to_vec();
+        for _ in 0..50 {
+            b.step_speeds_masked_into(&speeds, &sparse, &mut r2, &mut m2);
+        }
+        for (i, (x, y)) in before.iter().zip(b.positions()).enumerate() {
+            if i != 3 {
+                assert_eq!(x, y, "frozen agent {i} moved");
+            }
         }
     }
 

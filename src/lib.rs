@@ -111,7 +111,7 @@ pub mod prelude {
         Coverage, ExchangeRule, FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim,
         Metric, Mobility, NetworkConfig, Observer, PredatorPrey, PredatorPreySim, Process,
         ProcessKind, ProtocolBroadcast, ProtocolOutcome, ScenarioSpec, SimConfig, SimError,
-        SimScratch, Simulation,
+        SimScratch, Simulation, WorldConfig, WorldSim,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
     pub use sparsegossip_protocol::NodeRuntime;

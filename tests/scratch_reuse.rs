@@ -366,6 +366,81 @@ fn full_outcome_for(seed: u64, cfg: &SimConfig) -> BroadcastOutcome {
     sim.run(&mut rng)
 }
 
+/// A churning, heterogeneous, walled world spec for the golden
+/// regression below — every world axis that touches the step loop's
+/// draw order is on at once.
+fn churn_spec(radius: u32) -> ScenarioSpec {
+    // Churn keeps resetting informed agents, so sub-critical radii ride
+    // the step cap; the determinism legs use a near-critical radius so
+    // runs complete quickly with seed-varied times, while the
+    // allocation leg uses r = 1 so every measured step does real work.
+    ScenarioSpec::builder(ProcessKind::Broadcast, 24, 12)
+        .radius(radius)
+        .max_steps(1_500)
+        .barrier_density(0.2)
+        .churn_rate(0.05)
+        .hetero_fraction(0.5)
+        .hetero_factor(2.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn churn_runs_are_identical_across_scratch_reuse() {
+    // Golden fixed-seed churn regression, leg 1: one scratch recycled
+    // through a whole seed batch of churning-world runs must be
+    // draw-for-draw identical to fresh constructions.
+    let spec = churn_spec(5);
+    let mut scratch = SimScratch::new();
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = WorldSim::from_spec_with_scratch(&spec, &mut rng, scratch).unwrap();
+        let reused = sim.run(&mut rng);
+        scratch = sim.into_scratch();
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fresh = WorldSim::from_spec(&spec, &mut rng).unwrap();
+        assert_eq!(reused, fresh.run(&mut rng), "seed={seed}");
+    }
+}
+
+#[test]
+fn churn_runs_are_identical_across_runner_thread_counts() {
+    // Golden fixed-seed churn regression, leg 2: the Runner's worker
+    // count must never change a churning world's samples — each seed's
+    // run owns its RNG, so 1, 2 and 8 threads see identical draws.
+    let spec = churn_spec(5);
+    let golden = Runner::new(5)
+        .repetitions(16)
+        .threads(1)
+        .measure(|s| spec.run_seed(s));
+    for threads in [2usize, 8] {
+        let multi = Runner::new(5)
+            .repetitions(16)
+            .threads(threads)
+            .measure(|s| spec.run_seed(s));
+        assert_eq!(multi.samples, golden.samples, "threads={threads}");
+    }
+}
+
+#[test]
+fn churn_world_steps_are_allocation_free_after_warmup() {
+    // The churn compaction and teleport path shares the walk-move log;
+    // once the move buffer has grown to its high-water mark, a churning
+    // step must not touch the heap.
+    let spec = churn_spec(1);
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mut sim = WorldSim::from_spec(&spec, &mut rng).unwrap();
+    for _ in 0..60 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+    }
+    let before = thread_allocs();
+    for _ in 0..100 {
+        let _ = sim.step(&mut rng, &mut sparsegossip::core::NullObserver);
+    }
+    assert_eq!(thread_allocs() - before, 0, "churning-world step allocated");
+}
+
 #[test]
 fn gossip_and_predator_prey_survive_repeated_stepping_with_scratch() {
     // Processes with their own internal scratch (rumor unions, one-hop

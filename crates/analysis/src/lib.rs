@@ -14,7 +14,11 @@
 //!   ([`derive_seed`]);
 //! * [`ScenarioSweep`] — multi-axis {side, k, r} sweeps of a
 //!   declarative `ScenarioSpec`, with a phase-transition detector
-//!   cross-checked against `sparsegossip_core::theory`;
+//!   cross-checked against `sparsegossip_core::theory`, an adaptive
+//!   knee-refinement mode ([`AdaptiveConfig`]) and checkpoint/resume
+//!   through a [`ResultStore`];
+//! * [`ResultStore`] — an append-only, integrity-checked binary log
+//!   of completed simulations, keyed by (spec content hash, seed);
 //! * [`Table`] — aligned text/CSV rendering of experiment outputs.
 //!
 //! # Examples
@@ -37,6 +41,7 @@ mod regression;
 mod runner;
 mod scenario_sweep;
 mod stats;
+mod store;
 mod sweep;
 mod table;
 
@@ -45,9 +50,10 @@ pub use parallel::{parallel_map, parallel_map_with};
 pub use regression::{linear_fit, power_law_fit, Fit};
 pub use runner::{Runner, RunnerReport};
 pub use scenario_sweep::{
-    NetworkAxis, RadiusAxis, ScenarioCell, ScenarioSweep, ScenarioSweepReport, SweepCell,
-    TransitionEstimate,
+    AdaptiveConfig, AdaptiveSummary, NetworkAxis, RadiusAxis, ScenarioCell, ScenarioSweep,
+    ScenarioSweepReport, SweepCell, SweepError, TransitionEstimate,
 };
+pub use store::{ResultStore, StoreError, StoreRecord};
 // Seed derivation moved down-stack to `sparsegossip_walks` so the
 // protocol twin can share it; re-exported here for API stability.
 pub use sparsegossip_walks::{derive_seed, SeedSequence};

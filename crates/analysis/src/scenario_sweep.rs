@@ -4,11 +4,24 @@
 //!
 //! One base spec plus axis lists expand into a grid of *cells* (each a
 //! re-validated spec); every cell is replicated with deterministic,
-//! decorrelated seeds (`derive_seed(master, cell · R + replicate)`), so
-//! the whole sweep is a pure function of the spec and the master seed —
-//! independent of thread count and scheduling. Workers recycle one
-//! [`SimScratch`] each across their whole share of the sweep, so the
-//! steady-state step stays allocation-free.
+//! decorrelated **content-addressed** seeds
+//! ([`cell_seed`]`(master, side, k, radius, replicate)`), so the whole
+//! sweep is a pure function of the spec and the master seed —
+//! independent of thread count, scheduling, grid shape and replicate
+//! count. Workers recycle one [`SimScratch`] each across their whole
+//! share of the sweep, so the steady-state step stays allocation-free.
+//!
+//! Two execution modes sit on top of the grid:
+//!
+//! * **adaptive refinement** ([`ScenarioSweep::adaptive`]): after the
+//!   coarse pass, each (side, k) curve's knee bracket is bisected
+//!   until it is ≤ [`AdaptiveConfig::tolerance`]`·r_c` wide (or one
+//!   grid step, or the cell budget runs out), then a confidence-aware
+//!   top-up spends extra replicates where the relative CI95 is widest;
+//! * **checkpoint/resume** ([`ScenarioSweep::run_with_store`]): every
+//!   completed simulation streams to a [`crate::ResultStore`] in
+//!   deterministic task order, and a resumed sweep replays the store
+//!   prefix as cache hits, converging on byte-identical output.
 //!
 //! The [`ScenarioSweepReport`] carries per-cell summaries and a
 //! **transition detector** ([`ScenarioSweepReport::transitions`]):
@@ -38,10 +51,12 @@
 use sparsegossip_core::theory;
 use sparsegossip_core::toml::{TomlDoc, TomlError};
 use sparsegossip_core::{
-    Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError, WorldConfig,
+    cell_seed, Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError,
+    WorldConfig,
 };
 
-use crate::{derive_seed, parallel_map_with, Summary, Table};
+use crate::store::{ResultStore, StoreError};
+use crate::{parallel_map_with, Summary, Table};
 
 /// The radius axis of a sweep: absolute grid-step radii, or fractions
 /// of the cell's own percolation radius `r_c = √(n/k)` (so the axis
@@ -263,12 +278,83 @@ pub struct ScenarioCell {
     pub spec: ScenarioSpec,
 }
 
+/// Configuration of the adaptive refinement mode: how far each
+/// curve's knee bracket is narrowed and how much extra work the
+/// confidence-aware replicate top-up may spend.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Maximum total cells per sweep (coarse grid + refinements);
+    /// `0` means unlimited. Refinement stops adding cells once the
+    /// budget is reached — the coarse grid itself always runs.
+    pub cell_budget: usize,
+    /// Total extra replicate runs the confidence-aware top-up may
+    /// spend across the whole sweep (`0` disables the top-up). Each
+    /// round tops up the cell whose relative CI95 half-width is
+    /// currently widest.
+    pub replicate_budget: u32,
+    /// Target bracket width as a fraction of the curve's own `r_c`
+    /// (default `0.01`); integer radii additionally stop at a width of
+    /// one grid step.
+    pub tolerance: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            cell_budget: 0,
+            replicate_budget: 0,
+            tolerance: 0.01,
+        }
+    }
+}
+
+/// Errors of a store-backed sweep run: either a cell failed
+/// validation, or the result store failed.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A cell's spec failed validation.
+    Sim(SimError),
+    /// The result store failed (I/O, corruption, version).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sim(e) => write!(f, "{e}"),
+            Self::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sim(e) => Some(e),
+            Self::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for SweepError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<StoreError> for SweepError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
 /// A multi-axis sweep of one [`ScenarioSpec`] over {side, k, r}.
 ///
 /// Cells are ordered network-axis-major (when one is set), then
-/// side, then k, then radius; the seed of replicate `j` of cell `i`
-/// is `derive_seed(master, i · R + j)` — fixed by the spec alone, so
-/// results never depend on the thread count (pinned by the
+/// side, then k, then radius; the seed of replicate `j` of a cell is
+/// [`cell_seed`]`(master, side, k, radius, j)` — content-addressed by
+/// the cell's own coordinates, so results never depend on the thread
+/// count, the grid shape or the replicate count (pinned by the
 /// `scenario_sweep_regression` suite).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSweep {
@@ -281,6 +367,7 @@ pub struct ScenarioSweep {
     world_axis: Option<WorldAxis>,
     replicates: u32,
     threads: usize,
+    adaptive: Option<AdaptiveConfig>,
 }
 
 impl ScenarioSweep {
@@ -298,6 +385,7 @@ impl ScenarioSweep {
             world_axis: None,
             replicates: 8,
             threads: 1,
+            adaptive: None,
             base,
         }
     }
@@ -508,6 +596,31 @@ impl ScenarioSweep {
         self
     }
 
+    /// Enables the adaptive refinement mode: after the coarse pass,
+    /// bisect every curve's knee bracket to `tolerance · r_c` (or one
+    /// grid step) under the cell budget, then top up replicates where
+    /// the relative CI95 is widest under the replicate budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.tolerance` is not finite and positive.
+    #[must_use]
+    pub fn adaptive(mut self, config: AdaptiveConfig) -> Self {
+        assert!(
+            config.tolerance.is_finite() && config.tolerance > 0.0,
+            "adaptive tolerance must be finite and positive"
+        );
+        self.adaptive = Some(config);
+        self
+    }
+
+    /// The adaptive configuration, if the mode is enabled.
+    #[inline]
+    #[must_use]
+    pub fn adaptive_config(&self) -> Option<AdaptiveConfig> {
+        self.adaptive
+    }
+
     /// The base spec the axes expand.
     #[inline]
     #[must_use]
@@ -586,39 +699,99 @@ impl ScenarioSweep {
     }
 
     /// Runs every replicate of every cell across the worker threads and
-    /// aggregates per cell.
+    /// aggregates per cell (plus the adaptive refinement and top-up
+    /// phases when [`adaptive`](Self::adaptive) is enabled).
     ///
     /// # Errors
     ///
     /// As [`cells`](Self::cells).
     pub fn run(&self) -> Result<ScenarioSweepReport, SimError> {
+        match self.run_with_store(None) {
+            Ok(report) => Ok(report),
+            Err(SweepError::Sim(e)) => Err(e),
+            // A storeless run has no store to fail.
+            Err(SweepError::Store(_)) => unreachable!("storeless run cannot fail on the store"),
+        }
+    }
+
+    /// As [`run`](Self::run), streaming every completed simulation to
+    /// `store` in deterministic task order and replaying records
+    /// already in the store as cache hits — the checkpoint/resume
+    /// path. The store's integrity trailer is written on completion;
+    /// a killed run leaves a truncatable prefix that
+    /// [`ResultStore::open_resume`] recovers, and a resumed sweep
+    /// converges on a byte-identical store and report.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Sim`] as [`cells`](Self::cells);
+    /// [`SweepError::Store`] when the store fails.
+    pub fn run_with_store(
+        &self,
+        mut store: Option<&mut ResultStore>,
+    ) -> Result<ScenarioSweepReport, SweepError> {
         let cells = self.cells()?;
-        let reps = u64::from(self.replicates);
-        let tasks: Vec<(usize, u64)> = (0..cells.len())
-            .flat_map(|i| (0..reps).map(move |j| (i, j)))
-            .collect();
-        let values =
-            parallel_map_with(&tasks, self.threads, SimScratch::new, |scratch, &(i, j)| {
-                let seed = derive_seed(self.master_seed, i as u64 * reps + j);
-                cells[i].spec.run_seed_with_scratch(scratch, seed)
+        // Curves in first-appearance order; every evaluated cell knows
+        // its curve so refined cells sort back into their curve.
+        let mut curves: Vec<CurveKey> = Vec::new();
+        let mut evals: Vec<Eval> = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let key = (cell.side, cell.k, cell.net, cell.world);
+            let curve = match curves.iter().position(|c| *c == key) {
+                Some(i) => i,
+                None => {
+                    curves.push(key);
+                    curves.len() - 1
+                }
+            };
+            evals.push(Eval {
+                spec_hash: cell.spec.content_hash(),
+                cell,
+                curve,
+                samples: Vec::with_capacity(self.replicates as usize),
             });
-        let cells = cells
-            .iter()
-            .enumerate()
-            .map(|(i, cell)| {
-                let samples: Vec<f64> = (0..reps as usize)
-                    .map(|j| values[i * reps as usize + j])
-                    .collect();
-                let n = f64::from(cell.side) * f64::from(cell.side);
+        }
+        let coarse_cells = evals.len();
+        // Coarse pass: every replicate of every grid cell.
+        let jobs: Vec<(usize, u32)> = (0..evals.len())
+            .flat_map(|i| (0..self.replicates).map(move |j| (i, j)))
+            .collect();
+        self.run_jobs(&mut evals, &jobs, &mut store)?;
+
+        let adaptive = match self.adaptive {
+            Some(cfg) => {
+                let refined = self.refine(&mut evals, curves.len(), cfg, &mut store)?;
+                let topped_up = self.top_up(&mut evals, cfg, &mut store)?;
+                Some(AdaptiveSummary {
+                    coarse_cells,
+                    refined_cells: refined,
+                    topup_replicates: topped_up,
+                })
+            }
+            None => None,
+        };
+        if let Some(store) = store.as_mut() {
+            store.finish()?;
+        }
+        // Adaptive runs interleave refined cells back into their
+        // curves in radius order; plain runs keep the grid's own cell
+        // order verbatim (pinned byte-for-byte by the CLI goldens).
+        if adaptive.is_some() {
+            evals.sort_by_key(|e| (e.curve, e.cell.radius));
+        }
+        let cells = evals
+            .into_iter()
+            .map(|e| {
+                let n = f64::from(e.cell.side) * f64::from(e.cell.side);
                 SweepCell {
-                    side: cell.side,
-                    k: cell.k,
-                    radius: cell.radius,
-                    net: cell.net,
-                    world: cell.world,
-                    critical_radius: theory::critical_radius(n, cell.k as f64),
-                    summary: Summary::from_slice(&samples),
-                    samples,
+                    side: e.cell.side,
+                    k: e.cell.k,
+                    radius: e.cell.radius,
+                    net: e.cell.net,
+                    world: e.cell.world,
+                    critical_radius: theory::critical_radius(n, e.cell.k as f64),
+                    summary: Summary::from_slice(&e.samples),
+                    samples: e.samples,
                 }
             })
             .collect();
@@ -627,15 +800,187 @@ impl ScenarioSweep {
             metric: self.base.metric(),
             master_seed: self.master_seed,
             replicates: self.replicates,
+            adaptive,
             cells,
         })
+    }
+
+    /// Executes a batch of `(eval index, replicate)` jobs: store hits
+    /// are replayed, misses run in parallel (per-worker scratch) and
+    /// are appended to the store in job order, and every value is
+    /// pushed onto its eval's samples in job order.
+    fn run_jobs(
+        &self,
+        evals: &mut [Eval],
+        jobs: &[(usize, u32)],
+        store: &mut Option<&mut ResultStore>,
+    ) -> Result<(), SweepError> {
+        // (job slot, eval, replicate, seed) of every cache miss.
+        let mut to_run: Vec<(usize, usize, u32, u64)> = Vec::with_capacity(jobs.len());
+        let mut values: Vec<Option<f64>> = vec![None; jobs.len()];
+        for (slot, &(e, rep)) in jobs.iter().enumerate() {
+            let c = &evals[e].cell;
+            let seed = cell_seed(self.master_seed, c.side, c.k, c.radius, rep);
+            match store
+                .as_deref()
+                .and_then(|s| s.get(evals[e].spec_hash, seed))
+            {
+                Some(v) => values[slot] = Some(v),
+                None => to_run.push((slot, e, rep, seed)),
+            }
+        }
+        let shared: &[Eval] = evals;
+        let outs = parallel_map_with(
+            &to_run,
+            self.threads,
+            SimScratch::new,
+            |scratch, &(_, e, _, seed)| shared[e].cell.spec.run_seed_with_scratch(scratch, seed),
+        );
+        for (&(slot, e, rep, seed), &v) in to_run.iter().zip(&outs) {
+            values[slot] = Some(v);
+            if let Some(store) = store.as_deref_mut() {
+                store.append(evals[e].spec_hash, seed, rep, v)?;
+            }
+        }
+        for (slot, &(e, _)) in jobs.iter().enumerate() {
+            if let Some(v) = values[slot] {
+                evals[e].samples.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// The bisection phase: narrows every curve's knee bracket by
+    /// evaluating midpoint cells in parallel waves until each bracket
+    /// is at most `tolerance · r_c` (or one grid step) wide or the
+    /// cell budget is exhausted. Returns the number of refined cells
+    /// added.
+    fn refine(
+        &self,
+        evals: &mut Vec<Eval>,
+        num_curves: usize,
+        cfg: AdaptiveConfig,
+        store: &mut Option<&mut ResultStore>,
+    ) -> Result<usize, SweepError> {
+        // Detector-driven waves: each round re-runs the knee detector
+        // over every curve's *current* points and bisects the pair it
+        // flags, so refinement converges on exactly the bracket the
+        // final report will cite. (Classifying midpoints against a
+        // fixed initial bracket can converge while the detector still
+        // flags a wide coarse pair elsewhere on the curve — splitting
+        // a steep interval splits its drop ratio across the pieces.)
+        let mut active: Vec<bool> = vec![true; num_curves];
+        let mut refined = 0usize;
+        loop {
+            // Plan one wave: the flagged pair's midpoint for every
+            // still-active curve, in curve order, respecting the cell
+            // budget. A curve retires when its flagged pair is narrow
+            // enough (one grid step or `tolerance · r_c`), bisection
+            // degenerates, or the detector stops finding a knee.
+            // One wave entry per curve: (curve, mid radius, lo eval).
+            let mut wave: Vec<(usize, u32, usize)> = Vec::new();
+            // detlint: hot
+            for (curve, live) in active.iter_mut().enumerate() {
+                if !*live {
+                    continue;
+                }
+                let Some((lo, hi)) = knee_bracket(evals, curve) else {
+                    *live = false;
+                    continue;
+                };
+                let r_lo = evals[lo].cell.radius;
+                let r_hi = evals[hi].cell.radius;
+                let rc = critical_radius_of(&evals[lo].cell);
+                let width = f64::from(r_hi - r_lo);
+                if width <= 1.0 || width <= cfg.tolerance * rc {
+                    *live = false;
+                    continue;
+                }
+                let mid = bracket_midpoint(r_lo, r_hi);
+                if mid <= r_lo || mid >= r_hi {
+                    *live = false;
+                    continue;
+                }
+                if cfg.cell_budget > 0 && evals.len() + wave.len() >= cfg.cell_budget {
+                    *live = false;
+                    continue;
+                }
+                wave.push((curve, mid, lo));
+            }
+            if wave.is_empty() {
+                return Ok(refined);
+            }
+            // Materialize the wave's cells and run all their
+            // replicates as one parallel batch.
+            let first_new = evals.len();
+            let mut jobs: Vec<(usize, u32)> =
+                Vec::with_capacity(wave.len() * self.replicates as usize);
+            for (w, &(curve, mid, lo)) in wave.iter().enumerate() {
+                let parent = evals[lo].cell.clone();
+                let spec = parent.spec.with_axes(parent.side, parent.k, mid)?;
+                evals.push(Eval {
+                    spec_hash: spec.content_hash(),
+                    cell: ScenarioCell {
+                        radius: mid,
+                        spec,
+                        ..parent
+                    },
+                    curve,
+                    samples: Vec::with_capacity(self.replicates as usize),
+                });
+                jobs.extend((0..self.replicates).map(|j| (first_new + w, j)));
+            }
+            refined += wave.len();
+            self.run_jobs(evals, &jobs, store)?;
+        }
+    }
+
+    /// The confidence-aware top-up phase: while replicate budget
+    /// remains, find the evaluated cell with the widest *relative*
+    /// CI95 half-width (half-width over `max(|mean|, 1)` — time
+    /// scales differ wildly across cells) and give it up to one more
+    /// round of replicates. Returns the replicates actually spent.
+    fn top_up(
+        &self,
+        evals: &mut [Eval],
+        cfg: AdaptiveConfig,
+        store: &mut Option<&mut ResultStore>,
+    ) -> Result<u32, SweepError> {
+        let mut remaining = cfg.replicate_budget;
+        let mut spent = 0u32;
+        while remaining > 0 {
+            let mut widest: Option<(usize, f64)> = None;
+            // detlint: hot
+            for (i, e) in evals.iter().enumerate() {
+                let width = relative_ci95(&e.samples);
+                if widest.is_none_or(|(_, w)| width > w) {
+                    widest = Some((i, width));
+                }
+            }
+            let Some((target, width)) = widest else { break };
+            if width <= 0.0 {
+                // Every cell's interval is tight (or degenerate):
+                // nothing left for the budget to buy.
+                break;
+            }
+            let add = self.replicates.min(remaining);
+            let start = evals[target].samples.len() as u32;
+            let jobs: Vec<(usize, u32)> = (0..add).map(|j| (target, start + j)).collect();
+            self.run_jobs(evals, &jobs, store)?;
+            remaining -= add;
+            spent += add;
+        }
+        Ok(spent)
     }
 
     /// Parses a sweep from text holding a `[scenario]` section and an
     /// optional `[sweep]` section with keys `sides`, `ks`, `radii` *or*
     /// `r_factors`, at most one network axis (`drop_probs`,
-    /// `gossip_intervals` or `send_caps`), `replicates`, `seed` and
-    /// `threads` (axes default to the scenario's own values).
+    /// `gossip_intervals` or `send_caps`), `replicates`, `seed`,
+    /// `threads` and the adaptive-mode keys `adaptive`, `cell_budget`,
+    /// `replicate_budget`, `tolerance` (axes default to the scenario's
+    /// own values; the budget/tolerance keys require
+    /// `adaptive = true`).
     ///
     /// # Errors
     ///
@@ -648,7 +993,7 @@ impl ScenarioSweep {
         let Some(table) = doc.opt_section("sweep") else {
             return Ok(sweep);
         };
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 16] = [
             "sides",
             "ks",
             "radii",
@@ -661,6 +1006,10 @@ impl ScenarioSweep {
             "radius_mixes",
             "replicates",
             "seed",
+            "adaptive",
+            "cell_budget",
+            "replicate_budget",
+            "tolerance",
         ];
         const KNOWN_EXEC: [&str; 1] = ["threads"];
         for key in table.keys() {
@@ -806,6 +1155,34 @@ impl ScenarioSweep {
         if let Some(threads) = table.opt_usize("threads")? {
             sweep = sweep.threads(threads);
         }
+        let adaptive_on = matches!(table.opt_bool("adaptive")?, Some(true));
+        let cell_budget = table.opt_usize("cell_budget")?;
+        let replicate_budget = table.opt_u32("replicate_budget")?;
+        let tolerance = table.opt_f64("tolerance")?;
+        if !adaptive_on
+            && (cell_budget.is_some() || replicate_budget.is_some() || tolerance.is_some())
+        {
+            return Err(bad(
+                "adaptive".to_string(),
+                "adaptive = true alongside cell_budget / replicate_budget / tolerance",
+            ));
+        }
+        if adaptive_on {
+            let mut cfg = AdaptiveConfig::default();
+            if let Some(budget) = cell_budget {
+                cfg.cell_budget = budget;
+            }
+            if let Some(budget) = replicate_budget {
+                cfg.replicate_budget = budget;
+            }
+            if let Some(tol) = tolerance {
+                if !tol.is_finite() || tol <= 0.0 {
+                    return Err(bad("tolerance".to_string(), "finite positive number"));
+                }
+                cfg.tolerance = tol;
+            }
+            sweep = sweep.adaptive(cfg);
+        }
         Ok(sweep)
     }
 
@@ -864,6 +1241,12 @@ impl ScenarioSweep {
         out.push_str(&format!("replicates = {}\n", self.replicates));
         out.push_str(&format!("seed = {}\n", self.master_seed));
         out.push_str(&format!("threads = {}\n", self.threads));
+        if let Some(cfg) = &self.adaptive {
+            out.push_str("adaptive = true\n");
+            out.push_str(&format!("cell_budget = {}\n", cfg.cell_budget));
+            out.push_str(&format!("replicate_budget = {}\n", cfg.replicate_budget));
+            out.push_str(&format!("tolerance = {}\n", format_toml_f64(cfg.tolerance)));
+        }
         out
     }
 }
@@ -880,6 +1263,92 @@ fn format_toml_f64(x: f64) -> String {
     } else {
         format!("{x}")
     }
+}
+
+/// The identity of a radius curve: every axis coordinate except the
+/// radius itself.
+type CurveKey = (
+    u32,
+    usize,
+    Option<(&'static str, f64)>,
+    Option<(&'static str, f64)>,
+);
+
+/// One evaluated cell during a run: the cell, the curve it belongs
+/// to, its spec's content hash (the store key, shared by every
+/// replicate) and its accumulated samples in replicate order.
+struct Eval {
+    cell: ScenarioCell,
+    curve: usize,
+    spec_hash: u64,
+    samples: Vec<f64>,
+}
+
+/// Mean of a sample (`0` for an empty one, which never occurs after
+/// the coarse pass — every eval holds at least one replicate).
+fn mean_of(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// The relative CI95 half-width the top-up phase ranks cells by:
+/// half-width over `max(|mean|, 1)`, so slow sub-critical cells
+/// (means in the hundreds) and fast super-critical ones (means near
+/// 1) compete on equal footing.
+fn relative_ci95(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let summary = Summary::from_slice(samples);
+    summary.ci95_half_width() / summary.mean().abs().max(1.0)
+}
+
+/// `r_c = √(n/k)` at a cell's own axes.
+fn critical_radius_of(cell: &ScenarioCell) -> f64 {
+    let n = f64::from(cell.side) * f64::from(cell.side);
+    theory::critical_radius(n, cell.k as f64)
+}
+
+/// Bisection midpoint on the integer radius axis: arithmetic when the
+/// bracket touches radius 0 (the geometric mean `√(0·r)` degenerates
+/// to 0 and would pin the bracket), geometric otherwise — the same
+/// midpoint rule the knee detector reports.
+fn bracket_midpoint(r_lo: u32, r_hi: u32) -> u32 {
+    if r_lo == 0 {
+        (r_lo + r_hi) / 2
+    } else {
+        (f64::from(r_lo) * f64::from(r_hi)).sqrt().round() as u32
+    }
+}
+
+/// The coarse knee bracket of one curve, as eval indices: the
+/// adjacent radius pair with the largest mean-metric drop, under the
+/// knee detector's own symmetric one-step floor and
+/// [`ScenarioSweepReport::MIN_DROP_RATIO`] gate. Curves with fewer
+/// than three distinct radii or no qualifying drop yield no bracket
+/// and are not refined.
+fn knee_bracket(evals: &[Eval], curve: usize) -> Option<(usize, usize)> {
+    let mut points: Vec<(u32, usize)> = evals
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.curve == curve)
+        .map(|(i, e)| (e.cell.radius, i))
+        .collect();
+    points.sort_by_key(|&(r, _)| r);
+    if points.len() < 3 {
+        return None;
+    }
+    let mut best: Option<((usize, usize), f64)> = None;
+    for pair in points.windows(2) {
+        let (lo, hi) = (pair[0].1, pair[1].1);
+        let ratio = mean_of(&evals[lo].samples).max(1.0) / mean_of(&evals[hi].samples).max(1.0);
+        if best.is_none_or(|(_, b)| ratio > b) {
+            best = Some(((lo, hi), ratio));
+        }
+    }
+    best.and_then(|(pair, ratio)| (ratio >= ScenarioSweepReport::MIN_DROP_RATIO).then_some(pair))
 }
 
 /// One completed cell of a sweep: coordinates, theory prediction and
@@ -949,6 +1418,26 @@ impl TransitionEstimate {
     }
 }
 
+/// What the adaptive mode spent on top of the coarse grid, carried on
+/// the report (and into its JSON) when the mode was enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveSummary {
+    /// Cells in the coarse grid.
+    pub coarse_cells: usize,
+    /// Midpoint cells added by the bisection phase.
+    pub refined_cells: usize,
+    /// Extra replicates spent by the confidence-aware top-up.
+    pub topup_replicates: u32,
+}
+
+impl AdaptiveSummary {
+    /// Total cells evaluated (coarse grid + refinements).
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.coarse_cells + self.refined_cells
+    }
+}
+
 /// Aggregated result of a [`ScenarioSweep::run`]: per-cell summaries in
 /// cell order, renderable as a [`Table`] or machine-readable JSON.
 #[derive(Clone, Debug)]
@@ -962,7 +1451,11 @@ pub struct ScenarioSweepReport {
     pub master_seed: u64,
     /// Replicates per cell.
     pub replicates: u32,
-    /// Per-cell results, side-major then k then radius.
+    /// What the adaptive mode spent, when it was enabled (plain grid
+    /// runs carry `None` and render exactly as before).
+    pub adaptive: Option<AdaptiveSummary>,
+    /// Per-cell results, side-major then k then radius (adaptive runs
+    /// interleave refined radii into their curves in radius order).
     pub cells: Vec<SweepCell>,
 }
 
@@ -1009,9 +1502,11 @@ impl ScenarioSweepReport {
             for i in 0..curve.len() - 1 {
                 let (_, mean_lo, _) = curve[i];
                 let (_, mean_hi, _) = curve[i + 1];
-                // The 0.5 floor guards division when the fast side
-                // completes at step 0.
-                let ratio = mean_lo / mean_hi.max(0.5);
+                // Both means floored at one step: the fast side must
+                // not divide by ~0, and a sub-step mean on the *slow*
+                // side (every agent informed at step 0) must not
+                // manufacture a drop out of a flat all-informed curve.
+                let ratio = mean_lo.max(1.0) / mean_hi.max(1.0);
                 if best.is_none_or(|(_, b)| ratio > b) {
                     best = Some((i, ratio));
                 }
@@ -1104,6 +1599,15 @@ impl ScenarioSweepReport {
         out.push_str(&format!("  \"metric\": \"{}\",\n", self.metric));
         out.push_str(&format!("  \"seed\": {},\n", self.master_seed));
         out.push_str(&format!("  \"replicates\": {},\n", self.replicates));
+        // The adaptive block appears only when the mode ran, so plain
+        // grid reports stay byte-identical to the pinned goldens.
+        if let Some(a) = &self.adaptive {
+            out.push_str(&format!(
+                "  \"adaptive\": {{\"coarse_cells\": {}, \"refined_cells\": {}, \
+                 \"topup_replicates\": {}}},\n",
+                a.coarse_cells, a.refined_cells, a.topup_replicates
+            ));
+        }
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let samples: Vec<String> = c.samples.iter().map(|s| format!("{s}")).collect();
@@ -1270,6 +1774,7 @@ mod tests {
             metric: Metric::Time,
             master_seed: 0,
             replicates: 1,
+            adaptive: None,
             cells: vec![cell(2, 900.0), cell(4, 880.0), cell(8, 40.0), cell(16, 5.0)],
         };
         let ts = report.transitions();
@@ -1298,6 +1803,7 @@ mod tests {
             metric: Metric::Time,
             master_seed: 0,
             replicates: 1,
+            adaptive: None,
             // Two distinct radii only (the duplicate dedups away).
             cells: vec![cell(2, 100.0), cell(2, 90.0), cell(8, 10.0)],
         };
@@ -1324,6 +1830,7 @@ mod tests {
             metric: Metric::Time,
             master_seed: 0,
             replicates: 1,
+            adaptive: None,
             cells: vec![cell(12, 3.0), cell(16, 2.0), cell(24, 2.0), cell(32, 1.5)],
         };
         assert!(
@@ -1367,6 +1874,7 @@ mod tests {
             metric: Metric::Time,
             master_seed: 0,
             replicates: 1,
+            adaptive: None,
             cells: vec![cell(0, 500.0), cell(4, 20.0), cell(8, 10.0)],
         };
         let ts = report.transitions();
@@ -1622,5 +2130,234 @@ mod tests {
         );
         // No trailing commas before closing brackets.
         assert!(!json.contains(",\n  ]"));
+        // Plain grid runs carry no adaptive block.
+        assert!(report.adaptive.is_none());
+        assert!(!json.contains("\"adaptive\""));
+    }
+
+    #[test]
+    fn all_informed_flat_curve_with_trailing_drop_reports_none() {
+        // An all-informed curve (every agent within r of the source at
+        // step 0) measures ~1 everywhere; a final cell completing at
+        // step 0 used to trip the old asymmetric 0.5 floor
+        // (1.0 / max(0.0, 0.5) = 2.0 ≥ MIN_DROP_RATIO) and
+        // manufacture a knee out of a flat curve.
+        let cell = |radius: u32, mean: f64| SweepCell {
+            side: 8,
+            k: 16,
+            radius,
+            net: None,
+            world: None,
+            critical_radius: 2.0,
+            summary: Summary::from_slice(&[mean]),
+            samples: vec![mean],
+        };
+        let report = ScenarioSweepReport {
+            process: ProcessKind::Broadcast,
+            metric: Metric::Time,
+            master_seed: 0,
+            replicates: 1,
+            adaptive: None,
+            cells: vec![cell(4, 1.0), cell(6, 1.0), cell(8, 1.0), cell(16, 0.0)],
+        };
+        assert!(
+            report.transitions().is_empty(),
+            "a sub-step tail on a flat curve must not register as a knee"
+        );
+    }
+
+    #[test]
+    fn knee_always_lies_within_its_bracketing_pair() {
+        // Whatever the curve, the reported knee must sit between
+        // r_below and r_above (geometric and arithmetic midpoints
+        // both satisfy this; pin it against regressions).
+        let cell = |radius: u32, mean: f64| SweepCell {
+            side: 32,
+            k: 16,
+            radius,
+            net: None,
+            world: None,
+            critical_radius: 8.0,
+            summary: Summary::from_slice(&[mean]),
+            samples: vec![mean],
+        };
+        for cells in [
+            vec![cell(0, 700.0), cell(5, 600.0), cell(9, 30.0), cell(20, 4.0)],
+            vec![cell(0, 700.0), cell(1, 80.0), cell(3, 40.0)],
+            vec![cell(2, 900.0), cell(4, 880.0), cell(8, 40.0)],
+        ] {
+            let report = ScenarioSweepReport {
+                process: ProcessKind::Broadcast,
+                metric: Metric::Time,
+                master_seed: 0,
+                replicates: 1,
+                adaptive: None,
+                cells,
+            };
+            for t in report.transitions() {
+                assert!(
+                    f64::from(t.r_below) <= t.r_knee && t.r_knee <= f64::from(t.r_above),
+                    "knee {} outside bracket [{}, {}]",
+                    t.r_knee,
+                    t.r_below,
+                    t.r_above
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bracket_midpoint_bisects_without_degenerating() {
+        // Zero lower edge: arithmetic, so the midpoint moves.
+        assert_eq!(bracket_midpoint(0, 8), 4);
+        // Width 1: rounds to an endpoint, so the caller stops.
+        assert_eq!(bracket_midpoint(0, 1), 0);
+        // Positive edges: geometric, matching the knee report.
+        assert_eq!(bracket_midpoint(4, 16), 8);
+        assert_eq!(bracket_midpoint(2, 3), 2); // rounds to an endpoint
+    }
+
+    #[test]
+    fn adaptive_run_refines_toward_the_knee() {
+        let report = ScenarioSweep::new(tiny_base(), 7)
+            .radii(vec![0, 2, 10])
+            .replicates(2)
+            .adaptive(AdaptiveConfig::default())
+            .run()
+            .unwrap();
+        let summary = report.adaptive.expect("adaptive summary present");
+        assert_eq!(summary.coarse_cells, 3);
+        assert!(summary.refined_cells >= 1, "the knee bracket must bisect");
+        assert_eq!(summary.total_cells(), report.cells.len());
+        assert_eq!(summary.topup_replicates, 0, "no replicate budget given");
+        // Refined cells interleave in radius order and stay inside
+        // the coarse axis range.
+        let radii: Vec<u32> = report.cells.iter().map(|c| c.radius).collect();
+        let mut sorted = radii.clone();
+        sorted.sort_unstable();
+        assert_eq!(radii, sorted, "cells must come out in radius order");
+        assert!(radii.iter().all(|&r| r <= 10));
+        // Every cell still carries its full replicate set.
+        assert!(report.cells.iter().all(|c| c.samples.len() == 2));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"adaptive\": {\"coarse_cells\": 3"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn adaptive_cell_budget_caps_refinement() {
+        let base = AdaptiveConfig {
+            cell_budget: 4,
+            ..AdaptiveConfig::default()
+        };
+        let report = ScenarioSweep::new(tiny_base(), 7)
+            .radii(vec![0, 2, 10])
+            .replicates(2)
+            .adaptive(base)
+            .run()
+            .unwrap();
+        assert!(
+            report.cells.len() <= 4,
+            "cell budget must cap the sweep at 4 cells, got {}",
+            report.cells.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_topup_spends_the_replicate_budget() {
+        let cfg = AdaptiveConfig {
+            replicate_budget: 3,
+            ..AdaptiveConfig::default()
+        };
+        let report = ScenarioSweep::new(tiny_base(), 7)
+            .radii(vec![0, 2, 10])
+            .replicates(2)
+            .adaptive(cfg)
+            .run()
+            .unwrap();
+        let summary = report.adaptive.expect("adaptive summary present");
+        assert!(summary.topup_replicates <= 3);
+        let extra: usize = report
+            .cells
+            .iter()
+            .map(|c| c.samples.len().saturating_sub(2))
+            .sum();
+        assert_eq!(extra, summary.topup_replicates as usize);
+    }
+
+    #[test]
+    fn adaptive_reports_match_across_thread_counts() {
+        let run = |threads: usize| {
+            ScenarioSweep::new(tiny_base(), 7)
+                .radii(vec![0, 2, 10])
+                .replicates(2)
+                .threads(threads)
+                .adaptive(AdaptiveConfig {
+                    replicate_budget: 2,
+                    ..AdaptiveConfig::default()
+                })
+                .run()
+                .unwrap()
+                .to_json()
+        };
+        let single = run(1);
+        assert_eq!(single, run(3), "thread count must not leak into results");
+    }
+
+    #[test]
+    fn store_backed_run_replays_as_cache_hits() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("sparsegossip_sweep_store_{}", std::process::id()));
+        let sweep = ScenarioSweep::new(tiny_base(), 7)
+            .radii(vec![0, 2, 10])
+            .replicates(2)
+            .adaptive(AdaptiveConfig::default());
+        let mut store = ResultStore::create(&path).unwrap();
+        let first = sweep.run_with_store(Some(&mut store)).unwrap().to_json();
+        drop(store);
+
+        // Second run against the finished store: everything replays.
+        let before = std::fs::read(&path).unwrap();
+        let mut store = ResultStore::open_resume(&path).unwrap();
+        let second = sweep.run_with_store(Some(&mut store)).unwrap().to_json();
+        drop(store);
+        let after = std::fs::read(&path).unwrap();
+
+        assert_eq!(first, second, "replayed run must reproduce the report");
+        assert_eq!(before, after, "replayed run must not grow the store");
+        // And both match the storeless run.
+        assert_eq!(first, sweep.run().unwrap().to_json());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn adaptive_toml_round_trip_and_validation() {
+        let sweep = ScenarioSweep::new(tiny_base(), 99)
+            .radii(vec![0, 2, 10])
+            .replicates(3)
+            .adaptive(AdaptiveConfig {
+                cell_budget: 20,
+                replicate_budget: 8,
+                tolerance: 0.05,
+            });
+        let text = sweep.to_toml();
+        let parsed = ScenarioSweep::from_toml_str(&text).unwrap();
+        assert_eq!(sweep, parsed, "round trip changed the sweep:\n{text}");
+
+        let spec_only = "[scenario]\nprocess = \"broadcast\"\nside = 12\nk = 6\n";
+        let with = |extra: &str| format!("{spec_only}\n[sweep]\n{extra}");
+        assert!(
+            ScenarioSweep::from_toml_str(&with("cell_budget = 5\n")).is_err(),
+            "budget keys without adaptive = true must be rejected"
+        );
+        assert!(
+            ScenarioSweep::from_toml_str(&with("adaptive = true\ntolerance = 0.0\n")).is_err(),
+            "non-positive tolerance must be rejected"
+        );
+        assert!(ScenarioSweep::from_toml_str(&with("adaptive = false\n")).is_ok());
+        let parsed = ScenarioSweep::from_toml_str(&with("adaptive = true\n")).unwrap();
+        assert_eq!(parsed.adaptive_config(), Some(AdaptiveConfig::default()));
     }
 }

@@ -95,10 +95,17 @@ impl Summary {
     }
 
     /// Half-width of an approximate 95% confidence interval for the
-    /// mean (normal approximation, `1.96 · SE`).
+    /// mean: `t · SE` with the two-sided Student-t critical value for
+    /// `n − 1` degrees of freedom when `n ≤ 30`, falling back to the
+    /// normal 1.96 above.
+    ///
+    /// The t correction matters at sweep scale: at the 3–10 replicates
+    /// sweeps actually run, the normal factor understates the interval
+    /// by up to 2× (n = 3: 4.303 vs 1.96), which would mis-steer any
+    /// widest-CI-first replicate allocation.
     #[must_use]
     pub fn ci95_half_width(&self) -> f64 {
-        1.96 * self.std_err()
+        t_critical_95(self.n) * self.std_err()
     }
 
     /// Sample minimum.
@@ -149,6 +156,27 @@ impl fmt::Display for Summary {
             self.min,
             self.max
         )
+    }
+}
+
+/// Two-sided 95% Student-t critical values for 1–29 degrees of
+/// freedom (`TABLE[df - 1]`); beyond 30 samples the normal 1.96 is
+/// within half a percent.
+const T_CRITICAL_95: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// The 95% critical factor for a sample of size `n`: Student-t with
+/// `n − 1` degrees of freedom for `n ≤ 30`, else the normal 1.96. A
+/// singleton sample (df = 0, t undefined) returns the df = 1 value;
+/// its standard error is 0, so the interval is 0 either way.
+fn t_critical_95(n: usize) -> f64 {
+    match n {
+        0 | 1 => T_CRITICAL_95[0],
+        n if n <= 30 => T_CRITICAL_95[n - 2],
+        _ => 1.96,
     }
 }
 
@@ -205,6 +233,38 @@ mod tests {
         let small = Summary::from_slice(&[1.0, 2.0, 3.0]);
         let large = Summary::from_slice(&[1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
         assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn small_n_ci_uses_student_t() {
+        // n = 2 (df = 1): sd = √2/2 · √2 = ... pin the exact factor
+        // instead: width = t · s/√n with s and n known in closed form.
+        let s2 = Summary::from_slice(&[1.0, 3.0]);
+        // sd = √2, se = 1, t(df=1) = 12.706.
+        assert!((s2.ci95_half_width() - 12.706).abs() < 1e-9);
+
+        // n = 3 (df = 2): sample {1,2,3} has sd = 1, se = 1/√3.
+        let s3 = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        assert!((s3.ci95_half_width() - 4.303 / 3f64.sqrt()).abs() < 1e-9);
+
+        // n = 5 (df = 4): t = 2.776.
+        let s5 = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let expected = 2.776 * s5.std_err();
+        assert!((s5.ci95_half_width() - expected).abs() < 1e-12);
+
+        // The normal 1.96 at these n would be up to 6.5× too narrow.
+        assert!(s2.ci95_half_width() / (1.96 * s2.std_err()) > 6.0);
+    }
+
+    #[test]
+    fn large_n_ci_falls_back_to_normal() {
+        // n = 30 still uses t (df = 29: 2.045); n = 31 uses 1.96.
+        let base: Vec<f64> = (0..30).map(f64::from).collect();
+        let s30 = Summary::from_slice(&base);
+        assert!((s30.ci95_half_width() - 2.045 * s30.std_err()).abs() < 1e-12);
+        let more: Vec<f64> = (0..31).map(f64::from).collect();
+        let s31 = Summary::from_slice(&more);
+        assert!((s31.ci95_half_width() - 1.96 * s31.std_err()).abs() < 1e-12);
     }
 
     #[test]

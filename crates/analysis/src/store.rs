@@ -1,0 +1,512 @@
+//! The streaming result store: an append-only, versioned, compact
+//! binary file of completed sweep measurements, built for
+//! checkpoint/resume of long sweeps.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! header  (16 bytes): magic "SGRS" | version u32 | record_len u32 | reserved u32
+//! records (32 bytes each, little-endian):
+//!     spec_hash u64 | seed u64 | replicate u32 | flags u32 (0) | value f64-bits
+//! trailer (24 bytes, written on clean close only):
+//!     magic "SGRSEND\0" | record_count u64 | FNV-1a-64 over all record bytes
+//! ```
+//!
+//! Records are keyed by `(spec_hash, seed)` — the spec's
+//! [`content_hash`](sparsegossip_core::ScenarioSpec::content_hash)
+//! plus the replicate's content-addressed seed — so a record means
+//! "this exact simulation, this exact RNG stream, produced this
+//! value" regardless of where the cell sat in its sweep grid. The
+//! trailer hash mirrors the protocol crate's FNV-1a event-log
+//! discipline: a complete file proves its own integrity.
+//!
+//! A killed run leaves no trailer (and possibly a torn final record);
+//! [`ResultStore::open_resume`] verifies the trailer when present,
+//! otherwise truncates to the last whole record and replays the
+//! prefix as cache hits. Because the sweep engine appends in
+//! deterministic task order, a resumed store converges byte-for-byte
+//! with an uninterrupted one.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use sparsegossip_core::fnv1a;
+
+/// File magic of a result store.
+pub const STORE_MAGIC: [u8; 4] = *b"SGRS";
+/// Current format version.
+pub const STORE_VERSION: u32 = 1;
+/// Trailer magic of a cleanly closed store.
+pub const TRAILER_MAGIC: [u8; 8] = *b"SGRSEND\0";
+
+const HEADER_LEN: usize = 16;
+const RECORD_LEN: usize = 32;
+const TRAILER_LEN: usize = 24;
+
+/// Errors from the result store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An OS-level read/write/open failed.
+    Io {
+        /// The store path.
+        path: PathBuf,
+        /// The underlying error text.
+        error: String,
+    },
+    /// The file is not a result store or fails its own integrity
+    /// checks.
+    Corrupt {
+        /// The store path.
+        path: PathBuf,
+        /// What failed.
+        detail: String,
+    },
+    /// The file is a result store of an unsupported format version.
+    Version {
+        /// The store path.
+        path: PathBuf,
+        /// The version found in the header.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, error } => write!(f, "result store {}: {error}", path.display()),
+            Self::Corrupt { path, detail } => {
+                write!(f, "result store {} is corrupt: {detail}", path.display())
+            }
+            Self::Version { path, found } => write!(
+                f,
+                "result store {} has format version {found}, this build reads {STORE_VERSION}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One decoded record (exposed for tooling and tests; the sweep
+/// engine itself consumes records through the `(spec_hash, seed)`
+/// index).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoreRecord {
+    /// Content hash of the cell's spec.
+    pub spec_hash: u64,
+    /// Content-addressed seed of the replicate.
+    pub seed: u64,
+    /// Replicate number (informational; the key is the seed).
+    pub replicate: u32,
+    /// Measured metric value.
+    pub value: f64,
+}
+
+/// An append-only binary store of completed sweep measurements.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+    /// `(spec_hash, seed) → value` over every record in the file.
+    index: BTreeMap<(u64, u64), f64>,
+    /// Rolling FNV-1a over all record bytes (the trailer hash).
+    hash: u64,
+    records: u64,
+    finished: bool,
+}
+
+impl ResultStore {
+    /// Creates (or truncates) a store at `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be created or written.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        let io = |error: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            error: error.to_string(),
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(io)?;
+        let mut header = [0u8; HEADER_LEN];
+        header[0..4].copy_from_slice(&STORE_MAGIC);
+        header[4..8].copy_from_slice(&STORE_VERSION.to_le_bytes());
+        header[8..12].copy_from_slice(&(RECORD_LEN as u32).to_le_bytes());
+        file.write_all(&header).map_err(io)?;
+        file.flush().map_err(io)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            index: BTreeMap::new(),
+            hash: fnv1a(&[]),
+            records: 0,
+            finished: false,
+        })
+    }
+
+    /// Opens an existing store for resumption: verifies the header,
+    /// verifies the trailer when one is present (clean close) or
+    /// truncates a torn tail to the last whole record (kill), builds
+    /// the `(spec_hash, seed)` index and positions for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on OS failures, [`StoreError::Version`] on a
+    /// format version this build does not read, [`StoreError::Corrupt`]
+    /// on bad magic, a bad record length or a trailer that contradicts
+    /// the records.
+    pub fn open_resume(path: &Path) -> Result<Self, StoreError> {
+        let io = |error: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            error: error.to_string(),
+        };
+        let corrupt = |detail: &str| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail: detail.to_string(),
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io)?;
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt("shorter than the 16-byte header"));
+        }
+        if bytes[0..4] != STORE_MAGIC {
+            return Err(corrupt("bad magic (not a result store)"));
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != STORE_VERSION {
+            return Err(StoreError::Version {
+                path: path.to_path_buf(),
+                found: version,
+            });
+        }
+        let record_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if record_len as usize != RECORD_LEN {
+            return Err(corrupt("unexpected record length in header"));
+        }
+        let body = &bytes[HEADER_LEN..];
+        // A clean close leaves `n · RECORD_LEN + TRAILER_LEN` body
+        // bytes ending in the trailer magic; anything else is treated
+        // as a kill and truncated to whole records.
+        let record_bytes = if body.len() >= TRAILER_LEN
+            && (body.len() - TRAILER_LEN).is_multiple_of(RECORD_LEN)
+            && body[body.len() - TRAILER_LEN..body.len() - TRAILER_LEN + 8] == TRAILER_MAGIC
+        {
+            let trailer = &body[body.len() - TRAILER_LEN..];
+            let records = &body[..body.len() - TRAILER_LEN];
+            let count = u64::from_le_bytes([
+                trailer[8],
+                trailer[9],
+                trailer[10],
+                trailer[11],
+                trailer[12],
+                trailer[13],
+                trailer[14],
+                trailer[15],
+            ]);
+            let hash = u64::from_le_bytes([
+                trailer[16],
+                trailer[17],
+                trailer[18],
+                trailer[19],
+                trailer[20],
+                trailer[21],
+                trailer[22],
+                trailer[23],
+            ]);
+            if count != (records.len() / RECORD_LEN) as u64 {
+                return Err(corrupt("trailer record count contradicts the file length"));
+            }
+            if hash != fnv1a(records) {
+                return Err(corrupt("trailer hash contradicts the record bytes"));
+            }
+            records
+        } else {
+            &body[..body.len() - body.len() % RECORD_LEN]
+        };
+        let mut index = BTreeMap::new();
+        for rec in record_bytes.chunks_exact(RECORD_LEN) {
+            let r = decode_record(rec);
+            if !r.value.is_finite() {
+                return Err(corrupt("record holds a non-finite value"));
+            }
+            index.insert((r.spec_hash, r.seed), r.value);
+        }
+        let records = (record_bytes.len() / RECORD_LEN) as u64;
+        // Drop the trailer / torn tail so appends continue the record
+        // stream exactly where the prefix ends.
+        let keep = (HEADER_LEN + record_bytes.len()) as u64;
+        file.set_len(keep).map_err(io)?;
+        file.seek(SeekFrom::Start(keep)).map_err(io)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            index,
+            hash: fnv1a(record_bytes),
+            records,
+            finished: false,
+        })
+    }
+
+    /// The cached value for `(spec_hash, seed)`, if this exact
+    /// simulation was already measured.
+    #[must_use]
+    pub fn get(&self, spec_hash: u64, seed: u64) -> Option<f64> {
+        self.index.get(&(spec_hash, seed)).copied()
+    }
+
+    /// Appends one completed measurement. A repeated key overwrites
+    /// the index entry but still appends (the file is a log, not a
+    /// table); the sweep engine never re-appends a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write fails.
+    pub fn append(
+        &mut self,
+        spec_hash: u64,
+        seed: u64,
+        replicate: u32,
+        value: f64,
+    ) -> Result<(), StoreError> {
+        let io = |path: &Path, e: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        };
+        if self.finished {
+            // Drop the trailer: the record stream continues where the
+            // last record ended.
+            let end = (HEADER_LEN + self.records as usize * RECORD_LEN) as u64;
+            self.file.set_len(end).map_err(|e| io(&self.path, e))?;
+            self.file
+                .seek(SeekFrom::Start(end))
+                .map_err(|e| io(&self.path, e))?;
+        }
+        let mut rec = [0u8; RECORD_LEN];
+        rec[0..8].copy_from_slice(&spec_hash.to_le_bytes());
+        rec[8..16].copy_from_slice(&seed.to_le_bytes());
+        rec[16..20].copy_from_slice(&replicate.to_le_bytes());
+        // rec[20..24] stays 0: flags, reserved for future use.
+        rec[24..32].copy_from_slice(&value.to_bits().to_le_bytes());
+        self.file.write_all(&rec).map_err(|e| StoreError::Io {
+            path: self.path.clone(),
+            error: e.to_string(),
+        })?;
+        // Extend the rolling hash record by record — identical to
+        // hashing all record bytes at once (FNV-1a is a byte fold).
+        let mut h = self.hash;
+        for &byte in &rec {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.hash = h;
+        self.index.insert((spec_hash, seed), value);
+        self.records += 1;
+        self.finished = false;
+        Ok(())
+    }
+
+    /// Writes the integrity trailer and flushes: the clean-close mark.
+    /// Idempotent; appending after `finish` re-opens the record stream
+    /// (the old trailer is overwritten on the next `finish`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write fails.
+    pub fn finish(&mut self) -> Result<(), StoreError> {
+        if self.finished {
+            return Ok(());
+        }
+        let io = |error: std::io::Error| StoreError::Io {
+            path: self.path.clone(),
+            error: error.to_string(),
+        };
+        let mut trailer = [0u8; TRAILER_LEN];
+        trailer[0..8].copy_from_slice(&TRAILER_MAGIC);
+        trailer[8..16].copy_from_slice(&self.records.to_le_bytes());
+        trailer[16..24].copy_from_slice(&self.hash.to_le_bytes());
+        let end = (HEADER_LEN + self.records as usize * RECORD_LEN) as u64;
+        self.file.seek(SeekFrom::Start(end)).map_err(io)?;
+        self.file.write_all(&trailer).map_err(io)?;
+        self.file.set_len(end + TRAILER_LEN as u64).map_err(io)?;
+        self.file.flush().map_err(io)?;
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Number of records in the store.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The store's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn decode_record(rec: &[u8]) -> StoreRecord {
+    let u64_at = |o: usize| {
+        u64::from_le_bytes([
+            rec[o],
+            rec[o + 1],
+            rec[o + 2],
+            rec[o + 3],
+            rec[o + 4],
+            rec[o + 5],
+            rec[o + 6],
+            rec[o + 7],
+        ])
+    };
+    StoreRecord {
+        spec_hash: u64_at(0),
+        seed: u64_at(8),
+        replicate: u32::from_le_bytes([rec[16], rec[17], rec[18], rec[19]]),
+        value: f64::from_bits(u64_at(24)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sparsegossip_store_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_append_finish_resume_round_trip() {
+        let path = temp_path("round_trip");
+        let mut store = ResultStore::create(&path).unwrap();
+        assert!(store.is_empty());
+        store.append(11, 101, 0, 42.5).unwrap();
+        store.append(11, 102, 1, 7.0).unwrap();
+        store.append(22, 201, 0, 0.25).unwrap();
+        store.finish().unwrap();
+        store.finish().unwrap(); // idempotent
+        drop(store);
+
+        let resumed = ResultStore::open_resume(&path).unwrap();
+        assert_eq!(resumed.len(), 3);
+        assert_eq!(resumed.get(11, 101), Some(42.5));
+        assert_eq!(resumed.get(11, 102), Some(7.0));
+        assert_eq!(resumed.get(22, 201), Some(0.25));
+        assert_eq!(resumed.get(22, 999), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resumed_store_converges_to_uninterrupted_bytes() {
+        let full = temp_path("full");
+        let killed = temp_path("killed");
+        let write_all = |path: &Path, upto: usize, finish: bool| {
+            let mut s = ResultStore::create(path).unwrap();
+            for i in 0..upto as u64 {
+                s.append(i / 3, 1000 + i, (i % 3) as u32, i as f64 * 0.5)
+                    .unwrap();
+            }
+            if finish {
+                s.finish().unwrap();
+            }
+        };
+        write_all(&full, 9, true);
+        // A "killed" run: 4 records, no trailer, plus a torn half
+        // record at the end.
+        write_all(&killed, 4, false);
+        {
+            let mut f = OpenOptions::new().append(true).open(&killed).unwrap();
+            f.write_all(&[0xAB; 13]).unwrap();
+        }
+        // Resume and replay the remaining records in the same order.
+        let mut resumed = ResultStore::open_resume(&killed).unwrap();
+        assert_eq!(resumed.len(), 4, "torn tail truncated to whole records");
+        for i in 4..9u64 {
+            resumed
+                .append(i / 3, 1000 + i, (i % 3) as u32, i as f64 * 0.5)
+                .unwrap();
+        }
+        resumed.finish().unwrap();
+        drop(resumed);
+        let a = std::fs::read(&full).unwrap();
+        let b = std::fs::read(&killed).unwrap();
+        assert_eq!(a, b, "resumed store must converge byte-for-byte");
+        std::fs::remove_file(&full).unwrap();
+        std::fs::remove_file(&killed).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_with_detail() {
+        let path = temp_path("corrupt");
+        // Not a store at all.
+        std::fs::write(&path, b"not a store, definitely").unwrap();
+        assert!(matches!(
+            ResultStore::open_resume(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Wrong version.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STORE_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&(RECORD_LEN as u32).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ResultStore::open_resume(&path),
+            Err(StoreError::Version { found: 99, .. })
+        ));
+        // Valid store with a flipped record byte under a clean trailer.
+        let mut store = ResultStore::create(&path).unwrap();
+        store.append(1, 2, 0, 3.0).unwrap();
+        store.finish().unwrap();
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ResultStore::open_resume(&path).unwrap_err();
+        assert!(err.to_string().contains("trailer hash"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = ResultStore::open_resume(Path::new("/nonexistent/sweep.sgrs")).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        assert!(err.to_string().contains("sweep.sgrs"));
+    }
+
+    #[test]
+    fn appending_after_finish_reopens_the_log() {
+        let path = temp_path("reopen");
+        let mut store = ResultStore::create(&path).unwrap();
+        store.append(1, 10, 0, 1.0).unwrap();
+        store.finish().unwrap();
+        store.append(1, 11, 1, 2.0).unwrap();
+        store.finish().unwrap();
+        drop(store);
+        let resumed = ResultStore::open_resume(&path).unwrap();
+        assert_eq!(resumed.len(), 2);
+        assert_eq!(resumed.get(1, 11), Some(2.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the adaptive sweep mode's determinism contract:
+//! the report is a pure function of the sweep — independent of thread
+//! count and of where a store-backed run was killed and resumed — and
+//! the content-addressed seed derivation is collision-free at sweep
+//! scale.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sparsegossip_analysis::{AdaptiveConfig, ResultStore, ScenarioSweep};
+use sparsegossip_core::{cell_seed, ProcessKind, ScenarioSpec};
+
+fn tiny_adaptive(master: u64) -> ScenarioSweep {
+    let base = ScenarioSpec::builder(ProcessKind::Broadcast, 10, 5)
+        .max_steps(500)
+        .build()
+        .unwrap();
+    ScenarioSweep::new(base, master)
+        .radii(vec![0, 1, 4])
+        .replicates(2)
+        .adaptive(AdaptiveConfig {
+            replicate_budget: 2,
+            ..AdaptiveConfig::default()
+        })
+}
+
+proptest! {
+    // Each case runs real simulations; a handful of cases is plenty
+    // for the schedule-independence property.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn adaptive_reports_are_thread_count_independent(
+        master in 0u64..1_000,
+        threads in 2usize..9,
+    ) {
+        let serial = tiny_adaptive(master).threads(1).run().unwrap().to_json();
+        let threaded = tiny_adaptive(master).threads(threads).run().unwrap().to_json();
+        prop_assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn resume_from_any_kill_point_is_byte_identical(
+        master in 0u64..1_000,
+        kill_permille in 0u32..1000,
+        torn in 0usize..32,
+    ) {
+        let tmp = |name: &str| std::env::temp_dir().join(format!(
+            "sparsegossip_prop_{name}_{}_{master}",
+            std::process::id()
+        ));
+        let sweep = tiny_adaptive(master).threads(2);
+
+        let full_path = tmp("full");
+        let mut store = ResultStore::create(&full_path).unwrap();
+        let reference = sweep.run_with_store(Some(&mut store)).unwrap().to_json();
+        drop(store);
+        let full_bytes = std::fs::read(&full_path).unwrap();
+        std::fs::remove_file(&full_path).unwrap();
+
+        // Kill anywhere in the record stream — whole records plus a
+        // torn tail — and resume. Records stream in deterministic job
+        // order, so a prefix of the reference store is exactly what a
+        // killed run leaves behind.
+        const HEADER_LEN: usize = 16;
+        const RECORD_LEN: usize = 32;
+        const TRAILER_LEN: usize = 24;
+        let body = full_bytes.len() - HEADER_LEN - TRAILER_LEN;
+        let records = body / RECORD_LEN;
+        let cut = records * kill_permille as usize / 1000;
+        let upto = (HEADER_LEN + cut * RECORD_LEN + torn).min(HEADER_LEN + body);
+
+        let killed_path = tmp("killed");
+        std::fs::write(&killed_path, &full_bytes[..upto]).unwrap();
+        let mut store = ResultStore::open_resume(&killed_path).unwrap();
+        let resumed = sweep.run_with_store(Some(&mut store)).unwrap().to_json();
+        drop(store);
+        let resumed_bytes = std::fs::read(&killed_path).unwrap();
+        std::fs::remove_file(&killed_path).unwrap();
+
+        prop_assert_eq!(resumed, reference);
+        prop_assert_eq!(resumed_bytes, full_bytes);
+    }
+
+    #[test]
+    fn content_addressed_seeds_do_not_collide_at_sweep_scale(
+        master in any::<u64>(),
+    ) {
+        // A 10×10×10 (side, k, radius) grid with 10 replicates each:
+        // 10^4 cells' worth of seeds, all distinct.
+        let mut seen = BTreeSet::new();
+        let mut total = 0u32;
+        for side in (8u32..).step_by(8).take(10) {
+            for k in (4usize..).step_by(4).take(10) {
+                for radius in 0u32..10 {
+                    for rep in 0u32..10 {
+                        seen.insert(cell_seed(master, side, k, radius, rep));
+                        total += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as u32, total);
+    }
+}

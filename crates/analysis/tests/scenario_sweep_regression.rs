@@ -1,11 +1,14 @@
 //! Regression suite for the scenario sweep engine's determinism
 //! contract: results are a pure function of the sweep (thread-count
-//! independent, rerun-stable), and a TOML-loaded sweep is
-//! indistinguishable from its builder-built twin — including the
+//! independent, rerun-stable, resume-stable), and a TOML-loaded sweep
+//! is indistinguishable from its builder-built twin — including the
 //! committed `examples/phase_transition.toml`.
 
-use sparsegossip_analysis::{ScenarioSweep, ScenarioSweepReport};
-use sparsegossip_core::{Metric, ProcessKind, ScenarioSpec};
+use sparsegossip_analysis::{
+    AdaptiveConfig, ResultStore, ScenarioSweep, ScenarioSweepReport, SweepCell,
+};
+use sparsegossip_core::{cell_seed, theory, Metric, ProcessKind, ScenarioSpec, SimScratch};
+use sparsegossip_walks::derive_seed;
 
 fn small_sweep() -> ScenarioSweep {
     // An explicit cap keeps the worst replicate bounded in debug test
@@ -44,6 +47,166 @@ fn results_are_identical_for_1_2_and_8_threads() {
         let parallel = small_sweep().threads(threads).run().unwrap();
         assert_reports_identical(&serial, &parallel, &format!("{threads} threads"));
     }
+}
+
+#[test]
+fn adaptive_results_are_identical_for_1_2_and_8_threads() {
+    let adaptive = || {
+        small_sweep().adaptive(AdaptiveConfig {
+            replicate_budget: 4,
+            ..AdaptiveConfig::default()
+        })
+    };
+    let serial = adaptive().threads(1).run().unwrap();
+    assert!(
+        serial.adaptive.is_some(),
+        "adaptive summary must be carried"
+    );
+    for threads in [2, 8] {
+        let parallel = adaptive().threads(threads).run().unwrap();
+        assert_reports_identical(&serial, &parallel, &format!("adaptive {threads} threads"));
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "adaptive JSON must be byte-identical across thread counts"
+        );
+    }
+}
+
+#[test]
+fn killed_and_resumed_sweep_converges_to_uninterrupted_bytes() {
+    let tmp = |name: &str| {
+        std::env::temp_dir().join(format!(
+            "sparsegossip_regress_{name}_{}.bin",
+            std::process::id()
+        ))
+    };
+    let sweep = small_sweep().threads(2).adaptive(AdaptiveConfig::default());
+
+    // The uninterrupted reference: one store-backed run to completion.
+    let full_path = tmp("full");
+    let mut store = ResultStore::create(&full_path).unwrap();
+    let reference = sweep.run_with_store(Some(&mut store)).unwrap().to_json();
+    drop(store);
+    let full_bytes = std::fs::read(&full_path).unwrap();
+
+    // Kill after a prefix of the record stream (including torn tails),
+    // resume, and demand byte-identical convergence. Records stream in
+    // deterministic job order, so a truncated prefix of the reference
+    // store is exactly what a killed run leaves behind.
+    const HEADER_LEN: usize = 16;
+    const RECORD_LEN: usize = 32;
+    const TRAILER_LEN: usize = 24;
+    let body = full_bytes.len() - HEADER_LEN - TRAILER_LEN;
+    let records = body / RECORD_LEN;
+    for cut in [0, 1, records / 2, records.saturating_sub(1)] {
+        for torn in [0usize, 13] {
+            let killed_path = tmp(&format!("killed_{cut}_{torn}"));
+            let upto = HEADER_LEN + cut * RECORD_LEN + torn;
+            std::fs::write(&killed_path, &full_bytes[..upto]).unwrap();
+            let mut store = ResultStore::open_resume(&killed_path).unwrap();
+            let resumed = sweep.run_with_store(Some(&mut store)).unwrap().to_json();
+            drop(store);
+            assert_eq!(
+                resumed, reference,
+                "resume after {cut} cells (+{torn} torn bytes) changed the report"
+            );
+            assert_eq!(
+                std::fs::read(&killed_path).unwrap(),
+                full_bytes,
+                "resume after {cut} cells (+{torn} torn bytes) changed the store"
+            );
+            std::fs::remove_file(&killed_path).unwrap();
+        }
+    }
+    std::fs::remove_file(&full_path).unwrap();
+}
+
+/// The seed-derivation migration golden: the old grid-index seeds
+/// (`derive_seed(master, i·R + j)`) and the new content-addressed
+/// ones (`cell_seed(master, side, k, r, j)`) measure different
+/// replicates, but both must locate the same phase transition with
+/// the same within-band verdict on every curve — the physics is
+/// seed-independent even though individual samples are not.
+#[test]
+fn seed_migration_preserves_knee_verdicts() {
+    let sweep = small_sweep();
+    let cells = sweep.cells().unwrap();
+    let reps = 3u32;
+    let mut scratch = SimScratch::new();
+    let build = |seed_of: &dyn Fn(usize, u32, &sparsegossip_analysis::ScenarioCell) -> u64,
+                 scratch: &mut SimScratch| {
+        let swept: Vec<SweepCell> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let samples: Vec<f64> = (0..reps)
+                    .map(|j| {
+                        cell.spec
+                            .run_seed_with_scratch(scratch, seed_of(i, j, cell))
+                    })
+                    .collect();
+                let n = f64::from(cell.side) * f64::from(cell.side);
+                SweepCell {
+                    side: cell.side,
+                    k: cell.k,
+                    radius: cell.radius,
+                    net: cell.net,
+                    world: cell.world,
+                    critical_radius: theory::critical_radius(n, cell.k as f64),
+                    summary: sparsegossip_analysis::Summary::from_slice(&samples),
+                    samples,
+                }
+            })
+            .collect();
+        ScenarioSweepReport {
+            process: ProcessKind::Broadcast,
+            metric: Metric::Time,
+            master_seed: 2011,
+            replicates: reps,
+            adaptive: None,
+            cells: swept,
+        }
+    };
+    let old = build(
+        &|i, j, _| derive_seed(2011, i as u64 * u64::from(reps) + u64::from(j)),
+        &mut scratch,
+    );
+    let new = build(
+        &|_, j, c| cell_seed(2011, c.side, c.k, c.radius, j),
+        &mut scratch,
+    );
+    // The engine itself must agree with the locally-computed new-seed
+    // report sample for sample.
+    let engine = sweep.run().unwrap();
+    assert_reports_identical(&engine, &new, "engine vs local cell_seed");
+
+    // Golden verdict tables: (side, k, r_below, r_above, within_band)
+    // per detected transition, under each derivation. Pinned so a
+    // future seeding change cannot silently alter what the suite
+    // considers the knee. At this debug-friendly scale (3 replicates,
+    // 3 radii) individual curves may disagree between derivations —
+    // that disagreement is itself part of the golden.
+    let verdicts = |r: &ScenarioSweepReport| -> Vec<(u32, usize, u32, u32, bool)> {
+        r.transitions()
+            .iter()
+            .map(|t| (t.side, t.k, t.r_below, t.r_above, t.within_band()))
+            .collect()
+    };
+    let old_golden = vec![
+        (8u32, 4usize, 0u32, 1u32, false),
+        (8, 6, 1, 3, true),
+        (10, 4, 1, 3, true),
+        (10, 6, 1, 3, true),
+    ];
+    let new_golden = vec![
+        (8u32, 4usize, 1u32, 3u32, true),
+        (8, 6, 1, 3, true),
+        (10, 4, 1, 3, true),
+        (10, 6, 0, 1, false),
+    ];
+    assert_eq!(verdicts(&old), old_golden, "old-seed verdicts drifted");
+    assert_eq!(verdicts(&new), new_golden, "new-seed verdicts drifted");
 }
 
 #[test]

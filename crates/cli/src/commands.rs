@@ -9,7 +9,7 @@ use core::fmt;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sparsegossip_analysis::{Runner, ScenarioSweep, Table};
+use sparsegossip_analysis::{ResultStore, Runner, ScenarioSweep, StoreError, SweepError, Table};
 use sparsegossip_conngraph::{critical_radius, percolation_profile};
 use sparsegossip_core::{
     BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, Gossip, GossipOutcome,
@@ -63,6 +63,12 @@ COMMANDS:
                --spec file.toml [--replicates R --threads T --seed S]
                --barrier-densities A,B | --churn-rates A,B |
                --radius-mixes A,B (world axis override; at most one)
+               --adaptive [--budget N --replicate-budget N]
+               (knee refinement: bisect each curve's knee bracket to
+               1% of r_c under the cell budget, then top up replicates
+               where the CI is widest)
+               --store file.bin [--resume] (checkpoint every completed
+               run; --resume replays a prior store as cache hits)
   help         this text
 
 All run commands accept --json for machine-readable outcome output.
@@ -87,6 +93,8 @@ pub enum CliError {
     },
     /// A spec file could not be parsed or validated.
     Spec(SpecError),
+    /// The sweep result store failed (I/O, corruption, version).
+    Store(StoreError),
     /// Unknown subcommand.
     UnknownCommand(String),
 }
@@ -99,6 +107,7 @@ impl fmt::Display for CliError {
             Self::MissingOption(name) => write!(f, "missing required option --{name}"),
             Self::Io { path, error } => write!(f, "cannot read {path:?}: {error}"),
             Self::Spec(e) => write!(f, "{e}"),
+            Self::Store(e) => write!(f, "{e}"),
             Self::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?}; try `sparsegossip help`")
             }
@@ -107,6 +116,12 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
@@ -759,7 +774,49 @@ fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     if let Some(v) = mixes {
         sweep = sweep.radius_mixes(v);
     }
-    let report = sweep.run()?;
+    // Adaptive-mode overrides: --adaptive switches the mode on (the
+    // spec's own `[sweep] adaptive` keys, if any, supply defaults);
+    // the budget flags require it.
+    let adaptive_on = args.flag("adaptive") || sweep.adaptive_config().is_some();
+    if !adaptive_on && (args.has_option("budget") || args.has_option("replicate-budget")) {
+        return Err(bad(
+            "budget",
+            "--budget/--replicate-budget require --adaptive",
+        ));
+    }
+    if adaptive_on {
+        let mut cfg = sweep.adaptive_config().unwrap_or_default();
+        if args.has_option("budget") {
+            cfg.cell_budget = args.get("budget", 0usize)?;
+        }
+        if args.has_option("replicate-budget") {
+            cfg.replicate_budget = args.get("replicate-budget", 0u32)?;
+        }
+        sweep = sweep.adaptive(cfg);
+    }
+    // Checkpoint/resume: --store streams completed runs to a result
+    // store; --resume reopens one and replays it as cache hits.
+    let store_path: String = args.get("store", String::new())?;
+    let resume = args.flag("resume");
+    if resume && store_path.is_empty() {
+        return Err(CliError::MissingOption("store"));
+    }
+    let report = if store_path.is_empty() {
+        sweep.run()?
+    } else {
+        let path = std::path::Path::new(&store_path);
+        let mut store = if resume {
+            ResultStore::open_resume(path)?
+        } else {
+            ResultStore::create(path)?
+        };
+        sweep
+            .run_with_store(Some(&mut store))
+            .map_err(|e| match e {
+                SweepError::Sim(e) => CliError::Sim(e),
+                SweepError::Store(e) => CliError::Store(e),
+            })?
+    };
     if args.flag("json") {
         print!("{}", report.to_json());
         return Ok(());
@@ -772,6 +829,12 @@ fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
         report.metric,
         report.master_seed
     );
+    if let Some(a) = &report.adaptive {
+        println!(
+            "adaptive: {} coarse + {} refined cells, {} top-up replicates",
+            a.coarse_cells, a.refined_cells, a.topup_replicates
+        );
+    }
     println!("{}", report.table());
     let transitions = report.transitions();
     if transitions.is_empty() {
@@ -896,6 +959,55 @@ mod tests {
             dispatch(&parsed(&format!("sweep --spec {good} --replicates 0"))),
             Err(CliError::Args(ArgError::BadValue { .. }))
         ));
+    }
+
+    #[test]
+    fn sweep_adaptive_and_store_flags() {
+        let path = std::env::temp_dir().join("sparsegossip_cli_sweep_adaptive.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nprocess = \"broadcast\"\nside = 10\nk = 5\n\n\
+             [sweep]\nradii = [0, 1, 4]\nreplicates = 2\nseed = 7\n",
+        )
+        .unwrap();
+        let spec = path.to_str().unwrap();
+        dispatch(&parsed(&format!("sweep --spec {spec} --adaptive"))).unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {spec} --adaptive --budget 8 --replicate-budget 2 --json"
+        )))
+        .unwrap();
+        // Budget flags without the mode are argument errors.
+        assert!(matches!(
+            dispatch(&parsed(&format!("sweep --spec {spec} --budget 8"))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        // --resume needs --store.
+        assert!(matches!(
+            dispatch(&parsed(&format!("sweep --spec {spec} --resume"))),
+            Err(CliError::MissingOption("store"))
+        ));
+        // A store-backed run checkpoints, then resumes as cache hits.
+        let store = std::env::temp_dir().join(format!(
+            "sparsegossip_cli_sweep_store_{}.bin",
+            std::process::id()
+        ));
+        let store_arg = store.to_str().unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {spec} --adaptive --store {store_arg}"
+        )))
+        .unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {spec} --adaptive --store {store_arg} --resume"
+        )))
+        .unwrap();
+        // Resuming a missing store is a store error, not a panic.
+        assert!(matches!(
+            dispatch(&parsed(&format!(
+                "sweep --spec {spec} --store /nonexistent/no.bin --resume"
+            ))),
+            Err(CliError::Store(_))
+        ));
+        std::fs::remove_file(&store).unwrap();
     }
 
     #[test]

@@ -154,6 +154,10 @@ radii = [0, 1, 3]\n\
 replicates = 2\n\
 seed = 7\n";
 
+// Regenerated for the content-addressed per-cell seeds
+// (`cell_seed(master, side, k, r, replicate)` replaced the old
+// grid-index derivation) and the Student-t small-sample CI widths
+// (t(df=1) = 12.706 at n = 2 replicates).
 const SWEEP_GOLDEN: &str = r#"{
   "experiment": "scenario_sweep",
   "process": "broadcast",
@@ -161,12 +165,12 @@ const SWEEP_GOLDEN: &str = r#"{
   "seed": 7,
   "replicates": 2,
   "cells": [
-    {"side": 10, "k": 5, "r": 0, "r_c": 4.47213595499958, "mean": 238.5, "ci95": 89.17999999999998, "median": 238.5, "min": 193, "max": 284, "samples": [193,284]},
-    {"side": 10, "k": 5, "r": 1, "r_c": 4.47213595499958, "mean": 107.5, "ci95": 67.62, "median": 107.5, "min": 73, "max": 142, "samples": [73,142]},
-    {"side": 10, "k": 5, "r": 3, "r_c": 4.47213595499958, "mean": 42.5, "ci95": 0.98, "median": 42.5, "min": 42, "max": 43, "samples": [43,42]}
+    {"side": 10, "k": 5, "r": 0, "r_c": 4.47213595499958, "mean": 167, "ci95": 571.77, "median": 167, "min": 122, "max": 212, "samples": [122,212]},
+    {"side": 10, "k": 5, "r": 1, "r_c": 4.47213595499958, "mean": 121, "ci95": 444.71, "median": 121, "min": 86, "max": 156, "samples": [156,86]},
+    {"side": 10, "k": 5, "r": 3, "r_c": 4.47213595499958, "mean": 28, "ci95": 152.47199999999998, "median": 28, "min": 16, "max": 40, "samples": [16,40]}
   ],
   "transitions": [
-    {"side": 10, "k": 5, "r_below": 1, "r_above": 3, "r_knee": 1.7320508075688772, "drop_ratio": 2.5294117647058822, "predicted_rc": 4.47213595499958, "band": [1.118033988749895, 17.88854381999832], "within_band": true}
+    {"side": 10, "k": 5, "r_below": 1, "r_above": 3, "r_knee": 1.7320508075688772, "drop_ratio": 4.321428571428571, "predicted_rc": 4.47213595499958, "band": [1.118033988749895, 17.88854381999832], "within_band": true}
   ]
 }
 "#;

@@ -1,0 +1,106 @@
+//! Content-addressed seed derivation for sweep cells.
+//!
+//! The sweep engine used to seed replicate `j` of cell `i` as
+//! `derive_seed(master, i · R + j)`, which ties every cell's RNG
+//! stream to the grid *shape*: changing `--replicates` or inserting a
+//! refinement cell renumbers every later cell and silently reshuffles
+//! its draws. Content addressing removes the coupling: the seed is a
+//! pure function of the cell's own coordinates
+//! `(side, k, radius-bits, replicate)`, hashed with FNV-1a 64 (the
+//! same hash discipline as the protocol crate's event log and the
+//! analysis result store) and fed through
+//! [`sparsegossip_walks::derive_seed`].
+//!
+//! Two consequences the adaptive sweep machinery relies on:
+//!
+//! * inserting cells (bisection midpoints, replicate top-ups) never
+//!   changes any existing cell's draws, at any thread count;
+//! * cells that share coordinates across network/world axis points
+//!   share seeds — common random numbers, so axis contrasts are
+//!   paired. Result caches must therefore key on
+//!   `(spec content hash, seed)`, never on the seed alone.
+
+use sparsegossip_walks::derive_seed;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a 64 over `bytes` (the workspace's shared hash discipline:
+/// protocol event logs, sweep cell keys, result-store trailers).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_core::cellkey::fnv1a;
+///
+/// assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325); // offset basis
+/// assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+/// ```
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The content-addressed seed of one replicate of one sweep cell:
+/// `derive_seed(master, FNV-1a(side, k, radius, replicate))`.
+///
+/// Deterministic and independent of grid shape, replicate count and
+/// thread count; distinct coordinates decorrelate (pinned by the
+/// 10⁴-cell collision proptest in the analysis crate).
+///
+/// # Examples
+///
+/// ```
+/// use sparsegossip_core::cellkey::cell_seed;
+///
+/// let a = cell_seed(2011, 32, 16, 8, 0);
+/// assert_eq!(a, cell_seed(2011, 32, 16, 8, 0)); // pure function
+/// assert_ne!(a, cell_seed(2011, 32, 16, 8, 1)); // replicate matters
+/// assert_ne!(a, cell_seed(2011, 32, 16, 9, 0)); // radius matters
+/// ```
+#[must_use]
+pub fn cell_seed(master: u64, side: u32, k: usize, radius: u32, replicate: u32) -> u64 {
+    let mut key = [0u8; 20];
+    key[0..4].copy_from_slice(&side.to_le_bytes());
+    key[4..12].copy_from_slice(&(k as u64).to_le_bytes());
+    key[12..16].copy_from_slice(&radius.to_le_bytes());
+    key[16..20].copy_from_slice(&replicate.to_le_bytes());
+    derive_seed(master, fnv1a(&key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Classic FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn cell_seed_is_field_sensitive() {
+        let base = cell_seed(1, 10, 5, 3, 0);
+        assert_ne!(base, cell_seed(2, 10, 5, 3, 0), "master");
+        assert_ne!(base, cell_seed(1, 11, 5, 3, 0), "side");
+        assert_ne!(base, cell_seed(1, 10, 6, 3, 0), "k");
+        assert_ne!(base, cell_seed(1, 10, 5, 4, 0), "radius");
+        assert_ne!(base, cell_seed(1, 10, 5, 3, 1), "replicate");
+    }
+
+    #[test]
+    fn cell_seed_ignores_grid_shape() {
+        // The whole point: the seed is addressed by content, so it
+        // cannot depend on how many replicates or cells surround it.
+        let lone = cell_seed(7, 24, 8, 6, 2);
+        // Recompute in a different "context" (no context to pass —
+        // the signature itself proves shape independence).
+        assert_eq!(lone, cell_seed(7, 24, 8, 6, 2));
+    }
+}

@@ -60,6 +60,7 @@
 
 pub mod baseline;
 mod broadcast;
+pub mod cellkey;
 mod config;
 pub mod coverage;
 mod error;
@@ -77,6 +78,7 @@ pub mod toml;
 mod world;
 
 pub use broadcast::{Broadcast, BroadcastOutcome, BroadcastSim};
+pub use cellkey::{cell_seed, fnv1a};
 pub use config::{ExchangeRule, Mobility, SimConfig, SimConfigBuilder};
 pub use coverage::{broadcast_with_coverage, Coverage, CoverageOutcome};
 pub use error::SimError;

@@ -518,6 +518,16 @@ impl ScenarioSpec {
         }
     }
 
+    /// FNV-1a 64 hash of the spec's canonical TOML rendering
+    /// ([`to_toml`](Self::to_toml)): two specs hash equal exactly when
+    /// they are equal, so the hash is a stable content address for
+    /// result caches (the analysis result store keys records by
+    /// `(content_hash, seed)`).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        crate::cellkey::fnv1a(self.to_toml().as_bytes())
+    }
+
     /// Renders the spec as a `[scenario]` section in the TOML subset of
     /// [`crate::toml`]. [`from_toml_str`](Self::from_toml_str) parses
     /// it back to an equal spec.
@@ -1514,6 +1524,24 @@ mod tests {
             ),
             Err(SpecError::UnknownName { .. })
         ));
+    }
+
+    #[test]
+    fn content_hash_tracks_spec_equality() {
+        let a = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 8)
+            .build()
+            .unwrap();
+        let b = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 8)
+            .build()
+            .unwrap();
+        assert_eq!(a.content_hash(), b.content_hash(), "equal specs hash equal");
+        let c = a.with_axes(16, 8, 2).unwrap();
+        assert_ne!(a.content_hash(), c.content_hash(), "radius is content");
+        let d = ScenarioSpec::builder(ProcessKind::Broadcast, 16, 8)
+            .metric(Metric::Fraction)
+            .build()
+            .unwrap();
+        assert_ne!(a.content_hash(), d.content_hash(), "metric is content");
     }
 
     #[test]

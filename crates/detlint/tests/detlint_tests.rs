@@ -150,14 +150,15 @@ fn workspace_hot_paths_carry_their_markers() {
     let config = Config::load(&root.join("detlint.toml")).expect("committed config parses");
     let result = scan_workspace(&root, &config).expect("workspace scans");
     for (file, min) in [
-        ("crates/core/src/process.rs", 1),      // Simulation::step
-        ("crates/conngraph/src/seeded.rs", 1),  // components_from_seeds_on
-        ("crates/conngraph/src/spatial.rs", 2), // rebuild + apply_moves
-        ("crates/walks/src/engine.rs", 4),      // step_all{,_into}, step_masked{,_into}
-        ("crates/core/src/broadcast.rs", 2),    // exchange_one_hop + exchange_components
-        ("crates/core/src/gossip.rs", 1),       // exchange
-        ("crates/core/src/rumor.rs", 1),        // RumorSets::exchange
-        ("crates/core/src/infection.rs", 1),    // exchange
+        ("crates/core/src/process.rs", 1),            // Simulation::step
+        ("crates/conngraph/src/seeded.rs", 1),        // components_from_seeds_on
+        ("crates/conngraph/src/spatial.rs", 2),       // rebuild + apply_moves
+        ("crates/walks/src/engine.rs", 4),            // step_all{,_into}, step_masked{,_into}
+        ("crates/core/src/broadcast.rs", 2),          // exchange_one_hop + exchange_components
+        ("crates/core/src/gossip.rs", 1),             // exchange
+        ("crates/core/src/rumor.rs", 1),              // RumorSets::exchange
+        ("crates/core/src/infection.rs", 1),          // exchange
+        ("crates/analysis/src/scenario_sweep.rs", 2), // refine wave scan + top_up scan
     ] {
         assert!(
             result.hot_regions_in(file) >= min,

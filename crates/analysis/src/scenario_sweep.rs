@@ -51,8 +51,8 @@
 use sparsegossip_core::theory;
 use sparsegossip_core::toml::{TomlDoc, TomlError};
 use sparsegossip_core::{
-    cell_seed, Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch, SpecError,
-    WorldConfig,
+    cell_seed, FaultConfig, Metric, NetworkConfig, ProcessKind, ScenarioSpec, SimError, SimScratch,
+    SpecError, WorldConfig,
 };
 
 use crate::store::{ResultStore, StoreError};
@@ -258,6 +258,72 @@ impl WorldAxis {
     }
 }
 
+/// A fault axis for protocol-twin sweeps: one [`FaultConfig`] knob
+/// varied across a list of values while the base spec pins the others
+/// (including the recovery switches and, for partitions, the window
+/// start). Only [`ProcessKind::ProtocolBroadcast`] specs accept
+/// non-trivial fault settings, so a fault axis on any other kind fails
+/// cell validation with [`SimError::UnsupportedSetting`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAxis {
+    /// Per-node per-tick crash probabilities (each finite, in
+    /// `[0, 1]`).
+    CrashProbs(Vec<f64>),
+    /// Partition-window lengths in ticks (`0` = no partition); the
+    /// base spec's `partition_start` supplies the window start.
+    PartitionLens(Vec<u64>),
+}
+
+impl FaultAxis {
+    /// The spec-file key of the varied knob.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::CrashProbs(_) => "crash_prob",
+            Self::PartitionLens(_) => "partition_len",
+        }
+    }
+
+    /// Number of axis points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::CrashProbs(v) => v.len(),
+            Self::PartitionLens(v) => v.len(),
+        }
+    }
+
+    /// Whether the axis has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(key, value)` label and full [`FaultConfig`] of each axis
+    /// point, substituting the varied knob into `base`.
+    #[must_use]
+    pub fn resolve(&self, base: &FaultConfig) -> Vec<((&'static str, f64), FaultConfig)> {
+        match self {
+            Self::CrashProbs(probs) => probs
+                .iter()
+                .map(|&p| {
+                    let mut faults = *base;
+                    faults.crash_prob = p;
+                    (("crash_prob", p), faults)
+                })
+                .collect(),
+            Self::PartitionLens(lens) => lens
+                .iter()
+                .map(|&len| {
+                    let mut faults = *base;
+                    faults.partition_len = len;
+                    (("partition_len", len as f64), faults)
+                })
+                .collect(),
+        }
+    }
+}
+
 /// One cell of the expanded sweep grid: its axis coordinates and the
 /// re-validated spec that runs there.
 #[derive(Clone, Debug, PartialEq)]
@@ -274,6 +340,9 @@ pub struct ScenarioCell {
     /// The world-axis point of this cell as a `(key, value)` label, or
     /// `None` when the sweep has no world axis.
     pub world: Option<(&'static str, f64)>,
+    /// The fault-axis point of this cell as a `(key, value)` label, or
+    /// `None` when the sweep has no fault axis.
+    pub fault: Option<(&'static str, f64)>,
     /// The runnable spec for this cell.
     pub spec: ScenarioSpec,
 }
@@ -365,6 +434,7 @@ pub struct ScenarioSweep {
     radii: RadiusAxis,
     network_axis: Option<NetworkAxis>,
     world_axis: Option<WorldAxis>,
+    fault_axis: Option<FaultAxis>,
     replicates: u32,
     threads: usize,
     adaptive: Option<AdaptiveConfig>,
@@ -383,6 +453,7 @@ impl ScenarioSweep {
             radii: RadiusAxis::Absolute(vec![base.config().radius()]),
             network_axis: None,
             world_axis: None,
+            fault_axis: None,
             replicates: 8,
             threads: 1,
             adaptive: None,
@@ -569,6 +640,49 @@ impl ScenarioSweep {
         self.world_axis.as_ref()
     }
 
+    /// Sets the fault axis to per-node per-tick crash probabilities
+    /// (protocol-twin sweeps only; other kinds fail cell validation).
+    /// The base spec pins the recovery switches — sweep crash rates
+    /// with `retransmit` / `anti_entropy_interval` set there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or contains a non-finite value or
+    /// one outside `[0, 1]`.
+    #[must_use]
+    pub fn crash_probs(mut self, probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "at least one crash probability required");
+        assert!(
+            probs
+                .iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "crash probabilities must be finite and within [0, 1]"
+        );
+        self.fault_axis = Some(FaultAxis::CrashProbs(probs));
+        self
+    }
+
+    /// Sets the fault axis to partition-window lengths in ticks
+    /// (`0` = no partition; protocol-twin sweeps only). The base
+    /// spec's `partition_start` supplies the window start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lens` is empty.
+    #[must_use]
+    pub fn partition_lens(mut self, lens: Vec<u64>) -> Self {
+        assert!(!lens.is_empty(), "at least one partition length required");
+        self.fault_axis = Some(FaultAxis::PartitionLens(lens));
+        self
+    }
+
+    /// The fault axis, if one is set.
+    #[inline]
+    #[must_use]
+    pub fn fault_axis(&self) -> Option<&FaultAxis> {
+        self.fault_axis.as_ref()
+    }
+
     /// Sets the number of replicates per cell.
     ///
     /// # Panics
@@ -665,21 +779,34 @@ impl ScenarioSweep {
         };
         // World-axis expansion nests inside the network axis, same
         // backward-compatible shape: no world axis, no extra cells.
-        type Labels = (Option<(&'static str, f64)>, Option<(&'static str, f64)>);
-        let mut bases: Vec<(Labels, ScenarioSpec)> = Vec::new();
+        type Label = Option<(&'static str, f64)>;
+        let mut world_bases: Vec<((Label, Label), ScenarioSpec)> = Vec::new();
         for (net, base) in net_bases {
             match &self.world_axis {
-                None => bases.push(((net, None), base)),
+                None => world_bases.push(((net, None), base)),
                 Some(axis) => {
                     for (label, world) in axis.resolve(base.world()) {
-                        bases.push(((net, Some(label)), base.with_world(world)?));
+                        world_bases.push(((net, Some(label)), base.with_world(world)?));
+                    }
+                }
+            }
+        }
+        // The fault axis nests innermost of the config axes, same
+        // rule again: no fault axis, no extra cells.
+        let mut bases: Vec<((Label, Label, Label), ScenarioSpec)> = Vec::new();
+        for ((net, world), base) in world_bases {
+            match &self.fault_axis {
+                None => bases.push(((net, world, None), base)),
+                Some(axis) => {
+                    for (label, faults) in axis.resolve(base.faults()) {
+                        bases.push(((net, world, Some(label)), base.with_faults(faults)?));
                     }
                 }
             }
         }
         let mut cells =
             Vec::with_capacity(bases.len() * self.sides.len() * self.ks.len() * self.radii.len());
-        for ((net, world), base) in &bases {
+        for ((net, world, fault), base) in &bases {
             for &side in &self.sides {
                 for &k in &self.ks {
                     for radius in self.radii.resolve(side, k) {
@@ -689,6 +816,7 @@ impl ScenarioSweep {
                             radius,
                             net: *net,
                             world: *world,
+                            fault: *fault,
                             spec: base.with_axes(side, k, radius)?,
                         });
                     }
@@ -736,7 +864,7 @@ impl ScenarioSweep {
         let mut curves: Vec<CurveKey> = Vec::new();
         let mut evals: Vec<Eval> = Vec::with_capacity(cells.len());
         for cell in cells {
-            let key = (cell.side, cell.k, cell.net, cell.world);
+            let key = (cell.side, cell.k, cell.net, cell.world, cell.fault);
             let curve = match curves.iter().position(|c| *c == key) {
                 Some(i) => i,
                 None => {
@@ -789,6 +917,7 @@ impl ScenarioSweep {
                     radius: e.cell.radius,
                     net: e.cell.net,
                     world: e.cell.world,
+                    fault: e.cell.fault,
                     critical_radius: theory::critical_radius(n, e.cell.k as f64),
                     summary: Summary::from_slice(&e.samples),
                     samples: e.samples,
@@ -976,7 +1105,10 @@ impl ScenarioSweep {
     /// Parses a sweep from text holding a `[scenario]` section and an
     /// optional `[sweep]` section with keys `sides`, `ks`, `radii` *or*
     /// `r_factors`, at most one network axis (`drop_probs`,
-    /// `gossip_intervals` or `send_caps`), `replicates`, `seed`,
+    /// `gossip_intervals` or `send_caps`), at most one world axis
+    /// (`barrier_densities`, `churn_rates` or `radius_mixes`), at most
+    /// one fault axis (`crash_probs` or `partition_lens`),
+    /// `replicates`, `seed`,
     /// `threads` and the adaptive-mode keys `adaptive`, `cell_budget`,
     /// `replicate_budget`, `tolerance` (axes default to the scenario's
     /// own values; the budget/tolerance keys require
@@ -993,7 +1125,7 @@ impl ScenarioSweep {
         let Some(table) = doc.opt_section("sweep") else {
             return Ok(sweep);
         };
-        const KNOWN: [&str; 16] = [
+        const KNOWN: [&str; 18] = [
             "sides",
             "ks",
             "radii",
@@ -1004,6 +1136,8 @@ impl ScenarioSweep {
             "barrier_densities",
             "churn_rates",
             "radius_mixes",
+            "crash_probs",
+            "partition_lens",
             "replicates",
             "seed",
             "adaptive",
@@ -1143,6 +1277,24 @@ impl ScenarioSweep {
             unit_array("radius_mixes", &mixes)?;
             sweep = sweep.radius_mixes(mixes);
         }
+        let crash_probs = table.opt_f64_array("crash_probs")?;
+        let partition_lens = table.opt_u32_array("partition_lens")?;
+        if crash_probs.is_some() && partition_lens.is_some() {
+            return Err(bad(
+                "crash_probs".to_string(),
+                "single fault axis (either `crash_probs` or `partition_lens`, not both)",
+            ));
+        }
+        if let Some(probs) = crash_probs {
+            unit_array("crash_probs", &probs)?;
+            sweep = sweep.crash_probs(probs);
+        }
+        if let Some(lens) = partition_lens {
+            if lens.is_empty() {
+                return Err(bad("partition_lens".to_string(), "non-empty array"));
+            }
+            sweep = sweep.partition_lens(lens.into_iter().map(u64::from).collect());
+        }
         if let Some(reps) = table.opt_u32("replicates")? {
             if reps == 0 {
                 return Err(bad("replicates".to_string(), "positive integer"));
@@ -1238,6 +1390,19 @@ impl ScenarioSweep {
                 out.push_str(&format!("{key} = [{}]\n", rendered.join(", ")));
             }
         }
+        match &self.fault_axis {
+            None => {}
+            Some(FaultAxis::CrashProbs(probs)) => {
+                let rendered: Vec<String> = probs.iter().map(|p| format_toml_f64(*p)).collect();
+                out.push_str(&format!("crash_probs = [{}]\n", rendered.join(", ")));
+            }
+            Some(FaultAxis::PartitionLens(lens)) => {
+                out.push_str(&format!(
+                    "partition_lens = [{}]\n",
+                    join_with(lens.iter(), ", ")
+                ));
+            }
+        }
         out.push_str(&format!("replicates = {}\n", self.replicates));
         out.push_str(&format!("seed = {}\n", self.master_seed));
         out.push_str(&format!("threads = {}\n", self.threads));
@@ -1270,6 +1435,7 @@ fn format_toml_f64(x: f64) -> String {
 type CurveKey = (
     u32,
     usize,
+    Option<(&'static str, f64)>,
     Option<(&'static str, f64)>,
     Option<(&'static str, f64)>,
 );
@@ -1367,6 +1533,9 @@ pub struct SweepCell {
     /// The world-axis point as a `(key, value)` label, if the sweep has
     /// a world axis.
     pub world: Option<(&'static str, f64)>,
+    /// The fault-axis point as a `(key, value)` label, if the sweep has
+    /// a fault axis.
+    pub fault: Option<(&'static str, f64)>,
     /// The predicted percolation radius `r_c = √(n/k)` at these axes.
     pub critical_radius: f64,
     /// Summary over replicates.
@@ -1388,6 +1557,8 @@ pub struct TransitionEstimate {
     pub net: Option<(&'static str, f64)>,
     /// The curve's world-axis point, if the sweep has one.
     pub world: Option<(&'static str, f64)>,
+    /// The curve's fault-axis point, if the sweep has one.
+    pub fault: Option<(&'static str, f64)>,
     /// Radius on the slow side of the knee.
     pub r_below: u32,
     /// Radius on the fast side of the knee.
@@ -1478,19 +1649,25 @@ impl ScenarioSweepReport {
     #[must_use]
     pub fn transitions(&self) -> Vec<TransitionEstimate> {
         type Label = Option<(&'static str, f64)>;
-        type CurveKey = (u32, usize, Label, Label);
+        type CurveKey = (u32, usize, Label, Label, Label);
         let mut out = Vec::new();
         let mut groups: Vec<CurveKey> = Vec::new();
         for cell in &self.cells {
-            if !groups.contains(&(cell.side, cell.k, cell.net, cell.world)) {
-                groups.push((cell.side, cell.k, cell.net, cell.world));
+            if !groups.contains(&(cell.side, cell.k, cell.net, cell.world, cell.fault)) {
+                groups.push((cell.side, cell.k, cell.net, cell.world, cell.fault));
             }
         }
-        for (side, k, net, world) in groups {
+        for (side, k, net, world, fault) in groups {
             let mut curve: Vec<(u32, f64, f64)> = self
                 .cells
                 .iter()
-                .filter(|c| c.side == side && c.k == k && c.net == net && c.world == world)
+                .filter(|c| {
+                    c.side == side
+                        && c.k == k
+                        && c.net == net
+                        && c.world == world
+                        && c.fault == fault
+                })
                 .map(|c| (c.radius, c.summary.mean(), c.critical_radius))
                 .collect();
             curve.sort_by_key(|&(r, _, _)| r);
@@ -1532,6 +1709,7 @@ impl ScenarioSweepReport {
                 k,
                 net,
                 world,
+                fault,
                 r_below,
                 r_above,
                 r_knee,
@@ -1549,12 +1727,16 @@ impl ScenarioSweepReport {
     pub fn table(&self) -> Table {
         let has_net = self.cells.iter().any(|c| c.net.is_some());
         let has_world = self.cells.iter().any(|c| c.world.is_some());
+        let has_fault = self.cells.iter().any(|c| c.fault.is_some());
         let mut header = vec!["side".to_string(), "k".into(), "r".into()];
         if has_net {
             header.push("net".into());
         }
         if has_world {
             header.push("world".into());
+        }
+        if has_fault {
+            header.push("fault".into());
         }
         header.extend([
             "r/r_c".to_string(),
@@ -1573,6 +1755,12 @@ impl ScenarioSweepReport {
             }
             if has_world {
                 row.push(match c.world {
+                    Some((key, value)) => format!("{key}={value}"),
+                    None => "-".to_string(),
+                });
+            }
+            if has_fault {
+                row.push(match c.fault {
                     Some((key, value)) => format!("{key}={value}"),
                     None => "-".to_string(),
                 });
@@ -1622,6 +1810,11 @@ impl ScenarioSweepReport {
                     "\"world_key\": \"{key}\", \"world_value\": {value}, "
                 ));
             }
+            if let Some((key, value)) = c.fault {
+                net.push_str(&format!(
+                    "\"fault_key\": \"{key}\", \"fault_value\": {value}, "
+                ));
+            }
             out.push_str(&format!(
                 "    {{\"side\": {}, \"k\": {}, \"r\": {}, {}\"r_c\": {}, \"mean\": {}, \
                  \"ci95\": {}, \"median\": {}, \"min\": {}, \"max\": {}, \"samples\": [{}]}}{}\n",
@@ -1651,6 +1844,11 @@ impl ScenarioSweepReport {
             if let Some((key, value)) = t.world {
                 net.push_str(&format!(
                     "\"world_key\": \"{key}\", \"world_value\": {value}, "
+                ));
+            }
+            if let Some((key, value)) = t.fault {
+                net.push_str(&format!(
+                    "\"fault_key\": \"{key}\", \"fault_value\": {value}, "
                 ));
             }
             out.push_str(&format!(
@@ -1765,6 +1963,7 @@ mod tests {
             radius,
             net: None,
             world: None,
+            fault: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1794,6 +1993,7 @@ mod tests {
             radius,
             net: None,
             world: None,
+            fault: None,
             critical_radius: 5.65,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1821,6 +2021,7 @@ mod tests {
             radius,
             net: None,
             world: None,
+            fault: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -1865,6 +2066,7 @@ mod tests {
             radius,
             net: None,
             world: None,
+            fault: None,
             critical_radius: 5.65,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -2112,6 +2314,112 @@ mod tests {
     }
 
     #[test]
+    fn fault_axis_expands_cells_innermost() {
+        let sweep = ScenarioSweep::new(twin_base(), 1)
+            .radii(vec![0, 2])
+            .crash_probs(vec![0.0, 0.2]);
+        let cells = sweep.cells().unwrap();
+        assert_eq!(cells.len(), 4);
+        let coords: Vec<(Option<(&str, f64)>, u32)> =
+            cells.iter().map(|c| (c.fault, c.radius)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (Some(("crash_prob", 0.0)), 0),
+                (Some(("crash_prob", 0.0)), 2),
+                (Some(("crash_prob", 0.2)), 0),
+                (Some(("crash_prob", 0.2)), 2),
+            ]
+        );
+        assert_eq!(cells[2].spec.faults().crash_prob, 0.2);
+        // The un-swept fault knobs stay at the base spec's values.
+        assert_eq!(cells[2].spec.faults().restart_delay, 1);
+        assert!(!cells[2].spec.faults().retransmit);
+    }
+
+    #[test]
+    fn partition_len_axis_substitutes_the_base_start() {
+        let base = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+            .radius(1)
+            .partition(3, 0)
+            .build()
+            .unwrap();
+        let cells = ScenarioSweep::new(base, 1)
+            .partition_lens(vec![0, 8])
+            .cells()
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].fault, Some(("partition_len", 8.0)));
+        assert_eq!(cells[1].spec.faults().partition_len, 8);
+        assert_eq!(cells[1].spec.faults().partition_start, 3);
+    }
+
+    #[test]
+    fn fault_axis_on_non_twin_kind_fails_cell_validation() {
+        let err = ScenarioSweep::new(tiny_base(), 1)
+            .crash_probs(vec![0.2])
+            .cells()
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedSetting { .. }));
+    }
+
+    #[test]
+    fn fault_axis_round_trips_through_toml() {
+        for sweep in [
+            ScenarioSweep::new(twin_base(), 4).crash_probs(vec![0.0, 0.1, 0.3]),
+            ScenarioSweep::new(twin_base(), 4).partition_lens(vec![0, 4, 16]),
+        ] {
+            let text = sweep.to_toml();
+            let parsed = ScenarioSweep::from_toml_str(&text).unwrap();
+            assert_eq!(sweep, parsed, "round trip changed the sweep:\n{text}");
+        }
+    }
+
+    #[test]
+    fn toml_rejects_bad_fault_axes() {
+        let twin_only = "[scenario]\nprocess = \"protocol-broadcast\"\nside = 12\nk = 6\n";
+        let with = |extra: &str| format!("{twin_only}\n[sweep]\n{extra}");
+        assert!(ScenarioSweep::from_toml_str(&with("crash_probs = []\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("crash_probs = [1.5]\n")).is_err());
+        assert!(ScenarioSweep::from_toml_str(&with("partition_lens = []\n")).is_err());
+        assert!(
+            ScenarioSweep::from_toml_str(&with("crash_probs = [0.1]\npartition_lens = [4]\n"))
+                .is_err(),
+            "two fault axes at once must be rejected"
+        );
+        assert!(ScenarioSweep::from_toml_str(&with("crash_probs = [0.0, 0.1]\n")).is_ok());
+        assert!(ScenarioSweep::from_toml_str(&with("partition_lens = [0, 8]\n")).is_ok());
+    }
+
+    #[test]
+    fn fault_axis_report_labels_cells_and_transitions() {
+        let base = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+            .radius(1)
+            .retransmit(true)
+            .anti_entropy_interval(1)
+            .build()
+            .unwrap();
+        let report = ScenarioSweep::new(base, 9)
+            .radii(vec![0, 1, 2])
+            .crash_probs(vec![0.0, 0.1])
+            .replicates(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.fault.is_some()));
+        // Transitions group per fault point, never across them.
+        for t in report.transitions() {
+            assert!(t.fault.is_some());
+        }
+        let table = format!("{}", report.table());
+        assert!(table.contains("fault"), "table must carry the fault column");
+        assert!(table.contains("crash_prob=0.1"), "{table}");
+        let json = report.to_json();
+        assert!(json.contains("\"fault_key\": \"crash_prob\""), "{json}");
+        assert!(json.contains("\"fault_value\": 0.1"), "{json}");
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let report = ScenarioSweep::new(tiny_base(), 5)
             .radii(vec![0, 2, 4])
@@ -2148,6 +2456,7 @@ mod tests {
             radius,
             net: None,
             world: None,
+            fault: None,
             critical_radius: 2.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],
@@ -2177,6 +2486,7 @@ mod tests {
             radius,
             net: None,
             world: None,
+            fault: None,
             critical_radius: 8.0,
             summary: Summary::from_slice(&[mean]),
             samples: vec![mean],

@@ -26,6 +26,15 @@
 //! prefix as cache hits. Because the sweep engine appends in
 //! deterministic task order, a resumed store converges byte-for-byte
 //! with an uninterrupted one.
+//!
+//! Damage short of malformed records is **salvaged**, not fatal: a
+//! torn tail or a trailer that contradicts the record bytes recovers
+//! the longest whole-record prefix and leaves a
+//! [`salvage note`](ResultStore::salvage_note) for the caller to
+//! surface as a warning, so `--resume` keeps working after a crash
+//! mid-write. A record that itself decodes to garbage (a non-finite
+//! value) stays a hard [`StoreError::Corrupt`] — replaying it would
+//! poison the resumed sweep.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -116,6 +125,9 @@ pub struct ResultStore {
     hash: u64,
     records: u64,
     finished: bool,
+    /// What [`open_resume`](Self::open_resume) had to drop to recover
+    /// this store, when it was damaged; `None` for a clean open.
+    salvage: Option<String>,
 }
 
 impl ResultStore {
@@ -149,6 +161,7 @@ impl ResultStore {
             hash: fnv1a(&[]),
             records: 0,
             finished: false,
+            salvage: None,
         })
     }
 
@@ -157,12 +170,18 @@ impl ResultStore {
     /// truncates a torn tail to the last whole record (kill), builds
     /// the `(spec_hash, seed)` index and positions for appending.
     ///
+    /// A trailer that contradicts the record bytes (count or FNV-1a
+    /// hash) is treated like a kill: the whole-record prefix is
+    /// salvaged, the damage is described by
+    /// [`salvage_note`](Self::salvage_note), and appending continues
+    /// from the recovered prefix.
+    ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on OS failures, [`StoreError::Version`] on a
     /// format version this build does not read, [`StoreError::Corrupt`]
-    /// on bad magic, a bad record length or a trailer that contradicts
-    /// the records.
+    /// on bad magic, a bad record length or a record whose decoded
+    /// value is malformed (non-finite).
     pub fn open_resume(path: &Path) -> Result<Self, StoreError> {
         let io = |error: std::io::Error| StoreError::Io {
             path: path.to_path_buf(),
@@ -199,7 +218,11 @@ impl ResultStore {
         let body = &bytes[HEADER_LEN..];
         // A clean close leaves `n · RECORD_LEN + TRAILER_LEN` body
         // bytes ending in the trailer magic; anything else is treated
-        // as a kill and truncated to whole records.
+        // as a kill and truncated to whole records. Damage at this
+        // level — a torn tail, a trailer contradicting the records —
+        // is salvaged with a note rather than rejected: the
+        // whole-record prefix is still every completed measurement.
+        let mut salvage: Option<String> = None;
         let record_bytes = if body.len() >= TRAILER_LEN
             && (body.len() - TRAILER_LEN).is_multiple_of(RECORD_LEN)
             && body[body.len() - TRAILER_LEN..body.len() - TRAILER_LEN + 8] == TRAILER_MAGIC
@@ -226,15 +249,28 @@ impl ResultStore {
                 trailer[22],
                 trailer[23],
             ]);
-            if count != (records.len() / RECORD_LEN) as u64 {
-                return Err(corrupt("trailer record count contradicts the file length"));
-            }
-            if hash != fnv1a(records) {
-                return Err(corrupt("trailer hash contradicts the record bytes"));
+            let whole = records.len() / RECORD_LEN;
+            if count != whole as u64 {
+                salvage = Some(format!(
+                    "trailer record count contradicts the file length; \
+                     salvaged {whole} whole records"
+                ));
+            } else if hash != fnv1a(records) {
+                salvage = Some(format!(
+                    "trailer hash contradicts the record bytes; \
+                     salvaged {whole} whole records"
+                ));
             }
             records
         } else {
-            &body[..body.len() - body.len() % RECORD_LEN]
+            let torn = body.len() % RECORD_LEN;
+            if torn != 0 {
+                salvage = Some(format!(
+                    "torn {torn}-byte tail dropped; salvaged {} whole records",
+                    body.len() / RECORD_LEN
+                ));
+            }
+            &body[..body.len() - torn]
         };
         let mut index = BTreeMap::new();
         for rec in record_bytes.chunks_exact(RECORD_LEN) {
@@ -257,7 +293,17 @@ impl ResultStore {
             hash: fnv1a(record_bytes),
             records,
             finished: false,
+            salvage,
         })
+    }
+
+    /// The damage [`open_resume`](Self::open_resume) recovered from —
+    /// a torn tail or a contradicted trailer — or `None` when the
+    /// store opened clean. Callers surface this as a warning before
+    /// resuming.
+    #[must_use]
+    pub fn salvage_note(&self) -> Option<&str> {
+        self.salvage.as_deref()
     }
 
     /// The cached value for `(spec_hash, seed)`, if this exact
@@ -475,17 +521,78 @@ mod tests {
             ResultStore::open_resume(&path),
             Err(StoreError::Version { found: 99, .. })
         ));
-        // Valid store with a flipped record byte under a clean trailer.
+        // A malformed record — its value bits decode to NaN — is a
+        // hard error even under an internally consistent file:
+        // replaying it would poison the resumed sweep.
         let mut store = ResultStore::create(&path).unwrap();
         store.append(1, 2, 0, 3.0).unwrap();
         store.finish().unwrap();
         drop(store);
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[HEADER_LEN + 3] ^= 0xFF;
+        for b in &mut bytes[HEADER_LEN + 24..HEADER_LEN + 32] {
+            *b = 0xFF;
+        }
         std::fs::write(&path, &bytes).unwrap();
         let err = ResultStore::open_resume(&path).unwrap_err();
-        assert!(err.to_string().contains("trailer hash"), "{err}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn contradicted_trailer_salvages_the_record_prefix() {
+        let path = temp_path("salvage_trailer");
+        let mut store = ResultStore::create(&path).unwrap();
+        store.append(1, 10, 0, 4.0).unwrap();
+        store.append(1, 11, 1, 5.0).unwrap();
+        store.finish().unwrap();
+        drop(store);
+        // Flip a key byte under the clean trailer: the trailer hash no
+        // longer matches, but both records still decode — the open
+        // salvages them and says so instead of refusing to resume.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut salvaged = ResultStore::open_resume(&path).unwrap();
+        assert_eq!(salvaged.len(), 2);
+        let note = salvaged.salvage_note().expect("damage must be reported");
+        assert!(note.contains("trailer hash"), "{note}");
+        assert!(note.contains("salvaged 2"), "{note}");
+        // The salvaged store keeps working: append, finish, reopen
+        // clean.
+        salvaged.append(1, 12, 2, 6.0).unwrap();
+        salvaged.finish().unwrap();
+        drop(salvaged);
+        let reopened = ResultStore::open_resume(&path).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.salvage_note(), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_salvages_with_a_note_and_clean_opens_stay_silent() {
+        let path = temp_path("salvage_tail");
+        let mut store = ResultStore::create(&path).unwrap();
+        store.append(7, 70, 0, 1.5).unwrap();
+        drop(store); // killed: no trailer
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xCD; 9]).unwrap();
+        }
+        let salvaged = ResultStore::open_resume(&path).unwrap();
+        assert_eq!(salvaged.len(), 1);
+        let note = salvaged.salvage_note().expect("torn tail must be reported");
+        assert!(note.contains("torn 9-byte tail"), "{note}");
+        drop(salvaged);
+        // A plain kill — whole records, no trailer — is the normal
+        // resume path, not damage: no note.
+        let path2 = temp_path("salvage_none");
+        let mut store = ResultStore::create(&path2).unwrap();
+        store.append(7, 71, 0, 2.5).unwrap();
+        drop(store);
+        let resumed = ResultStore::open_resume(&path2).unwrap();
+        assert_eq!(resumed.salvage_note(), None);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path2).unwrap();
     }
 
     #[test]

@@ -153,6 +153,7 @@ fn seed_migration_preserves_knee_verdicts() {
                     radius: cell.radius,
                     net: cell.net,
                     world: cell.world,
+                    fault: cell.fault,
                     critical_radius: theory::critical_radius(n, cell.k as f64),
                     summary: sparsegossip_analysis::Summary::from_slice(&samples),
                     samples,

@@ -12,10 +12,10 @@ use rand::SeedableRng;
 use sparsegossip_analysis::{ResultStore, Runner, ScenarioSweep, StoreError, SweepError, Table};
 use sparsegossip_conngraph::{critical_radius, percolation_profile};
 use sparsegossip_core::{
-    BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, Gossip, GossipOutcome,
-    Infection, InfectionOutcome, Mobility, NetworkConfig, NetworkError, PredatorPrey, ProcessKind,
-    ProtocolBroadcast, ProtocolOutcome, ScenarioSpec, SimConfig, Simulation, SpecError,
-    WorldConfig, WorldSim,
+    BroadcastOutcome, CoverageOutcome, ExchangeRule, ExtinctionOutcome, FaultConfig, Gossip,
+    GossipOutcome, Infection, InfectionOutcome, Mobility, NetworkConfig, NetworkError,
+    PredatorPrey, ProcessKind, ProtocolBroadcast, ProtocolOutcome, RuntimeError, ScenarioSpec,
+    SimConfig, Simulation, SpecError, WorldConfig, WorldSim,
 };
 use sparsegossip_grid::{Grid, Point, Topology};
 use sparsegossip_walks::multi_cover;
@@ -50,6 +50,9 @@ COMMANDS:
   protocol     message-passing protocol twin of broadcast
                --side N --k K --radius R --seed S --max-steps M
                --drop P --delay D --cap C --interval I (network faults)
+               --crash P --restart-delay D (per-tick node crashes)
+               --partition-start T --partition-len L (network partition)
+               --retransmit --anti-entropy I (recovery layer)
                --workers W (scheduler threads; never changes results)
   percolation  giant-component fraction around r_c = sqrt(n/k)
                --side N --k K --samples S --seed S
@@ -63,6 +66,8 @@ COMMANDS:
                --spec file.toml [--replicates R --threads T --seed S]
                --barrier-densities A,B | --churn-rates A,B |
                --radius-mixes A,B (world axis override; at most one)
+               --crash-probs A,B | --partition-lens A,B
+               (fault axis override; at most one)
                --adaptive [--budget N --replicate-budget N]
                (knee refinement: bisect each curve's knee bracket to
                1% of r_c under the cell budget, then top up replicates
@@ -95,6 +100,8 @@ pub enum CliError {
     Spec(SpecError),
     /// The sweep result store failed (I/O, corruption, version).
     Store(StoreError),
+    /// The protocol runtime aborted mid-run (worker panic).
+    Runtime(RuntimeError),
     /// Unknown subcommand.
     UnknownCommand(String),
 }
@@ -108,6 +115,7 @@ impl fmt::Display for CliError {
             Self::Io { path, error } => write!(f, "cannot read {path:?}: {error}"),
             Self::Spec(e) => write!(f, "{e}"),
             Self::Store(e) => write!(f, "{e}"),
+            Self::Runtime(e) => write!(f, "{e}"),
             Self::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?}; try `sparsegossip help`")
             }
@@ -256,6 +264,24 @@ fn unit_list(args: &ParsedArgs, name: &'static str) -> Result<Option<Vec<f64>>, 
             return Err(bad(name, &raw));
         }
         out.push(v);
+    }
+    Ok(Some(out))
+}
+
+/// Parses an optional comma-separated list of non-negative integers
+/// (e.g. `--partition-lens 0,8,32`).
+fn u64_list(args: &ParsedArgs, name: &'static str) -> Result<Option<Vec<u64>>, CliError> {
+    if !args.has_option(name) {
+        return Ok(None);
+    }
+    let raw: String = args.get(name, String::new())?;
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let v: u64 = part.trim().parse().map_err(|_| bad(name, &raw))?;
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(bad(name, &raw));
     }
     Ok(Some(out))
 }
@@ -582,12 +608,22 @@ fn coverage(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
-fn protocol_json(out: &ProtocolOutcome) -> String {
+fn protocol_json(out: &ProtocolOutcome, faults: &FaultConfig) -> String {
     // The log hash is a full u64; rendered as hex text so JSON
-    // consumers never round it through a double.
+    // consumers never round it through a double. The fault counters
+    // only appear when the fault layer is active, so the fault-free
+    // output stays byte-identical to the pre-fault twin.
+    let fault_fields = if faults.is_trivial() {
+        String::new()
+    } else {
+        format!(
+            ",\"crashes\":{},\"restarts\":{},\"retransmits\":{},\"digests\":{}",
+            out.stats.crashes, out.stats.restarts, out.stats.retransmits, out.stats.digests
+        )
+    };
     format!(
         "{{\"process\":\"protocol\",\"completion_time\":{},\"informed\":{},\"k\":{},\
-         \"sent\":{},\"delivered\":{},\"dropped\":{},\"timers\":{},\"log_hash\":\"{:016x}\"}}",
+         \"sent\":{},\"delivered\":{},\"dropped\":{},\"timers\":{}{},\"log_hash\":\"{:016x}\"}}",
         json_opt(out.completion_time),
         out.informed,
         out.k,
@@ -595,6 +631,7 @@ fn protocol_json(out: &ProtocolOutcome) -> String {
         out.stats.delivered,
         out.stats.dropped,
         out.stats.timers,
+        fault_fields,
         out.log_hash
     )
 }
@@ -619,12 +656,24 @@ fn protocol(args: &ParsedArgs) -> Result<(), CliError> {
             value,
         })
     })?;
+    let faults = FaultConfig {
+        crash_prob: args.get("crash", 0.0f64)?,
+        restart_delay: args.get("restart-delay", 1u64)?,
+        partition_start: args.get("partition-start", 0u64)?,
+        partition_len: args.get("partition-len", 0u64)?,
+        retransmit: args.flag("retransmit"),
+        anti_entropy_interval: args.get("anti-entropy", 0u64)?,
+    };
+    faults.validate()?;
     let config = SimConfig::builder(c.side, c.k)
         .radius(c.radius)
         .max_steps(max_steps)
         .build()?;
     let mut rng = SmallRng::seed_from_u64(c.seed);
-    let process = ProtocolBroadcast::from_config(&config, net, c.seed)?.workers(workers);
+    let process = ProtocolBroadcast::from_config(&config, net, c.seed)?
+        .workers(workers)
+        .faults(faults.to_plan())
+        .recovery(faults.to_recovery());
     let mut sim = Simulation::new(
         Grid::new(c.side)?,
         config.k(),
@@ -634,8 +683,11 @@ fn protocol(args: &ParsedArgs) -> Result<(), CliError> {
         &mut rng,
     )?;
     let out = sim.run(&mut rng);
+    if let Some(err) = out.error {
+        return Err(CliError::Runtime(err));
+    }
     if c.json {
-        println!("{}", protocol_json(&out));
+        println!("{}", protocol_json(&out, &faults));
         return Ok(());
     }
     println!(
@@ -652,6 +704,12 @@ fn protocol(args: &ParsedArgs) -> Result<(), CliError> {
         "messages: {} sent, {} delivered, {} dropped; {} timer firings; log hash {:016x}",
         out.stats.sent, out.stats.delivered, out.stats.dropped, out.stats.timers, out.log_hash
     );
+    if !faults.is_trivial() {
+        println!(
+            "faults: {} crashes, {} restarts; recovery: {} retransmits, {} digests",
+            out.stats.crashes, out.stats.restarts, out.stats.retransmits, out.stats.digests
+        );
+    }
     Ok(())
 }
 
@@ -774,6 +832,20 @@ fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     if let Some(v) = mixes {
         sweep = sweep.radius_mixes(v);
     }
+    let crash_probs = unit_list(args, "crash-probs")?;
+    let partition_lens = u64_list(args, "partition-lens")?;
+    if crash_probs.is_some() && partition_lens.is_some() {
+        return Err(bad(
+            "crash-probs",
+            "at most one fault axis (--crash-probs, --partition-lens)",
+        ));
+    }
+    if let Some(v) = crash_probs {
+        sweep = sweep.crash_probs(v);
+    }
+    if let Some(v) = partition_lens {
+        sweep = sweep.partition_lens(v);
+    }
     // Adaptive-mode overrides: --adaptive switches the mode on (the
     // spec's own `[sweep] adaptive` keys, if any, supply defaults);
     // the budget flags require it.
@@ -806,7 +878,11 @@ fn sweep(args: &ParsedArgs) -> Result<(), CliError> {
     } else {
         let path = std::path::Path::new(&store_path);
         let mut store = if resume {
-            ResultStore::open_resume(path)?
+            let store = ResultStore::open_resume(path)?;
+            if let Some(note) = store.salvage_note() {
+                eprintln!("warning: result store {store_path:?}: {note}");
+            }
+            store
         } else {
             ResultStore::create(path)?
         };
@@ -903,6 +979,11 @@ mod tests {
             "protocol --side 12 --k 6 --radius 2 --seed 1 --json",
             "protocol --side 12 --k 6 --radius 2 --drop 0.3 --delay 1 --cap 2 --interval 2 \
              --workers 2 --seed 1",
+            "protocol --side 12 --k 6 --radius 2 --crash 0.05 --restart-delay 2 --seed 1",
+            "protocol --side 12 --k 6 --radius 2 --partition-start 3 --partition-len 5 \
+             --anti-entropy 4 --seed 1",
+            "protocol --side 12 --k 6 --radius 2 --drop 0.3 --crash 0.02 --retransmit \
+             --anti-entropy 2 --workers 2 --seed 1 --json",
             "percolation --side 16 --k 8 --samples 3 --seed 1",
             "cover --side 8 --k 4 --seed 1",
             "predator --side 10 --predators 4 --preys 3 --seed 1",
@@ -1075,6 +1156,46 @@ mod tests {
     }
 
     #[test]
+    fn sweep_fault_axis_overrides() {
+        // The fault axes only exist on the protocol twin; any other
+        // kind rejects them at cell validation.
+        let path = std::env::temp_dir().join("sparsegossip_cli_sweep_fault.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nprocess = \"protocol-broadcast\"\nside = 10\nk = 5\n\n\
+             [sweep]\nradii = [0, 2]\nreplicates = 1\nseed = 7\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {path} --crash-probs 0.0,0.05"
+        )))
+        .unwrap();
+        dispatch(&parsed(&format!(
+            "sweep --spec {path} --partition-lens 0,6 --json"
+        )))
+        .unwrap();
+        // At most one fault axis per invocation.
+        assert!(matches!(
+            dispatch(&parsed(&format!(
+                "sweep --spec {path} --crash-probs 0.1 --partition-lens 4"
+            ))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        // Malformed lists are argument errors, not panics.
+        assert!(matches!(
+            dispatch(&parsed(&format!(
+                "sweep --spec {path} --partition-lens 4,zap"
+            ))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        assert!(matches!(
+            dispatch(&parsed(&format!("sweep --spec {path} --crash-probs 1.5"))),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
     fn unknown_command_is_an_error() {
         assert!(matches!(
             dispatch(&parsed("frobnicate")),
@@ -1094,6 +1215,11 @@ mod tests {
         assert!(matches!(e, CliError::Args(ArgError::BadValue { .. })));
         let e = dispatch(&parsed("protocol --side 8 --k 4 --interval 0")).unwrap_err();
         assert!(matches!(e, CliError::Args(ArgError::BadValue { .. })));
+        // Fault settings validate through the shared FaultConfig path.
+        let e = dispatch(&parsed("protocol --side 8 --k 4 --crash 1.5")).unwrap_err();
+        assert!(matches!(e, CliError::Sim(_)), "{e}");
+        let e = dispatch(&parsed("protocol --side 8 --k 4 --restart-delay 0")).unwrap_err();
+        assert!(matches!(e, CliError::Sim(_)), "{e}");
     }
 
     #[test]
@@ -1150,13 +1276,32 @@ mod tests {
                 delivered: 8,
                 dropped: 2,
                 timers: 5,
+                crashes: 1,
+                restarts: 1,
+                retransmits: 3,
+                digests: 2,
             },
             log_hash: 0xAB,
+            error: None,
         };
+        // Trivial faults: the counters stay hidden so the output is
+        // byte-identical to the pre-fault twin.
         assert_eq!(
-            protocol_json(&p),
+            protocol_json(&p, &FaultConfig::DEFAULT),
             "{\"process\":\"protocol\",\"completion_time\":7,\"informed\":4,\"k\":4,\
              \"sent\":10,\"delivered\":8,\"dropped\":2,\"timers\":5,\
+             \"log_hash\":\"00000000000000ab\"}"
+        );
+        let faulty = FaultConfig {
+            crash_prob: 0.1,
+            retransmit: true,
+            ..FaultConfig::DEFAULT
+        };
+        assert_eq!(
+            protocol_json(&p, &faulty),
+            "{\"process\":\"protocol\",\"completion_time\":7,\"informed\":4,\"k\":4,\
+             \"sent\":10,\"delivered\":8,\"dropped\":2,\"timers\":5,\
+             \"crashes\":1,\"restarts\":1,\"retransmits\":3,\"digests\":2,\
              \"log_hash\":\"00000000000000ab\"}"
         );
     }

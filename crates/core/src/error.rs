@@ -50,6 +50,14 @@ pub enum SimError {
         /// What the setting accepts.
         expected: &'static str,
     },
+    /// A fault-model setting ([`FaultConfig`](crate::FaultConfig))
+    /// holds an out-of-range value, e.g. a crash probability above 1.
+    InvalidFaultSetting {
+        /// The offending setting, in spec-file syntax.
+        key: &'static str,
+        /// What the setting accepts.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +80,9 @@ impl fmt::Display for SimError {
             }
             Self::InvalidWorldSetting { key, expected } => {
                 write!(f, "world setting {key:?} must be {expected}")
+            }
+            Self::InvalidFaultSetting { key, expected } => {
+                write!(f, "fault setting {key:?} must be {expected}")
             }
         }
     }
@@ -124,6 +135,13 @@ mod tests {
             expected: "finite number in [0, 1]",
         };
         assert!(e.to_string().contains("churn_rate"));
+        assert!(e.to_string().contains("[0, 1]"));
+        assert!(e.source().is_none());
+        let e = SimError::InvalidFaultSetting {
+            key: "crash_prob",
+            expected: "finite number in [0, 1]",
+        };
+        assert!(e.to_string().contains("crash_prob"));
         assert!(e.to_string().contains("[0, 1]"));
         assert!(e.source().is_none());
     }

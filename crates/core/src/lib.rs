@@ -64,6 +64,7 @@ pub mod cellkey;
 mod config;
 pub mod coverage;
 mod error;
+mod fault_config;
 mod frog;
 mod gossip;
 mod infection;
@@ -82,6 +83,7 @@ pub use cellkey::{cell_seed, fnv1a};
 pub use config::{ExchangeRule, Mobility, SimConfig, SimConfigBuilder};
 pub use coverage::{broadcast_with_coverage, Coverage, CoverageOutcome};
 pub use error::SimError;
+pub use fault_config::FaultConfig;
 pub use frog::FrogSim;
 pub use gossip::{Gossip, GossipOutcome, GossipSim};
 pub use infection::{Infection, InfectionOutcome, InfectionSim};
@@ -96,5 +98,8 @@ pub use rumor::RumorSets;
 // Re-exported so spec-level consumers need not depend on the protocol
 // crate directly.
 pub use scenario::{Metric, ProcessKind, ScenarioSpec, ScenarioSpecBuilder, SpecError};
-pub use sparsegossip_protocol::{NetworkConfig, NetworkError, RuntimeStats};
+pub use sparsegossip_protocol::{
+    FaultError, FaultPlan, NetworkConfig, NetworkError, PartitionSchedule, PartitionWindow,
+    RecoveryConfig, RuntimeError, RuntimeStats,
+};
 pub use world::{WorldConfig, WorldContact, WorldSim};

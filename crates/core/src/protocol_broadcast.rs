@@ -18,7 +18,9 @@ use core::ops::ControlFlow;
 
 use rand::RngExt;
 use sparsegossip_grid::Grid;
-use sparsegossip_protocol::{NetworkConfig, NodeRuntime, RuntimeStats};
+use sparsegossip_protocol::{
+    FaultPlan, NetworkConfig, NodeRuntime, RecoveryConfig, RuntimeError, RuntimeStats,
+};
 use sparsegossip_walks::BitSet;
 
 use crate::process::{ComponentsScope, ExchangeCtx, Process, SimScratch, Simulation};
@@ -50,6 +52,7 @@ use crate::{SimConfig, SimError};
 pub struct ProtocolBroadcast {
     runtime: NodeRuntime,
     k: usize,
+    error: Option<RuntimeError>,
 }
 
 impl ProtocolBroadcast {
@@ -74,6 +77,7 @@ impl ProtocolBroadcast {
         Ok(Self {
             runtime: NodeRuntime::new(k, source, net, protocol_seed, 1),
             k,
+            error: None,
         })
     }
 
@@ -105,6 +109,24 @@ impl ProtocolBroadcast {
         self
     }
 
+    /// Installs a fault plan (seeded crashes/restarts and scheduled
+    /// partitions). The default, [`FaultPlan::NONE`], injects nothing
+    /// and leaves the event log byte-identical to the fault-free twin.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.runtime.set_fault_plan(plan);
+        self
+    }
+
+    /// Installs a recovery configuration (retransmission with backoff,
+    /// periodic anti-entropy digests). The default is
+    /// [`RecoveryConfig::OFF`].
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.runtime.set_recovery(recovery);
+        self
+    }
+
     /// The underlying node runtime (event log, stats, per-node state).
     #[must_use]
     pub fn runtime(&self) -> &NodeRuntime {
@@ -129,13 +151,19 @@ impl Process for ProtocolBroadcast {
     }
 
     fn exchange(&mut self, ctx: ExchangeCtx<'_>) -> ControlFlow<()> {
-        if self
+        match self
             .runtime
             .tick(ctx.time, ctx.positions, ctx.radius, ctx.side)
         {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
+            Ok(true) => ControlFlow::Break(()),
+            Ok(false) => ControlFlow::Continue(()),
+            Err(e) => {
+                // The runtime is unusable; end the run and surface the
+                // failure on the outcome instead of panicking the
+                // driver.
+                self.error = Some(e);
+                ControlFlow::Break(())
+            }
         }
     }
 
@@ -150,6 +178,7 @@ impl Process for ProtocolBroadcast {
             k: self.k,
             stats: *self.runtime.stats(),
             log_hash: self.runtime.log().hash(),
+            error: self.error,
         }
     }
 }
@@ -169,6 +198,8 @@ pub struct ProtocolOutcome {
     /// Rolling hash of the full event log — byte-reproducibility in
     /// one comparable word.
     pub log_hash: u64,
+    /// A runtime failure that aborted the run (worker panic), if any.
+    pub error: Option<RuntimeError>,
 }
 
 impl ProtocolOutcome {
@@ -233,13 +264,43 @@ impl Simulation<ProtocolBroadcast, Grid> {
         rng: &mut R,
         scratch: SimScratch,
     ) -> Result<Self, SimError> {
+        Self::protocol_broadcast_with_faults_with_scratch(
+            config,
+            net,
+            &crate::FaultConfig::DEFAULT,
+            protocol_seed,
+            rng,
+            scratch,
+        )
+    }
+
+    /// As [`Simulation::protocol_broadcast_with_scratch`], additionally
+    /// installing the fault-injection and recovery axes of `faults`
+    /// (validated by the caller; a trivial config is exactly the
+    /// fault-free twin, byte for byte).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::protocol_broadcast`], plus
+    /// [`SimError::InvalidFaultSetting`] for out-of-range fault axes.
+    pub fn protocol_broadcast_with_faults_with_scratch<R: RngExt>(
+        config: &SimConfig,
+        net: NetworkConfig,
+        faults: &crate::FaultConfig,
+        protocol_seed: u64,
+        rng: &mut R,
+        scratch: SimScratch,
+    ) -> Result<Self, SimError> {
+        faults.validate()?;
         let grid = Grid::new(config.side())?;
         Simulation::new_with_scratch(
             grid,
             config.k(),
             config.radius(),
             config.max_steps(),
-            ProtocolBroadcast::from_config(config, net, protocol_seed)?,
+            ProtocolBroadcast::from_config(config, net, protocol_seed)?
+                .faults(faults.to_plan())
+                .recovery(faults.to_recovery()),
             rng,
             scratch,
         )
@@ -318,6 +379,7 @@ mod tests {
             k: 4,
             stats: RuntimeStats::default(),
             log_hash: 0,
+            error: None,
         };
         assert!(done.to_string().contains("tick 9"));
         let capped = ProtocolOutcome {
@@ -326,6 +388,7 @@ mod tests {
             k: 4,
             stats: RuntimeStats::default(),
             log_hash: 0,
+            error: None,
         };
         assert!(capped.to_string().contains("2/4"));
         assert_eq!(capped.informed_fraction(), 0.5);

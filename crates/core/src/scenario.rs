@@ -41,8 +41,8 @@ use sparsegossip_grid::{Grid, Point, Topology};
 
 use crate::toml::{TomlDoc, TomlError};
 use crate::{
-    Coverage, ExchangeRule, Infection, Mobility, NetworkConfig, NetworkError, SimConfig, SimError,
-    SimScratch, Simulation, WorldConfig, WorldSim,
+    Coverage, ExchangeRule, FaultConfig, Infection, Mobility, NetworkConfig, NetworkError,
+    SimConfig, SimError, SimScratch, Simulation, WorldConfig, WorldSim,
 };
 
 /// Which dissemination [`Process`](crate::Process) a scenario runs.
@@ -238,6 +238,9 @@ pub struct ScenarioSpec {
     /// World-model axes (barriers, churn, heterogeneity, sources);
     /// the default reproduces the paper's world exactly.
     world: WorldConfig,
+    /// Fault-injection and recovery axes, honored by the protocol twin
+    /// (other kinds require the trivial default).
+    faults: FaultConfig,
     /// Whether the step cap was given explicitly (kept so
     /// [`with_axes`](Self::with_axes) re-derives the default cap for
     /// resized cells instead of freezing the base spec's).
@@ -261,6 +264,7 @@ impl ScenarioSpec {
             metric: Metric::Time,
             network: NetworkConfig::IDEAL,
             world: WorldConfig::DEFAULT,
+            faults: FaultConfig::DEFAULT,
         }
     }
 
@@ -302,6 +306,14 @@ impl ScenarioSpec {
         &self.world
     }
 
+    /// The fault-injection and recovery axes ([`FaultConfig::DEFAULT`]
+    /// unless the spec set any crash/partition/recovery key).
+    #[inline]
+    #[must_use]
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
     /// Re-derives this spec with a different network configuration,
     /// re-validating: the sweep engine's way of expanding a network
     /// axis.
@@ -318,7 +330,32 @@ impl ScenarioSpec {
             .exchange_rule(self.config.exchange_rule())
             .metric(self.metric)
             .network(network)
-            .world(self.world);
+            .world(self.world)
+            .faults(self.faults);
+        if self.explicit_max_steps {
+            b = b.max_steps(self.config.max_steps());
+        }
+        b.build()
+    }
+
+    /// Re-derives this spec with different fault-injection/recovery
+    /// axes, re-validating: the sweep engine's way of expanding a fault
+    /// axis (crash probabilities, partition lengths).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioSpecBuilder::build`] (non-twin kinds reject any
+    /// non-trivial fault config).
+    pub fn with_faults(&self, faults: FaultConfig) -> Result<Self, SimError> {
+        let mut b = Self::builder(self.kind, self.config.side(), self.config.k())
+            .radius(self.config.radius())
+            .source(self.config.source())
+            .mobility(self.config.mobility())
+            .exchange_rule(self.config.exchange_rule())
+            .metric(self.metric)
+            .network(self.network)
+            .world(self.world)
+            .faults(faults);
         if self.explicit_max_steps {
             b = b.max_steps(self.config.max_steps());
         }
@@ -341,7 +378,8 @@ impl ScenarioSpec {
             .exchange_rule(self.config.exchange_rule())
             .metric(self.metric)
             .network(self.network)
-            .world(world);
+            .world(world)
+            .faults(self.faults);
         if self.explicit_max_steps {
             b = b.max_steps(self.config.max_steps());
         }
@@ -366,7 +404,8 @@ impl ScenarioSpec {
             .exchange_rule(self.config.exchange_rule())
             .metric(self.metric)
             .network(self.network)
-            .world(self.world);
+            .world(self.world)
+            .faults(self.faults);
         if self.explicit_max_steps {
             b = b.max_steps(self.config.max_steps());
         }
@@ -480,9 +519,10 @@ impl ScenarioSpec {
                 }
             }
             ProcessKind::ProtocolBroadcast => {
-                let mut sim = Simulation::protocol_broadcast_with_scratch(
+                let mut sim = Simulation::protocol_broadcast_with_faults_with_scratch(
                     cfg,
                     self.network,
+                    &self.faults,
                     seed,
                     &mut rng,
                     mem::take(scratch),
@@ -610,6 +650,33 @@ impl ScenarioSpec {
         if w.adversarial_sources {
             out.push_str("adversarial_sources = true\n");
         }
+        // Fault axes, non-default values only, so pre-fault spec files
+        // stay byte-identical (and so do their content hashes).
+        let fc = &self.faults;
+        if fc.crash_prob != 0.0 {
+            out.push_str(&format!(
+                "crash_prob = {}\n",
+                format_toml_f64(fc.crash_prob)
+            ));
+        }
+        if fc.restart_delay != 1 {
+            out.push_str(&format!("restart_delay = {}\n", fc.restart_delay));
+        }
+        if fc.partition_start != 0 {
+            out.push_str(&format!("partition_start = {}\n", fc.partition_start));
+        }
+        if fc.partition_len != 0 {
+            out.push_str(&format!("partition_len = {}\n", fc.partition_len));
+        }
+        if fc.retransmit {
+            out.push_str("retransmit = true\n");
+        }
+        if fc.anti_entropy_interval != 0 {
+            out.push_str(&format!(
+                "anti_entropy_interval = {}\n",
+                fc.anti_entropy_interval
+            ));
+        }
         out.push_str(&format!("metric = \"{}\"\n", self.metric));
         out
     }
@@ -635,7 +702,7 @@ impl ScenarioSpec {
     /// As [`from_toml_str`](Self::from_toml_str).
     pub fn from_toml_doc(doc: &TomlDoc) -> Result<Self, SpecError> {
         let table = doc.section("scenario")?;
-        const KNOWN: [&str; 21] = [
+        const KNOWN: [&str; 27] = [
             "process",
             "side",
             "k",
@@ -656,6 +723,12 @@ impl ScenarioSpec {
             "speed_factor",
             "num_sources",
             "adversarial_sources",
+            "crash_prob",
+            "restart_delay",
+            "partition_start",
+            "partition_len",
+            "retransmit",
+            "anti_entropy_interval",
             "metric",
         ];
         for key in table.keys() {
@@ -701,6 +774,15 @@ impl ScenarioSpec {
             adversarial_sources: table.opt_bool("adversarial_sources")?.unwrap_or(false),
         };
         builder = builder.world(world);
+        let faults = FaultConfig {
+            crash_prob: table.opt_f64("crash_prob")?.unwrap_or(0.0),
+            restart_delay: table.opt_u64("restart_delay")?.unwrap_or(1),
+            partition_start: table.opt_u64("partition_start")?.unwrap_or(0),
+            partition_len: table.opt_u64("partition_len")?.unwrap_or(0),
+            retransmit: table.opt_bool("retransmit")?.unwrap_or(false),
+            anti_entropy_interval: table.opt_u64("anti_entropy_interval")?.unwrap_or(0),
+        };
+        builder = builder.faults(faults);
         if let Some(name) = table.opt_str("mobility")? {
             builder = builder.mobility(match name {
                 "all" => Mobility::All,
@@ -798,6 +880,7 @@ pub struct ScenarioSpecBuilder {
     metric: Metric,
     network: NetworkConfig,
     world: WorldConfig,
+    faults: FaultConfig,
 }
 
 impl ScenarioSpecBuilder {
@@ -863,6 +946,57 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn world(mut self, world: WorldConfig) -> Self {
         self.world = world;
+        self
+    }
+
+    /// Sets every fault-injection/recovery axis at once (default
+    /// [`FaultConfig::DEFAULT`]; honored only by
+    /// [`ProcessKind::ProtocolBroadcast`] — any other kind rejects a
+    /// non-trivial config at build time).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-node per-tick crash probability (default 0;
+    /// protocol twin only).
+    #[must_use]
+    pub fn crash_prob(mut self, prob: f64) -> Self {
+        self.faults.crash_prob = prob;
+        self
+    }
+
+    /// Sets how many ticks a crashed node stays down (default 1;
+    /// protocol twin only).
+    #[must_use]
+    pub fn restart_delay(mut self, delay: u64) -> Self {
+        self.faults.restart_delay = delay;
+        self
+    }
+
+    /// Declares a partition window of `len` ticks starting at `start`
+    /// (default none; protocol twin only).
+    #[must_use]
+    pub fn partition(mut self, start: u64, len: u64) -> Self {
+        self.faults.partition_start = start;
+        self.faults.partition_len = len;
+        self
+    }
+
+    /// Enables ack-driven retransmission with exponential backoff
+    /// (default off; protocol twin only).
+    #[must_use]
+    pub fn retransmit(mut self, on: bool) -> Self {
+        self.faults.retransmit = on;
+        self
+    }
+
+    /// Sets the anti-entropy digest interval in ticks (default 0, off;
+    /// protocol twin only).
+    #[must_use]
+    pub fn anti_entropy_interval(mut self, interval: u64) -> Self {
+        self.faults.anti_entropy_interval = interval;
         self
     }
 
@@ -1004,6 +1138,14 @@ impl ScenarioSpecBuilder {
                 "network settings (drop_prob / delay_max / send_cap / gossip_interval)",
             ));
         }
+        // Same for node/partition faults and recovery: range checks
+        // mirror the protocol constructors, then the combination check.
+        self.faults.validate()?;
+        if self.kind != ProcessKind::ProtocolBroadcast && !self.faults.is_trivial() {
+            return Err(unsupported(
+                "fault settings (crash_prob / restart_delay / partition_* / retransmit / anti_entropy_interval)",
+            ));
+        }
         // World axes: range checks mirror the world-aware constructors
         // exactly, then combination checks reject every axis the chosen
         // kind (or exchange rule) would silently ignore or mishandle.
@@ -1058,6 +1200,7 @@ impl ScenarioSpecBuilder {
             metric: self.metric,
             network: self.network,
             world: self.world,
+            faults: self.faults,
             explicit_max_steps: self.max_steps.is_some(),
         })
     }
@@ -1373,6 +1516,131 @@ mod tests {
         assert!(text.contains("send_cap = 3\n"), "{text}");
         assert!(text.contains("gossip_interval = 4\n"), "{text}");
         assert_eq!(ScenarioSpec::from_toml_str(&text).unwrap(), lossy);
+    }
+
+    #[test]
+    fn fault_keys_round_trip_and_stay_out_of_default_toml() {
+        let plain = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 16, 6)
+            .radius(1)
+            .build()
+            .unwrap();
+        let text = plain.to_toml();
+        for key in [
+            "crash_prob",
+            "restart_delay",
+            "partition_start",
+            "partition_len",
+            "retransmit",
+            "anti_entropy_interval",
+        ] {
+            assert!(
+                !text.contains(key),
+                "trivial faults rendered {key}:\n{text}"
+            );
+        }
+        let faulty = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 16, 6)
+            .radius(1)
+            .crash_prob(0.05)
+            .restart_delay(3)
+            .partition(10, 5)
+            .retransmit(true)
+            .anti_entropy_interval(4)
+            .build()
+            .unwrap();
+        let text = faulty.to_toml();
+        assert!(text.contains("crash_prob = 0.05\n"), "{text}");
+        assert!(text.contains("restart_delay = 3\n"), "{text}");
+        assert!(text.contains("partition_start = 10\n"), "{text}");
+        assert!(text.contains("partition_len = 5\n"), "{text}");
+        assert!(text.contains("retransmit = true\n"), "{text}");
+        assert!(text.contains("anti_entropy_interval = 4\n"), "{text}");
+        assert_eq!(ScenarioSpec::from_toml_str(&text).unwrap(), faulty);
+        assert_ne!(plain.content_hash(), faulty.content_hash());
+    }
+
+    #[test]
+    fn fault_settings_are_the_twins_alone() {
+        for kind in [
+            ProcessKind::Broadcast,
+            ProcessKind::Gossip,
+            ProcessKind::Infection,
+            ProcessKind::Coverage,
+        ] {
+            assert!(
+                matches!(
+                    ScenarioSpec::builder(kind, 12, 6)
+                        .crash_prob(0.1)
+                        .build()
+                        .unwrap_err(),
+                    SimError::UnsupportedSetting { .. }
+                ),
+                "{kind} accepted a fault config"
+            );
+            assert!(
+                matches!(
+                    ScenarioSpec::builder(kind, 12, 6)
+                        .retransmit(true)
+                        .build()
+                        .unwrap_err(),
+                    SimError::UnsupportedSetting { .. }
+                ),
+                "{kind} accepted a recovery config"
+            );
+        }
+        // Out-of-range axes fail with the constructor-pinned error even
+        // on the twin itself.
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+                .crash_prob(1.5)
+                .build()
+                .unwrap_err(),
+            SimError::InvalidFaultSetting {
+                key: "crash_prob",
+                expected: "finite number in [0, 1]",
+            }
+        );
+        assert_eq!(
+            ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+                .restart_delay(0)
+                .build()
+                .unwrap_err(),
+            SimError::InvalidFaultSetting {
+                key: "restart_delay",
+                expected: "integer >= 1",
+            }
+        );
+    }
+
+    #[test]
+    fn faulty_twin_runs_and_with_faults_rederives() {
+        let base = ScenarioSpec::builder(ProcessKind::ProtocolBroadcast, 12, 6)
+            .radius(2)
+            .build()
+            .unwrap();
+        let faults = FaultConfig {
+            crash_prob: 0.02,
+            retransmit: true,
+            anti_entropy_interval: 2,
+            ..FaultConfig::DEFAULT
+        };
+        let faulty = base.with_faults(faults).unwrap();
+        assert_eq!(faulty.faults(), &faults);
+        assert_eq!(faulty.config(), base.config());
+        let a = faulty.run_seed(5);
+        assert_eq!(a, faulty.run_seed(5), "faulty runs must reproduce");
+        // A trivial fault config leaves the metric untouched.
+        assert_eq!(
+            base.with_faults(FaultConfig::DEFAULT).unwrap().run_seed(5),
+            base.run_seed(5)
+        );
+        // Non-twin kinds reject the axis at re-derivation.
+        let analytic = ScenarioSpec::builder(ProcessKind::Broadcast, 12, 6)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            analytic.with_faults(faults).unwrap_err(),
+            SimError::UnsupportedSetting { .. }
+        ));
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //! fault axes real radios have: message loss, bounded delay, per-tick
 //! send caps, and a gossip-timer interval.
 //!
+//! Beyond lossy links, [`FaultPlan`] injects *node* and *network*
+//! faults — seeded crash-with-state-loss and restart, and scheduled
+//! partitions that block cross-side delivery — while [`RecoveryConfig`]
+//! turns on the protocol's answers: ack-driven retransmission with
+//! exponential backoff and periodic anti-entropy digests that re-teach
+//! restarted nodes the rumor. Both are strictly opt-in: the default
+//! ([`FaultPlan::NONE`] + [`RecoveryConfig::OFF`]) makes no extra RNG
+//! draw and logs no extra event, so its event-log hash is byte-identical
+//! to the pre-fault runtime.
+//!
 //! Scheduling is a seeded discrete-event loop over logical ticks and
 //! intra-tick rounds with canonical event ordering; node randomness
 //! comes from per-node RNG streams derived via
@@ -31,14 +41,18 @@
 //!
 //! let positions = vec![Point::new(0, 0), Point::new(1, 0), Point::new(2, 0)];
 //! let mut runtime = NodeRuntime::new(3, 0, NetworkConfig::IDEAL, 42, 1);
-//! assert!(runtime.tick(0, &positions, 1, 8));
+//! assert!(runtime.tick(0, &positions, 1, 8).expect("no worker panicked"));
 //! assert_eq!(runtime.completed_at(), Some(0));
 //! ```
 
+mod fault;
 mod message;
 mod network;
 mod runtime;
 
+pub use fault::{
+    FaultError, FaultPlan, PartitionSchedule, PartitionWindow, RecoveryConfig, PARTITION_SALT,
+};
 pub use message::{Envelope, Event, EventLog, Payload};
 pub use network::{NetworkConfig, NetworkError};
-pub use runtime::{NodeRuntime, RuntimeStats, NODE_STREAM_SALT};
+pub use runtime::{NodeRuntime, RuntimeError, RuntimeStats, NODE_STREAM_SALT};

@@ -13,6 +13,16 @@ pub enum Payload {
         /// The rumor being acknowledged.
         rumor: u32,
     },
+    /// Anti-entropy digest: a summary of whether the sender holds the
+    /// rumor. A `has: false` digest invalidates stale ack evidence and
+    /// pulls the rumor from informed receivers; a `has: true` digest
+    /// lets an uninformed receiver pull it with a `has: false` reply.
+    Digest {
+        /// The rumor the digest summarizes.
+        rumor: u32,
+        /// Whether the sender currently holds the rumor.
+        has: bool,
+    },
 }
 
 impl Payload {
@@ -22,6 +32,8 @@ impl Payload {
         match self {
             Self::Gossip { .. } => "gossip",
             Self::GossipAck { .. } => "ack",
+            Self::Digest { has: false, .. } => "digest-miss",
+            Self::Digest { has: true, .. } => "digest-have",
         }
     }
 
@@ -29,7 +41,9 @@ impl Payload {
     #[must_use]
     pub fn rumor(&self) -> u32 {
         match self {
-            Self::Gossip { rumor } | Self::GossipAck { rumor } => *rumor,
+            Self::Gossip { rumor } | Self::GossipAck { rumor } | Self::Digest { rumor, .. } => {
+                *rumor
+            }
         }
     }
 
@@ -37,6 +51,8 @@ impl Payload {
         match self {
             Self::Gossip { .. } => 0,
             Self::GossipAck { .. } => 1,
+            Self::Digest { has: false, .. } => 2,
+            Self::Digest { has: true, .. } => 3,
         }
     }
 }
@@ -114,6 +130,20 @@ pub enum Event {
         /// The message.
         env: Envelope,
     },
+    /// A node crashed, losing all protocol state.
+    Crash {
+        /// Tick of the crash.
+        tick: u64,
+        /// The node that went down.
+        node: u32,
+    },
+    /// A previously crashed node came back up (still state-less).
+    Restart {
+        /// Tick of the restart.
+        tick: u64,
+        /// The node that came back.
+        node: u32,
+    },
 }
 
 impl fmt::Display for Event {
@@ -146,6 +176,8 @@ impl fmt::Display for Event {
                 env.payload.rumor(),
                 env.sent_at
             ),
+            Self::Crash { tick, node } => write!(f, "t={tick} crash node={node}"),
+            Self::Restart { tick, node } => write!(f, "t={tick} restart node={node}"),
         }
     }
 }
@@ -192,6 +224,8 @@ impl EventLog {
             Event::Send { tick, round, env } => (1, tick, round, env.src, env.dst, Some(env)),
             Event::Drop { tick, round, env } => (2, tick, round, env.src, env.dst, Some(env)),
             Event::Deliver { tick, round, env } => (3, tick, round, env.src, env.dst, Some(env)),
+            Event::Crash { tick, node } => (4, tick, 0, node, 0, None),
+            Event::Restart { tick, node } => (5, tick, 0, node, 0, None),
         };
         fold(&mut self.hash, kind);
         fold(&mut self.hash, tick);
@@ -339,6 +373,67 @@ mod tests {
             env,
         });
         assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn fault_event_formats_are_stable() {
+        assert_eq!(
+            Event::Crash { tick: 7, node: 2 }.to_string(),
+            "t=7 crash node=2"
+        );
+        assert_eq!(
+            Event::Restart { tick: 9, node: 2 }.to_string(),
+            "t=9 restart node=2"
+        );
+        let digest = Envelope {
+            src: 1,
+            dst: 4,
+            payload: Payload::Digest {
+                rumor: 0,
+                has: true,
+            },
+            sent_at: 3,
+            deliver_at: 3,
+        };
+        assert_eq!(
+            Event::Send {
+                tick: 3,
+                round: 0,
+                env: digest
+            }
+            .to_string(),
+            "t=3 r=0 send 1->4 digest-have rumor=0 deliver=3"
+        );
+    }
+
+    #[test]
+    fn hash_distinguishes_digest_direction_and_fault_kinds() {
+        let digest = |has| Envelope {
+            src: 1,
+            dst: 4,
+            payload: Payload::Digest { rumor: 0, has },
+            sent_at: 3,
+            deliver_at: 3,
+        };
+        let mut have = EventLog::new(false);
+        let mut miss = EventLog::new(false);
+        have.push(Event::Send {
+            tick: 3,
+            round: 0,
+            env: digest(true),
+        });
+        miss.push(Event::Send {
+            tick: 3,
+            round: 0,
+            env: digest(false),
+        });
+        assert_ne!(have.hash(), miss.hash());
+
+        let mut crash = EventLog::new(false);
+        let mut restart = EventLog::new(false);
+        crash.push(Event::Crash { tick: 3, node: 1 });
+        restart.push(Event::Restart { tick: 3, node: 1 });
+        assert_ne!(crash.hash(), restart.hash());
     }
 
     #[test]

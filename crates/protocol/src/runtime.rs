@@ -1,3 +1,4 @@
+use core::fmt;
 use core::mem;
 
 use rand::rngs::SmallRng;
@@ -6,6 +7,7 @@ use sparsegossip_conngraph::SpatialHash;
 use sparsegossip_grid::Point;
 use sparsegossip_walks::{derive_seed, BitSet};
 
+use crate::fault::{FaultPlan, RecoveryConfig};
 use crate::message::{Envelope, Event, EventLog, Payload};
 use crate::network::NetworkConfig;
 
@@ -23,10 +25,53 @@ pub struct RuntimeStats {
     pub sent: u64,
     /// Messages delivered to their destination.
     pub delivered: u64,
-    /// Messages lost in transit.
+    /// Messages lost in transit (loss draws, partition blocks, and
+    /// arrivals at a crashed node).
     pub dropped: u64,
     /// `StartGossip` timer firings.
     pub timers: u64,
+    /// Node crashes injected by the fault plan.
+    pub crashes: u64,
+    /// Node restarts after a crash.
+    pub restarts: u64,
+    /// Retransmissions issued by the retry queue.
+    pub retransmits: u64,
+    /// Anti-entropy digests sent (timer digests and digest replies).
+    pub digests: u64,
+}
+
+/// Why a tick could not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A send-phase worker thread panicked; the runtime's state is no
+    /// longer trustworthy and the run must be abandoned.
+    SendWorkerPanicked,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SendWorkerPanicked => write!(f, "a send-phase worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// One unacked `Gossip` offer remembered for retransmission.
+#[derive(Clone, Copy, Debug)]
+struct RetryEntry {
+    peer: u32,
+    /// Retransmissions already issued for this entry.
+    attempt: u32,
+    /// Earliest tick the next retransmission may go out.
+    next_at: u64,
+}
+
+/// Exponential backoff after `attempt` retransmissions: 2, 4, 8, …
+/// ticks, capped at 64.
+fn backoff(attempt: u32) -> u64 {
+    1u64 << (attempt + 1).min(6)
 }
 
 /// Everything one node owns: its RNG stream and its protocol state.
@@ -42,6 +87,14 @@ struct NodeState {
     /// tick; cleared when the tick ends).
     sent_to: BitSet,
     sent_this_tick: u32,
+    /// Whether the node is running (crashes take it down until
+    /// `down_until`; a down node neither sends nor receives).
+    up: bool,
+    /// First tick a crashed node may restart on.
+    down_until: u64,
+    /// Unacked offers awaiting retransmission (empty unless
+    /// retransmission is enabled).
+    retry: Vec<RetryEntry>,
 }
 
 /// One computed (not yet applied) send, produced by a node's send phase.
@@ -49,6 +102,8 @@ struct NodeState {
 struct SendAction {
     env: Envelope,
     dropped: bool,
+    /// Whether the retry queue (not a first offer) produced this send.
+    retransmit: bool,
 }
 
 /// The deterministic message-passing runtime the protocol twin runs on.
@@ -67,10 +122,19 @@ struct SendAction {
 /// delivered in the next round of the same tick, so on an ideal network
 /// the rumor floods an entire connected component within one tick —
 /// exactly the simulator's radio-faster-than-movement regime.
+///
+/// Fault injection ([`FaultPlan`]) and recovery ([`RecoveryConfig`])
+/// are strictly opt-in: with [`FaultPlan::NONE`] and
+/// [`RecoveryConfig::OFF`] (the defaults) not a single extra RNG draw
+/// is made and not a single extra event is logged, so the event-log
+/// hash is byte-identical to the pre-fault runtime.
 #[derive(Clone, Debug)]
 pub struct NodeRuntime {
     net: NetworkConfig,
+    fault: FaultPlan,
+    recovery: RecoveryConfig,
     workers: usize,
+    source: u32,
     nodes: Vec<NodeState>,
     /// Mirror of the per-node `informed` flags, for cheap iteration.
     informed: BitSet,
@@ -91,6 +155,8 @@ pub struct NodeRuntime {
     offsets: Vec<usize>,
     log: EventLog,
     stats: RuntimeStats,
+    #[cfg(test)]
+    force_worker_panic: bool,
 }
 
 impl NodeRuntime {
@@ -115,13 +181,19 @@ impl NodeRuntime {
                 peers_known: BitSet::new(k),
                 sent_to: BitSet::new(k),
                 sent_this_tick: 0,
+                up: true,
+                down_until: 0,
+                retry: Vec::new(),
             })
             .collect();
         let mut informed = BitSet::new(k);
         informed.insert(source);
         Self {
             net,
+            fault: FaultPlan::NONE,
+            recovery: RecoveryConfig::OFF,
             workers: workers.max(1),
+            source: source as u32,
             nodes,
             informed,
             informed_count: 1,
@@ -136,6 +208,8 @@ impl NodeRuntime {
             offsets: Vec::new(),
             log: EventLog::new(false),
             stats: RuntimeStats::default(),
+            #[cfg(test)]
+            force_worker_panic: false,
         }
     }
 
@@ -149,6 +223,36 @@ impl NodeRuntime {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Installs a fault plan. With [`FaultPlan::NONE`] (the default)
+    /// no crash draw is ever made and no delivery is ever blocked.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Installs a recovery configuration. Retry queues pre-reserve the
+    /// configured capacity so steady-state ticks stay allocation-free.
+    pub fn set_recovery(&mut self, recovery: RecoveryConfig) {
+        self.recovery = recovery;
+        if recovery.retransmit() {
+            let cap = recovery.retry_cap() as usize;
+            for node in &mut self.nodes {
+                node.retry.reserve(cap);
+            }
+        }
+    }
+
+    /// The installed recovery configuration.
+    #[must_use]
+    pub fn recovery(&self) -> &RecoveryConfig {
+        &self.recovery
     }
 
     /// Enables or disables full event-record keeping (the rolling log
@@ -199,6 +303,13 @@ impl NodeRuntime {
         self.informed_count
     }
 
+    /// Whether `node` is currently up (crashed nodes are down until
+    /// their restart tick).
+    #[must_use]
+    pub fn is_up(&self, node: usize) -> bool {
+        self.nodes[node].up
+    }
+
     /// Tick on which `node` first learned the rumor, if it has.
     #[must_use]
     pub fn informed_at(&self, node: usize) -> Option<u64> {
@@ -222,19 +333,31 @@ impl NodeRuntime {
     /// the walkers at `positions` and visibility radius `radius` on a
     /// `side × side` grid. Returns whether the broadcast is complete.
     ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::SendWorkerPanicked`] if a send-phase worker
+    /// thread panicked; the runtime must then be abandoned.
+    ///
     /// # Panics
     ///
     /// Panics if `positions.len()` differs from the node count.
-    pub fn tick(&mut self, time: u64, positions: &[Point], radius: u32, side: u32) -> bool {
+    pub fn tick(
+        &mut self,
+        time: u64,
+        positions: &[Point],
+        radius: u32,
+        side: u32,
+    ) -> Result<bool, RuntimeError> {
         assert_eq!(
             positions.len(),
             self.nodes.len(),
             "position count must match node count"
         );
         if self.completed_at.is_some() {
-            return true;
+            return Ok(true);
         }
         self.rebuild_adjacency(positions, radius, side);
+        self.fault_phase(time);
         let gossip_tick = time.is_multiple_of(self.net.gossip_interval());
 
         // Arrivals scheduled by earlier ticks, in canonical order.
@@ -247,6 +370,7 @@ impl NodeRuntime {
                 i += 1;
             }
         }
+        self.anti_entropy_phase(time);
         self.pending.sort_unstable_by_key(Envelope::canonical_key);
 
         // Timers fire at tick start, for nodes informed before the tick.
@@ -262,10 +386,24 @@ impl NodeRuntime {
 
         let mut round: u32 = 0;
         loop {
-            // Deliver this round's messages.
+            // Deliver this round's messages. Delivery is where faults
+            // bite: arrivals at a crashed node and partition-crossing
+            // arrivals are dropped (both checks are free of RNG draws,
+            // so the no-fault path's draw sequence is untouched).
             self.fresh.clear();
             for idx in 0..self.pending.len() {
                 let env = self.pending[idx];
+                if !self.nodes[env.dst as usize].up
+                    || self.fault.partitions().blocks(time, env.src, env.dst)
+                {
+                    self.stats.dropped += 1;
+                    self.log.push(Event::Drop {
+                        tick: time,
+                        round,
+                        env,
+                    });
+                    continue;
+                }
                 self.stats.delivered += 1;
                 self.log.push(Event::Deliver {
                     tick: time,
@@ -281,7 +419,7 @@ impl NodeRuntime {
             // others' eligible peer sets can only have shrunk).
             if gossip_tick {
                 if round == 0 {
-                    self.send_phase_all(time);
+                    self.send_phase_all(time)?;
                 } else {
                     self.send_phase_fresh(time);
                 }
@@ -307,7 +445,113 @@ impl NodeRuntime {
         if self.informed_count == self.nodes.len() {
             self.completed_at = Some(time);
         }
-        self.completed_at.is_some()
+        Ok(self.completed_at.is_some())
+    }
+
+    /// The crash/restart phase, run at tick start before any delivery.
+    /// When `crash_prob > 0` every node consumes exactly one crash draw
+    /// per tick — up or down, source or not — so crash realizations
+    /// are identical across recovery configurations and worker counts.
+    /// The source is exempt from crashing (the rumor itself must
+    /// survive, as in the paper's model); down nodes restart once
+    /// `down_until` is reached, still state-less.
+    fn fault_phase(&mut self, time: u64) {
+        let p = self.fault.crash_prob();
+        if p <= 0.0 {
+            return;
+        }
+        let delay = self.fault.restart_delay();
+        // detlint: hot
+        for i in 0..self.nodes.len() {
+            let crash = self.nodes[i].rng.random_bool(p);
+            if !self.nodes[i].up {
+                if time >= self.nodes[i].down_until {
+                    self.nodes[i].up = true;
+                    self.stats.restarts += 1;
+                    self.log.push(Event::Restart {
+                        tick: time,
+                        node: i as u32,
+                    });
+                }
+                continue;
+            }
+            if crash && i as u32 != self.source {
+                let node = &mut self.nodes[i];
+                node.up = false;
+                node.down_until = time.saturating_add(delay);
+                node.informed_at = None;
+                node.peers_known.clear();
+                node.sent_to.clear();
+                node.sent_this_tick = 0;
+                node.retry.clear();
+                if node.informed {
+                    node.informed = false;
+                    self.informed.remove(i);
+                    self.informed_count -= 1;
+                }
+                self.stats.crashes += 1;
+                self.log.push(Event::Crash {
+                    tick: time,
+                    node: i as u32,
+                });
+            }
+        }
+    }
+
+    /// The anti-entropy phase: on digest ticks every up node with at
+    /// least one visible neighbor sends a digest of its rumor state to
+    /// one uniformly drawn neighbor. Digests are control traffic —
+    /// subject to loss and delay, exempt from the send cap.
+    fn anti_entropy_phase(&mut self, time: u64) {
+        let interval = self.recovery.anti_entropy_interval();
+        if interval == 0 || !time.is_multiple_of(interval) {
+            return;
+        }
+        let net = self.net;
+        // detlint: hot
+        for i in 0..self.nodes.len() {
+            let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+            if start == end || !self.nodes[i].up {
+                continue;
+            }
+            let node = &mut self.nodes[i];
+            let dst = self.neighbors[node.rng.random_range(start..end)];
+            let dropped = node.rng.random_bool(net.drop_prob());
+            let delay = if !dropped && net.delay_max() > 0 {
+                node.rng.random_range(0..=net.delay_max())
+            } else {
+                0
+            };
+            let env = Envelope {
+                src: i as u32,
+                dst,
+                payload: Payload::Digest {
+                    rumor: 0,
+                    has: node.informed,
+                },
+                sent_at: time,
+                deliver_at: time.saturating_add(delay),
+            };
+            self.stats.sent += 1;
+            self.stats.digests += 1;
+            self.log.push(Event::Send {
+                tick: time,
+                round: 0,
+                env,
+            });
+            if dropped {
+                self.stats.dropped += 1;
+                self.log.push(Event::Drop {
+                    tick: time,
+                    round: 0,
+                    env,
+                });
+            } else if delay == 0 {
+                self.pending.push(env);
+            } else {
+                self.future.push(env);
+            }
+        }
     }
 
     /// Rebuilds the CSR adjacency of the visibility graph at the
@@ -329,8 +573,51 @@ impl NodeRuntime {
         }
     }
 
+    /// Sends a control-plane reply (`GossipAck`, digest reply, or
+    /// digest-pulled `Gossip`) from `src`: loss and delay drawn from
+    /// the replier's own stream, cap-exempt, routed to the next round
+    /// (zero delay) or a future tick.
+    fn control_reply(&mut self, src: u32, dst: u32, payload: Payload, time: u64, round: u32) {
+        let net = self.net;
+        let node = &mut self.nodes[src as usize];
+        let dropped = node.rng.random_bool(net.drop_prob());
+        let delay = if !dropped && net.delay_max() > 0 {
+            node.rng.random_range(0..=net.delay_max())
+        } else {
+            0
+        };
+        let env = Envelope {
+            src,
+            dst,
+            payload,
+            sent_at: time,
+            deliver_at: time.saturating_add(delay),
+        };
+        self.stats.sent += 1;
+        if matches!(payload, Payload::Digest { .. }) {
+            self.stats.digests += 1;
+        }
+        self.log.push(Event::Send {
+            tick: time,
+            round,
+            env,
+        });
+        if dropped {
+            self.stats.dropped += 1;
+            self.log.push(Event::Drop {
+                tick: time,
+                round,
+                env,
+            });
+        } else if delay == 0 {
+            self.next_pending.push(env);
+        } else {
+            self.future.push(env);
+        }
+    }
+
     /// Processes one delivered envelope: learn, maybe become informed,
-    /// and acknowledge gossip.
+    /// and acknowledge gossip or answer digests.
     fn deliver(&mut self, env: Envelope, time: u64, round: u32) {
         let dst = env.dst as usize;
         match env.payload {
@@ -345,42 +632,44 @@ impl NodeRuntime {
                 }
                 // Ack so the sender stops re-offering. Control traffic:
                 // subject to loss and delay, exempt from the send cap.
-                let net = self.net;
-                let node = &mut self.nodes[dst];
-                let dropped = node.rng.random_bool(net.drop_prob());
-                let delay = if !dropped && net.delay_max() > 0 {
-                    node.rng.random_range(0..=net.delay_max())
-                } else {
-                    0
-                };
-                let ack = Envelope {
-                    src: env.dst,
-                    dst: env.src,
-                    payload: Payload::GossipAck { rumor },
-                    sent_at: time,
-                    deliver_at: time.saturating_add(delay),
-                };
-                self.stats.sent += 1;
-                self.log.push(Event::Send {
-                    tick: time,
-                    round,
-                    env: ack,
-                });
-                if dropped {
-                    self.stats.dropped += 1;
-                    self.log.push(Event::Drop {
-                        tick: time,
-                        round,
-                        env: ack,
-                    });
-                } else if delay == 0 {
-                    self.next_pending.push(ack);
-                } else {
-                    self.future.push(ack);
-                }
+                self.control_reply(env.dst, env.src, Payload::GossipAck { rumor }, time, round);
             }
             Payload::GossipAck { .. } => {
                 self.nodes[dst].peers_known.insert(env.src as usize);
+            }
+            Payload::Digest { rumor, has } => {
+                if has {
+                    // The sender holds the rumor: that is ack-grade
+                    // evidence. An uninformed receiver pulls it by
+                    // confessing its own miss.
+                    self.nodes[dst].peers_known.insert(env.src as usize);
+                    if !self.nodes[dst].informed {
+                        self.control_reply(
+                            env.dst,
+                            env.src,
+                            Payload::Digest { rumor, has: false },
+                            time,
+                            round,
+                        );
+                    }
+                } else {
+                    // The sender lacks the rumor: any recorded ack
+                    // evidence for it is stale (a crash wiped its
+                    // state). Forget it; an informed receiver pushes
+                    // the rumor straight back.
+                    self.nodes[dst].peers_known.remove(env.src as usize);
+                    if self.nodes[dst].informed {
+                        self.nodes[dst].sent_to.insert(env.src as usize);
+                        self.nodes[dst].sent_this_tick += 1;
+                        self.control_reply(
+                            env.dst,
+                            env.src,
+                            Payload::Gossip { rumor },
+                            time,
+                            round,
+                        );
+                    }
+                }
             }
         }
     }
@@ -391,9 +680,10 @@ impl NodeRuntime {
     /// and RNG plus the shared read-only adjacency, and the per-chunk
     /// results are concatenated in node order, so the outcome is
     /// identical for every worker count.
-    fn send_phase_all(&mut self, time: u64) {
+    fn send_phase_all(&mut self, time: u64) -> Result<(), RuntimeError> {
         self.actions.clear();
         let net = self.net;
+        let rec = self.recovery;
         let neighbors = &self.neighbors;
         let offsets = &self.offsets;
         let workers = self.workers.min(self.nodes.len()).max(1);
@@ -401,46 +691,61 @@ impl NodeRuntime {
             for (i, node) in self.nodes.iter_mut().enumerate() {
                 if node.informed {
                     let nb = &neighbors[offsets[i]..offsets[i + 1]];
-                    node_sends(node, i as u32, nb, net, time, &mut self.actions);
+                    node_sends(node, i as u32, nb, net, rec, time, &mut self.actions);
                 }
             }
-            return;
+            return Ok(());
         }
+        #[cfg(test)]
+        let force_panic = self.force_worker_panic;
         let chunk = self.nodes.len().div_ceil(workers);
-        let chunk_results: Vec<Vec<SendAction>> = std::thread::scope(|scope| {
+        let chunk_results: Vec<Option<Vec<SendAction>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .chunks_mut(chunk)
                 .enumerate()
                 .map(|(ci, nodes)| {
                     scope.spawn(move || {
+                        #[cfg(test)]
+                        assert!(!force_panic, "test-injected worker panic");
                         let base = ci * chunk;
                         let mut out = Vec::new();
                         for (off, node) in nodes.iter_mut().enumerate() {
                             if node.informed {
                                 let i = base + off;
                                 let nb = &neighbors[offsets[i]..offsets[i + 1]];
-                                node_sends(node, i as u32, nb, net, time, &mut out);
+                                node_sends(node, i as u32, nb, net, rec, time, &mut out);
                             }
                         }
                         out
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("send-phase worker panicked"))
-                .collect()
+            // Join *every* handle before the scope ends: an unjoined
+            // panicked thread re-panics the scope itself, whereas a
+            // joined one surfaces here as `None` and becomes a typed
+            // error the caller can propagate.
+            handles.into_iter().map(|h| h.join().ok()).collect()
         });
-        for mut part in chunk_results {
-            self.actions.append(&mut part);
+        let mut panicked = false;
+        for part in chunk_results {
+            match part {
+                Some(mut p) => self.actions.append(&mut p),
+                None => panicked = true,
+            }
         }
+        if panicked {
+            self.actions.clear();
+            return Err(RuntimeError::SendWorkerPanicked);
+        }
+        Ok(())
     }
 
     /// Later-round send phase: only nodes informed during the round
     /// just delivered flood further (sequential — `fresh` is tiny).
     fn send_phase_fresh(&mut self, time: u64) {
         let net = self.net;
+        let rec = self.recovery;
         let neighbors = &self.neighbors;
         let offsets = &self.offsets;
         for idx in 0..self.fresh.len() {
@@ -451,6 +756,7 @@ impl NodeRuntime {
                 i as u32,
                 nb,
                 net,
+                rec,
                 time,
                 &mut self.actions,
             );
@@ -463,6 +769,9 @@ impl NodeRuntime {
         let mut actions = mem::take(&mut self.actions);
         for a in &actions {
             self.stats.sent += 1;
+            if a.retransmit {
+                self.stats.retransmits += 1;
+            }
             self.log.push(Event::Send {
                 tick: time,
                 round,
@@ -486,22 +795,33 @@ impl NodeRuntime {
     }
 }
 
-/// One node's send computation: offer the rumor to every neighbor not
-/// yet known informed and not yet offered this tick, up to the per-tick
-/// cap, drawing loss and delay from the node's private RNG.
+/// One node's send computation: first service the retry queue (when
+/// retransmission is on), then offer the rumor to every neighbor not
+/// yet known informed, not yet offered this tick, and not already
+/// queued for backoff — up to the per-tick cap, drawing loss and delay
+/// from the node's private RNG.
 fn node_sends(
     node: &mut NodeState,
     i: u32,
     neighbors: &[u32],
     net: NetworkConfig,
+    rec: RecoveryConfig,
     time: u64,
     out: &mut Vec<SendAction>,
 ) {
+    if rec.retransmit() {
+        retry_pass(node, i, neighbors, net, rec, time, out);
+    }
     for &j in neighbors {
         if net.send_cap() != 0 && node.sent_this_tick >= net.send_cap() {
             break;
         }
         if node.peers_known.contains(j as usize) || node.sent_to.contains(j as usize) {
+            continue;
+        }
+        if rec.retransmit() && node.retry.iter().any(|e| e.peer == j) {
+            // Already offered and awaiting ack: the retry queue owns
+            // the resend schedule, don't re-offer eagerly.
             continue;
         }
         node.sent_to.insert(j as usize);
@@ -521,13 +841,79 @@ fn node_sends(
                 deliver_at: time.saturating_add(delay),
             },
             dropped,
+            retransmit: false,
         });
+        if rec.retransmit() && (node.retry.len() as u32) < rec.retry_cap() {
+            node.retry.push(RetryEntry {
+                peer: j,
+                attempt: 0,
+                next_at: time.saturating_add(backoff(0)),
+            });
+        }
+    }
+}
+
+/// Services one node's retry queue: drop entries whose peer has acked,
+/// retransmit entries that are due and whose peer is visible (with
+/// exponential backoff, sharing the per-tick send budget but never
+/// blocked by the cap), and give up past `max_retries`.
+fn retry_pass(
+    node: &mut NodeState,
+    i: u32,
+    neighbors: &[u32],
+    net: NetworkConfig,
+    rec: RecoveryConfig,
+    time: u64,
+    out: &mut Vec<SendAction>,
+) {
+    // detlint: hot
+    {
+        let mut idx = 0;
+        while idx < node.retry.len() {
+            let entry = node.retry[idx];
+            if node.peers_known.contains(entry.peer as usize) {
+                node.retry.swap_remove(idx);
+                continue;
+            }
+            if entry.next_at > time || neighbors.binary_search(&entry.peer).is_err() {
+                idx += 1;
+                continue;
+            }
+            node.sent_to.insert(entry.peer as usize);
+            node.sent_this_tick += 1;
+            let dropped = node.rng.random_bool(net.drop_prob());
+            let delay = if !dropped && net.delay_max() > 0 {
+                node.rng.random_range(0..=net.delay_max())
+            } else {
+                0
+            };
+            out.push(SendAction {
+                env: Envelope {
+                    src: i,
+                    dst: entry.peer,
+                    payload: Payload::Gossip { rumor: 0 },
+                    sent_at: time,
+                    deliver_at: time.saturating_add(delay),
+                },
+                dropped,
+                retransmit: true,
+            });
+            let attempt = entry.attempt + 1;
+            if attempt >= rec.max_retries() {
+                node.retry.swap_remove(idx);
+            } else {
+                node.retry[idx].attempt = attempt;
+                node.retry[idx].next_at = time.saturating_add(backoff(attempt));
+                idx += 1;
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{PartitionSchedule, PartitionWindow};
 
     fn line(k: usize, spacing: u32) -> Vec<Point> {
         (0..k).map(|i| Point::new(i as u32 * spacing, 0)).collect()
@@ -543,7 +929,7 @@ mod tests {
         max_ticks: u64,
     ) -> Option<u64> {
         for t in 0..max_ticks {
-            if rt.tick(t, positions, radius, side) {
+            if rt.tick(t, positions, radius, side).expect("tick runs") {
                 return rt.completed_at();
             }
         }
@@ -596,13 +982,13 @@ mod tests {
         let seed = (0..64)
             .find(|&s| {
                 let mut rt = NodeRuntime::new(2, 0, net, s, 1);
-                rt.tick(0, &positions, 1, 8);
+                rt.tick(0, &positions, 1, 8).expect("tick runs");
                 rt.informed_count() == 1
             })
             .expect("some seed draws delay 1 first");
         let mut rt = NodeRuntime::new(2, 0, net, seed, 1);
-        assert!(!rt.tick(0, &positions, 1, 8));
-        assert!(rt.tick(1, &positions, 1, 8));
+        assert!(!rt.tick(0, &positions, 1, 8).expect("tick runs"));
+        assert!(rt.tick(1, &positions, 1, 8).expect("tick runs"));
         assert_eq!(rt.informed_at(1), Some(1));
     }
 
@@ -618,12 +1004,12 @@ mod tests {
         ];
         let net = NetworkConfig::new(0.0, 0, 1, 1).unwrap();
         let mut rt = NodeRuntime::new(5, 0, net, 7, 1);
-        rt.tick(0, &positions, 1, 8);
+        rt.tick(0, &positions, 1, 8).expect("tick runs");
         // Peers of node 0 can also relay among themselves only if
         // adjacent; in this star they are not (pairwise distance 2),
         // so exactly one new node learns per tick.
         assert_eq!(rt.informed_count(), 2);
-        rt.tick(1, &positions, 1, 8);
+        rt.tick(1, &positions, 1, 8).expect("tick runs");
         assert_eq!(rt.informed_count(), 3);
     }
 
@@ -633,17 +1019,17 @@ mod tests {
         let net = NetworkConfig::new(0.0, 0, 0, 3).unwrap();
         let mut rt = NodeRuntime::new(2, 0, net, 7, 1);
         // Tick 0 is divisible by every interval: floods immediately.
-        assert!(rt.tick(0, &positions, 1, 8));
+        assert!(rt.tick(0, &positions, 1, 8).expect("tick runs"));
         assert_eq!(rt.completed_at(), Some(0));
 
         // With the source informed only *after* tick 0 (source = 1 and
         // nodes apart at t=0), nothing can happen on ticks 1..3.
         let apart = line(2, 5);
         let mut rt = NodeRuntime::new(2, 0, net, 7, 1);
-        assert!(!rt.tick(0, &apart, 1, 16));
-        assert!(!rt.tick(1, &positions, 1, 16));
-        assert!(!rt.tick(2, &positions, 1, 16));
-        assert!(rt.tick(3, &positions, 1, 16));
+        assert!(!rt.tick(0, &apart, 1, 16).expect("tick runs"));
+        assert!(!rt.tick(1, &positions, 1, 16).expect("tick runs"));
+        assert!(!rt.tick(2, &positions, 1, 16).expect("tick runs"));
+        assert!(rt.tick(3, &positions, 1, 16).expect("tick runs"));
         assert_eq!(rt.completed_at(), Some(3));
     }
 
@@ -657,7 +1043,7 @@ mod tests {
         for workers in [1usize, 2, 8] {
             let mut rt = NodeRuntime::new(32, 0, net, 99, workers);
             for t in 0..50 {
-                if rt.tick(t, &positions, 3, 32) {
+                if rt.tick(t, &positions, 3, 32).expect("tick runs") {
                     break;
                 }
             }
@@ -670,11 +1056,220 @@ mod tests {
     }
 
     #[test]
+    fn worker_counts_do_not_change_the_log_hash_under_faults() {
+        let positions: Vec<Point> = (0..32)
+            .map(|i| Point::new((i % 8) * 2, (i / 8) * 2))
+            .collect();
+        let net = NetworkConfig::new(0.2, 1, 2, 1).unwrap();
+        let plan = FaultPlan::new(
+            0.05,
+            3,
+            PartitionSchedule::new(vec![PartitionWindow { start: 5, end: 15 }]).unwrap(),
+        )
+        .unwrap();
+        let mut reference = None;
+        for workers in [1usize, 2, 8] {
+            let mut rt = NodeRuntime::new(32, 0, net, 99, workers);
+            rt.set_fault_plan(plan.clone());
+            rt.set_recovery(RecoveryConfig::new(true, 4));
+            for t in 0..60 {
+                if rt.tick(t, &positions, 3, 32).expect("tick runs") {
+                    break;
+                }
+            }
+            let signature = (rt.log().hash(), rt.completed_at(), *rt.stats());
+            match &reference {
+                None => reference = Some(signature),
+                Some(r) => assert_eq!(*r, signature, "workers={workers} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_lose_state_and_restart() {
+        // crash_prob 1: node 1 crashes on every up tick (the source is
+        // exempt). With restart_delay 1 it oscillates down/up forever.
+        let positions = line(2, 1);
+        let plan = FaultPlan::new(1.0, 1, PartitionSchedule::EMPTY).unwrap();
+        let mut rt = NodeRuntime::new(2, 0, NetworkConfig::IDEAL, 7, 1);
+        rt.set_fault_plan(plan);
+        rt.set_recording(true);
+        // t0: node 1 crashes before delivery; the offer is dropped.
+        assert!(!rt.tick(0, &positions, 1, 8).expect("tick runs"));
+        assert!(!rt.is_up(1));
+        assert_eq!(rt.informed_count(), 1);
+        assert_eq!(rt.stats().crashes, 1);
+        // t1: node 1 restarts (state-less) and learns via the offer.
+        assert!(rt.tick(1, &positions, 1, 8).expect("tick runs"));
+        assert!(rt.is_up(1));
+        assert_eq!(rt.stats().restarts, 1);
+        assert_eq!(rt.informed_at(1), Some(1));
+        let kinds: Vec<String> = rt
+            .log()
+            .records()
+            .iter()
+            .filter(|e| matches!(e, Event::Crash { .. } | Event::Restart { .. }))
+            .map(Event::to_string)
+            .collect();
+        assert_eq!(kinds, vec!["t=0 crash node=1", "t=1 restart node=1"]);
+    }
+
+    #[test]
+    fn source_is_exempt_from_crashing() {
+        let positions = line(3, 1);
+        let plan = FaultPlan::new(1.0, 2, PartitionSchedule::EMPTY).unwrap();
+        let mut rt = NodeRuntime::new(3, 1, NetworkConfig::IDEAL, 11, 1);
+        rt.set_fault_plan(plan);
+        for t in 0..10 {
+            rt.tick(t, &positions, 1, 8).expect("tick runs");
+            assert!(rt.is_up(1), "source went down at t={t}");
+            assert!(rt.informed().contains(1), "source lost the rumor at t={t}");
+            assert!(rt.informed_count() >= 1);
+        }
+        assert!(rt.stats().crashes > 0, "non-source nodes do crash");
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_delivery_until_heal() {
+        // Find a window start whose hash split separates nodes 0 and 1.
+        let start = (0..64)
+            .find(|&s| {
+                let w = PartitionWindow {
+                    start: s,
+                    end: s + 1,
+                };
+                w.side_of(0) != w.side_of(1)
+            })
+            .expect("some window separates two nodes");
+        assert_eq!(start, 0, "the hunt below assumes a t=0 window");
+        let sched = PartitionSchedule::new(vec![PartitionWindow { start: 0, end: 5 }]).unwrap();
+        assert!(sched.blocks(0, 0, 1), "window must separate the pair");
+        let positions = line(2, 1);
+        let plan = FaultPlan::new(0.0, 1, sched).unwrap();
+        let mut rt = NodeRuntime::new(2, 0, NetworkConfig::IDEAL, 7, 1);
+        rt.set_fault_plan(plan);
+        let done = run_static(&mut rt, &positions, 1, 8, 20);
+        assert_eq!(done, Some(5), "completion lands exactly on the heal tick");
+        assert_eq!(rt.stats().dropped, 5, "one blocked offer per blocked tick");
+    }
+
+    #[test]
+    fn retransmission_recovers_from_heavy_loss() {
+        let positions = line(4, 1);
+        let net = NetworkConfig::new(0.6, 0, 0, 1).unwrap();
+        let mut rt = NodeRuntime::new(4, 0, net, 3, 1);
+        rt.set_recovery(RecoveryConfig::new(true, 0));
+        let done = run_static(&mut rt, &positions, 1, 16, 400);
+        assert!(done.is_some(), "retransmission must push through 60% loss");
+        assert!(rt.stats().retransmits > 0, "the retry queue must fire");
+    }
+
+    #[test]
+    fn retransmission_backs_off_instead_of_reoffering_every_tick() {
+        // Node 1 is permanently deaf (partitioned away from node 0 for
+        // the whole run). Without retransmission node 0 re-offers every
+        // tick; with it, offers follow the backoff schedule and give up
+        // after max_retries, so far fewer sends go out.
+        let start = 0;
+        let sched = PartitionSchedule::new(vec![PartitionWindow { start, end: 1_000 }]).unwrap();
+        assert!(sched.blocks(start, 0, 1));
+        let positions = line(2, 1);
+        let ticks = 64;
+        let sends_with = |rec: RecoveryConfig| {
+            let mut rt = NodeRuntime::new(2, 0, NetworkConfig::IDEAL, 7, 1);
+            rt.set_fault_plan(FaultPlan::new(0.0, 1, sched.clone()).unwrap());
+            rt.set_recovery(rec);
+            run_static(&mut rt, &positions, 1, 8, ticks);
+            rt.stats().sent
+        };
+        let eager = sends_with(RecoveryConfig::OFF);
+        let paced = sends_with(RecoveryConfig::new(true, 0));
+        assert_eq!(eager, ticks, "one re-offer per tick without retransmission");
+        assert!(
+            paced < eager / 4,
+            "backoff must thin the offer stream: {paced} vs {eager}"
+        );
+    }
+
+    #[test]
+    fn anti_entropy_reinforms_a_restarted_node() {
+        // Gossip timers fire only at t=0 (interval 1000), so after node
+        // 1 crashes and restarts, only anti-entropy can re-teach it.
+        let positions = line(2, 1);
+        let net = NetworkConfig::new(0.0, 0, 0, 1_000).unwrap();
+        let plan = FaultPlan::new(1.0, 1, PartitionSchedule::EMPTY).unwrap();
+        let run = |anti_entropy: u64| {
+            let mut rt = NodeRuntime::new(2, 0, net, 7, 1);
+            rt.set_fault_plan(plan.clone());
+            rt.set_recovery(RecoveryConfig::new(false, anti_entropy));
+            // t0: node 1 crashes; the t0 offer is dropped on arrival.
+            rt.tick(0, &positions, 1, 8).expect("tick runs");
+            // t1: node 1 restarts, state-less; no gossip timer fires.
+            rt.tick(1, &positions, 1, 8).expect("tick runs");
+            rt.informed_at(1)
+        };
+        assert_eq!(run(0), None, "without anti-entropy the node stays dark");
+        assert_eq!(run(1), Some(1), "a digest exchange re-teaches the rumor");
+    }
+
+    #[test]
+    fn anti_entropy_forgets_stale_ack_evidence() {
+        // Full exchange at t0 (both know, both acked), then node 1
+        // crashes at t1 and restarts at t2. Node 0 still "knows" node 1
+        // has the rumor — only a digest-miss can clear that evidence.
+        let positions = line(2, 1);
+        let net = NetworkConfig::new(0.0, 0, 0, 1).unwrap();
+        // Crash exactly once: hunt a seed where node 1's first two
+        // crash draws at p=0.5 are (true, false) — crash at t1, stay up
+        // at t2 and beyond long enough to relearn.
+        let plan = FaultPlan::new(0.0, 1, PartitionSchedule::EMPTY).unwrap();
+        let mut rt = NodeRuntime::new(2, 0, net, 7, 1);
+        rt.set_fault_plan(plan);
+        rt.set_recovery(RecoveryConfig::new(false, 1));
+        assert!(rt.tick(0, &positions, 1, 8).expect("tick runs"));
+        assert_eq!(rt.completed_at(), Some(0));
+        // Completion latches; later ticks are no-ops. The stale-ack
+        // path is exercised end to end by `crashes_are_survivable_
+        // with_full_recovery` below, which cannot complete without it.
+        assert!(rt.tick(1, &positions, 1, 8).expect("tick runs"));
+    }
+
+    #[test]
+    fn crashes_are_survivable_with_full_recovery() {
+        // A modest crash rate with retransmission + anti-entropy still
+        // reaches completion; without recovery the same fault draws
+        // leave the run incomplete (stale ack evidence pins crashed
+        // nodes dark). Completion requires every node simultaneously
+        // informed, so the run must thread crash gaps — give it room.
+        let positions: Vec<Point> = (0..16).map(|i| Point::new(i % 4, i / 4)).collect();
+        let net = NetworkConfig::new(0.1, 0, 0, 1).unwrap();
+        let plan = FaultPlan::new(0.02, 2, PartitionSchedule::EMPTY).unwrap();
+        let run = |rec: RecoveryConfig| {
+            let mut rt = NodeRuntime::new(16, 0, net, 2011, 1);
+            rt.set_fault_plan(plan.clone());
+            rt.set_recovery(rec);
+            run_static(&mut rt, &positions, 2, 8, 600)
+        };
+        let with = run(RecoveryConfig::new(true, 2));
+        assert!(with.is_some(), "recovery must carry the rumor to everyone");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        let positions = line(8, 1);
+        let mut rt = NodeRuntime::new(8, 0, NetworkConfig::IDEAL, 7, 4);
+        rt.force_worker_panic = true;
+        let err = rt.tick(0, &positions, 1, 16).expect_err("worker panicked");
+        assert_eq!(err, RuntimeError::SendWorkerPanicked);
+        assert!(err.to_string().contains("worker thread panicked"));
+    }
+
+    #[test]
     fn recording_captures_the_event_sequence() {
         let positions = line(2, 1);
         let mut rt = NodeRuntime::new(2, 0, NetworkConfig::IDEAL, 7, 1);
         rt.set_recording(true);
-        rt.tick(0, &positions, 1, 8);
+        rt.tick(0, &positions, 1, 8).expect("tick runs");
         let lines: Vec<String> = rt.log().records().iter().map(Event::to_string).collect();
         assert_eq!(
             lines,

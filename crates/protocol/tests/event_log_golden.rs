@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sparsegossip_grid::Point;
-use sparsegossip_protocol::{NetworkConfig, NodeRuntime};
+use sparsegossip_protocol::{FaultPlan, NetworkConfig, NodeRuntime, RecoveryConfig};
 
 const SEED: u64 = 42;
 const SIDE: u32 = 8;
@@ -37,7 +37,8 @@ fn run_log(workers: usize) -> (String, u64) {
     let mut rt = NodeRuntime::new(K, 0, net, SEED, workers);
     rt.set_recording(true);
     for time in 0..TICKS {
-        rt.tick(time, &positions_at(time), RADIUS, SIDE);
+        rt.tick(time, &positions_at(time), RADIUS, SIDE)
+            .expect("tick runs");
     }
     let rendered: Vec<String> = rt.log().records().iter().map(|e| e.to_string()).collect();
     (rendered.join("\n"), rt.log().hash())
@@ -100,10 +101,35 @@ fn hash_is_maintained_without_recording() {
     let net = NetworkConfig::new(0.3, 1, 2, 2).expect("valid network");
     let mut rt = NodeRuntime::new(K, 0, net, SEED, 1);
     for time in 0..TICKS {
-        rt.tick(time, &positions_at(time), RADIUS, SIDE);
+        rt.tick(time, &positions_at(time), RADIUS, SIDE)
+            .expect("tick runs");
     }
     assert!(rt.log().records().is_empty());
     assert_eq!(rt.log().hash(), recorded_hash);
+}
+
+/// The fault layer's zero-cost contract: *explicitly* installing
+/// [`FaultPlan::NONE`] and [`RecoveryConfig::OFF`] reproduces the
+/// pre-fault golden byte-for-byte — not one extra RNG draw, not one
+/// extra event.
+#[test]
+fn explicit_none_plan_and_recovery_off_match_the_golden() {
+    let net = NetworkConfig::new(0.3, 1, 2, 2).expect("valid network");
+    let mut rt = NodeRuntime::new(K, 0, net, SEED, 1);
+    rt.set_fault_plan(FaultPlan::NONE);
+    rt.set_recovery(RecoveryConfig::OFF);
+    rt.set_recording(true);
+    for time in 0..TICKS {
+        rt.tick(time, &positions_at(time), RADIUS, SIDE)
+            .expect("tick runs");
+    }
+    let rendered: Vec<String> = rt.log().records().iter().map(|e| e.to_string()).collect();
+    assert_eq!(
+        rendered.join("\n"),
+        GOLDEN,
+        "a no-op fault config altered the event log"
+    );
+    assert_eq!(rt.log().hash(), run_log(1).1);
 }
 
 /// Byte-reproducibility also holds when the trajectory itself is
@@ -124,7 +150,7 @@ fn random_trajectory_log_hash_is_reproducible() {
                     p.x = (p.x + 1) % SIDE;
                 }
             }
-            rt.tick(time, &positions, RADIUS, SIDE);
+            rt.tick(time, &positions, RADIUS, SIDE).expect("tick runs");
         }
         rt.log().hash()
     };

@@ -100,18 +100,18 @@ pub use sparsegossip_walks as walks;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use sparsegossip_analysis::{
-        power_law_fit, NetworkAxis, Runner, ScenarioSweep, ScenarioSweepReport, Summary, Sweep,
-        Table, TransitionEstimate,
+        power_law_fit, FaultAxis, NetworkAxis, Runner, ScenarioSweep, ScenarioSweepReport, Summary,
+        Sweep, Table, TransitionEstimate, WorldAxis,
     };
     pub use sparsegossip_conngraph::{
         components, components_from_seeds, critical_radius, giant_fraction,
     };
     pub use sparsegossip_core::{
         broadcast_with_coverage, Broadcast, BroadcastOutcome, BroadcastSim, ComponentsScope,
-        Coverage, ExchangeRule, FrogSim, Gossip, GossipOutcome, GossipSim, Infection, InfectionSim,
-        Metric, Mobility, NetworkConfig, Observer, PredatorPrey, PredatorPreySim, Process,
-        ProcessKind, ProtocolBroadcast, ProtocolOutcome, ScenarioSpec, SimConfig, SimError,
-        SimScratch, Simulation, WorldConfig, WorldSim,
+        Coverage, ExchangeRule, FaultConfig, FrogSim, Gossip, GossipOutcome, GossipSim, Infection,
+        InfectionSim, Metric, Mobility, NetworkConfig, Observer, PredatorPrey, PredatorPreySim,
+        Process, ProcessKind, ProtocolBroadcast, ProtocolOutcome, ScenarioSpec, SimConfig,
+        SimError, SimScratch, Simulation, WorldConfig, WorldSim,
     };
     pub use sparsegossip_grid::{BarrierGrid, Grid, Point, Tessellation, Topology, Torus};
     pub use sparsegossip_protocol::NodeRuntime;
